@@ -1,0 +1,109 @@
+//! Kernel microbenchmarks for the substrates: FFT, CIC deposit, power
+//! spectrum, k-d tree construction/queries, the message-passing layer, and
+//! the batch-queue simulator.
+
+use bench::{blob, snapshot_32};
+use comm::World;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpp::Threaded;
+use fft::{Complex, Fft3d, Grid3};
+use simhpc::{machine, BatchSimulator, JobRequest, QueuePolicy};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let threaded = Threaded::with_available_parallelism();
+    let dims = [64, 64, 64];
+    let plan = Fft3d::new(dims).unwrap();
+    let data: Vec<Complex> = (0..dims.iter().product::<usize>())
+        .map(|i| Complex::new((i as f64 * 0.1).sin(), 0.0))
+        .collect();
+    c.bench_function("fft3d_64_roundtrip_threaded", |b| {
+        b.iter(|| {
+            let mut g = Grid3::from_vec(dims, data.clone());
+            plan.forward(&threaded, &mut g).unwrap();
+            plan.inverse(&threaded, &mut g).unwrap();
+            g
+        })
+    });
+}
+
+fn bench_cic_and_power(c: &mut Criterion) {
+    let threaded = Threaded::with_available_parallelism();
+    let (particles, box_size) = snapshot_32();
+    c.bench_function("cic_deposit_32k_particles", |b| {
+        b.iter(|| nbody::cic_deposit(&threaded, particles, 32, *box_size))
+    });
+    c.bench_function("power_spectrum_32", |b| {
+        b.iter(|| cosmotools::compute_power_spectrum(&threaded, particles, 32, *box_size, 16))
+    });
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let parts = blob([0.0; 3], 20_000, 50.0, 0);
+    let positions: Vec<[f64; 3]> = parts.iter().map(|p| p.pos_f64()).collect();
+    c.bench_function("kdtree_build_20k", |b| {
+        b.iter(|| halo::KdTree::build(&positions, None))
+    });
+    let tree = halo::KdTree::build(&positions, None);
+    c.bench_function("kdtree_knn_20k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in (0..positions.len()).step_by(100) {
+                acc += tree.k_nearest(&positions, positions[i], 24).len();
+            }
+            acc
+        })
+    });
+}
+
+fn bench_comm(c: &mut Criterion) {
+    c.bench_function("comm_allreduce_8_ranks", |b| {
+        b.iter(|| {
+            let world = World::new(8);
+            world.run(|comm| comm.allreduce_sum_f64(comm.rank() as f64))
+        })
+    });
+    c.bench_function("comm_alltoallv_8_ranks_64k", |b| {
+        b.iter(|| {
+            let world = World::new(8);
+            world.run(|comm| {
+                let sends: Vec<Vec<u64>> = (0..8).map(|d| vec![d as u64; 8192]).collect();
+                comm.alltoallv(sends).len()
+            })
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    c.bench_function("batch_simulator_1000_jobs", |b| {
+        b.iter(|| {
+            let mut m = machine::titan();
+            m.total_nodes = 1024;
+            let mut policy = QueuePolicy::titan();
+            policy.base_wait = 0.0;
+            let mut sim = BatchSimulator::new(m, policy);
+            for i in 0..1000 {
+                sim.submit(JobRequest::new(
+                    format!("j{i}"),
+                    1 + (i * 37) % 200,
+                    10.0 + (i % 17) as f64,
+                    (i / 4) as f64,
+                ));
+            }
+            sim.run_to_completion().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_fft, bench_cic_and_power, bench_kdtree, bench_comm, bench_scheduler
+}
+criterion_main!(benches);

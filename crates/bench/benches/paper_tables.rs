@@ -1,0 +1,81 @@
+//! Regenerates every *projected* table and figure of the paper's evaluation
+//! and benchmarks the generators: Table 1 (data levels), Table 2 (find/center
+//! extremes), Table 3 (workflow core-hours), Table 4 (detailed breakdown),
+//! Figure 3 (halo mass histogram), Figure 4 (node-time histogram), the §4.1
+//! Q Continuum projection, and the §4.2 subhalo imbalance.
+//!
+//! Each benchmark prints its table once, so `cargo bench` output doubles as
+//! the experiment record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hacc_core::experiments::{
+    fig3, fig4, format_fig3, format_fig4, format_table1, format_table2, format_table3,
+    qcontinuum_report, subhalo_imbalance, table1, table2, table3_4,
+};
+use hacc_core::{format_table4, qcontinuum_projection, TitanFrame};
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", format_table1(&table1()));
+    c.bench_function("table1_data_levels", |b| b.iter(table1));
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let frame = TitanFrame::default();
+    println!("\n{}", format_table2(&table2(&frame)));
+    c.bench_function("table2_find_center_imbalance", |b| b.iter(|| table2(&frame)));
+}
+
+fn bench_table3_table4(c: &mut Criterion) {
+    let frame = TitanFrame::default();
+    let costs = table3_4(&frame, 7);
+    println!("\n{}", format_table3(&costs));
+    println!("{}", format_table4(&costs));
+    c.bench_function("table3_table4_workflow_costs", |b| {
+        b.iter(|| table3_4(&frame, 7))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    println!("\n{}", format_fig3(&fig3(40)));
+    c.bench_function("fig3_halo_histogram", |b| b.iter(|| fig3(40)));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let frame = TitanFrame::default();
+    println!("\n{}", format_fig4(&fig4(&frame, 20150715)));
+    c.bench_function("fig4_node_time_histogram", |b| b.iter(|| fig4(&frame, 20150715)));
+}
+
+fn bench_qcontinuum(c: &mut Criterion) {
+    let frame = TitanFrame::default();
+    println!("\n{}", qcontinuum_report(&frame));
+    c.bench_function("qcontinuum_core_hours", |b| {
+        b.iter(|| qcontinuum_projection(&frame))
+    });
+}
+
+fn bench_subhalo_imbalance(c: &mut Criterion) {
+    let (max, min) = subhalo_imbalance(20150715);
+    println!(
+        "\nsubhalo imbalance (projected, 32 nodes): slowest {max:.0} s vs fastest {min:.0} s = {:.1}x (paper: 8172/1457 = 5.6x)\n",
+        max / min
+    );
+    c.bench_function("subhalo_imbalance_projection", |b| {
+        b.iter(|| subhalo_imbalance(20150715))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_table1, bench_table2, bench_table3_table4, bench_fig3,
+              bench_fig4, bench_qcontinuum, bench_subhalo_imbalance
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Shared workload builders for the benchmark harness.
+
+use nbody::particle::Particle;
+use nbody::{SimConfig, Simulation};
+use std::sync::OnceLock;
+
+/// A deterministic hash-based uniform blob of particles.
+pub fn blob(center: [f64; 3], n: usize, spread: f64, tag0: u64) -> Vec<Particle> {
+    let hash = |mut x: u64| {
+        x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|i| {
+            let s = (tag0 + i as u64).wrapping_mul(3) + 17;
+            Particle::at_rest(
+                [
+                    (center[0] + (hash(s) - 0.5) * spread) as f32,
+                    (center[1] + (hash(s.wrapping_mul(7)) - 0.5) * spread) as f32,
+                    (center[2] + (hash(s.wrapping_mul(13)) - 0.5) * spread) as f32,
+                ],
+                1.0,
+                tag0 + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// A cached z = 0 snapshot of a 32³ run (shared by several benches).
+pub fn snapshot_32() -> &'static (Vec<Particle>, f64) {
+    static SNAP: OnceLock<(Vec<Particle>, f64)> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        let backend = dpp::Threaded::with_available_parallelism();
+        let cfg = SimConfig {
+            np: 32,
+            ng: 32,
+            nsteps: 16,
+            seed: 20150715,
+            ..SimConfig::default()
+        };
+        let box_size = cfg.cosmology.box_size;
+        let mut sim = Simulation::new(&backend, cfg);
+        sim.run(&backend);
+        (sim.particles().to_vec(), box_size)
+    })
+}

@@ -1,0 +1,315 @@
+//! Rank spawning and point-to-point messaging.
+//!
+//! A [`World`] plays the role of `MPI_COMM_WORLD`: it runs one OS thread per
+//! rank and gives each a [`Communicator`]. Transport is an unbounded channel
+//! per rank (sends never block, so no send/receive ordering deadlocks), and
+//! receives match on `(source, tag)` with out-of-order buffering, mirroring
+//! MPI matching semantics.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+/// A tagged message in flight.
+struct Envelope {
+    src: usize,
+    tag: u64,
+    payload: Box<dyn Any + Send>,
+}
+
+/// Tags at or above this value are reserved for collectives.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 60;
+
+/// Per-rank endpoint: knows its rank, the world size, and how to reach peers.
+///
+/// A `Communicator` is owned by exactly one rank thread (it is `Send` but not
+/// `Sync`), matching the MPI model of rank-private communicator handles.
+pub struct Communicator {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Envelope>>>,
+    inbox: Receiver<Envelope>,
+    /// Received-but-unmatched messages (MPI "unexpected message queue").
+    pending: RefCell<Vec<Envelope>>,
+    /// Collective sequence number; all ranks advance it in lockstep because
+    /// collectives are collective calls.
+    pub(crate) coll_seq: RefCell<u64>,
+}
+
+impl Communicator {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `value` to rank `dst` with a user `tag`.
+    ///
+    /// Panics if `dst` is out of range or `tag` collides with the reserved
+    /// collective tag space.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.send_raw(dst, tag, value);
+    }
+
+    pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        assert!(dst < self.size, "send to rank {dst} out of range {}", self.size);
+        self.senders[dst]
+            .send(Envelope {
+                src: self.rank,
+                tag,
+                payload: Box::new(value),
+            })
+            .expect("peer rank hung up while message in flight");
+    }
+
+    /// Blocking receive of a `T` from rank `src` with tag `tag`.
+    ///
+    /// Panics if the matched payload has a different type (a protocol error)
+    /// or if the world shuts down while waiting.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
+        self.recv_raw(src, tag)
+    }
+
+    pub(crate) fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        // Check the unexpected-message queue first.
+        {
+            let mut pending = self.pending.borrow_mut();
+            if let Some(i) = pending.iter().position(|e| e.src == src && e.tag == tag) {
+                let env = pending.swap_remove(i);
+                return Self::downcast(env, src, tag);
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv()
+                .expect("world shut down while rank was waiting for a message");
+            if env.src == src && env.tag == tag {
+                return Self::downcast(env, src, tag);
+            }
+            self.pending.borrow_mut().push(env);
+        }
+    }
+
+    fn downcast<T: 'static>(env: Envelope, src: usize, tag: u64) -> T {
+        *env.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!(
+                "type mismatch receiving from rank {src} tag {tag}: expected {}",
+                std::any::type_name::<T>()
+            )
+        })
+    }
+
+    /// Non-blocking probe: is a message from `src` with `tag` available?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        {
+            let pending = self.pending.borrow();
+            if pending.iter().any(|e| e.src == src && e.tag == tag) {
+                return true;
+            }
+        }
+        // Drain whatever has arrived into the pending queue, then check.
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.borrow_mut().push(env);
+        }
+        self.pending
+            .borrow()
+            .iter()
+            .any(|e| e.src == src && e.tag == tag)
+    }
+
+    /// Fetch the next collective tag (same value on every rank because
+    /// collectives execute in lockstep).
+    pub(crate) fn next_collective_tag(&self) -> u64 {
+        let mut seq = self.coll_seq.borrow_mut();
+        let tag = COLLECTIVE_TAG_BASE + *seq;
+        *seq += 1;
+        tag
+    }
+}
+
+/// A fixed-size group of ranks executed as threads.
+pub struct World {
+    size: usize,
+}
+
+impl World {
+    /// A world with `size` ranks. Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        World { size }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `f` on every rank concurrently; returns per-rank results indexed
+    /// by rank. Panics (after all threads stop) if any rank panicked.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Communicator) -> T + Sync,
+    {
+        let size = self.size;
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded()).unzip();
+        let senders = Arc::new(senders);
+        let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
+
+        let scope_result = crossbeam::thread::scope(|scope| {
+            for (rank, (inbox, slot)) in inboxes.into_iter().zip(results.iter_mut()).enumerate() {
+                let senders = Arc::clone(&senders);
+                let f = &f;
+                scope.spawn(move |_| {
+                    let comm = Communicator {
+                        rank,
+                        size,
+                        senders,
+                        inbox,
+                        pending: RefCell::new(Vec::new()),
+                        coll_seq: RefCell::new(0),
+                    };
+                    *slot = Some(f(&comm));
+                });
+            }
+        });
+        if let Err(payload) = scope_result {
+            // Re-raise the original rank panic so callers (and tests) see the
+            // real failure message. Crossbeam aggregates unjoined-child panics
+            // into a Vec of payloads and may also double-box single payloads.
+            let payload = match payload.downcast::<Vec<Box<dyn Any + Send>>>() {
+                Ok(mut v) if !v.is_empty() => v.remove(0),
+                Ok(_) => Box::new("rank panicked with empty payload"),
+                Err(p) => match p.downcast::<Box<dyn Any + Send>>() {
+                    Ok(inner) => *inner,
+                    Err(p) => p,
+                },
+            };
+            std::panic::resume_unwind(payload);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("rank produced no result"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let world = World::new(5);
+        let ids = world.run(|c| (c.rank(), c.size()));
+        for (i, (r, s)) in ids.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 5);
+        }
+    }
+
+    #[test]
+    fn ring_send_recv() {
+        let world = World::new(4);
+        let out = world.run(|c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 7, c.rank() as u64 * 10);
+            c.recv::<u64>(prev, 7)
+        });
+        assert_eq!(out, vec![30, 0, 10, 20]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let world = World::new(2);
+        let out = world.run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, "first".to_string());
+                c.send(1, 2, "second".to_string());
+                0
+            } else {
+                // Receive in reverse tag order; tag-1 message must be parked.
+                let b = c.recv::<String>(0, 2);
+                let a = c.recv::<String>(0, 1);
+                assert_eq!(a, "first");
+                assert_eq!(b, "second");
+                1
+            }
+        });
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn distinct_sources_do_not_cross() {
+        let world = World::new(3);
+        world.run(|c| {
+            if c.rank() < 2 {
+                c.send(2, 9, c.rank() as u32);
+            } else {
+                let from1 = c.recv::<u32>(1, 9);
+                let from0 = c.recv::<u32>(0, 9);
+                assert_eq!((from0, from1), (0, 1));
+            }
+        });
+    }
+
+    #[test]
+    fn probe_sees_pending_message() {
+        let world = World::new(2);
+        world.run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 3, 42u8);
+                // Handshake so the test isn't racy.
+                let _ = c.recv::<u8>(1, 4);
+            } else {
+                // Wait until the message is actually here.
+                while !c.probe(0, 3) {
+                    std::thread::yield_now();
+                }
+                assert_eq!(c.recv::<u8>(0, 3), 42);
+                assert!(!c.probe(0, 3));
+                c.send(0, 4, 1u8);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_is_a_protocol_error() {
+        let world = World::new(2);
+        world.run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 5u32);
+            } else {
+                let _ = c.recv::<u64>(0, 1);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved for collectives")]
+    fn reserved_tags_rejected() {
+        let world = World::new(1);
+        world.run(|c| c.send(0, COLLECTIVE_TAG_BASE + 1, 0u8));
+    }
+
+    #[test]
+    fn single_rank_world_self_send() {
+        let world = World::new(1);
+        let out = world.run(|c| {
+            c.send(0, 5, 99u64);
+            c.recv::<u64>(0, 5)
+        });
+        assert_eq!(out, vec![99]);
+    }
+}

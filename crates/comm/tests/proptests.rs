@@ -1,0 +1,128 @@
+//! Property tests for the message-passing layer and the domain
+//! decomposition.
+
+use comm::{exchange_overload, redistribute, CartDecomp, World};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_matches_sequential_fold(
+        nranks in 1usize..7,
+        values in proptest::collection::vec(-1000i64..1000, 1..7)
+    ) {
+        let world = World::new(nranks);
+        let out = world.run(|c| {
+            let v = values[c.rank() % values.len()];
+            c.allreduce(v, |a, b| a + b)
+        });
+        let expect: i64 = (0..nranks).map(|r| values[r % values.len()]).sum();
+        for o in out {
+            prop_assert_eq!(o, expect);
+        }
+    }
+
+    #[test]
+    fn allgather_is_rank_indexed(nranks in 1usize..8) {
+        let world = World::new(nranks);
+        let out = world.run(|c| c.allgather(c.rank() * 3));
+        for v in out {
+            prop_assert_eq!(v, (0..nranks).map(|r| r * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn alltoallv_conserves_every_message(nranks in 1usize..6, seed in any::<u64>()) {
+        let world = World::new(nranks);
+        let received = world.run(|c| {
+            // Rank r sends to d the values tagged (r, d, k).
+            let sends: Vec<Vec<(usize, usize, u64)>> = (0..nranks)
+                .map(|d| {
+                    let count = ((seed >> (c.rank() * 3 + d)) % 5) as usize;
+                    (0..count).map(|k| (c.rank(), d, k as u64)).collect()
+                })
+                .collect();
+            c.alltoallv(sends)
+        });
+        // Every message arrived exactly where addressed.
+        for (dst, bufs) in received.iter().enumerate() {
+            for (src, buf) in bufs.iter().enumerate() {
+                for &(s, d, _) in buf {
+                    prop_assert_eq!(s, src);
+                    prop_assert_eq!(d, dst);
+                }
+                let expect = ((seed >> (src * 3 + dst)) % 5) as usize;
+                prop_assert_eq!(buf.len(), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn redistribute_conserves_and_homes_particles(
+        nranks in 1usize..9,
+        positions in proptest::collection::vec(
+            (0.0f64..64.0, 0.0f64..64.0, 0.0f64..64.0).prop_map(|(x, y, z)| [x, y, z]),
+            0..150
+        )
+    ) {
+        let decomp = CartDecomp::new(nranks, 64.0);
+        let world = World::new(nranks);
+        let per_rank = world.run(|c| {
+            // Round-robin initial ownership regardless of position.
+            let mine: Vec<[f64; 3]> = positions
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % nranks == c.rank())
+                .map(|(_, p)| *p)
+                .collect();
+            let homed = redistribute(c, &decomp, mine);
+            for p in &homed {
+                assert_eq!(decomp.owner_of(*p), c.rank());
+            }
+            homed.len()
+        });
+        prop_assert_eq!(per_rank.iter().sum::<usize>(), positions.len());
+    }
+
+    #[test]
+    fn overload_exchange_replicates_exactly_the_shell(
+        nranks in 1usize..9,
+        positions in proptest::collection::vec(
+            (0.0f64..32.0, 0.0f64..32.0, 0.0f64..32.0).prop_map(|(x, y, z)| [x, y, z]),
+            0..120
+        )
+    ) {
+        let decomp = CartDecomp::new(nranks, 32.0);
+        let width = (2.0f64).min(decomp.min_block_width());
+        let world = World::new(nranks);
+        let ghost_counts = world.run(|c| {
+            let mine: Vec<[f64; 3]> = positions
+                .iter()
+                .filter(|p| decomp.owner_of(**p) == c.rank())
+                .copied()
+                .collect();
+            exchange_overload(c, &decomp, width, &mine).len()
+        });
+        // Total ghosts across ranks = total replication count predicted by
+        // geometry.
+        let expect: usize = positions
+            .iter()
+            .map(|p| decomp.overload_targets(*p, width).len())
+            .sum();
+        prop_assert_eq!(ghost_counts.iter().sum::<usize>(), expect);
+    }
+
+    #[test]
+    fn owner_partition_covers_box(nranks in 1usize..20, px in 0.0f64..100.0, py in 0.0f64..100.0, pz in 0.0f64..100.0) {
+        let decomp = CartDecomp::new(nranks, 100.0);
+        let owner = decomp.owner_of([px, py, pz]);
+        prop_assert!(owner < decomp.nranks());
+        // The owner's bounds really contain the point.
+        let (lo, hi) = decomp.local_bounds(owner);
+        for d in 0..3 {
+            let x = [px, py, pz][d];
+            prop_assert!(x >= lo[d] - 1e-9 && x < hi[d] + 1e-9);
+        }
+    }
+}

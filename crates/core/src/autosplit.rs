@@ -1,0 +1,175 @@
+//! Automating the in-situ / off-line split and the co-scheduling plan
+//! (paper §4.1, final paragraphs).
+//!
+//! The paper chose the 300,000-particle threshold manually and sketches the
+//! automation implemented here:
+//!
+//! 1. estimate `t_io`, the I/O time the off-line route would pay;
+//! 2. the largest halo analyzable in-situ in comparable time has
+//!    `m_max_io = argmax { t_center(m) ≤ t_io }`;
+//! 3. if the largest halo found in-situ exceeds `m_max_io`, all larger halos
+//!    are saved out for off-line center finding;
+//! 4. the co-scheduled job gets `ranks = T / t_max` ranks, where `T` is the
+//!    total center time over off-loaded halos and `t_max` the largest
+//!    single-halo time, with halos distributed so each rank has roughly the
+//!    same workload (LPT greedy by estimated time).
+
+use halo::mbp::center_time_titan_gpu;
+
+/// The decision produced by the autosplit heuristic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitDecision {
+    /// Halo-size threshold: halos above it are off-loaded.
+    pub threshold: u64,
+    /// Estimated off-line I/O time that justified it (seconds).
+    pub t_io: f64,
+    /// True when everything can be centered in situ.
+    pub all_in_situ: bool,
+}
+
+/// Step 1–3: derive the split threshold from the I/O estimate and the halo
+/// sizes found in-situ.
+pub fn choose_split(t_io: f64, halo_sizes: &[u64]) -> SplitDecision {
+    assert!(t_io >= 0.0);
+    // Invert t_center(m) = c·m²: m_max_io = sqrt(t_io / c).
+    let m_max_io = (t_io / halo::mbp::COEFF_TITAN_GPU).sqrt() as u64;
+    let m_max_sim = halo_sizes.iter().copied().max().unwrap_or(0);
+    SplitDecision {
+        threshold: m_max_io,
+        t_io,
+        all_in_situ: m_max_sim <= m_max_io,
+    }
+}
+
+/// A co-scheduling plan for the off-loaded halos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSchedulePlan {
+    /// Rank count = ceil(T / t_max).
+    pub ranks: usize,
+    /// Estimated total center time over all off-loaded halos (seconds).
+    pub total_seconds: f64,
+    /// Estimated time of the single largest halo (seconds).
+    pub longest_single: f64,
+    /// Halo indices assigned to each rank (indices into the input slice).
+    pub assignment: Vec<Vec<usize>>,
+    /// Estimated per-rank workload (seconds).
+    pub rank_seconds: Vec<f64>,
+}
+
+impl CoSchedulePlan {
+    /// Load-balance quality: max rank time over mean rank time (1 = perfect).
+    pub fn imbalance(&self) -> f64 {
+        let max = self.rank_seconds.iter().cloned().fold(0.0, f64::max);
+        let mean =
+            self.rank_seconds.iter().sum::<f64>() / self.rank_seconds.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Step 4: size and pack the co-scheduled analysis job.
+///
+/// `offloaded` holds the particle counts of the off-loaded halos. Returns
+/// `None` when there is nothing to off-load.
+pub fn plan_coschedule(offloaded: &[u64]) -> Option<CoSchedulePlan> {
+    if offloaded.is_empty() {
+        return None;
+    }
+    let times: Vec<f64> = offloaded
+        .iter()
+        .map(|&m| center_time_titan_gpu(m))
+        .collect();
+    let total_seconds: f64 = times.iter().sum();
+    let longest_single = times.iter().cloned().fold(0.0, f64::max);
+    let ranks = ((total_seconds / longest_single).floor() as usize).max(1);
+
+    // LPT greedy: biggest halo first onto the least-loaded rank.
+    let mut order: Vec<usize> = (0..offloaded.len()).collect();
+    order.sort_by(|&a, &b| times[b].partial_cmp(&times[a]).unwrap());
+    let mut assignment = vec![Vec::new(); ranks];
+    let mut rank_seconds = vec![0.0f64; ranks];
+    for i in order {
+        let r = rank_seconds
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(r, _)| r)
+            .unwrap();
+        assignment[r].push(i);
+        rank_seconds[r] += times[i];
+    }
+    Some(CoSchedulePlan {
+        ranks,
+        total_seconds,
+        longest_single,
+        assignment,
+        rank_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_threshold_inverts_cost_model() {
+        // With t_io = 600 s (the paper's ~10 min read), the threshold is the
+        // halo whose center takes 600 s: sqrt(600/3.36e-11) ≈ 4.2 M.
+        let d = choose_split(600.0, &[1_000_000]);
+        assert!((4.0e6..4.5e6).contains(&(d.threshold as f64)), "{d:?}");
+        assert!(d.all_in_situ, "1M-particle max halo fits in situ");
+        let d2 = choose_split(600.0, &[25_000_000]);
+        assert!(!d2.all_in_situ, "a 25M halo must be off-loaded");
+    }
+
+    #[test]
+    fn zero_io_time_offloads_everything_sizable() {
+        let d = choose_split(0.0, &[50, 100]);
+        assert_eq!(d.threshold, 0);
+        assert!(!d.all_in_situ);
+    }
+
+    #[test]
+    fn plan_rank_count_is_total_over_longest() {
+        // One dominant halo and many small ones.
+        let mut sizes = vec![1_000_000u64; 30];
+        sizes.push(5_000_000);
+        let plan = plan_coschedule(&sizes).unwrap();
+        let t_small = center_time_titan_gpu(1_000_000);
+        let t_big = center_time_titan_gpu(5_000_000);
+        let expect = ((30.0 * t_small + t_big) / t_big).floor() as usize;
+        assert_eq!(plan.ranks, expect.max(1));
+        assert!((plan.longest_single - t_big).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lpt_balances_ranks() {
+        let sizes: Vec<u64> = (1..=40).map(|i| i * 100_000).collect();
+        let plan = plan_coschedule(&sizes).unwrap();
+        assert!(
+            plan.imbalance() < 1.7,
+            "LPT should be near-balanced, got {}",
+            plan.imbalance()
+        );
+        // Every halo assigned exactly once.
+        let mut all: Vec<usize> = plan.assignment.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_offload_needs_no_plan() {
+        assert!(plan_coschedule(&[]).is_none());
+    }
+
+    #[test]
+    fn single_giant_halo_gets_one_rank() {
+        let plan = plan_coschedule(&[25_000_000]).unwrap();
+        assert_eq!(plan.ranks, 1);
+        assert_eq!(plan.assignment[0], vec![0]);
+        assert!((plan.imbalance() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hacc-core — the combined in-situ / co-scheduling workflow engine
+//!
+//! The paper's primary contribution, reproduced as a library:
+//!
+//! * [`cost`] — per-phase wall-time and core-hour accounting in the paper's
+//!   Table 3/4 conventions.
+//! * [`listener`] — the Bellerophon-derived co-scheduling listener that
+//!   watches for simulation output and submits analysis jobs while the main
+//!   application runs.
+//! * [`autosplit`] — the automated in-situ/off-line split threshold and the
+//!   co-scheduled job sizing heuristic of §4.1.
+//! * [`model`] — the Titan-frame projection: workload descriptors →
+//!   projected seconds/core-hours on Titan/Rhea/Moonlight via the `simhpc`
+//!   facility models and two calibrated kernel constants.
+//! * [`runner`] — *real* end-to-end execution of the in-situ, off-line, and
+//!   combined (simple & co-scheduled) workflows on an actual downscaled
+//!   simulation, with files on disk and a live listener.
+//! * [`experiments`] — one driver per table/figure of the evaluation
+//!   (Table 1–4, Figures 3–4, the §4.1 Q Continuum projection, the §4.2
+//!   subhalo imbalance).
+
+#![warn(missing_docs)]
+// 3-vector component loops read better indexed; the lint fires on them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod autosplit;
+pub mod cost;
+pub mod experiments;
+pub mod listener;
+pub mod model;
+pub mod report;
+pub mod runner;
+
+pub use autosplit::{choose_split, plan_coschedule, CoSchedulePlan, SplitDecision};
+pub use cost::{format_table4, JobCost, PhaseSeconds, WorkflowCost};
+pub use listener::{Listener, ListenerConfig};
+pub use model::{qcontinuum_projection, QContinuumSummary, RunSpec, TitanFrame};
+pub use report::full_report;
+pub use runner::{compare_all, measured_table2, MeasuredEpoch, RunnerConfig, TestBed, WorkflowRun};

@@ -1,0 +1,217 @@
+//! The co-scheduling "listener" (paper §3.2), derived from the Bellerophon
+//! scheme: a background script that polls for new output files from the
+//! running simulation and submits an analysis batch job for each one, then
+//! resumes checking. A final sweep after the main job completes catches
+//! outputs written at the very end of the run.
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Listener configuration.
+#[derive(Debug, Clone)]
+pub struct ListenerConfig {
+    /// Poll period — "should be chosen to be much higher than the rate at
+    /// which the main code generates new output files".
+    pub poll_interval: Duration,
+    /// Only react to files whose name starts with this prefix…
+    pub prefix: String,
+    /// …and ends with this suffix.
+    pub suffix: String,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            poll_interval: Duration::from_millis(20),
+            prefix: String::new(),
+            suffix: String::new(),
+        }
+    }
+}
+
+/// A running listener thread.
+pub struct Listener {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Vec<PathBuf>>,
+    seen: Arc<Mutex<BTreeSet<PathBuf>>>,
+}
+
+fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with(&cfg.prefix) && n.ends_with(&cfg.suffix))
+                .unwrap_or(false)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+impl Listener {
+    /// Start watching `dir`; `on_file` runs once per newly appeared matching
+    /// file (the "generate batch script and submit" step).
+    pub fn spawn<F>(dir: PathBuf, cfg: ListenerConfig, mut on_file: F) -> Listener
+    where
+        F: FnMut(&Path) + Send + 'static,
+    {
+        let stop = Arc::new(AtomicBool::new(false));
+        let seen: Arc<Mutex<BTreeSet<PathBuf>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        let stop2 = Arc::clone(&stop);
+        let seen2 = Arc::clone(&seen);
+        let handle = std::thread::spawn(move || {
+            let mut submitted: Vec<PathBuf> = Vec::new();
+            let sweep = |on_file: &mut F, submitted: &mut Vec<PathBuf>| {
+                for f in matching_files(&dir, &cfg) {
+                    let fresh = seen2.lock().insert(f.clone());
+                    if fresh {
+                        on_file(&f);
+                        submitted.push(f);
+                    }
+                }
+            };
+            loop {
+                if stop2.load(Ordering::Acquire) {
+                    // One final sweep "to catch the last output data".
+                    sweep(&mut on_file, &mut submitted);
+                    break;
+                }
+                sweep(&mut on_file, &mut submitted);
+                // Interruptible sleep: check the stop flag every few ms so
+                // stop() never blocks for a whole poll interval.
+                let mut remaining = cfg.poll_interval;
+                let slice = Duration::from_millis(5);
+                while remaining > Duration::ZERO && !stop2.load(Ordering::Acquire) {
+                    let nap = remaining.min(slice);
+                    std::thread::sleep(nap);
+                    remaining = remaining.saturating_sub(nap);
+                }
+            }
+            submitted
+        });
+        Listener {
+            stop,
+            handle,
+            seen,
+        }
+    }
+
+    /// Number of files handled so far.
+    pub fn handled(&self) -> usize {
+        self.seen.lock().len()
+    }
+
+    /// Signal the end of the main application and wait for the final sweep;
+    /// returns every file submitted, in submission order.
+    pub fn stop(self) -> Vec<PathBuf> {
+        self.stop.store(true, Ordering::Release);
+        self.handle.join().expect("listener thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("listener_test_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn submits_one_job_per_file() {
+        let dir = tmpdir("basic");
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                prefix: "l2_".into(),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        for i in 0..3 {
+            std::fs::write(dir.join(format!("l2_step{i}.hcio")), b"data").unwrap();
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // Non-matching files are ignored.
+        std::fs::write(dir.join("checkpoint.bin"), b"x").unwrap();
+        std::fs::write(dir.join("l2_partial.tmp"), b"x").unwrap();
+        let files = listener.stop();
+        assert_eq!(files.len(), 3);
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn final_sweep_catches_late_files() {
+        let dir = tmpdir("late");
+        // Very slow polling: the only chance to see the file is the final sweep.
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_secs(3600),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            |_| {},
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        std::fs::write(dir.join("last_step.hcio"), b"data").unwrap();
+        let files = listener.stop();
+        assert_eq!(files.len(), 1, "final sweep must catch the last output");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn files_are_submitted_exactly_once() {
+        let dir = tmpdir("once");
+        std::fs::write(dir.join("a.hcio"), b"1").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        // Let it poll the same file many times.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(listener.handled(), 1);
+        let files = listener.stop();
+        assert_eq!(files.len(), 1);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_directory_is_tolerated() {
+        let dir = std::env::temp_dir().join("listener_test_never_exists_xyz");
+        let listener = Listener::spawn(dir, ListenerConfig::default(), |_| {});
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(listener.stop().is_empty());
+    }
+}

@@ -1,0 +1,779 @@
+//! Real end-to-end execution of the three workflows (paper §4.2) on an
+//! actual (downscaled) simulation: the same algorithms, the same data
+//! movement, real files on disk, a real listener — measured in local wall
+//! seconds. The `model` module projects the same structure onto the paper's
+//! platforms; this module proves the plumbing works and exhibits the same
+//! qualitative trade-offs.
+
+use crate::cost::PhaseSeconds;
+use crate::listener::{Listener, ListenerConfig};
+use comm::{redistribute, CartDecomp, World};
+use cosmotools::{
+    centers_from_catalog, centers_from_level2, merge_center_sets, write_level2_container,
+    CenterRecord, Container, SnapshotMeta,
+};
+use dpp::Backend;
+use halo::{fof_and_centers_timed, FofConfig, HaloCatalog, RankTiming};
+use nbody::{Particle, SimConfig, Simulation};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Configuration of a real workflow comparison run.
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Simulation setup (box, particle count, steps).
+    pub sim: SimConfig,
+    /// Virtual node (rank) count for the distributed analysis.
+    pub nranks: usize,
+    /// Post-processing rank count for the combined workflow.
+    pub post_ranks: usize,
+    /// FOF linking length in mean interparticle spacings.
+    pub linking_length: f64,
+    /// Minimum halo size kept.
+    pub min_size: usize,
+    /// In-situ / off-line split threshold (particles).
+    pub threshold: usize,
+    /// Potential softening.
+    pub softening: f64,
+    /// Scratch directory for the Level 1/2 files.
+    pub workdir: PathBuf,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            sim: SimConfig {
+                np: 32,
+                ng: 32,
+                nsteps: 30,
+                ..SimConfig::default()
+            },
+            nranks: 8,
+            post_ranks: 2,
+            linking_length: 0.2,
+            min_size: 20,
+            threshold: 200,
+            softening: 1e-3,
+            workdir: std::env::temp_dir().join(format!("hacc_runner_{}", std::process::id())),
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// FOF configuration derived from the run.
+    pub fn fof(&self) -> FofConfig {
+        let l = self.sim.cosmology.box_size;
+        let np = self.sim.np as f64;
+        let link = self.linking_length * l / np;
+        let decomp = CartDecomp::new(self.nranks, l);
+        FofConfig {
+            link_length: link,
+            min_size: self.min_size,
+            // As wide as feasible: FOF chains can stretch far beyond a
+            // virial radius, and the overload shell must cover the largest
+            // halo extent (paper §3.3.1).
+            overload_width: (25.0 * link).min(0.45 * decomp.min_block_width()),
+        }
+    }
+}
+
+/// Result of executing one workflow for real.
+#[derive(Debug, Clone)]
+pub struct WorkflowRun {
+    /// Strategy label.
+    pub strategy: String,
+    /// Measured phase wall seconds (local machine).
+    pub phases: PhaseSeconds,
+    /// The complete, merged center set (Level 3 output).
+    pub centers: Vec<CenterRecord>,
+    /// Per-rank find/center timings of the main analysis.
+    pub rank_timings: Vec<RankTiming>,
+    /// For co-scheduled runs: analysis jobs that started before the
+    /// simulation finished.
+    pub overlapped_jobs: usize,
+}
+
+/// The shared testbed: one finished simulation reused by every strategy.
+pub struct TestBed {
+    /// Configuration.
+    pub cfg: RunnerConfig,
+    /// Final-step particles (Level 1 in memory).
+    pub particles: Vec<Particle>,
+    /// Wall seconds the simulation itself took.
+    pub sim_seconds: f64,
+    /// Snapshot metadata.
+    pub meta: SnapshotMeta,
+}
+
+impl TestBed {
+    /// Run the simulation once.
+    pub fn create(cfg: RunnerConfig, backend: &dyn Backend) -> TestBed {
+        std::fs::create_dir_all(&cfg.workdir).expect("create workdir");
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(backend, cfg.sim.clone());
+        sim.run(backend);
+        let sim_seconds = t0.elapsed().as_secs_f64();
+        let meta = SnapshotMeta {
+            step: sim.step_index() as u64,
+            redshift: sim.redshift(),
+            box_size: cfg.sim.cosmology.box_size,
+        };
+        TestBed {
+            particles: sim.particles().to_vec(),
+            cfg,
+            sim_seconds,
+            meta,
+        }
+    }
+
+    fn decomp(&self) -> CartDecomp {
+        CartDecomp::new(self.cfg.nranks, self.cfg.sim.cosmology.box_size)
+    }
+
+    /// Rank-local particle sets (the "already distributed in memory" state).
+    pub fn distributed(&self) -> Vec<Vec<Particle>> {
+        let decomp = self.decomp();
+        let mut per_rank: Vec<Vec<Particle>> = vec![Vec::new(); self.cfg.nranks];
+        for p in &self.particles {
+            per_rank[decomp.owner_of(p.pos_f64())].push(*p);
+        }
+        per_rank
+    }
+
+    /// Distributed FOF + centers up to `threshold`; returns per-rank
+    /// catalogs and timings.
+    fn analyze(
+        &self,
+        per_rank: &[Vec<Particle>],
+        threshold: usize,
+        backend: &dyn Backend,
+    ) -> (Vec<HaloCatalog>, Vec<RankTiming>) {
+        let decomp = self.decomp();
+        let fof = self.cfg.fof();
+        let world = World::new(self.cfg.nranks);
+        let softening = self.cfg.softening;
+        let results = world.run(|c| {
+            fof_and_centers_timed(
+                c,
+                &decomp,
+                &per_rank[c.rank()],
+                &fof,
+                backend,
+                softening,
+                threshold,
+            )
+        });
+        results.into_iter().unzip()
+    }
+
+    /// Strategy 1: everything in situ (no I/O, no redistribution).
+    pub fn run_in_situ_only(&self, backend: &dyn Backend) -> WorkflowRun {
+        let per_rank = self.distributed();
+        let t0 = Instant::now();
+        let (catalogs, timings) = self.analyze(&per_rank, usize::MAX, backend);
+        let analysis = t0.elapsed().as_secs_f64();
+        let centers = collect_centers(&catalogs);
+        WorkflowRun {
+            strategy: "in-situ".into(),
+            phases: PhaseSeconds {
+                sim: self.sim_seconds,
+                analysis,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: timings,
+            overlapped_jobs: 0,
+        }
+    }
+
+    /// Strategy 2: write Level 1 to disk, read it back, redistribute, then
+    /// analyze everything off-line.
+    pub fn run_offline_only(&self, backend: &dyn Backend) -> WorkflowRun {
+        let path = self.cfg.workdir.join("level1.hcio");
+        // Simulation side: write Level 1 (one block per rank).
+        let t_w = Instant::now();
+        let container = Container {
+            meta: self.meta.clone(),
+            blocks: self.distributed(),
+        };
+        cosmotools::write_file(&path, &container).expect("write level 1");
+        let write = t_w.elapsed().as_secs_f64();
+
+        // Post-processing job: read, redistribute, analyze.
+        let t_r = Instant::now();
+        let read_back = cosmotools::read_file(&path)
+            .expect("io")
+            .expect("valid level 1 container");
+        let read = t_r.elapsed().as_secs_f64();
+
+        // The file's blocks land on ranks round-robin (as if freshly read by
+        // a different job), then get redistributed to spatial owners.
+        let t_d = Instant::now();
+        let decomp = self.decomp();
+        let nranks = self.cfg.nranks;
+        let blocks = read_back.blocks;
+        let world = World::new(nranks);
+        let per_rank: Vec<Vec<Particle>> = world.run(|c| {
+            // Round-robin initial placement.
+            let mine: Vec<Particle> = blocks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % nranks == c.rank())
+                .flat_map(|(_, b)| b.iter().copied())
+                .collect();
+            redistribute(c, &decomp, mine)
+        });
+        let redistribute_s = t_d.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let (catalogs, timings) = self.analyze(&per_rank, usize::MAX, backend);
+        let analysis = t0.elapsed().as_secs_f64();
+        let centers = collect_centers(&catalogs);
+        WorkflowRun {
+            strategy: "off-line".into(),
+            phases: PhaseSeconds {
+                sim: self.sim_seconds,
+                read,
+                redistribute: redistribute_s,
+                analysis,
+                write,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: timings,
+            overlapped_jobs: 0,
+        }
+    }
+
+    /// Strategy 3 (simple variation): in-situ find + small centers, Level 2
+    /// to disk, off-line centers for the large halos, merge.
+    pub fn run_combined_simple(&self, backend: &dyn Backend) -> WorkflowRun {
+        let per_rank = self.distributed();
+        // In-situ stage.
+        let t0 = Instant::now();
+        let (catalogs, timings) = self.analyze(&per_rank, self.cfg.threshold, backend);
+        let analysis_insitu = t0.elapsed().as_secs_f64();
+        let small_centers = collect_centers(&catalogs);
+        // Large halos → Level 2 file.
+        let t_w = Instant::now();
+        let mut large = HaloCatalog::new();
+        for cat in catalogs {
+            let (_, l) = cat.split_by_size(self.cfg.threshold);
+            large.merge(l);
+        }
+        let l2 = write_level2_container(&large, self.meta.clone());
+        let path = self.cfg.workdir.join("level2.hcio");
+        cosmotools::write_file(&path, &l2).expect("write level 2");
+        let write = t_w.elapsed().as_secs_f64();
+
+        // Off-line stage: read Level 2, center each block in a small job.
+        let t_r = Instant::now();
+        let l2_back = cosmotools::read_file(&path)
+            .expect("io")
+            .expect("valid level 2 container");
+        let read = t_r.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let large_centers = centers_over_ranks(
+            &l2_back,
+            self.cfg.post_ranks,
+            self.cfg.softening,
+            backend,
+        );
+        let analysis_post = t1.elapsed().as_secs_f64();
+
+        let centers = merge_center_sets(small_centers, large_centers);
+        WorkflowRun {
+            strategy: "combined (simple)".into(),
+            phases: PhaseSeconds {
+                sim: self.sim_seconds,
+                read,
+                analysis: analysis_insitu + analysis_post,
+                write,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: timings,
+            overlapped_jobs: 0,
+        }
+    }
+
+    /// Strategy 3 (in-transit variation, §4.2's hypothetical third option):
+    /// the Level 2 data never touches the file system — it is handed to the
+    /// analysis stage through shared memory, paying only the redistribution.
+    pub fn run_combined_intransit(&self, backend: &dyn Backend) -> WorkflowRun {
+        let per_rank = self.distributed();
+        let t0 = Instant::now();
+        let (catalogs, timings) = self.analyze(&per_rank, self.cfg.threshold, backend);
+        let analysis_insitu = t0.elapsed().as_secs_f64();
+        let small_centers = collect_centers(&catalogs);
+
+        // Level 2 stays in memory ("Level 2 in external memory" in Table 4):
+        // no write, no read — only the redistribution of halo blocks onto
+        // the analysis ranks, here a hand-off of the container itself.
+        let t_d = Instant::now();
+        let mut large = HaloCatalog::new();
+        for cat in catalogs {
+            let (_, l) = cat.split_by_size(self.cfg.threshold);
+            large.merge(l);
+        }
+        let container = write_level2_container(&large, self.meta.clone());
+        let redistribute_s = t_d.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let large_centers =
+            centers_over_ranks(&container, self.cfg.post_ranks, self.cfg.softening, backend);
+        let analysis_post = t1.elapsed().as_secs_f64();
+
+        let centers = merge_center_sets(small_centers, large_centers);
+        WorkflowRun {
+            strategy: "combined (in-transit)".into(),
+            phases: PhaseSeconds {
+                sim: self.sim_seconds,
+                redistribute: redistribute_s,
+                analysis: analysis_insitu + analysis_post,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: timings,
+            overlapped_jobs: 0,
+        }
+    }
+
+    /// Strategy 3 (co-scheduled variation): the simulation re-runs with an
+    /// in-situ hook that emits a Level 2 file every `emit_every` steps; a
+    /// listener submits a real analysis job (thread) per file while the
+    /// simulation is still stepping.
+    pub fn run_combined_coscheduled(
+        &self,
+        backend: &dyn Backend,
+        emit_every: usize,
+    ) -> WorkflowRun {
+        use parking_lot::Mutex;
+        use std::sync::Arc;
+
+        let dir = self.cfg.workdir.join("coscheduled");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // The analysis-job launcher the listener drives: each file becomes a
+        // center-finding job on `post_ranks` ranks.
+        type JobResult = (PathBuf, Vec<CenterRecord>, f64);
+        let results: Arc<Mutex<Vec<JobResult>>> = Arc::new(Mutex::new(Vec::new()));
+        let handles: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let r2 = Arc::clone(&results);
+        let h2 = Arc::clone(&handles);
+        let post_ranks = self.cfg.post_ranks;
+        let softening = self.cfg.softening;
+        let sim_start = Instant::now();
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            move |path| {
+                let path = path.to_path_buf();
+                let r3 = Arc::clone(&r2);
+                let handle = std::thread::spawn(move || {
+                    // Job start time in the shared epoch, before any work.
+                    let started_at = sim_start.elapsed().as_secs_f64();
+                    let container = cosmotools::read_file(&path)
+                        .expect("io")
+                        .expect("valid container");
+                    let centers = centers_over_ranks(
+                        &container,
+                        post_ranks,
+                        softening,
+                        &dpp::Serial,
+                    );
+                    r3.lock().push((path, centers, started_at));
+                });
+                h2.lock().push(handle);
+            },
+        );
+
+        // Re-run the simulation with the in-situ hook.
+        let t0 = Instant::now();
+        let mut sim = Simulation::new(backend, self.cfg.sim.clone());
+        let threshold = self.cfg.threshold;
+        let fof_link = self.cfg.fof();
+        let decomp = self.decomp();
+        let nranks = self.cfg.nranks;
+        let mut insitu_analysis = 0.0;
+        let mut small_centers: Vec<CenterRecord> = Vec::new();
+        let mut emitted = 0usize;
+        sim.run_with_hook(backend, |step, sim| {
+            let last = step == sim.total_steps();
+            if !(step % emit_every == 0 || last) {
+                return;
+            }
+            let ta = Instant::now();
+            // Distribute and analyze in situ.
+            let mut per_rank: Vec<Vec<Particle>> = vec![Vec::new(); nranks];
+            for p in sim.particles() {
+                per_rank[decomp.owner_of(p.pos_f64())].push(*p);
+            }
+            let world = World::new(nranks);
+            let results = world.run(|c| {
+                fof_and_centers_timed(
+                    c,
+                    &decomp,
+                    &per_rank[c.rank()],
+                    &fof_link,
+                    backend,
+                    softening,
+                    threshold,
+                )
+            });
+            let mut large = HaloCatalog::new();
+            for (cat, _) in results {
+                if last {
+                    small_centers.extend(centers_from_catalog(&cat));
+                }
+                let (_, l) = cat.split_by_size(threshold);
+                large.merge(l);
+            }
+            insitu_analysis += ta.elapsed().as_secs_f64();
+            // Emit the Level 2 file at every analysis step (possibly empty —
+            // the listener and downstream jobs handle that), exactly like
+            // the per-timestep outputs of the paper's co-scheduled runs.
+            {
+                let meta = SnapshotMeta {
+                    step: step as u64,
+                    redshift: sim.redshift(),
+                    box_size: decomp.box_size(),
+                };
+                let container = write_level2_container(&large, meta);
+                cosmotools::write_file(
+                    &dir.join(format!("l2_step{step:04}.hcio")),
+                    &container,
+                )
+                .expect("write level 2");
+                emitted += 1;
+            }
+        });
+        let _ = t0;
+        // Simulation end in the same epoch as the job start times.
+        let sim_end = sim_start.elapsed().as_secs_f64();
+
+        // Main job done: stop the listener (final sweep) and join jobs.
+        let files = listener.stop();
+        for h in std::mem::take(&mut *handles.lock()) {
+            h.join().expect("analysis job panicked");
+        }
+        let job_results = std::mem::take(&mut *results.lock());
+        assert_eq!(files.len(), emitted, "every emitted file gets a job");
+
+        // Reconcile: the final step's large-halo centers + in-situ centers.
+        let last_file = dir.join(format!("l2_step{:04}.hcio", self.cfg.sim.nsteps));
+        let large_centers = job_results
+            .iter()
+            .find(|(p, _, _)| *p == last_file)
+            .map(|(_, c, _)| c.clone())
+            .unwrap_or_default();
+        let overlapped = job_results
+            .iter()
+            .filter(|(_, _, started_at)| *started_at < sim_end)
+            .count();
+        let centers = merge_center_sets(small_centers, large_centers);
+        WorkflowRun {
+            strategy: "combined (co-scheduled)".into(),
+            phases: PhaseSeconds {
+                sim: sim_end,
+                analysis: insitu_analysis,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: Vec::new(),
+            overlapped_jobs: overlapped,
+        }
+    }
+}
+
+/// One measured Table 2 row: per-rank analysis extremes at a given epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredEpoch {
+    /// Step index.
+    pub step: usize,
+    /// Redshift.
+    pub redshift: f64,
+    /// Slowest rank's FOF seconds.
+    pub find_max: f64,
+    /// Fastest rank's FOF seconds.
+    pub find_min: f64,
+    /// Slowest rank's center seconds.
+    pub center_max: f64,
+    /// Fastest rank's center seconds.
+    pub center_min: f64,
+    /// Halos found at this epoch.
+    pub n_halos: usize,
+    /// Largest halo (particles).
+    pub largest: usize,
+}
+
+/// The measured analog of the paper's Table 2: run the simulation once and
+/// execute the full distributed halo analysis at each step in `at_steps`,
+/// recording per-rank find/center extremes. Shows identification staying
+/// balanced while center finding grows imbalanced as structure forms.
+pub fn measured_table2(
+    cfg: &RunnerConfig,
+    backend: &dyn Backend,
+    at_steps: &[usize],
+) -> Vec<MeasuredEpoch> {
+    let decomp = CartDecomp::new(cfg.nranks, cfg.sim.cosmology.box_size);
+    let fof = cfg.fof();
+    let mut rows = Vec::new();
+    let mut sim = Simulation::new(backend, cfg.sim.clone());
+    let nranks = cfg.nranks;
+    let softening = cfg.softening;
+    sim.run_with_hook(backend, |step, sim| {
+        if !at_steps.contains(&step) {
+            return;
+        }
+        let mut per_rank: Vec<Vec<Particle>> = vec![Vec::new(); nranks];
+        for p in sim.particles() {
+            per_rank[decomp.owner_of(p.pos_f64())].push(*p);
+        }
+        let world = World::new(nranks);
+        let results = world.run(|c| {
+            fof_and_centers_timed(
+                c,
+                &decomp,
+                &per_rank[c.rank()],
+                &fof,
+                &dpp::Serial, // ranks are the parallelism; per-rank serial
+                softening,
+                usize::MAX,
+            )
+        });
+        let find_max = results.iter().map(|(_, t)| t.find_seconds).fold(0.0f64, f64::max);
+        let find_min = results
+            .iter()
+            .map(|(_, t)| t.find_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let center_max = results
+            .iter()
+            .map(|(_, t)| t.center_seconds)
+            .fold(0.0f64, f64::max);
+        let center_min = results
+            .iter()
+            .map(|(_, t)| t.center_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let n_halos: usize = results.iter().map(|(c, _)| c.len()).sum();
+        let largest = results
+            .iter()
+            .flat_map(|(c, _)| c.halos.iter().map(|h| h.count()))
+            .max()
+            .unwrap_or(0);
+        rows.push(MeasuredEpoch {
+            step,
+            redshift: sim.redshift(),
+            find_max,
+            find_min,
+            center_max,
+            center_min,
+            n_halos,
+            largest,
+        });
+    });
+    rows
+}
+
+/// Merge per-rank catalogs into one center list.
+fn collect_centers(catalogs: &[HaloCatalog]) -> Vec<CenterRecord> {
+    let mut out = Vec::new();
+    for cat in catalogs {
+        out.extend(centers_from_catalog(cat));
+    }
+    out.sort_by_key(|r| r.halo_id);
+    out
+}
+
+/// Center every block of a Level 2 container, blocks spread over
+/// `post_ranks` worker threads (the small off-line/co-scheduled job).
+pub fn centers_over_ranks(
+    container: &Container,
+    post_ranks: usize,
+    softening: f64,
+    backend: &dyn Backend,
+) -> Vec<CenterRecord> {
+    let _ = post_ranks; // parallelism handled inside mbp_brute via backend
+    let mut centers = centers_from_level2(backend, container, softening);
+    centers.sort_by_key(|r| r.halo_id);
+    centers
+}
+
+/// Run every strategy and verify they produce identical Level 3 outputs.
+pub fn compare_all(cfg: RunnerConfig, backend: &dyn Backend) -> Vec<WorkflowRun> {
+    let bed = TestBed::create(cfg, backend);
+    let a = bed.run_in_situ_only(backend);
+    let b = bed.run_offline_only(backend);
+    let c = bed.run_combined_simple(backend);
+    assert_same_centers(&a.centers, &b.centers);
+    assert_same_centers(&a.centers, &c.centers);
+    vec![a, b, c]
+}
+
+/// Every workflow must find the same halos with the same centers.
+pub fn assert_same_centers(x: &[CenterRecord], y: &[CenterRecord]) {
+    assert_eq!(x.len(), y.len(), "workflows disagree on halo count");
+    for (a, b) in x.iter().zip(y) {
+        assert_eq!(a.halo_id, b.halo_id, "halo sets differ");
+        assert_eq!(a.count, b.count, "halo {} membership differs", a.halo_id);
+        for d in 0..3 {
+            assert!(
+                (a.center[d] - b.center[d]).abs() < 1e-6,
+                "halo {} center differs: {:?} vs {:?}",
+                a.halo_id,
+                a.center,
+                b.center
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::Threaded;
+
+    fn tiny_cfg(name: &str) -> RunnerConfig {
+        RunnerConfig {
+            sim: SimConfig {
+                np: 16,
+                ng: 16,
+                nsteps: 30,
+                seed: 4242,
+                ..SimConfig::default()
+            },
+            nranks: 4,
+            post_ranks: 2,
+            linking_length: 0.28,
+            threshold: 60,
+            min_size: 12,
+            workdir: std::env::temp_dir().join(format!(
+                "hacc_runner_test_{name}_{}",
+                std::process::id()
+            )),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_on_level3_output() {
+        let backend = Threaded::new(4);
+        let runs = compare_all(tiny_cfg("agree"), &backend);
+        assert_eq!(runs.len(), 3);
+        // Some halos must actually exist for the comparison to mean anything.
+        assert!(
+            !runs[0].centers.is_empty(),
+            "the toy run must form at least one halo"
+        );
+        // Off-line pays I/O + redistribution the in-situ run does not.
+        assert_eq!(runs[0].phases.read, 0.0);
+        assert!(runs[1].phases.read > 0.0);
+        assert!(runs[1].phases.write > 0.0);
+    }
+
+    #[test]
+    fn combined_produces_level2_file_only_for_large_halos() {
+        let backend = Threaded::new(4);
+        let cfg = tiny_cfg("level2");
+        let workdir = cfg.workdir.clone();
+        let bed = TestBed::create(cfg, &backend);
+        let run = bed.run_combined_simple(&backend);
+        let l2 = cosmotools::read_file(&workdir.join("level2.hcio"))
+            .expect("io")
+            .expect("valid");
+        for block in &l2.blocks {
+            assert!(
+                block.len() > bed.cfg.threshold,
+                "only large halos belong in Level 2"
+            );
+        }
+        // Merged output covers every centered halo exactly once.
+        let ids: Vec<u64> = run.centers.iter().map(|c| c.halo_id).collect();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids, dedup);
+    }
+
+    #[test]
+    fn coscheduled_jobs_overlap_the_simulation() {
+        let backend = Threaded::new(4);
+        let cfg = tiny_cfg("cosched");
+        let bed = TestBed::create(cfg, &backend);
+        let run = bed.run_combined_coscheduled(&backend, 3);
+        // Files were emitted during the run and analyzed by listener jobs;
+        // at least one job must have started before the simulation ended
+        // (the entire point of co-scheduling).
+        assert!(
+            run.overlapped_jobs >= 1,
+            "no analysis job overlapped the simulation"
+        );
+        assert!(!run.centers.is_empty());
+    }
+
+    #[test]
+    fn measured_table2_shows_growing_center_imbalance() {
+        let backend = Threaded::new(4);
+        let cfg = RunnerConfig {
+            sim: SimConfig {
+                np: 32,
+                ng: 32,
+                nsteps: 30,
+                seed: 20150715,
+                ..SimConfig::default()
+            },
+            nranks: 8,
+            threshold: usize::MAX,
+            min_size: 20,
+            workdir: std::env::temp_dir().join(format!(
+                "hacc_runner_test_t2_{}",
+                std::process::id()
+            )),
+            ..Default::default()
+        };
+        let rows = measured_table2(&cfg, &backend, &[20, 30]);
+        assert_eq!(rows.len(), 2);
+        // Redshift decreases across epochs; structure (largest halo) grows.
+        assert!(rows[0].redshift > rows[1].redshift);
+        assert!(rows[1].largest >= rows[0].largest);
+        assert!(rows[1].n_halos > 0);
+        // The z = 0 epoch: identification balanced, centers not (Table 2's
+        // pattern — a toy box has few halos per rank, so the center spread
+        // is extreme).
+        let last = &rows[1];
+        let find_ratio = last.find_max / last.find_min.max(1e-12);
+        let center_ratio = last.center_max / last.center_min.max(1e-12);
+        assert!(find_ratio < 3.0, "find imbalance {find_ratio}");
+        assert!(
+            center_ratio > find_ratio,
+            "center ratio {center_ratio} must exceed find ratio {find_ratio}"
+        );
+    }
+
+    #[test]
+    fn intransit_matches_simple_combined_without_files() {
+        let backend = Threaded::new(4);
+        let cfg = tiny_cfg("intransit");
+        let bed = TestBed::create(cfg, &backend);
+        let simple = bed.run_combined_simple(&backend);
+        let transit = bed.run_combined_intransit(&backend);
+        assert_same_centers(&simple.centers, &transit.centers);
+        // No file I/O phases at all.
+        assert_eq!(transit.phases.read, 0.0);
+        assert_eq!(transit.phases.write, 0.0);
+    }
+
+    #[test]
+    fn coscheduled_final_centers_match_simple_combined() {
+        let backend = Threaded::new(4);
+        let cfg = tiny_cfg("coschedmatch");
+        let bed = TestBed::create(cfg, &backend);
+        let simple = bed.run_combined_simple(&backend);
+        let cosched = bed.run_combined_coscheduled(&backend, 4);
+        assert_same_centers(&simple.centers, &cosched.centers);
+    }
+}

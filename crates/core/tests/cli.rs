@@ -1,0 +1,161 @@
+//! End-to-end tests of the `hacc-driver` executable — the whole combined
+//! workflow driven through the CLI exactly as the listener's batch scripts
+//! would drive it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn driver() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hacc-driver"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hacc_cli_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = driver().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = driver().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn experiments_qcontinuum_prints_headline() {
+    let out = driver().args(["experiments", "qcontinuum"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cost factor"), "{stdout}");
+    assert!(stdout.contains("core-hours"));
+}
+
+#[test]
+fn experiments_rejects_unknown_name() {
+    let out = driver().args(["experiments", "table99"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn sim_then_offline_analyze_then_centers_roundtrip() {
+    let dir = workdir("pipeline");
+    let deck = dir.join("deck.ini");
+    std::fs::write(
+        &deck,
+        "[simulation]\n\
+         np = 16\nng = 16\nnsteps = 20\nseed = 4242\nbox_size = 162.5\n\
+         write_level1 = true\n\
+         [powerspectrum]\nenabled = true\nevery = 10\nbins = 8\n\
+         [halofinder]\nenabled = true\nlinking_length = 0.28\nmin_size = 12\ncenter_threshold = 60\n",
+    )
+    .unwrap();
+
+    // 1. The simulation job.
+    let out = driver()
+        .args(["sim", "--deck", deck.to_str().unwrap(), "--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "sim failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(dir.join("level1.hcio").exists());
+
+    // 2. The off-line analysis job over Level 1.
+    let out = driver()
+        .args([
+            "analyze",
+            "--level1",
+            dir.join("level1.hcio").to_str().unwrap(),
+            "--link",
+            "0.28",
+            "--min-size",
+            "12",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("found"), "{stdout}");
+
+    // 3. If the run produced a Level 2 file, the centers job consumes it.
+    let l2: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("l2_"))
+        .collect();
+    for f in l2 {
+        let out = driver()
+            .args(["centers", "--level2", f.path().to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+        assert!(String::from_utf8_lossy(&out.stdout).contains("centered"));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn listen_picks_up_files_and_exits() {
+    let dir = workdir("listen");
+    std::fs::write(dir.join("a.hcio"), b"x").unwrap();
+    std::fs::write(dir.join("b.hcio"), b"x").unwrap();
+    let out = driver()
+        .args([
+            "listen",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--max-files",
+            "2",
+            "--timeout-ms",
+            "10000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("handled 2 file(s)"), "{stdout}");
+    assert_eq!(stdout.matches("submit:").count(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_rejects_garbage_file() {
+    let dir = workdir("garbage");
+    let p = dir.join("junk.hcio");
+    std::fs::write(&p, b"this is not a container").unwrap();
+    let out = driver()
+        .args(["analyze", "--level1", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("HCIO"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn experiments_report_writes_markdown() {
+    let dir = workdir("report");
+    let out = dir.join("report.md");
+    let res = driver()
+        .args(["experiments", "all", "--out", out.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+    let text = std::fs::read_to_string(&out).unwrap();
+    assert!(text.contains("# Reproduction report"));
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("Moonlight campaign"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,261 @@
+//! Aggregated multi-file output (paper §4.1): "For optimal I/O performance,
+//! the results from 128 nodes from Titan were aggregated in one file,
+//! resulting in 128 files containing 128 blocks each. Each file was analyzed
+//! separately by a set of single-node jobs on Moonlight."
+//!
+//! [`write_aggregated`] groups per-rank blocks into a fixed number of
+//! container files plus a manifest; each file is an independently readable
+//! unit of work for one off-line job.
+
+use crate::genio::{read_file, write_file, Container, GenioError, SnapshotMeta};
+use nbody::particle::Particle;
+use std::path::{Path, PathBuf};
+
+/// Errors from aggregated I/O.
+#[derive(Debug)]
+pub enum AggregateError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A member file failed validation.
+    File(PathBuf, GenioError),
+    /// Manifest missing or malformed.
+    Manifest(String),
+}
+
+impl std::fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggregateError::Io(e) => write!(f, "aggregate I/O: {e}"),
+            AggregateError::File(p, e) => write!(f, "{}: {e}", p.display()),
+            AggregateError::Manifest(m) => write!(f, "manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+impl From<std::io::Error> for AggregateError {
+    fn from(e: std::io::Error) -> Self {
+        AggregateError::Io(e)
+    }
+}
+
+/// Name of the `i`-th member file of an aggregated set.
+pub fn member_name(base: &str, i: usize) -> String {
+    format!("{base}.{i:04}.hcio")
+}
+
+/// Write `blocks` (one per producing rank) as an aggregated set of container
+/// files under `dir`, `blocks_per_file` blocks per file, plus a manifest.
+/// Returns the member file paths, in order.
+pub fn write_aggregated(
+    dir: &Path,
+    base: &str,
+    meta: &SnapshotMeta,
+    blocks: Vec<Vec<Particle>>,
+    blocks_per_file: usize,
+) -> Result<Vec<PathBuf>, AggregateError> {
+    assert!(blocks_per_file > 0);
+    std::fs::create_dir_all(dir)?;
+    let n_blocks = blocks.len();
+    let mut paths = Vec::new();
+    let mut it = blocks.into_iter().peekable();
+    let mut i = 0;
+    while it.peek().is_some() {
+        let chunk: Vec<Vec<Particle>> = it.by_ref().take(blocks_per_file).collect();
+        let path = dir.join(member_name(base, i));
+        write_file(
+            &path,
+            &Container {
+                meta: meta.clone(),
+                blocks: chunk,
+            },
+        )?;
+        paths.push(path);
+        i += 1;
+    }
+    let manifest = format!(
+        "files = {}\nblocks = {}\nblocks_per_file = {}\nstep = {}\nredshift = {}\nbox_size = {}\n",
+        paths.len(),
+        n_blocks,
+        blocks_per_file,
+        meta.step,
+        meta.redshift,
+        meta.box_size
+    );
+    std::fs::write(dir.join(format!("{base}.manifest")), manifest)?;
+    Ok(paths)
+}
+
+/// The parsed manifest of an aggregated set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Number of member files.
+    pub n_files: usize,
+    /// Total blocks across files.
+    pub n_blocks: usize,
+    /// Blocks per (full) file.
+    pub blocks_per_file: usize,
+    /// Snapshot metadata.
+    pub meta: SnapshotMeta,
+}
+
+/// Read an aggregated set's manifest.
+pub fn read_manifest(dir: &Path, base: &str) -> Result<Manifest, AggregateError> {
+    let path = dir.join(format!("{base}.manifest"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| AggregateError::Manifest(format!("{}: {e}", path.display())))?;
+    let get = |key: &str| -> Result<f64, AggregateError> {
+        text.lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once('=')?;
+                (k.trim() == key).then(|| v.trim().parse::<f64>().ok())?
+            })
+            .ok_or_else(|| AggregateError::Manifest(format!("missing key `{key}`")))
+    };
+    Ok(Manifest {
+        n_files: get("files")? as usize,
+        n_blocks: get("blocks")? as usize,
+        blocks_per_file: get("blocks_per_file")? as usize,
+        meta: SnapshotMeta {
+            step: get("step")? as u64,
+            redshift: get("redshift")?,
+            box_size: get("box_size")?,
+        },
+    })
+}
+
+/// Read the whole aggregated set back into one container, verifying the
+/// manifest's block count and each member file's checksums.
+pub fn read_aggregated(dir: &Path, base: &str) -> Result<Container, AggregateError> {
+    let manifest = read_manifest(dir, base)?;
+    let mut blocks = Vec::with_capacity(manifest.n_blocks);
+    for i in 0..manifest.n_files {
+        let path = dir.join(member_name(base, i));
+        let c = read_file(&path)?.map_err(|e| AggregateError::File(path.clone(), e))?;
+        blocks.extend(c.blocks);
+    }
+    if blocks.len() != manifest.n_blocks {
+        return Err(AggregateError::Manifest(format!(
+            "expected {} blocks, found {}",
+            manifest.n_blocks,
+            blocks.len()
+        )));
+    }
+    Ok(Container {
+        meta: manifest.meta,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            step: 100,
+            redshift: 0.0,
+            box_size: 162.5,
+        }
+    }
+
+    fn blocks(n: usize, per: usize) -> Vec<Vec<Particle>> {
+        (0..n)
+            .map(|b| {
+                (0..per)
+                    .map(|i| {
+                        Particle::at_rest([b as f32, i as f32, 0.0], 1.0, (b * per + i) as u64)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("hacc_agg_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn roundtrip_128_blocks_in_files_of_16() {
+        let dir = tmp("roundtrip");
+        // 128 producing ranks, 16 blocks per file → 8 files (the paper's
+        // 16,384 nodes → 128 files × 128 blocks, downscaled).
+        let paths = write_aggregated(&dir, "l2", &meta(), blocks(128, 5), 16).unwrap();
+        assert_eq!(paths.len(), 8);
+        let back = read_aggregated(&dir, "l2").unwrap();
+        assert_eq!(back.blocks.len(), 128);
+        assert_eq!(back.total_particles(), 128 * 5);
+        // Block order preserved.
+        assert_eq!(back.blocks[37][0].tag, 37 * 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partial_last_file() {
+        let dir = tmp("partial");
+        let paths = write_aggregated(&dir, "x", &meta(), blocks(10, 2), 4).unwrap();
+        assert_eq!(paths.len(), 3, "4+4+2 blocks");
+        let m = read_manifest(&dir, "x").unwrap();
+        assert_eq!(m.n_blocks, 10);
+        assert_eq!(m.n_files, 3);
+        let back = read_aggregated(&dir, "x").unwrap();
+        assert_eq!(back.blocks.len(), 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn each_member_file_is_independently_analyzable() {
+        // The Moonlight pattern: one job per file.
+        let dir = tmp("independent");
+        let paths = write_aggregated(&dir, "l2", &meta(), blocks(6, 30), 2).unwrap();
+        let mut total = 0;
+        for p in &paths {
+            let c = read_file(p).unwrap().unwrap();
+            let centers = crate::driver::centers_from_level2(&dpp::Serial, &c, 1e-3);
+            total += centers.len();
+        }
+        assert_eq!(total, 6, "every block centered exactly once across jobs");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_member_file_is_an_error() {
+        let dir = tmp("missing");
+        let paths = write_aggregated(&dir, "l2", &meta(), blocks(8, 2), 2).unwrap();
+        std::fs::remove_file(&paths[1]).unwrap();
+        assert!(matches!(
+            read_aggregated(&dir, "l2"),
+            Err(AggregateError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_member_is_detected() {
+        let dir = tmp("corrupt");
+        let paths = write_aggregated(&dir, "l2", &meta(), blocks(4, 10), 2).unwrap();
+        let mut bytes = std::fs::read(&paths[0]).unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0xFF;
+        std::fs::write(&paths[0], bytes).unwrap();
+        assert!(matches!(
+            read_aggregated(&dir, "l2"),
+            Err(AggregateError::File(_, _))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_an_error() {
+        let dir = tmp("nomanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            read_aggregated(&dir, "nothing"),
+            Err(AggregateError::Manifest(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

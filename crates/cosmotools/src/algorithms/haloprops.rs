@@ -1,0 +1,163 @@
+//! Level 3 halo-property measurement (Table 1: "halo properties, galaxy
+//! catalogs, … mass functions concentrations") — a halo-dependent task that
+//! runs after the center finder, since shapes and concentrations need the
+//! MBP center (§3.3.2).
+
+use crate::config::{Config, ConfigError};
+use crate::insitu::{AnalysisContext, InSituAlgorithm, Product};
+use halo::halo_properties;
+
+/// Per-halo property record emitted as part of a [`Product::SoMasses`]-like
+/// Level 3 stream; here we reuse the generic product channel by encoding
+/// `(halo id, concentration)` rows.
+pub struct HaloPropertiesTask {
+    enabled: bool,
+    /// Only halos with at least this many particles are measured.
+    pub min_size: usize,
+}
+
+impl Default for HaloPropertiesTask {
+    fn default() -> Self {
+        HaloPropertiesTask {
+            enabled: true,
+            min_size: 100,
+        }
+    }
+}
+
+impl HaloPropertiesTask {
+    /// New task with defaults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InSituAlgorithm for HaloPropertiesTask {
+    fn name(&self) -> &str {
+        "haloproperties"
+    }
+
+    fn set_parameters(&mut self, config: &Config) -> Result<(), ConfigError> {
+        if !config.has_section(self.name()) {
+            return Ok(());
+        }
+        self.enabled = config.get_bool(self.name(), "enabled").unwrap_or(true);
+        if let Ok(m) = config.get_usize(self.name(), "min_size") {
+            self.min_size = m;
+        }
+        Ok(())
+    }
+
+    fn should_execute(&self, step: usize, total_steps: usize, _z: f64) -> bool {
+        self.enabled && step == total_steps
+    }
+
+    fn execute(&mut self, ctx: &AnalysisContext<'_>) -> Vec<Product> {
+        let Some(catalog) = ctx.catalog else {
+            return Vec::new();
+        };
+        let rows: Vec<(u64, f64)> = catalog
+            .halos
+            .iter()
+            .filter(|h| h.count() >= self.min_size)
+            .filter_map(|h| {
+                let center = h.mbp_center?;
+                let p = halo_properties(&h.particles, center);
+                Some((h.id, p.concentration))
+            })
+            .collect();
+        vec![Product::SoMasses {
+            step: ctx.step,
+            masses: rows,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halo::{Halo, HaloCatalog};
+    use nbody::particle::Particle;
+
+    fn centered_halo(n: usize, tag0: u64) -> Halo {
+        let parts: Vec<Particle> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                // Cuspy profile: uniform in radius.
+                let r = (t * 0.618).fract();
+                let th = std::f64::consts::PI * (t * 0.414).fract();
+                let ph = 2.0 * std::f64::consts::PI * (t * 0.732).fract();
+                Particle::at_rest(
+                    [
+                        (10.0 + r * th.sin() * ph.cos()) as f32,
+                        (10.0 + r * th.sin() * ph.sin()) as f32,
+                        (10.0 + r * th.cos()) as f32,
+                    ],
+                    1.0,
+                    tag0 + i as u64,
+                )
+            })
+            .collect();
+        let mut h = Halo::from_particles(parts);
+        h.mbp_center = Some([10.0, 10.0, 10.0]);
+        h
+    }
+
+    #[test]
+    fn measures_only_centered_halos_above_floor() {
+        let mut cat = HaloCatalog::new();
+        cat.halos.push(centered_halo(500, 0)); // centered, big → measured
+        cat.halos.push(centered_halo(50, 10_000)); // too small
+        let mut uncentered = centered_halo(400, 20_000);
+        uncentered.mbp_center = None;
+        cat.halos.push(uncentered); // no center → skipped
+        let mut task = HaloPropertiesTask {
+            enabled: true,
+            min_size: 100,
+        };
+        let ctx = AnalysisContext {
+            step: 30,
+            total_steps: 30,
+            redshift: 0.0,
+            particles: &[],
+            box_size: 32.0,
+            backend: &dpp::Serial,
+            catalog: Some(&cat),
+        };
+        let prods = task.execute(&ctx);
+        match &prods[0] {
+            Product::SoMasses { masses, .. } => {
+                assert_eq!(masses.len(), 1);
+                assert_eq!(masses[0].0, 0);
+                // Cuspy profile: concentration ~2.
+                assert!((1.5..3.0).contains(&masses[0].1), "{}", masses[0].1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_and_schedule() {
+        let mut task = HaloPropertiesTask::default();
+        let cfg = Config::parse("[haloproperties]\nmin_size = 250\n").unwrap();
+        task.set_parameters(&cfg).unwrap();
+        assert_eq!(task.min_size, 250);
+        assert!(!task.should_execute(10, 30, 1.0));
+        assert!(task.should_execute(30, 30, 0.0));
+    }
+
+    #[test]
+    fn no_catalog_no_output() {
+        let mut task = HaloPropertiesTask::default();
+        let ctx = AnalysisContext {
+            step: 30,
+            total_steps: 30,
+            redshift: 0.0,
+            particles: &[],
+            box_size: 32.0,
+            backend: &dpp::Serial,
+            catalog: None,
+        };
+        assert!(task.execute(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! In-situ subhalo finding and SO masses — the halo-*dependent* tasks, which
+//! run after the halo finder within a step (paper §4.1: the halo analysis
+//! steps are sequential; §4.2 reports the subhalo task's >5× imbalance).
+
+use crate::config::{Config, ConfigError};
+use crate::insitu::{AnalysisContext, InSituAlgorithm, Product};
+use halo::{find_subhalos, so_mass, SubhaloParams};
+
+/// Subhalo counting task: runs the subhalo finder on parents above a size
+/// floor (the paper used 5000 particles — smaller halos exhibit little
+/// substructure and the identification is unreliable).
+pub struct SubhaloTask {
+    enabled: bool,
+    /// Only parents with at least this many particles are searched.
+    pub min_parent_size: usize,
+    /// Finder parameters.
+    pub params: SubhaloParams,
+}
+
+impl Default for SubhaloTask {
+    fn default() -> Self {
+        SubhaloTask {
+            enabled: false,
+            min_parent_size: 5000,
+            params: SubhaloParams::default(),
+        }
+    }
+}
+
+impl SubhaloTask {
+    /// New task with paper-default parameters (disabled unless configured).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InSituAlgorithm for SubhaloTask {
+    fn name(&self) -> &str {
+        "subhalos"
+    }
+
+    fn set_parameters(&mut self, config: &Config) -> Result<(), ConfigError> {
+        if !config.has_section(self.name()) {
+            return Ok(());
+        }
+        self.enabled = config.get_bool(self.name(), "enabled").unwrap_or(false);
+        if let Ok(m) = config.get_usize(self.name(), "min_parent_size") {
+            self.min_parent_size = m;
+        }
+        if let Ok(k) = config.get_usize(self.name(), "n_neighbors") {
+            self.params.n_neighbors = k;
+        }
+        if let Ok(m) = config.get_usize(self.name(), "min_size") {
+            self.params.min_size = m;
+        }
+        Ok(())
+    }
+
+    fn should_execute(&self, step: usize, total_steps: usize, _z: f64) -> bool {
+        self.enabled && step == total_steps
+    }
+
+    fn execute(&mut self, ctx: &AnalysisContext<'_>) -> Vec<Product> {
+        let Some(catalog) = ctx.catalog else {
+            return Vec::new(); // requires a halo catalog from earlier in the step
+        };
+        let counts: Vec<(u64, usize)> = catalog
+            .halos
+            .iter()
+            .filter(|h| h.count() >= self.min_parent_size)
+            .map(|h| (h.id, find_subhalos(&h.particles, &self.params).len()))
+            .collect();
+        vec![Product::Subhalos {
+            step: ctx.step,
+            counts,
+        }]
+    }
+}
+
+/// Spherical-overdensity mass task: "although the overdensity mass estimator
+/// is very fast, it relies on information obtained by the center finder"
+/// (§4.1) — it only measures halos whose MBP center exists.
+pub struct SoMassTask {
+    enabled: bool,
+    /// Overdensity threshold (Δ = 200 is standard).
+    pub delta: f64,
+    /// Mean mass density of the box (set from the run; if zero it is derived
+    /// from the particle set at execution time).
+    pub mean_density: f64,
+}
+
+impl Default for SoMassTask {
+    fn default() -> Self {
+        SoMassTask {
+            enabled: true,
+            delta: 200.0,
+            mean_density: 0.0,
+        }
+    }
+}
+
+impl SoMassTask {
+    /// New task with Δ = 200.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InSituAlgorithm for SoMassTask {
+    fn name(&self) -> &str {
+        "somass"
+    }
+
+    fn set_parameters(&mut self, config: &Config) -> Result<(), ConfigError> {
+        if !config.has_section(self.name()) {
+            return Ok(());
+        }
+        self.enabled = config.get_bool(self.name(), "enabled").unwrap_or(true);
+        if let Ok(d) = config.get_f64(self.name(), "delta") {
+            self.delta = d;
+        }
+        Ok(())
+    }
+
+    fn should_execute(&self, step: usize, total_steps: usize, _z: f64) -> bool {
+        self.enabled && step == total_steps
+    }
+
+    fn execute(&mut self, ctx: &AnalysisContext<'_>) -> Vec<Product> {
+        let Some(catalog) = ctx.catalog else {
+            return Vec::new();
+        };
+        let mean_density = if self.mean_density > 0.0 {
+            self.mean_density
+        } else {
+            let mass: f64 = ctx.particles.iter().map(|p| p.mass as f64).sum();
+            mass / ctx.box_size.powi(3)
+        };
+        let masses: Vec<(u64, f64)> = catalog
+            .halos
+            .iter()
+            .filter_map(|h| {
+                let center = h.mbp_center?;
+                so_mass(&h.particles, center, self.delta, mean_density)
+                    .map(|r| (h.id, r.mass))
+            })
+            .collect();
+        vec![Product::SoMasses {
+            step: ctx.step,
+            masses,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::Serial;
+    use halo::{Halo, HaloCatalog};
+    use nbody::particle::Particle;
+
+    fn dense_halo(n: usize, tag0: u64) -> Halo {
+        let parts: Vec<Particle> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Particle::at_rest(
+                    [
+                        (10.0 + ((t * 0.618).fract() - 0.5) * 0.8) as f32,
+                        (10.0 + ((t * 0.414).fract() - 0.5) * 0.8) as f32,
+                        (10.0 + ((t * 0.732).fract() - 0.5) * 0.8) as f32,
+                    ],
+                    1.0,
+                    tag0 + i as u64,
+                )
+            })
+            .collect();
+        Halo::from_particles(parts)
+    }
+
+    fn ctx_with<'a>(
+        catalog: &'a HaloCatalog,
+        particles: &'a [Particle],
+    ) -> AnalysisContext<'a> {
+        AnalysisContext {
+            step: 60,
+            total_steps: 60,
+            redshift: 0.0,
+            particles,
+            box_size: 32.0,
+            backend: &Serial,
+            catalog: Some(catalog),
+        }
+    }
+
+    #[test]
+    fn subhalo_task_respects_parent_floor() {
+        let mut cat = HaloCatalog::new();
+        cat.halos.push(dense_halo(300, 0));
+        cat.halos.push(dense_halo(50, 1000));
+        let mut task = SubhaloTask {
+            enabled: true,
+            min_parent_size: 100,
+            ..Default::default()
+        };
+        let prods = task.execute(&ctx_with(&cat, &[]));
+        match &prods[0] {
+            Product::Subhalos { counts, .. } => {
+                assert_eq!(counts.len(), 1, "only the 300-particle parent searched");
+                assert_eq!(counts[0].0, 0);
+                assert!(counts[0].1 >= 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subhalo_task_needs_catalog() {
+        let mut task = SubhaloTask {
+            enabled: true,
+            ..Default::default()
+        };
+        let ctx = AnalysisContext {
+            step: 60,
+            total_steps: 60,
+            redshift: 0.0,
+            particles: &[],
+            box_size: 32.0,
+            backend: &Serial,
+            catalog: None,
+        };
+        assert!(task.execute(&ctx).is_empty());
+    }
+
+    #[test]
+    fn so_task_only_measures_centered_halos() {
+        let mut cat = HaloCatalog::new();
+        let mut centered = dense_halo(500, 0);
+        centered.mbp_center = Some(centered.center_of_mass);
+        cat.halos.push(centered);
+        cat.halos.push(dense_halo(400, 5000)); // no center
+        let all_parts: Vec<Particle> = cat
+            .halos
+            .iter()
+            .flat_map(|h| h.particles.iter().copied())
+            .collect();
+        let mut task = SoMassTask::default();
+        let prods = task.execute(&ctx_with(&cat, &all_parts));
+        match &prods[0] {
+            Product::SoMasses { masses, .. } => {
+                assert_eq!(masses.len(), 1, "only the centered halo is measured");
+                assert!(masses[0].1 > 100.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedules_fire_only_at_final_step() {
+        let task = SubhaloTask {
+            enabled: true,
+            ..Default::default()
+        };
+        assert!(!task.should_execute(50, 60, 0.2));
+        assert!(task.should_execute(60, 60, 0.0));
+        let so = SoMassTask::default();
+        assert!(!so.should_execute(59, 60, 0.01));
+        assert!(so.should_execute(60, 60, 0.0));
+    }
+
+    #[test]
+    fn config_applies() {
+        let mut task = SubhaloTask::default();
+        let cfg = Config::parse("[subhalos]\nenabled = true\nmin_parent_size = 77\n").unwrap();
+        task.set_parameters(&cfg).unwrap();
+        assert!(task.enabled);
+        assert_eq!(task.min_parent_size, 77);
+        let mut so = SoMassTask::default();
+        let cfg = Config::parse("[somass]\ndelta = 500\n").unwrap();
+        so.set_parameters(&cfg).unwrap();
+        assert_eq!(so.delta, 500.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! The stand-alone CosmoTools driver (paper §3.1): "CosmoTools also provides
+//! a stand-alone driver that allows the algorithms to be invoked
+//! asynchronously by co-scheduling another analysis run, executed in tandem
+//! with the simulation using different resources."
+//!
+//! The driver consumes the same containers the in-situ side writes: a
+//! Level 1 container of raw particles (full off-line analysis) or a Level 2
+//! container holding one large halo per block (off-line center finding).
+
+use crate::algorithms::halofinder::find_halos_with_centers;
+use crate::genio::{Container, SnapshotMeta};
+use dpp::Backend;
+use halo::{mbp_brute, HaloCatalog};
+
+/// A halo-center record (Level 3 data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CenterRecord {
+    /// Halo id (minimum member tag).
+    pub halo_id: u64,
+    /// MBP center position.
+    pub center: [f64; 3],
+    /// Member count.
+    pub count: u64,
+    /// Potential at the center.
+    pub potential: f64,
+}
+
+/// Package the *large* halos of a catalog as a Level 2 container: one halo
+/// per block, so single-node analysis jobs can work block-by-block exactly
+/// as the Moonlight jobs did (§4.1).
+pub fn write_level2_container(catalog: &HaloCatalog, meta: SnapshotMeta) -> Container {
+    Container {
+        meta,
+        blocks: catalog.halos.iter().map(|h| h.particles.clone()).collect(),
+    }
+}
+
+/// Off-line center finding over a Level 2 container: each block is one halo.
+pub fn centers_from_level2(
+    backend: &dyn Backend,
+    container: &Container,
+    softening: f64,
+) -> Vec<CenterRecord> {
+    container
+        .blocks
+        .iter()
+        .filter(|b| !b.is_empty())
+        .map(|block| {
+            let r = mbp_brute(backend, block, softening);
+            let id = block.iter().map(|p| p.tag).min().expect("non-empty block");
+            CenterRecord {
+                halo_id: id,
+                center: block[r.index].pos_f64(),
+                count: block.len() as u64,
+                potential: r.potential,
+            }
+        })
+        .collect()
+}
+
+/// Full off-line analysis of a Level 1 container: halo finding plus centers
+/// for every halo (the "off-line only" workflow).
+pub fn analyze_level1(
+    backend: &dyn Backend,
+    container: &Container,
+    link_frac: f64,
+    min_size: usize,
+    softening: f64,
+) -> HaloCatalog {
+    let particles: Vec<_> = container.blocks.iter().flatten().copied().collect();
+    find_halos_with_centers(
+        backend,
+        &particles,
+        container.meta.box_size,
+        link_frac,
+        min_size,
+        usize::MAX,
+        softening,
+    )
+}
+
+/// Center records from an analyzed catalog (halos that have centers).
+pub fn centers_from_catalog(catalog: &HaloCatalog) -> Vec<CenterRecord> {
+    catalog
+        .halos
+        .iter()
+        .filter_map(|h| {
+            h.mbp_center.map(|c| CenterRecord {
+                halo_id: h.id,
+                center: c,
+                count: h.count() as u64,
+                potential: f64::NAN,
+            })
+        })
+        .collect()
+}
+
+/// Reconcile the in-situ (small-halo) and off-line (large-halo) center sets
+/// into one complete Level 3 output — the paper's final merge step. Panics
+/// on duplicate halo ids (the split must be a partition).
+pub fn merge_center_sets(
+    mut in_situ: Vec<CenterRecord>,
+    off_line: Vec<CenterRecord>,
+) -> Vec<CenterRecord> {
+    in_situ.extend(off_line);
+    in_situ.sort_by_key(|r| r.halo_id);
+    for w in in_situ.windows(2) {
+        assert_ne!(
+            w[0].halo_id, w[1].halo_id,
+            "halo {} centered by both stages — the size split must partition the catalog",
+            w[0].halo_id
+        );
+    }
+    in_situ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::genio::{read_container, write_container};
+    use dpp::Serial;
+    use halo::Halo;
+    use nbody::particle::Particle;
+
+    fn blob(center: [f64; 3], n: usize, tag0: u64) -> Vec<Particle> {
+        (0..n)
+            .map(|i| {
+                let t = tag0 as f64 * 7.7 + i as f64;
+                Particle::at_rest(
+                    [
+                        (center[0] + ((t * 0.618).fract() - 0.5)) as f32,
+                        (center[1] + ((t * 0.414).fract() - 0.5)) as f32,
+                        (center[2] + ((t * 0.732).fract() - 0.5)) as f32,
+                    ],
+                    1.0,
+                    tag0 + i as u64,
+                )
+            })
+            .collect()
+    }
+
+    fn meta() -> SnapshotMeta {
+        SnapshotMeta {
+            step: 100,
+            redshift: 0.0,
+            box_size: 32.0,
+        }
+    }
+
+    #[test]
+    fn level2_roundtrip_and_centering() {
+        let mut cat = HaloCatalog::new();
+        cat.halos.push(Halo::from_particles(blob([8.0; 3], 200, 0)));
+        cat.halos.push(Halo::from_particles(blob([24.0; 3], 150, 1000)));
+        let container = write_level2_container(&cat, meta());
+        // Serialize through the binary format like the real workflow.
+        let bytes = write_container(&container);
+        let back = read_container(&bytes).unwrap();
+        let centers = centers_from_level2(&Serial, &back, 1e-3);
+        assert_eq!(centers.len(), 2);
+        assert_eq!(centers[0].halo_id, 0);
+        assert_eq!(centers[1].halo_id, 1000);
+        assert_eq!(centers[0].count, 200);
+        // Centers are inside the blobs.
+        assert!((centers[0].center[0] - 8.0).abs() < 1.0);
+        assert!((centers[1].center[0] - 24.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn offline_level1_analysis_matches_in_situ_catalog() {
+        // The same particles analyzed off-line must give the same halos as
+        // the in-situ path with an unlimited threshold.
+        let mut parts = blob([8.0; 3], 300, 0);
+        parts.extend(blob([24.0; 3], 200, 10_000));
+        let container = Container {
+            meta: meta(),
+            blocks: vec![parts.clone()],
+        };
+        let offline = analyze_level1(&Serial, &container, 0.2, 40, 1e-3);
+        let insitu = find_halos_with_centers(
+            &Serial,
+            &parts,
+            32.0,
+            0.2,
+            40,
+            usize::MAX,
+            1e-3,
+        );
+        assert_eq!(offline.len(), insitu.len());
+        for (a, b) in offline.halos.iter().zip(&insitu.halos) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.count(), b.count());
+            assert_eq!(a.mbp_center, b.mbp_center);
+        }
+    }
+
+    #[test]
+    fn merge_reconciles_disjoint_sets() {
+        let a = vec![CenterRecord {
+            halo_id: 1,
+            center: [0.0; 3],
+            count: 50,
+            potential: -1.0,
+        }];
+        let b = vec![CenterRecord {
+            halo_id: 2,
+            center: [1.0; 3],
+            count: 500_000,
+            potential: -9.0,
+        }];
+        let merged = merge_center_sets(a, b);
+        assert_eq!(merged.len(), 2);
+        assert!(merged.windows(2).all(|w| w[0].halo_id < w[1].halo_id));
+    }
+
+    #[test]
+    #[should_panic(expected = "centered by both stages")]
+    fn merge_rejects_overlap() {
+        let a = vec![CenterRecord {
+            halo_id: 7,
+            center: [0.0; 3],
+            count: 1,
+            potential: 0.0,
+        }];
+        let b = a.clone();
+        merge_center_sets(a, b);
+    }
+
+    #[test]
+    fn centers_from_catalog_skips_uncentered() {
+        let mut cat = HaloCatalog::new();
+        let mut h1 = Halo::from_particles(blob([8.0; 3], 60, 0));
+        h1.mbp_center = Some([8.0; 3]);
+        cat.halos.push(h1);
+        cat.halos.push(Halo::from_particles(blob([24.0; 3], 70, 500)));
+        let recs = centers_from_catalog(&cat);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].halo_id, 0);
+    }
+}

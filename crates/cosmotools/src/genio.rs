@@ -1,0 +1,343 @@
+//! A GenericIO-like binary particle container.
+//!
+//! HACC writes its Level 1/2 data with GenericIO: self-describing blocks,
+//! per-block checksums, aggregated files ("the results from 128 nodes were
+//! aggregated in one file, resulting in 128 files containing 128 blocks
+//! each", §4.1). This module reproduces the essentials: a magic/version
+//! header, named metadata, multiple per-rank *blocks* each carrying its own
+//! CRC, and corruption detection on read.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nbody::particle::Particle;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"HCIO";
+/// Format version.
+pub const VERSION: u32 = 1;
+
+/// Errors reading a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenioError {
+    /// Not a container (wrong magic).
+    BadMagic,
+    /// Version newer than this reader.
+    UnsupportedVersion(u32),
+    /// Data ends before the declared payload does.
+    Truncated,
+    /// A block's CRC does not match its contents.
+    ChecksumMismatch {
+        /// Index of the corrupt block.
+        block: usize,
+    },
+}
+
+impl std::fmt::Display for GenioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenioError::BadMagic => write!(f, "not a HCIO container"),
+            GenioError::UnsupportedVersion(v) => write!(f, "unsupported HCIO version {v}"),
+            GenioError::Truncated => write!(f, "container truncated"),
+            GenioError::ChecksumMismatch { block } => {
+                write!(f, "checksum mismatch in block {block}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenioError {}
+
+/// CRC-32 (IEEE, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    // Build the table on first use.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    });
+    let mut crc = !0u32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Snapshot-level metadata carried in the header.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMeta {
+    /// Simulation step index.
+    pub step: u64,
+    /// Redshift of the snapshot.
+    pub redshift: f64,
+    /// Box side (Mpc/h).
+    pub box_size: f64,
+}
+
+/// A container: metadata plus one particle block per writing rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    /// Snapshot metadata.
+    pub meta: SnapshotMeta,
+    /// Per-rank particle blocks.
+    pub blocks: Vec<Vec<Particle>>,
+}
+
+impl Container {
+    /// Total particles across blocks.
+    pub fn total_particles(&self) -> usize {
+        self.blocks.iter().map(|b| b.len()).sum()
+    }
+
+    /// Flatten all blocks into one particle vector.
+    pub fn into_particles(self) -> Vec<Particle> {
+        self.blocks.into_iter().flatten().collect()
+    }
+}
+
+fn put_particle(buf: &mut BytesMut, p: &Particle) {
+    for d in 0..3 {
+        buf.put_f32_le(p.pos[d]);
+    }
+    for d in 0..3 {
+        buf.put_f32_le(p.vel[d]);
+    }
+    buf.put_f32_le(p.mass);
+    buf.put_u64_le(p.tag);
+}
+
+fn get_particle(buf: &mut Bytes) -> Particle {
+    let mut pos = [0.0f32; 3];
+    let mut vel = [0.0f32; 3];
+    for v in &mut pos {
+        *v = buf.get_f32_le();
+    }
+    for v in &mut vel {
+        *v = buf.get_f32_le();
+    }
+    let mass = buf.get_f32_le();
+    let tag = buf.get_u64_le();
+    Particle {
+        pos,
+        vel,
+        mass,
+        tag,
+    }
+}
+
+/// Bytes per serialized particle record.
+const RECORD_BYTES: usize = 36;
+
+/// Serialize a container.
+pub fn write_container(c: &Container) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(c.meta.step);
+    buf.put_f64_le(c.meta.redshift);
+    buf.put_f64_le(c.meta.box_size);
+    buf.put_u32_le(c.blocks.len() as u32);
+    for block in &c.blocks {
+        let mut body = BytesMut::with_capacity(block.len() * RECORD_BYTES);
+        for p in block {
+            put_particle(&mut body, p);
+        }
+        let body = body.freeze();
+        buf.put_u64_le(block.len() as u64);
+        buf.put_u32_le(crc32(&body));
+        buf.put_slice(&body);
+    }
+    buf.freeze()
+}
+
+/// Deserialize and verify a container.
+pub fn read_container(data: &[u8]) -> Result<Container, GenioError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(GenioError::BadMagic);
+    }
+    if buf.remaining() < 4 {
+        return Err(GenioError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(GenioError::UnsupportedVersion(version));
+    }
+    if buf.remaining() < 8 + 8 + 8 + 4 {
+        return Err(GenioError::Truncated);
+    }
+    let step = buf.get_u64_le();
+    let redshift = buf.get_f64_le();
+    let box_size = buf.get_f64_le();
+    let nblocks = buf.get_u32_le() as usize;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for bi in 0..nblocks {
+        if buf.remaining() < 8 + 4 {
+            return Err(GenioError::Truncated);
+        }
+        let n = buf.get_u64_le() as usize;
+        let crc_expect = buf.get_u32_le();
+        let nbytes = n * RECORD_BYTES;
+        if buf.remaining() < nbytes {
+            return Err(GenioError::Truncated);
+        }
+        let body = buf.copy_to_bytes(nbytes);
+        if crc32(&body) != crc_expect {
+            return Err(GenioError::ChecksumMismatch { block: bi });
+        }
+        let mut body = body;
+        let mut parts = Vec::with_capacity(n);
+        for _ in 0..n {
+            parts.push(get_particle(&mut body));
+        }
+        blocks.push(parts);
+    }
+    Ok(Container {
+        meta: SnapshotMeta {
+            step,
+            redshift,
+            box_size,
+        },
+        blocks,
+    })
+}
+
+/// Write a container to a file.
+pub fn write_file(path: &std::path::Path, c: &Container) -> std::io::Result<()> {
+    std::fs::write(path, write_container(c))
+}
+
+/// Read a container from a file.
+pub fn read_file(path: &std::path::Path) -> std::io::Result<Result<Container, GenioError>> {
+    Ok(read_container(&std::fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(nblocks: usize, per_block: usize) -> Container {
+        let mut blocks = Vec::new();
+        let mut tag = 0;
+        for b in 0..nblocks {
+            let mut parts = Vec::new();
+            for i in 0..per_block {
+                parts.push(Particle {
+                    pos: [b as f32, i as f32, 0.5],
+                    vel: [0.1, -0.2, 0.3],
+                    mass: 1.0,
+                    tag,
+                });
+                tag += 1;
+            }
+            blocks.push(parts);
+        }
+        Container {
+            meta: SnapshotMeta {
+                step: 100,
+                redshift: 0.0,
+                box_size: 162.5,
+            },
+            blocks,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let c = sample(4, 100);
+        let bytes = write_container(&c);
+        let back = read_container(&bytes).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(back.total_particles(), 400);
+    }
+
+    #[test]
+    fn empty_container_roundtrips() {
+        let c = Container {
+            meta: SnapshotMeta {
+                step: 0,
+                redshift: 10.0,
+                box_size: 1.0,
+            },
+            blocks: vec![],
+        };
+        let back = read_container(&write_container(&c)).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn record_size_is_36_bytes() {
+        // The serialized record must match the paper's 36 B/particle.
+        let c = sample(1, 10);
+        let with = write_container(&c).len();
+        let c0 = sample(1, 0);
+        let without = write_container(&c0).len();
+        assert_eq!(with - without, 10 * 36);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(read_container(b"NOPE1234"), Err(GenioError::BadMagic));
+        assert_eq!(read_container(b""), Err(GenioError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = write_container(&sample(2, 50));
+        for cut in [5, 20, bytes.len() - 1] {
+            let err = read_container(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, GenioError::Truncated),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_detected_by_crc() {
+        let bytes = write_container(&sample(2, 50));
+        let mut corrupt = bytes.to_vec();
+        // Flip a byte inside the second block's payload.
+        let idx = bytes.len() - 10;
+        corrupt[idx] ^= 0xFF;
+        assert_eq!(
+            read_container(&corrupt),
+            Err(GenioError::ChecksumMismatch { block: 1 })
+        );
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = write_container(&sample(1, 1)).to_vec();
+        bytes[4] = 99; // version LE byte
+        assert_eq!(
+            read_container(&bytes),
+            Err(GenioError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32/IEEE of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hcio_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap100.hcio");
+        let c = sample(3, 20);
+        write_file(&path, &c).unwrap();
+        let back = read_file(&path).unwrap().unwrap();
+        assert_eq!(back, c);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,422 @@
+//! Execution backends.
+//!
+//! Mirroring PISTON/VTK-m's device adapters, every data-parallel primitive in
+//! this crate is written once against the [`Backend`] trait and runs unchanged
+//! on every backend. Two adapters are provided:
+//!
+//! * [`Serial`] — single-threaded reference execution (always available, used
+//!   as the correctness oracle in tests), and
+//! * [`Threaded`] — multi-core execution through [`ThreadPool`].
+//!
+//! The original system also targeted CUDA GPUs through Thrust; on the machines
+//! modeled by the `simhpc` crate, GPU execution is represented by a speed
+//! factor applied by the platform model rather than by a third adapter.
+
+use crate::pool::ThreadPool;
+use std::ops::Range;
+
+/// Default minimum number of elements handed to a worker in one chunk.
+pub const DEFAULT_GRAIN: usize = 1024;
+
+/// An execution backend for data-parallel primitives.
+///
+/// The trait is object safe, so algorithm code can hold a `&dyn Backend`
+/// chosen at run time (e.g. from an input deck).
+pub trait Backend: Sync {
+    /// Execute `f` over chunks of `0..n` (each chunk at least `grain` long,
+    /// except possibly the last). Chunks may run concurrently; the call
+    /// returns only after all chunks finish.
+    fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync));
+
+    /// Maximum number of chunks that may execute concurrently.
+    fn concurrency(&self) -> usize;
+
+    /// Human-readable adapter name (for logs and reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Single-threaded reference backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Serial;
+
+impl Backend for Serial {
+    fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + grain).min(n);
+            f(lo..hi);
+            lo = hi;
+        }
+    }
+
+    fn concurrency(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+/// Multi-core backend driven by a [`ThreadPool`].
+#[derive(Debug, Default, Clone)]
+pub struct Threaded {
+    pool: ThreadPool,
+}
+
+impl Threaded {
+    /// Backend using `workers` threads per dispatch.
+    pub fn new(workers: usize) -> Self {
+        Threaded {
+            pool: ThreadPool::new(workers),
+        }
+    }
+
+    /// Backend sized to available hardware parallelism.
+    pub fn with_available_parallelism() -> Self {
+        Threaded {
+            pool: ThreadPool::with_available_parallelism(),
+        }
+    }
+
+    /// The underlying pool (for task-parallel use).
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+}
+
+impl Backend for Threaded {
+    fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        self.pool.dispatch(n, grain, f);
+    }
+
+    fn concurrency(&self) -> usize {
+        self.pool.workers()
+    }
+
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+/// Multi-core backend with *static* scheduling: `0..n` is pre-partitioned
+/// into exactly one contiguous block per worker, with no work stealing.
+///
+/// This is the ablation counterpart to [`Threaded`]'s dynamic
+/// self-scheduling: on uniform work they perform alike; on the skewed
+/// per-item costs this project studies (O(n²) halo centers), the worker that
+/// drew the heavy block gates the whole dispatch — the same load-imbalance
+/// mechanism that motivates the paper's off-load workflow.
+#[derive(Debug, Clone)]
+pub struct StaticThreaded {
+    pool: ThreadPool,
+}
+
+impl StaticThreaded {
+    /// Backend using `workers` threads, one contiguous block each.
+    pub fn new(workers: usize) -> Self {
+        StaticThreaded {
+            pool: ThreadPool::new(workers),
+        }
+    }
+}
+
+impl Backend for StaticThreaded {
+    fn dispatch(&self, n: usize, _grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let w = self.pool.workers().min(n);
+        let block = n.div_ceil(w);
+        // One chunk per worker: the pool's dynamic queue degenerates to a
+        // static partition because #chunks == #threads.
+        self.pool.dispatch(n, block, f);
+    }
+
+    fn concurrency(&self) -> usize {
+        self.pool.workers()
+    }
+
+    fn name(&self) -> &'static str {
+        "static-threaded"
+    }
+}
+
+/// Runtime-selectable backend, e.g. parsed from a configuration file.
+#[derive(Debug, Clone)]
+pub enum AnyBackend {
+    /// Single-threaded execution.
+    Serial(Serial),
+    /// Multi-threaded execution (dynamic scheduling).
+    Threaded(Threaded),
+    /// Multi-threaded execution with static partitioning.
+    StaticThreaded(StaticThreaded),
+}
+
+impl AnyBackend {
+    /// Parse a backend spec: `"serial"` or `"threaded"`/`"threaded:N"`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("serial") {
+            return Ok(AnyBackend::Serial(Serial));
+        }
+        if spec.eq_ignore_ascii_case("threaded") {
+            return Ok(AnyBackend::Threaded(Threaded::with_available_parallelism()));
+        }
+        if let Some(rest) = spec.strip_prefix("threaded:") {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("invalid worker count in backend spec `{spec}`"))?;
+            return Ok(AnyBackend::Threaded(Threaded::new(n)));
+        }
+        if let Some(rest) = spec.strip_prefix("static:") {
+            let n: usize = rest
+                .parse()
+                .map_err(|_| format!("invalid worker count in backend spec `{spec}`"))?;
+            return Ok(AnyBackend::StaticThreaded(StaticThreaded::new(n)));
+        }
+        Err(format!("unknown backend spec `{spec}`"))
+    }
+
+    /// View as a trait object.
+    pub fn as_dyn(&self) -> &dyn Backend {
+        match self {
+            AnyBackend::Serial(b) => b,
+            AnyBackend::Threaded(b) => b,
+            AnyBackend::StaticThreaded(b) => b,
+        }
+    }
+}
+
+impl Backend for AnyBackend {
+    fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        self.as_dyn().dispatch(n, grain, f)
+    }
+
+    fn concurrency(&self) -> usize {
+        self.as_dyn().concurrency()
+    }
+
+    fn name(&self) -> &'static str {
+        self.as_dyn().name()
+    }
+}
+
+/// A raw pointer wrapper that asserts cross-thread shareability.
+///
+/// Safety: used only by primitives that hand *disjoint* index ranges to each
+/// worker, so no two threads ever touch the same element.
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// # Safety
+    /// Caller must guarantee `idx` is in bounds of the allocation and that no
+    /// other thread accesses the same index concurrently.
+    #[inline]
+    pub unsafe fn write(&self, idx: usize, value: T) {
+        self.0.add(idx).write(value);
+    }
+
+    /// Raw pointer to element `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds; the caller upholds aliasing discipline.
+    #[inline]
+    pub unsafe fn at(&self, idx: usize) -> *mut T {
+        self.0.add(idx)
+    }
+
+    /// Mutable reference to element `idx`.
+    ///
+    /// # Safety
+    /// `idx` must be in bounds and not concurrently accessed elsewhere.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn get_mut(&self, idx: usize) -> &mut T {
+        &mut *self.0.add(idx)
+    }
+
+    /// Disjoint mutable sub-slice `[start, start+len)`.
+    ///
+    /// # Safety
+    /// The range must be in bounds and disjoint from every range handed to
+    /// other threads (the wrapper exists precisely to hand out aliased-by-
+    /// construction-disjoint views, hence the `mut_from_ref` exemption).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(start), len)
+    }
+}
+
+/// Build a `Vec<T>` of length `n` where element `i` is produced by `init(i)`,
+/// with elements initialized in parallel chunks.
+pub fn par_init<T, F>(backend: &dyn Backend, n: usize, grain: usize, init: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    backend.dispatch(n, grain, &|r: Range<usize>| {
+        for i in r {
+            // SAFETY: ranges from dispatch are disjoint and within 0..n, and
+            // the buffer has capacity n.
+            unsafe { ptr.write(i, init(i)) };
+        }
+    });
+    // SAFETY: every index in 0..n was written exactly once above.
+    unsafe { out.set_len(n) };
+    out
+}
+
+/// Apply `f(i, &mut data[i])` to every element, in parallel chunks.
+pub fn par_for_each_mut<T, F>(backend: &dyn Backend, data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = data.len();
+    let ptr = SendPtr(data.as_mut_ptr());
+    backend.dispatch(n, grain, &|r: Range<usize>| {
+        for i in r {
+            // SAFETY: disjoint in-bounds ranges; exclusive &mut borrow held.
+            let elem = unsafe { ptr.get_mut(i) };
+            f(i, elem);
+        }
+    });
+}
+
+/// Apply `f(chunk_range, chunk_slice)` to disjoint sub-slices of `data`, in
+/// parallel. Each chunk is at least `grain` elements.
+pub fn par_chunks_mut<T, F>(backend: &dyn Backend, data: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let ptr = SendPtr(data.as_mut_ptr());
+    backend.dispatch(n, grain, &|r: Range<usize>| {
+        // SAFETY: dispatch ranges are disjoint and in bounds.
+        let slice = unsafe { ptr.slice_mut(r.start, r.len()) };
+        f(r, slice);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_threaded_report_metadata() {
+        assert_eq!(Serial.name(), "serial");
+        assert_eq!(Serial.concurrency(), 1);
+        let t = Threaded::new(3);
+        assert_eq!(t.name(), "threaded");
+        assert_eq!(t.concurrency(), 3);
+    }
+
+    #[test]
+    fn par_init_matches_serial_init() {
+        let t = Threaded::new(4);
+        let a = par_init(&Serial, 1000, 16, |i| i * i);
+        let b = par_init(&t, 1000, 16, |i| i * i);
+        assert_eq!(a, b);
+        assert_eq!(a[37], 37 * 37);
+    }
+
+    #[test]
+    fn par_init_empty() {
+        let v: Vec<u8> = par_init(&Serial, 0, 8, |_| 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn par_for_each_mut_updates_all() {
+        let t = Threaded::new(4);
+        let mut v = vec![1u64; 5000];
+        par_for_each_mut(&t, &mut v, 64, |i, x| *x += i as u64);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, 1 + i as u64);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_sees_correct_offsets() {
+        let t = Threaded::new(4);
+        let mut v = vec![0usize; 777];
+        par_chunks_mut(&t, &mut v, 50, |r, chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = r.start + k;
+            }
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i);
+        }
+    }
+
+    #[test]
+    fn any_backend_parses() {
+        assert!(matches!(AnyBackend::parse("serial"), Ok(AnyBackend::Serial(_))));
+        assert!(matches!(AnyBackend::parse("threaded"), Ok(AnyBackend::Threaded(_))));
+        match AnyBackend::parse("threaded:7") {
+            Ok(AnyBackend::Threaded(t)) => assert_eq!(t.concurrency(), 7),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(AnyBackend::parse("cuda").is_err());
+        assert!(AnyBackend::parse("threaded:x").is_err());
+    }
+
+    #[test]
+    fn drop_safety_with_nontrivial_type() {
+        // Strings exercise drop correctness of the unsafe init path.
+        let t = Threaded::new(4);
+        let v = par_init(&t, 257, 8, |i| format!("s{i}"));
+        assert_eq!(v.len(), 257);
+        assert_eq!(v[200], "s200");
+    }
+}
+
+#[cfg(test)]
+mod static_backend_tests {
+    use super::*;
+
+    #[test]
+    fn static_backend_computes_the_same_results() {
+        let st = StaticThreaded::new(4);
+        let dyn_ = Threaded::new(4);
+        let a = par_init(&st, 10_000, 64, |i| i * 3);
+        let b = par_init(&dyn_, 10_000, 64, |i| i * 3);
+        assert_eq!(a, b);
+        assert_eq!(st.name(), "static-threaded");
+        assert_eq!(st.concurrency(), 4);
+    }
+
+    #[test]
+    fn static_backend_uses_one_block_per_worker() {
+        use parking_lot::Mutex;
+        let st = StaticThreaded::new(4);
+        let chunks: Mutex<Vec<std::ops::Range<usize>>> = Mutex::new(Vec::new());
+        st.dispatch(1000, 1, &|r| chunks.lock().push(r));
+        let mut got = chunks.into_inner();
+        got.sort_by_key(|r| r.start);
+        assert_eq!(got.len(), 4, "exactly one contiguous block per worker");
+        assert_eq!(got[0], 0..250);
+        assert_eq!(got[3], 750..1000);
+    }
+
+    #[test]
+    fn any_backend_parses_static() {
+        match AnyBackend::parse("static:3") {
+            Ok(AnyBackend::StaticThreaded(b)) => assert_eq!(b.concurrency(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

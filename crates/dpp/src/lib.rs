@@ -1,0 +1,39 @@
+//! # dpp — portable data-parallel primitives
+//!
+//! This crate is the reproduction's equivalent of the PISTON / VTK-m layer
+//! used by the paper: each analysis algorithm is written **once** against a
+//! small set of data-parallel primitives and executes unchanged on every
+//! [`Backend`]. The original targeted CUDA, OpenMP and TBB through Thrust;
+//! here the adapters are [`Serial`] (reference) and [`Threaded`] (multi-core
+//! via a hand-rolled dynamic-scheduling pool built on crossbeam).
+//!
+//! Primitives: [`ops::map()`](ops::map()), [`ops::reduce()`](ops::reduce()), [`ops::inclusive_scan`] /
+//! [`ops::exclusive_scan`], [`ops::par_sort_by`], [`ops::gather()`](ops::gather()) /
+//! [`ops::scatter`], [`ops::copy_if`], [`ops::histogram()`](ops::histogram()),
+//! [`ops::argmin_by`], and [`ops::segmented_reduce`].
+//!
+//! ```
+//! use dpp::{Serial, Threaded, ops};
+//!
+//! let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let threaded = Threaded::new(4);
+//! // One implementation, two backends, identical results:
+//! let a = ops::sum_f64(&Serial, &xs);
+//! let b = ops::sum_f64(&threaded, &xs);
+//! assert_eq!(a, b);
+//! ```
+
+#![warn(missing_docs)]
+// 3-vector component loops read better indexed; the lint fires on them.
+#![allow(clippy::needless_range_loop)]
+
+pub mod backend;
+pub mod ops;
+pub mod pool;
+
+pub use backend::{
+    par_chunks_mut, par_for_each_mut, par_init, AnyBackend, Backend, SendPtr, Serial,
+    StaticThreaded, Threaded,
+    DEFAULT_GRAIN,
+};
+pub use pool::ThreadPool;

@@ -1,0 +1,132 @@
+//! Stream compaction: counting, copying, and partitioning by predicate.
+
+use crate::backend::{Backend, SendPtr, DEFAULT_GRAIN};
+use parking_lot::Mutex;
+
+/// Count elements satisfying `pred`.
+pub fn count_if<T, F>(backend: &dyn Backend, input: &[T], pred: F) -> usize
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let partials: Mutex<usize> = Mutex::new(0);
+    backend.dispatch(input.len(), DEFAULT_GRAIN, &|r| {
+        let c = input[r].iter().filter(|x| pred(x)).count();
+        *partials.lock() += c;
+    });
+    partials.into_inner()
+}
+
+/// Copy elements satisfying `pred`, preserving input order (stable compaction).
+pub fn copy_if<T, F>(backend: &dyn Backend, input: &[T], pred: F) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let bs = DEFAULT_GRAIN.max(n / 256);
+    let nblocks = n.div_ceil(bs);
+
+    // Pass 1: per-block survivor counts.
+    let counts: Vec<usize> = crate::backend::par_init(backend, nblocks, 1, |b| {
+        let lo = b * bs;
+        let hi = (lo + bs).min(n);
+        input[lo..hi].iter().filter(|x| pred(x)).count()
+    });
+    let mut offsets = Vec::with_capacity(nblocks);
+    let mut total = 0;
+    for c in &counts {
+        offsets.push(total);
+        total += c;
+    }
+
+    // Pass 2: copy survivors to their final slots.
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    let ptr = SendPtr(out.as_mut_ptr());
+    backend.dispatch(nblocks, 1, &|blocks| {
+        for b in blocks {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            let mut w = offsets[b];
+            for x in &input[lo..hi] {
+                if pred(x) {
+                    // SAFETY: block output ranges [offsets[b], offsets[b]+counts[b])
+                    // are disjoint and within capacity `total`.
+                    unsafe { ptr.write(w, x.clone()) };
+                    w += 1;
+                }
+            }
+        }
+    });
+    // SAFETY: exactly `total` slots written, each once.
+    unsafe { out.set_len(total) };
+    out
+}
+
+/// Return the indices of elements satisfying `pred` (ascending) and those
+/// failing it (ascending) as `(true_indices, false_indices)`.
+pub fn partition_indices<T, F>(backend: &dyn Backend, input: &[T], pred: F) -> (Vec<usize>, Vec<usize>)
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Sync,
+{
+    let n = input.len();
+    let idx: Vec<usize> = (0..n).collect();
+    let yes = copy_if(backend, &idx, |&i| pred(&input[i]));
+    let no = copy_if(backend, &idx, |&i| !pred(&input[i]));
+    (yes, no)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn count_and_copy_agree() {
+        let t = Threaded::new(4);
+        let v: Vec<u64> = (0..50_000).collect();
+        let c = count_if(&t, &v, |x| x % 3 == 0);
+        let out = copy_if(&t, &v, |x| x % 3 == 0);
+        assert_eq!(c, out.len());
+        assert_eq!(out, copy_if(&Serial, &v, |x| x % 3 == 0));
+    }
+
+    #[test]
+    fn copy_if_is_stable() {
+        let t = Threaded::new(4);
+        let v: Vec<u64> = (0..20_000).map(|i| i % 100).collect();
+        let out = copy_if(&t, &v, |x| *x < 10);
+        // Must be the subsequence in original order.
+        let expect: Vec<u64> = v.iter().copied().filter(|x| *x < 10).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn copy_if_none_and_all() {
+        let v: Vec<u32> = (0..1000).collect();
+        assert!(copy_if(&Serial, &v, |_| false).is_empty());
+        assert_eq!(copy_if(&Serial, &v, |_| true), v);
+    }
+
+    #[test]
+    fn partition_covers_everything() {
+        let t = Threaded::new(4);
+        let v: Vec<i32> = (0..5000).map(|i| i * 37 % 101 - 50).collect();
+        let (pos, neg) = partition_indices(&t, &v, |x| *x >= 0);
+        assert_eq!(pos.len() + neg.len(), v.len());
+        assert!(pos.iter().all(|&i| v[i] >= 0));
+        assert!(neg.iter().all(|&i| v[i] < 0));
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        assert!(neg.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(count_if(&Serial, &[] as &[u8], |_| true), 0);
+        assert!(copy_if(&Serial, &[] as &[u8], |_| true).is_empty());
+    }
+}

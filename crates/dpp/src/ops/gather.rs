@@ -1,0 +1,114 @@
+//! Index-based data movement: iota, gather, scatter.
+
+use crate::backend::{par_init, Backend, SendPtr, DEFAULT_GRAIN};
+
+/// `out[i] = start + i`.
+pub fn iota(backend: &dyn Backend, n: usize, start: usize) -> Vec<usize> {
+    par_init(backend, n, DEFAULT_GRAIN, |i| start + i)
+}
+
+/// `out[i] = src[indices[i]]`. Panics (in debug via indexing) on out-of-range.
+pub fn gather<T>(backend: &dyn Backend, src: &[T], indices: &[usize]) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+{
+    par_init(backend, indices.len(), DEFAULT_GRAIN, |i| src[indices[i]].clone())
+}
+
+/// `dst[indices[i]] = values[i]`.
+///
+/// Panics if lengths differ or any index is out of bounds. Indices must be
+/// unique; duplicate targets are a data race and are rejected in debug builds
+/// by a uniqueness check.
+pub fn scatter<T>(backend: &dyn Backend, values: &[T], indices: &[usize], dst: &mut [T])
+where
+    T: Send + Sync + Clone,
+{
+    assert_eq!(
+        values.len(),
+        indices.len(),
+        "scatter requires one index per value"
+    );
+    for &ix in indices {
+        assert!(ix < dst.len(), "scatter index {ix} out of bounds {}", dst.len());
+    }
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = vec![false; dst.len()];
+        for &ix in indices {
+            assert!(!seen[ix], "scatter received duplicate target index {ix}");
+            seen[ix] = true;
+        }
+    }
+    let ptr = SendPtr(dst.as_mut_ptr());
+    backend.dispatch(values.len(), DEFAULT_GRAIN, &|r| {
+        for i in r {
+            // SAFETY: indices are unique and in bounds (checked above), so
+            // writes are disjoint even across threads.
+            unsafe { ptr.write(indices[i], values[i].clone()) };
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn iota_basic() {
+        let t = Threaded::new(4);
+        let v = iota(&t, 5000, 3);
+        assert_eq!(v[0], 3);
+        assert_eq!(v[4999], 5002);
+    }
+
+    #[test]
+    fn gather_reverses() {
+        let t = Threaded::new(4);
+        let src: Vec<u32> = (0..1000).collect();
+        let idx: Vec<usize> = (0..1000).rev().collect();
+        let out = gather(&t, &src, &idx);
+        assert_eq!(out[0], 999);
+        assert_eq!(out[999], 0);
+    }
+
+    #[test]
+    fn scatter_permutes() {
+        let t = Threaded::new(4);
+        let values: Vec<u32> = (0..1000).collect();
+        let indices: Vec<usize> = (0..1000).map(|i| (i * 7) % 1000).collect(); // 7 coprime to 1000
+        let mut dst = vec![0u32; 1000];
+        scatter(&t, &values, &indices, &mut dst);
+        for i in 0..1000 {
+            assert_eq!(dst[(i * 7) % 1000], i as u32);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_roundtrip() {
+        let src: Vec<u64> = (0..257).map(|i| i * 3).collect();
+        let perm: Vec<usize> = (0..257).map(|i| (i * 100) % 257).collect();
+        let gathered = gather(&Serial, &src, &perm);
+        let mut back = vec![0u64; 257];
+        scatter(&Serial, &gathered, &perm, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scatter_oob_panics() {
+        let mut dst = vec![0u8; 2];
+        scatter(&Serial, &[1u8], &[5], &mut dst);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scatter_duplicate_index_panics_in_debug() {
+        if !cfg!(debug_assertions) {
+            panic!("skip: release build has no duplicate check");
+        }
+        let mut dst = vec![0u8; 4];
+        scatter(&Serial, &[1u8, 2u8], &[1, 1], &mut dst);
+    }
+}

@@ -1,0 +1,90 @@
+//! Parallel histograms (per-chunk local bins merged at the end).
+
+use crate::backend::{Backend, DEFAULT_GRAIN};
+use parking_lot::Mutex;
+
+/// Histogram of `values` into `nbins` equal-width bins over `[lo, hi)`.
+///
+/// Values outside the range are clamped into the first/last bin, matching the
+/// convention used for the paper's Figure 4 (every node lands in some bin).
+/// Returns a vector of counts of length `nbins`.
+pub fn histogram(
+    backend: &dyn Backend,
+    values: &[f64],
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+) -> Vec<u64> {
+    assert!(nbins > 0, "histogram needs at least one bin");
+    assert!(hi > lo, "histogram range must be non-empty");
+    let width = (hi - lo) / nbins as f64;
+    let global: Mutex<Vec<u64>> = Mutex::new(vec![0; nbins]);
+    backend.dispatch(values.len(), DEFAULT_GRAIN, &|r| {
+        let mut local = vec![0u64; nbins];
+        for &v in &values[r] {
+            let b = ((v - lo) / width).floor();
+            let b = if b < 0.0 {
+                0
+            } else if b as usize >= nbins {
+                nbins - 1
+            } else {
+                b as usize
+            };
+            local[b] += 1;
+        }
+        let mut g = global.lock();
+        for (gb, lb) in g.iter_mut().zip(&local) {
+            *gb += lb;
+        }
+    });
+    global.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn uniform_values_spread_evenly() {
+        let t = Threaded::new(4);
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64 / 10_000.0).collect();
+        let h = histogram(&t, &v, 0.0, 1.0, 10);
+        assert_eq!(h.iter().sum::<u64>(), 10_000);
+        for c in &h {
+            // Bin-edge floating point may move a value by one bin.
+            assert!((*c as i64 - 1000).abs() <= 1, "bin count {c}");
+        }
+    }
+
+    #[test]
+    fn backends_agree() {
+        let v: Vec<f64> = (0..5000).map(|i| ((i * 37) % 101) as f64).collect();
+        let t = Threaded::new(4);
+        assert_eq!(
+            histogram(&Serial, &v, 0.0, 101.0, 7),
+            histogram(&t, &v, 0.0, 101.0, 7)
+        );
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let v = vec![-5.0, 0.25, 99.0];
+        let h = histogram(&Serial, &v, 0.0, 1.0, 2);
+        // -5.0 clamps into bin 0, 0.25 is in bin 0, 99.0 clamps into bin 1.
+        assert_eq!(h, vec![2, 1]);
+    }
+
+    #[test]
+    fn total_count_preserved() {
+        let v: Vec<f64> = (0..777).map(|i| (i as f64).cos() * 10.0).collect();
+        let h = histogram(&Serial, &v, -1.0, 1.0, 13);
+        assert_eq!(h.iter().sum::<u64>(), 777);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        histogram(&Serial, &[1.0], 0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Parallel argmin/argmax and extrema by key.
+//!
+//! These are the primitives behind the most-bound-particle center finder: the
+//! particle with the minimum potential is `argmin_by(potentials)`.
+
+use crate::backend::{Backend, DEFAULT_GRAIN};
+use parking_lot::Mutex;
+
+/// Index of the minimum element under `key`. Ties resolve to the smallest
+/// index (deterministic across backends). Returns `None` on empty input.
+pub fn argmin_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    let best: Mutex<Option<(usize, K)>> = Mutex::new(None);
+    backend.dispatch(input.len(), DEFAULT_GRAIN, &|r| {
+        let mut local: Option<(usize, K)> = None;
+        for i in r {
+            let k = key(&input[i]);
+            let better = match &local {
+                None => true,
+                Some((bi, bk)) => k < *bk || (k == *bk && i < *bi),
+            };
+            if better {
+                local = Some((i, k));
+            }
+        }
+        if let Some((i, k)) = local {
+            let mut g = best.lock();
+            let better = match &*g {
+                None => true,
+                Some((bi, bk)) => k < *bk || (k == *bk && i < *bi),
+            };
+            if better {
+                *g = Some((i, k));
+            }
+        }
+    });
+    best.into_inner().map(|(i, _)| i)
+}
+
+/// Index of the maximum element under `key`. Ties resolve to the smallest index.
+pub fn argmax_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    argmin_by(backend, input, |x| Reverse(key(x)))
+}
+
+/// Minimum key value, or `None` if empty.
+pub fn min_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<K>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    argmin_by(backend, input, &key).map(|i| key(&input[i]))
+}
+
+/// Maximum key value, or `None` if empty.
+pub fn max_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<K>
+where
+    T: Sync,
+    K: PartialOrd + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    argmax_by(backend, input, &key).map(|i| key(&input[i]))
+}
+
+/// Order-reversing wrapper for `PartialOrd` keys (like `std::cmp::Reverse`,
+/// but for partially ordered keys such as floats).
+struct Reverse<K>(K);
+
+impl<K: PartialOrd> PartialEq for Reverse<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl<K: PartialOrd> PartialOrd for Reverse<K> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        other.0.partial_cmp(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn argmin_finds_global_minimum() {
+        let t = Threaded::new(4);
+        let v: Vec<f64> = (0..100_000)
+            .map(|i| ((i as f64) * 0.37).sin() + (i as f64 - 61_234.0).abs() * 1e-6)
+            .collect();
+        let s = argmin_by(&Serial, &v, |x| *x).unwrap();
+        let p = argmin_by(&t, &v, |x| *x).unwrap();
+        assert_eq!(s, p);
+        for x in &v {
+            assert!(v[s] <= *x);
+        }
+    }
+
+    #[test]
+    fn ties_resolve_to_first_index() {
+        let t = Threaded::new(4);
+        let v = vec![5, 1, 3, 1, 1, 9];
+        assert_eq!(argmin_by(&Serial, &v, |x| *x), Some(1));
+        assert_eq!(argmin_by(&t, &v, |x| *x), Some(1));
+        assert_eq!(argmax_by(&Serial, &v, |x| *x), Some(5));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(argmin_by(&Serial, &[] as &[u8], |x| *x), None);
+        assert_eq!(max_by(&Serial, &[] as &[u8], |x| *x), None);
+    }
+
+    #[test]
+    fn min_max_values() {
+        let t = Threaded::new(3);
+        let v: Vec<i64> = (0..10_000).map(|i| (i * 31) % 997 - 500).collect();
+        assert_eq!(min_by(&t, &v, |x| *x), v.iter().copied().min());
+        assert_eq!(max_by(&t, &v, |x| *x), v.iter().copied().max());
+    }
+
+    #[test]
+    fn argmax_ties_resolve_first() {
+        let v = vec![2, 7, 7, 7, 1];
+        assert_eq!(argmax_by(&Serial, &v, |x| *x), Some(1));
+        let t = Threaded::new(4);
+        assert_eq!(argmax_by(&t, &v, |x| *x), Some(1));
+    }
+}

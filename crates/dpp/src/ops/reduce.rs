@@ -1,0 +1,87 @@
+//! Parallel reductions.
+
+use crate::backend::{Backend, DEFAULT_GRAIN};
+use parking_lot::Mutex;
+
+/// Reduce `input` with an associative operator `op` and identity `identity`.
+///
+/// The operator must be associative; the chunk combination order is
+/// deterministic for a given backend and grain (partials are combined in
+/// chunk order), so floating-point results are reproducible run-to-run.
+pub fn reduce<T, F>(backend: &dyn Backend, input: &[T], identity: T, op: F) -> T
+where
+    T: Send + Sync + Clone,
+    F: Fn(T, &T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return identity;
+    }
+    let grain = DEFAULT_GRAIN;
+    let partials: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::new());
+    backend.dispatch(n, grain, &|r| {
+        let mut acc = identity.clone();
+        for x in &input[r.clone()] {
+            acc = op(acc, x);
+        }
+        partials.lock().push((r.start, acc));
+    });
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|(start, _)| *start);
+    let mut acc = identity;
+    for (_, p) in &partials {
+        acc = op(acc, p);
+    }
+    acc
+}
+
+/// Sum of `f64` values (deterministic chunked summation).
+pub fn sum_f64(backend: &dyn Backend, input: &[f64]) -> f64 {
+    reduce(backend, input, 0.0, |a, b| a + *b)
+}
+
+/// Sum of `u64` values.
+pub fn sum_u64(backend: &dyn Backend, input: &[u64]) -> u64 {
+    reduce(backend, input, 0, |a, b| a + *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn sums_match_std() {
+        let t = Threaded::new(4);
+        let v: Vec<u64> = (0..100_000).collect();
+        let expect: u64 = v.iter().sum();
+        assert_eq!(sum_u64(&Serial, &v), expect);
+        assert_eq!(sum_u64(&t, &v), expect);
+    }
+
+    #[test]
+    fn reduce_empty_returns_identity() {
+        assert_eq!(reduce(&Serial, &[] as &[u64], 42, |a, b| a + *b), 42);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let t = Threaded::new(4);
+        let v: Vec<i64> = (0..9999).map(|i| (i * 2654435761u64 as i64) % 10007).collect();
+        let expect = *v.iter().max().unwrap();
+        let got = reduce(&t, &v, i64::MIN, |a, b| a.max(*b));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn f64_sum_deterministic_per_backend() {
+        let t = Threaded::new(4);
+        let v: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let a = sum_f64(&t, &v);
+        let b = sum_f64(&t, &v);
+        assert_eq!(a, b, "same backend must give bitwise-identical sums");
+        // And serial agrees to high precision.
+        let s = sum_f64(&Serial, &v);
+        assert!((a - s).abs() < 1e-9 * s.abs().max(1.0));
+    }
+}

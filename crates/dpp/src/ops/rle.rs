@@ -1,0 +1,143 @@
+//! Run-length primitives: `unique`, `run_length_encode`, and
+//! `reduce_by_key` — the remaining Thrust staples the halo pipeline leans on
+//! conceptually (e.g. halo sizes = run lengths of a sorted label array).
+
+use crate::backend::Backend;
+use parking_lot::Mutex;
+
+/// Deduplicate *consecutive* equal elements (Thrust `unique`): for sorted
+/// input this yields the distinct values in order.
+pub fn unique<T>(backend: &dyn Backend, input: &[T]) -> Vec<T>
+where
+    T: Send + Sync + Clone + PartialEq,
+{
+    run_length_encode(backend, input)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// Run-length encode consecutive equal elements: `(value, run_length)` in
+/// order of appearance.
+pub fn run_length_encode<T>(backend: &dyn Backend, input: &[T]) -> Vec<(T, usize)>
+where
+    T: Send + Sync + Clone + PartialEq,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Per-chunk local RLE, then merge boundary runs in chunk order.
+    type ChunkRuns<T> = Vec<(usize, Vec<(T, usize)>)>;
+    let partials: Mutex<ChunkRuns<T>> = Mutex::new(Vec::new());
+    backend.dispatch(n, crate::backend::DEFAULT_GRAIN, &|r| {
+        let mut runs: Vec<(T, usize)> = Vec::new();
+        for x in &input[r.clone()] {
+            match runs.last_mut() {
+                Some((v, c)) if v == x => *c += 1,
+                _ => runs.push((x.clone(), 1)),
+            }
+        }
+        partials.lock().push((r.start, runs));
+    });
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|(s, _)| *s);
+    let mut out: Vec<(T, usize)> = Vec::new();
+    for (_, runs) in partials {
+        for (v, c) in runs {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+    }
+    out
+}
+
+/// Reduce `values` grouped by consecutive equal `keys` (Thrust
+/// `reduce_by_key`). Thin, allocation-friendly wrapper over
+/// [`crate::ops::segmented_reduce`] with the same grouped-keys contract.
+pub fn reduce_by_key<K, V, F>(
+    backend: &dyn Backend,
+    keys: &[K],
+    values: &[V],
+    identity: V,
+    op: F,
+) -> (Vec<K>, Vec<V>)
+where
+    K: Send + Sync + Clone + PartialEq,
+    V: Send + Sync + Clone,
+    F: Fn(&V, &V) -> V + Sync,
+{
+    crate::ops::segmented_reduce(backend, keys, values, identity, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn rle_basic() {
+        let v = [1u8, 1, 1, 2, 2, 3, 1, 1];
+        let got = run_length_encode(&Serial, &v);
+        assert_eq!(got, vec![(1, 3), (2, 2), (3, 1), (1, 2)]);
+        assert_eq!(unique(&Serial, &v), vec![1, 2, 3, 1]);
+    }
+
+    #[test]
+    fn rle_merges_runs_across_chunk_boundaries() {
+        let t = Threaded::new(4);
+        // One value spanning many chunks must come back as a single run.
+        let mut v = vec![7u32; 5000];
+        v.extend(vec![9u32; 3000]);
+        let got = run_length_encode(&t, &v);
+        assert_eq!(got, vec![(7, 5000), (9, 3000)]);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let t = Threaded::new(4);
+        let v: Vec<u32> = (0..20_000).map(|i| (i / 37) as u32 % 11).collect();
+        assert_eq!(run_length_encode(&Serial, &v), run_length_encode(&t, &v));
+    }
+
+    #[test]
+    fn run_lengths_sum_to_input_length() {
+        let t = Threaded::new(3);
+        let v: Vec<u16> = (0..9999).map(|i| (i % 123 / 7) as u16).collect();
+        let total: usize = run_length_encode(&t, &v).iter().map(|(_, c)| c).sum();
+        assert_eq!(total, v.len());
+    }
+
+    #[test]
+    fn sorted_labels_give_halo_sizes() {
+        // The halo use case: sorted group labels → (label, member count).
+        let t = Threaded::new(4);
+        let mut labels: Vec<u32> = Vec::new();
+        for (label, size) in [(0u32, 400usize), (1, 25), (2, 31_000), (3, 40)] {
+            labels.extend(std::iter::repeat_n(label, size));
+        }
+        let sizes = run_length_encode(&t, &labels);
+        assert_eq!(
+            sizes,
+            vec![(0, 400), (1, 25), (2, 31_000), (3, 40)]
+        );
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let t = Threaded::new(4);
+        let keys = [1u8, 1, 2, 2, 2, 5];
+        let vals = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (k, v) = reduce_by_key(&t, &keys, &vals, 0.0, |a, b| a + b);
+        assert_eq!(k, vec![1, 2, 5]);
+        assert_eq!(v, vec![3.0, 12.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(run_length_encode(&Serial, &[] as &[u8]).is_empty());
+        assert!(unique(&Serial, &[] as &[u8]).is_empty());
+    }
+}

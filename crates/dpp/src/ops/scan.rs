@@ -1,0 +1,155 @@
+//! Blocked parallel prefix sums (scans).
+//!
+//! Classic two-pass algorithm: (1) reduce each block in parallel, (2) scan the
+//! block sums serially, (3) re-scan each block in parallel seeded with its
+//! block offset. Results are identical on every backend because the block
+//! decomposition depends only on `n`.
+
+use crate::backend::{par_init, Backend, SendPtr, DEFAULT_GRAIN};
+
+fn block_size(n: usize) -> usize {
+    DEFAULT_GRAIN.max(n / 256).max(1)
+}
+
+/// Exclusive scan: `out[i] = identity ⊕ input[0] ⊕ … ⊕ input[i-1]`.
+pub fn exclusive_scan<T, F>(backend: &dyn Backend, input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(backend, input, identity, op, false)
+}
+
+/// Inclusive scan: `out[i] = input[0] ⊕ … ⊕ input[i]`.
+pub fn inclusive_scan<T, F>(backend: &dyn Backend, input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    scan_impl(backend, input, identity, op, true)
+}
+
+fn scan_impl<T, F>(
+    backend: &dyn Backend,
+    input: &[T],
+    identity: T,
+    op: F,
+    inclusive: bool,
+) -> Vec<T>
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = input.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let bs = block_size(n);
+    let nblocks = n.div_ceil(bs);
+
+    // Pass 1: per-block reductions (parallel over blocks).
+    let block_sums: Vec<T> = par_init(backend, nblocks, 1, |b| {
+        let lo = b * bs;
+        let hi = (lo + bs).min(n);
+        let mut acc = identity.clone();
+        for x in &input[lo..hi] {
+            acc = op(&acc, x);
+        }
+        acc
+    });
+
+    // Pass 2: serial exclusive scan of block sums.
+    let mut offsets = Vec::with_capacity(nblocks);
+    let mut acc = identity.clone();
+    for s in &block_sums {
+        offsets.push(acc.clone());
+        acc = op(&acc, s);
+    }
+
+    // Pass 3: per-block scan seeded with the block offset (parallel).
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let ptr = SendPtr(out.as_mut_ptr());
+    backend.dispatch(nblocks, 1, &|blocks| {
+        for b in blocks {
+            let lo = b * bs;
+            let hi = (lo + bs).min(n);
+            let mut acc = offsets[b].clone();
+            for i in lo..hi {
+                if inclusive {
+                    acc = op(&acc, &input[i]);
+                    // SAFETY: blocks are disjoint, i < n <= capacity.
+                    unsafe { ptr.write(i, acc.clone()) };
+                } else {
+                    unsafe { ptr.write(i, acc.clone()) };
+                    acc = op(&acc, &input[i]);
+                }
+            }
+        }
+    });
+    // SAFETY: every index written exactly once.
+    unsafe { out.set_len(n) };
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    fn serial_exclusive(v: &[u64]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0u64;
+        for x in v {
+            out.push(acc);
+            acc += x;
+        }
+        out
+    }
+
+    #[test]
+    fn exclusive_matches_reference() {
+        let t = Threaded::new(4);
+        let v: Vec<u64> = (0..30_000).map(|i| i % 17).collect();
+        let expect = serial_exclusive(&v);
+        assert_eq!(exclusive_scan(&Serial, &v, 0, |a, b| a + b), expect);
+        assert_eq!(exclusive_scan(&t, &v, 0, |a, b| a + b), expect);
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_shifted() {
+        let t = Threaded::new(4);
+        let v: Vec<u64> = (1..=10_000).collect();
+        let inc = inclusive_scan(&t, &v, 0, |a, b| a + b);
+        let exc = exclusive_scan(&t, &v, 0, |a, b| a + b);
+        for i in 0..v.len() {
+            assert_eq!(inc[i], exc[i] + v[i]);
+        }
+        assert_eq!(*inc.last().unwrap(), v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn empty_scan() {
+        let out = exclusive_scan(&Serial, &[] as &[u64], 0, |a, b| a + b);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(exclusive_scan(&Serial, &[5u64], 0, |a, b| a + b), vec![0]);
+        assert_eq!(inclusive_scan(&Serial, &[5u64], 0, |a, b| a + b), vec![5]);
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let t = Threaded::new(4);
+        let v: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        let inc = inclusive_scan(&t, &v, i64::MIN, |a, b| *a.max(b));
+        let mut expect = Vec::new();
+        let mut m = i64::MIN;
+        for x in &v {
+            m = m.max(*x);
+            expect.push(m);
+        }
+        assert_eq!(inc, expect);
+    }
+}

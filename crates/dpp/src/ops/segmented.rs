@@ -1,0 +1,142 @@
+//! Segmented (key-grouped) reductions over key-sorted sequences.
+//!
+//! Used to reduce per-halo quantities out of a particle array sorted by halo
+//! tag (e.g. halo particle counts, centers of mass).
+
+use crate::backend::{Backend, DEFAULT_GRAIN};
+use parking_lot::Mutex;
+
+/// Reduce `values` grouped by equal consecutive `keys`.
+///
+/// `keys` must be sorted (all equal keys adjacent); panics otherwise in debug
+/// builds. Returns `(unique_keys, reduced_values)` in key order of first
+/// appearance.
+pub fn segmented_reduce<K, V, F>(
+    backend: &dyn Backend,
+    keys: &[K],
+    values: &[V],
+    identity: V,
+    op: F,
+) -> (Vec<K>, Vec<V>)
+where
+    K: Send + Sync + Clone + PartialEq,
+    V: Send + Sync + Clone,
+    F: Fn(&V, &V) -> V + Sync,
+{
+    assert_eq!(keys.len(), values.len(), "segmented_reduce length mismatch");
+    let n = keys.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    #[cfg(debug_assertions)]
+    {
+        // Grouped check: every key run must be contiguous.
+        let mut seen: Vec<&K> = Vec::new();
+        for i in 0..n {
+            if i == 0 || keys[i] != keys[i - 1] {
+                assert!(
+                    !seen.contains(&&keys[i]),
+                    "segmented_reduce requires grouped keys"
+                );
+                seen.push(&keys[i]);
+            }
+        }
+    }
+
+    // Each chunk reduces its own runs; boundary runs are merged serially.
+    type ChunkOut<K, V> = Vec<(usize, Vec<(K, V)>)>;
+    let partials: Mutex<ChunkOut<K, V>> = Mutex::new(Vec::new());
+    backend.dispatch(n, DEFAULT_GRAIN, &|r| {
+        let mut runs: Vec<(K, V)> = Vec::new();
+        for i in r.clone() {
+            if runs.is_empty() || keys[i] != runs.last().unwrap().0 {
+                runs.push((keys[i].clone(), op(&identity, &values[i])));
+            } else {
+                let last = runs.last_mut().unwrap();
+                last.1 = op(&last.1, &values[i]);
+            }
+        }
+        partials.lock().push((r.start, runs));
+    });
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|(s, _)| *s);
+
+    let mut out_keys: Vec<K> = Vec::new();
+    let mut out_vals: Vec<V> = Vec::new();
+    for (_, runs) in partials {
+        for (k, v) in runs {
+            if out_keys.last() == Some(&k) {
+                let last = out_vals.last_mut().unwrap();
+                *last = op(last, &v);
+            } else {
+                out_keys.push(k);
+                out_vals.push(v);
+            }
+        }
+    }
+    (out_keys, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    #[test]
+    fn sums_per_key() {
+        let t = Threaded::new(4);
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        for k in 0..100u32 {
+            for v in 0..(k as u64 % 7 + 1) {
+                keys.push(k);
+                vals.push(v + 1);
+            }
+        }
+        let (uk, uv) = segmented_reduce(&t, &keys, &vals, 0u64, |a, b| a + b);
+        assert_eq!(uk.len(), 100);
+        for (i, k) in uk.iter().enumerate() {
+            let m = *k as u64 % 7 + 1;
+            assert_eq!(uv[i], m * (m + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_runs_straddling_chunks() {
+        let t = Threaded::new(4);
+        // One giant run then many tiny runs, sized to cross chunk boundaries.
+        let mut keys = vec![0u32; 3000];
+        keys.extend((1..2000u32).flat_map(|k| vec![k; 3]));
+        let vals: Vec<u64> = (0..keys.len() as u64).collect();
+        let a = segmented_reduce(&Serial, &keys, &vals, 0, |x, y| x + y);
+        let b = segmented_reduce(&t, &keys, &vals, 0, |x, y| x + y);
+        assert_eq!(a, b);
+        assert_eq!(a.1[0], (0..3000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let (k, v) = segmented_reduce(&Serial, &[] as &[u32], &[] as &[u64], 0, |a, b| a + b);
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn counts_via_unit_values() {
+        let keys = vec![1u8, 1, 1, 2, 3, 3];
+        let ones = vec![1u64; keys.len()];
+        let (uk, uv) = segmented_reduce(&Serial, &keys, &ones, 0, |a, b| a + b);
+        assert_eq!(uk, vec![1, 2, 3]);
+        assert_eq!(uv, vec![3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped keys")]
+    fn ungrouped_keys_panic_in_debug() {
+        if !cfg!(debug_assertions) {
+            panic!("skip: grouped keys");
+        }
+        let keys = vec![1u8, 2, 1];
+        let vals = vec![1u64, 1, 1];
+        segmented_reduce(&Serial, &keys, &vals, 0, |a, b| a + b);
+    }
+}

@@ -1,0 +1,200 @@
+//! Parallel stable merge sort.
+//!
+//! Strategy: split into `~2×concurrency` runs, sort each run in parallel with
+//! the standard library's stable sort, then merge runs pairwise; during each
+//! merge round the independent merges execute in parallel.
+
+use crate::backend::{Backend, SendPtr};
+use std::cmp::Ordering;
+
+/// Sort `data` stably by the comparator, in parallel.
+pub fn par_sort_by<T, F>(backend: &dyn Backend, data: &mut [T], cmp: F)
+where
+    T: Send + Sync + Clone,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    let lanes = backend.concurrency().max(1) * 2;
+    let run = n.div_ceil(lanes).max(1024.min(n));
+    // Boundaries of the initial sorted runs.
+    let mut bounds: Vec<usize> = (0..n).step_by(run).collect();
+    bounds.push(n);
+
+    // Sort each run in parallel.
+    {
+        let ptr = SendPtr(data.as_mut_ptr());
+        let nb = bounds.len() - 1;
+        let bref = &bounds;
+        backend.dispatch(nb, 1, &|r| {
+            for b in r {
+                let (lo, hi) = (bref[b], bref[b + 1]);
+                // SAFETY: run ranges are disjoint and in bounds.
+                let s = unsafe { ptr.slice_mut(lo, hi - lo) };
+                s.sort_by(&cmp);
+            }
+        });
+    }
+
+    // Merge rounds.
+    let mut buf: Vec<T> = data.to_vec();
+    let mut src_is_data = true;
+    while bounds.len() > 2 {
+        let pairs = (bounds.len() - 1) / 2;
+        {
+            // Merge from src into dst.
+            let (src, dst): (&[T], &mut [T]) = if src_is_data {
+                (unsafe { std::slice::from_raw_parts(data.as_ptr(), n) }, &mut buf)
+            } else {
+                (unsafe { std::slice::from_raw_parts(buf.as_ptr(), n) }, data)
+            };
+            let dptr = SendPtr(dst.as_mut_ptr());
+            let bref = &bounds;
+            backend.dispatch(pairs, 1, &|r| {
+                for p in r {
+                    let lo = bref[2 * p];
+                    let mid = bref[2 * p + 1];
+                    let hi = bref[2 * p + 2];
+                    merge_into(&src[lo..mid], &src[mid..hi], &dptr, lo, &cmp);
+                }
+            });
+            // Odd trailing run: copy through unchanged.
+            if bounds.len().is_multiple_of(2) {
+                let lo = bounds[bounds.len() - 2];
+                let hi = n;
+                for i in lo..hi {
+                    // SAFETY: exclusive tail range.
+                    unsafe { dptr.write(i, src[i].clone()) };
+                }
+            }
+        }
+        src_is_data = !src_is_data;
+        // Collapse bounds pairwise.
+        let mut nb = Vec::with_capacity(bounds.len() / 2 + 1);
+        let mut i = 0;
+        while i < bounds.len() {
+            nb.push(bounds[i]);
+            i += 2;
+        }
+        if *nb.last().unwrap() != n {
+            nb.push(n);
+        }
+        bounds = nb;
+    }
+    if !src_is_data {
+        data.clone_from_slice(&buf);
+    }
+}
+
+fn merge_into<T, F>(a: &[T], b: &[T], dst: &SendPtr<T>, offset: usize, cmp: &F)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j, mut w) = (0, 0, offset);
+    while i < a.len() && j < b.len() {
+        // `<=` keeps the merge stable (left run wins ties).
+        let take_a = cmp(&a[i], &b[j]) != Ordering::Greater;
+        // SAFETY: each output index in [offset, offset+|a|+|b|) written once;
+        // pair output ranges are disjoint.
+        if take_a {
+            unsafe { dst.write(w, a[i].clone()) };
+            i += 1;
+        } else {
+            unsafe { dst.write(w, b[j].clone()) };
+            j += 1;
+        }
+        w += 1;
+    }
+    for x in &a[i..] {
+        unsafe { dst.write(w, x.clone()) };
+        w += 1;
+    }
+    for x in &b[j..] {
+        unsafe { dst.write(w, x.clone()) };
+        w += 1;
+    }
+}
+
+/// Sort stably by a key extractor.
+pub fn par_sort_by_key<T, K, F>(backend: &dyn Backend, data: &mut [T], key: F)
+where
+    T: Send + Sync + Clone,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sort_by(backend, data, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Check sortedness under a comparator.
+pub fn is_sorted_by<T, F>(data: &[T], cmp: F) -> bool
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    data.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Serial, Threaded};
+
+    fn scrambled(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 100_003).collect()
+    }
+
+    #[test]
+    fn sorts_match_std() {
+        let t = Threaded::new(4);
+        for n in [0, 1, 2, 3, 100, 1023, 1024, 1025, 50_000] {
+            let orig = scrambled(n);
+            let mut expect = orig.clone();
+            expect.sort();
+            let mut a = orig.clone();
+            par_sort_by(&Serial, &mut a, |x, y| x.cmp(y));
+            assert_eq!(a, expect, "serial n={n}");
+            let mut b = orig.clone();
+            par_sort_by(&t, &mut b, |x, y| x.cmp(y));
+            assert_eq!(b, expect, "threaded n={n}");
+        }
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let t = Threaded::new(4);
+        // Pairs (key, original position); stability preserves position order
+        // within equal keys.
+        let mut v: Vec<(u32, usize)> = (0..40_000).map(|i| ((i % 7) as u32, i)).collect();
+        // Scramble deterministically first.
+        v.sort_by_key(|&(_, i)| (i * 48_271) % 40_009);
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k); // std stable sort
+        par_sort_by_key(&t, &mut v, |&(k, _)| k);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sort_by_key_descending() {
+        let t = Threaded::new(4);
+        let mut v = scrambled(9999);
+        par_sort_by(&t, &mut v, |a, b| b.cmp(a));
+        assert!(is_sorted_by(&v, |a, b| b.cmp(a)));
+    }
+
+    #[test]
+    fn is_sorted_detects_unsorted() {
+        assert!(is_sorted_by(&[1, 2, 2, 3], |a, b| a.cmp(b)));
+        assert!(!is_sorted_by(&[1, 3, 2], |a, b| a.cmp(b)));
+        assert!(is_sorted_by(&[] as &[u8], |a, b| a.cmp(b)));
+    }
+
+    #[test]
+    fn float_sort_with_total_order() {
+        let t = Threaded::new(4);
+        let mut v: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1009) as f64 - 500.0).collect();
+        par_sort_by(&t, &mut v, |a, b| a.total_cmp(b));
+        assert!(is_sorted_by(&v, |a, b| a.total_cmp(b)));
+    }
+}

@@ -1,0 +1,203 @@
+//! A small work-distributing thread pool built on `crossbeam::thread::scope`.
+//!
+//! The pool executes *parallel-for* style dispatches: a half-open index range
+//! `0..n` is cut into chunks of at least `grain` elements, and worker threads
+//! pull chunk indices from a shared atomic counter (dynamic self-scheduling,
+//! which tolerates the load imbalance that this project studies).
+//!
+//! Threads are spawned per dispatch and joined before the dispatch returns, so
+//! borrowed data may safely flow into the closures (the same guarantee
+//! `crossbeam`'s scoped threads provide). For the problem sizes this library
+//! targets, dispatch setup cost is negligible next to chunk work.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Dynamic-scheduling parallel-for executor.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl ThreadPool {
+    /// Create a pool that will use up to `workers` OS threads per dispatch.
+    ///
+    /// `workers == 0` is clamped to 1.
+    pub fn new(workers: usize) -> Self {
+        ThreadPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Create a pool sized to the machine's available hardware parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        ThreadPool::new(n)
+    }
+
+    /// Number of worker threads used per dispatch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f` over every chunk of `0..n`, where each chunk holds at least
+    /// `grain` indices (the final chunk may be shorter). Chunks are handed to
+    /// worker threads dynamically. Returns once every chunk has completed.
+    pub fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let chunks = n.div_ceil(grain);
+        let threads = self.workers.min(chunks);
+        if threads <= 1 {
+            // Serial fast path: no spawn cost, identical chunk traversal order.
+            for c in 0..chunks {
+                let lo = c * grain;
+                let hi = (lo + grain).min(n);
+                f(lo..hi);
+            }
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= chunks {
+                        break;
+                    }
+                    let lo = c * grain;
+                    let hi = (lo + grain).min(n);
+                    f(lo..hi);
+                });
+            }
+        })
+        .expect("dpp worker thread panicked");
+    }
+
+    /// Run `tasks` closures concurrently (task parallelism). Each closure is
+    /// executed exactly once; up to `self.workers` run at any moment.
+    pub fn run_tasks<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
+        let n = tasks.len();
+        if n == 0 {
+            return;
+        }
+        if self.workers == 1 || n == 1 {
+            for t in tasks {
+                t();
+            }
+            return;
+        }
+        // Wrap in per-slot mutexes so workers can claim tasks by index.
+        type Slot<'a> = parking_lot::Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
+        let slots: Vec<Slot<'a>> =
+            tasks.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
+        let next = AtomicUsize::new(0);
+        let threads = self.workers.min(n);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let task = slots[i].lock().take();
+                    if let Some(task) = task {
+                        task();
+                    }
+                });
+            }
+        })
+        .expect("dpp task thread panicked");
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        ThreadPool::with_available_parallelism()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn dispatch_covers_every_index_exactly_once() {
+        let pool = ThreadPool::new(4);
+        let n = 10_007; // deliberately not a multiple of the grain
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.dispatch(n, 64, &|r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dispatch_empty_range_is_noop() {
+        let pool = ThreadPool::new(4);
+        let called = AtomicUsize::new(0);
+        pool.dispatch(0, 16, &|_| {
+            called.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(called.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_grain_is_clamped() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicU64::new(0);
+        pool.dispatch(5, 0, &|r| {
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let sum = AtomicU64::new(0);
+        pool.dispatch(100, 10, &|r| {
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn run_tasks_executes_each_once() {
+        let pool = ThreadPool::new(3);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..17)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        pool.run_tasks(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn run_tasks_empty_ok() {
+        ThreadPool::new(2).run_tasks(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn dispatch_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        pool.dispatch(100, 1, &|r| {
+            if r.start == 57 {
+                panic!("boom");
+            }
+        });
+    }
+}

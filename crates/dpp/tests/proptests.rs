@@ -1,0 +1,156 @@
+//! Property-based tests: every primitive must agree with a sequential oracle
+//! and be backend-invariant.
+
+use dpp::{ops, Serial, Threaded};
+use proptest::prelude::*;
+
+fn threaded() -> Threaded {
+    Threaded::new(4)
+}
+
+proptest! {
+    #[test]
+    fn map_matches_iterator(v in proptest::collection::vec(any::<i64>(), 0..3000)) {
+        let expect: Vec<i64> = v.iter().map(|x| x.wrapping_mul(3).wrapping_add(1)).collect();
+        prop_assert_eq!(&ops::map(&Serial, &v, |x| x.wrapping_mul(3).wrapping_add(1)), &expect);
+        prop_assert_eq!(&ops::map(&threaded(), &v, |x| x.wrapping_mul(3).wrapping_add(1)), &expect);
+    }
+
+    #[test]
+    fn reduce_sum_matches(v in proptest::collection::vec(0u64..1_000_000, 0..4000)) {
+        let expect: u64 = v.iter().sum();
+        prop_assert_eq!(ops::sum_u64(&Serial, &v), expect);
+        prop_assert_eq!(ops::sum_u64(&threaded(), &v), expect);
+    }
+
+    #[test]
+    fn exclusive_scan_matches(v in proptest::collection::vec(0u64..1000, 0..3000)) {
+        let mut expect = Vec::with_capacity(v.len());
+        let mut acc = 0u64;
+        for x in &v { expect.push(acc); acc += x; }
+        prop_assert_eq!(&ops::exclusive_scan(&Serial, &v, 0, |a, b| a + b), &expect);
+        prop_assert_eq!(&ops::exclusive_scan(&threaded(), &v, 0, |a, b| a + b), &expect);
+    }
+
+    #[test]
+    fn inclusive_scan_last_equals_sum(v in proptest::collection::vec(0u64..1000, 1..3000)) {
+        let inc = ops::inclusive_scan(&threaded(), &v, 0, |a, b| a + b);
+        prop_assert_eq!(*inc.last().unwrap(), v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn sort_matches_std(v in proptest::collection::vec(any::<i32>(), 0..5000)) {
+        let mut expect = v.clone();
+        expect.sort();
+        let mut got = v.clone();
+        ops::par_sort_by(&threaded(), &mut got, |a, b| a.cmp(b));
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sort_is_stable_under_duplicate_keys(v in proptest::collection::vec(0u8..8, 0..3000)) {
+        let tagged: Vec<(u8, usize)> = v.iter().copied().zip(0..).collect();
+        let mut expect = tagged.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        let mut got = tagged;
+        ops::par_sort_by_key(&threaded(), &mut got, |&(k, _)| k);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn copy_if_matches_filter(v in proptest::collection::vec(any::<u32>(), 0..4000)) {
+        let expect: Vec<u32> = v.iter().copied().filter(|x| x % 5 == 0).collect();
+        prop_assert_eq!(&ops::copy_if(&Serial, &v, |x| x % 5 == 0), &expect);
+        prop_assert_eq!(&ops::copy_if(&threaded(), &v, |x| x % 5 == 0), &expect);
+        prop_assert_eq!(ops::count_if(&threaded(), &v, |x| x % 5 == 0), expect.len());
+    }
+
+    #[test]
+    fn argmin_matches_iterator(v in proptest::collection::vec(any::<i64>(), 0..3000)) {
+        let expect = v
+            .iter()
+            .enumerate()
+            .min_by(|(ia, a), (ib, b)| a.cmp(b).then(ia.cmp(ib)))
+            .map(|(i, _)| i);
+        prop_assert_eq!(ops::argmin_by(&Serial, &v, |x| *x), expect);
+        prop_assert_eq!(ops::argmin_by(&threaded(), &v, |x| *x), expect);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip(n in 1usize..2000, seed in any::<u64>()) {
+        // Build a permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut s = seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let src: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(97)).collect();
+        let gathered = ops::gather(&threaded(), &src, &perm);
+        let mut back = vec![0u64; n];
+        ops::scatter(&threaded(), &gathered, &perm, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    #[test]
+    fn histogram_total_is_input_len(v in proptest::collection::vec(-100.0f64..100.0, 0..3000)) {
+        let h = ops::histogram(&threaded(), &v, -50.0, 50.0, 11);
+        prop_assert_eq!(h.iter().sum::<u64>(), v.len() as u64);
+    }
+
+    #[test]
+    fn segmented_reduce_matches_group_by(
+        runs in proptest::collection::vec((0u16..50, 1usize..6), 0..200)
+    ) {
+        // Build grouped keys where each run has a distinct ascending key.
+        let mut keys = Vec::new();
+        let mut vals = Vec::new();
+        for (i, (_, len)) in runs.iter().enumerate() {
+            for v in 0..*len {
+                keys.push(i as u32);
+                vals.push(v as u64 + 1);
+            }
+        }
+        let (uk, uv) = ops::segmented_reduce(&threaded(), &keys, &vals, 0u64, |a, b| a + b);
+        let (sk, sv) = ops::segmented_reduce(&Serial, &keys, &vals, 0u64, |a, b| a + b);
+        prop_assert_eq!(&uk, &sk);
+        prop_assert_eq!(&uv, &sv);
+        prop_assert_eq!(uk.len(), runs.len());
+        for (i, (_, len)) in runs.iter().enumerate() {
+            let l = *len as u64;
+            prop_assert_eq!(uv[i], l * (l + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_std(v in proptest::collection::vec(any::<u64>(), 0..4000)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut got = v.clone();
+        ops::radix_sort_u64(&threaded(), &mut got);
+        prop_assert_eq!(&got, &expect);
+        let mut got_serial = v;
+        ops::radix_sort_u64(&Serial, &mut got_serial);
+        prop_assert_eq!(got_serial, expect);
+    }
+
+    #[test]
+    fn radix_sort_is_stable(v in proptest::collection::vec(0u64..16, 0..3000)) {
+        let tagged: Vec<(u64, usize)> = v.iter().copied().zip(0..).collect();
+        let mut expect = tagged.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        let mut got = tagged;
+        ops::radix_sort_by_key(&threaded(), &mut got, |&(k, _)| k);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn partition_is_a_partition(v in proptest::collection::vec(any::<i32>(), 0..2000)) {
+        let (yes, no) = ops::partition_indices(&threaded(), &v, |x| *x % 2 == 0);
+        prop_assert_eq!(yes.len() + no.len(), v.len());
+        let mut all: Vec<usize> = yes.iter().chain(no.iter()).copied().collect();
+        all.sort();
+        prop_assert_eq!(all, (0..v.len()).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,283 @@
+//! Separable 3-D FFT over [`Grid3<Complex>`], parallelized line-by-line on a
+//! `dpp` backend (every 1-D line along the active axis is independent).
+
+use crate::complex::Complex;
+use crate::fft1d::{Fft1d, FftError};
+use crate::grid::Grid3;
+use dpp::{Backend, SendPtr};
+
+/// A plan for 3-D transforms of a fixed power-of-two shape.
+#[derive(Debug, Clone)]
+pub struct Fft3d {
+    dims: [usize; 3],
+    plans: [Fft1d; 3],
+}
+
+impl Fft3d {
+    /// Plan transforms for grids of shape `dims` (each a power of two).
+    pub fn new(dims: [usize; 3]) -> Result<Self, FftError> {
+        Ok(Fft3d {
+            dims,
+            plans: [Fft1d::new(dims[0])?, Fft1d::new(dims[1])?, Fft1d::new(dims[2])?],
+        })
+    }
+
+    /// Planned shape.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// In-place forward transform (no normalization).
+    pub fn forward(&self, backend: &dyn Backend, grid: &mut Grid3<Complex>) -> Result<(), FftError> {
+        self.transform(backend, grid, false)
+    }
+
+    /// In-place inverse transform with `1/(nx·ny·nz)` normalization.
+    pub fn inverse(&self, backend: &dyn Backend, grid: &mut Grid3<Complex>) -> Result<(), FftError> {
+        self.transform(backend, grid, true)
+    }
+
+    fn transform(
+        &self,
+        backend: &dyn Backend,
+        grid: &mut Grid3<Complex>,
+        inverse: bool,
+    ) -> Result<(), FftError> {
+        if grid.dims() != self.dims {
+            return Err(FftError::LengthMismatch {
+                expected: self.dims.iter().product(),
+                got: grid.len(),
+            });
+        }
+        for axis in 0..3 {
+            self.transform_axis(backend, grid, axis, inverse)?;
+        }
+        Ok(())
+    }
+
+    /// Transform all lines along `axis`. Lines are independent, so they are
+    /// dispatched in parallel; strided lines are gathered into a scratch
+    /// buffer per line.
+    fn transform_axis(
+        &self,
+        backend: &dyn Backend,
+        grid: &mut Grid3<Complex>,
+        axis: usize,
+        inverse: bool,
+    ) -> Result<(), FftError> {
+        let [nx, ny, nz] = self.dims;
+        let n_axis = self.dims[axis];
+        let plan = &self.plans[axis];
+        let nlines = (nx * ny * nz) / n_axis;
+
+        // For a line identified by the two fixed coordinates, compute the flat
+        // index of its first element and the stride between elements.
+        let (stride, line_start): (usize, Box<dyn Fn(usize) -> usize + Sync>) = match axis {
+            0 => (
+                ny * nz,
+                Box::new(move |l| l), // l = y*nz + z in 0..ny*nz
+            ),
+            1 => (
+                nz,
+                Box::new(move |l| {
+                    let (x, z) = (l / nz, l % nz);
+                    x * ny * nz + z
+                }),
+            ),
+            2 => (1, Box::new(move |l| l * nz)),
+            _ => unreachable!(),
+        };
+
+        let ptr = SendPtr(grid.as_mut_slice().as_mut_ptr());
+        let err = parking_lot::Mutex::new(None::<FftError>);
+        backend.dispatch(nlines, 1, &|lines| {
+            let mut scratch = vec![Complex::ZERO; n_axis];
+            for l in lines {
+                let base = line_start(l);
+                // Gather the (possibly strided) line.
+                for (k, s) in scratch.iter_mut().enumerate() {
+                    // SAFETY: each line's index set {base + k*stride} is
+                    // disjoint across lines of the same axis and in bounds.
+                    *s = unsafe { *ptr.at(base + k * stride) };
+                }
+                let r = if inverse {
+                    plan.inverse(&mut scratch)
+                } else {
+                    plan.forward(&mut scratch)
+                };
+                if let Err(e) = r {
+                    *err.lock() = Some(e);
+                    return;
+                }
+                for (k, s) in scratch.iter().enumerate() {
+                    // SAFETY: as above.
+                    unsafe { ptr.write(base + k * stride, *s) };
+                }
+            }
+        });
+        match err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Forward-transform a real-valued grid (promoted to complex).
+pub fn forward_real(
+    backend: &dyn Backend,
+    real: &Grid3<f64>,
+) -> Result<Grid3<Complex>, FftError> {
+    let plan = Fft3d::new(real.dims())?;
+    let data: Vec<Complex> = real.as_slice().iter().map(|&r| Complex::from_real(r)).collect();
+    let mut grid = Grid3::from_vec(real.dims(), data);
+    plan.forward(backend, &mut grid)?;
+    Ok(grid)
+}
+
+/// Inverse-transform to a real grid, discarding the (numerically tiny)
+/// imaginary residue. Returns the real grid and the max |Im| seen, which
+/// callers may assert on.
+pub fn inverse_to_real(
+    backend: &dyn Backend,
+    grid: &mut Grid3<Complex>,
+) -> Result<(Grid3<f64>, f64), FftError> {
+    let plan = Fft3d::new(grid.dims())?;
+    plan.inverse(backend, grid)?;
+    let mut max_im: f64 = 0.0;
+    let data: Vec<f64> = grid
+        .as_slice()
+        .iter()
+        .map(|z| {
+            max_im = max_im.max(z.im.abs());
+            z.re
+        })
+        .collect();
+    Ok((Grid3::from_vec(grid.dims(), data), max_im))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::{Serial, Threaded};
+
+    fn wave_grid(dims: [usize; 3], k: [usize; 3]) -> Grid3<Complex> {
+        let mut g = Grid3::filled(dims, Complex::ZERO);
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for z in 0..dims[2] {
+                    let phase = 2.0
+                        * std::f64::consts::PI
+                        * (k[0] * x) as f64
+                        / dims[0] as f64
+                        + 2.0 * std::f64::consts::PI * (k[1] * y) as f64 / dims[1] as f64
+                        + 2.0 * std::f64::consts::PI * (k[2] * z) as f64 / dims[2] as f64;
+                    *g.get_mut(x, y, z) = Complex::cis(phase);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn plane_wave_lands_in_single_bin() {
+        let dims = [8, 4, 16];
+        let k = [3, 1, 5];
+        let plan = Fft3d::new(dims).unwrap();
+        let mut g = wave_grid(dims, k);
+        plan.forward(&Serial, &mut g).unwrap();
+        let total = (dims[0] * dims[1] * dims[2]) as f64;
+        for x in 0..dims[0] {
+            for y in 0..dims[1] {
+                for z in 0..dims[2] {
+                    let v = *g.get(x, y, z);
+                    if (x, y, z) == (k[0], k[1], k[2]) {
+                        assert!((v.re - total).abs() < 1e-8, "peak: {v:?}");
+                        assert!(v.im.abs() < 1e-8);
+                    } else {
+                        assert!(v.abs() < 1e-8, "leakage at ({x},{y},{z}): {v:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_threaded_matches_input() {
+        let t = Threaded::new(4);
+        let dims = [16, 16, 16];
+        let plan = Fft3d::new(dims).unwrap();
+        let orig: Vec<Complex> = (0..dims.iter().product::<usize>())
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let mut g = Grid3::from_vec(dims, orig.clone());
+        plan.forward(&t, &mut g).unwrap();
+        plan.inverse(&t, &mut g).unwrap();
+        for (a, b) in g.as_slice().iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn backends_agree() {
+        let t = Threaded::new(4);
+        let dims = [8, 8, 8];
+        let plan = Fft3d::new(dims).unwrap();
+        let orig: Vec<Complex> = (0..512)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let mut a = Grid3::from_vec(dims, orig.clone());
+        let mut b = Grid3::from_vec(dims, orig);
+        plan.forward(&Serial, &mut a).unwrap();
+        plan.forward(&t, &mut b).unwrap();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x.re - y.re).abs() < 1e-12 && (x.im - y.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_helpers_roundtrip() {
+        let t = Threaded::new(2);
+        let dims = [8, 4, 8];
+        let real_data: Vec<f64> = (0..dims.iter().product::<usize>())
+            .map(|i| (i as f64 * 0.13).sin())
+            .collect();
+        let real = Grid3::from_vec(dims, real_data.clone());
+        let mut spec = forward_real(&t, &real).unwrap();
+        let (back, max_im) = inverse_to_real(&t, &mut spec).unwrap();
+        assert!(max_im < 1e-10);
+        for (a, b) in back.as_slice().iter().zip(&real_data) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian() {
+        let dims = [8, 8, 8];
+        let real_data: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 / 50.0 - 1.0).collect();
+        let real = Grid3::from_vec(dims, real_data);
+        let spec = forward_real(&Serial, &real).unwrap();
+        // X(-k) = conj(X(k))
+        for x in 0..8 {
+            for y in 0..8 {
+                for z in 0..8 {
+                    let a = *spec.get(x, y, z);
+                    let b = *spec.get((8 - x) % 8, (8 - y) % 8, (8 - z) % 8);
+                    assert!((a.re - b.re).abs() < 1e-9);
+                    assert!((a.im + b.im).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let plan = Fft3d::new([8, 8, 8]).unwrap();
+        let mut g = Grid3::filled([4, 4, 4], Complex::ZERO);
+        assert!(plan.forward(&Serial, &mut g).is_err());
+    }
+
+    #[test]
+    fn non_pow2_plan_rejected() {
+        assert!(Fft3d::new([6, 8, 8]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! FFT invariants under random inputs.
+
+use fft::{naive_dft, Complex, Fft1d, Fft3d, Grid3};
+use proptest::prelude::*;
+
+fn complex_vec(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    proptest::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(re, im)| Complex::new(re, im)),
+        len,
+    )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_is_identity(exp in 0u32..10, seed in 0u64..1000) {
+        let n = 1usize << exp;
+        let data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = (seed as f64 + i as f64) * 0.618;
+                Complex::new(t.sin() * 10.0, (t * 1.7).cos() * 10.0)
+            })
+            .collect();
+        let plan = Fft1d::new(n).unwrap();
+        let mut x = data.clone();
+        plan.forward(&mut x).unwrap();
+        plan.inverse(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-8);
+            prop_assert!((a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn linearity(v in complex_vec(64), w in complex_vec(64), alpha in -5.0f64..5.0) {
+        let plan = Fft1d::new(64).unwrap();
+        let mut sum: Vec<Complex> = v
+            .iter()
+            .zip(&w)
+            .map(|(a, b)| *a + b.scale(alpha))
+            .collect();
+        plan.forward(&mut sum).unwrap();
+        let mut fv = v;
+        let mut fw = w;
+        plan.forward(&mut fv).unwrap();
+        plan.forward(&mut fw).unwrap();
+        for i in 0..64 {
+            let expect = fv[i] + fw[i].scale(alpha);
+            prop_assert!((sum[i].re - expect.re).abs() < 1e-6);
+            prop_assert!((sum[i].im - expect.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parseval(v in complex_vec(128)) {
+        let plan = Fft1d::new(128).unwrap();
+        let time: f64 = v.iter().map(|z| z.norm_sqr()).sum();
+        let mut x = v;
+        plan.forward(&mut x).unwrap();
+        let freq: f64 = x.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        prop_assert!((time - freq).abs() <= 1e-9 * time.max(1.0));
+    }
+
+    #[test]
+    fn matches_naive_dft_random(v in complex_vec(32)) {
+        let plan = Fft1d::new(32).unwrap();
+        let expect = naive_dft(&v, false);
+        let mut x = v;
+        plan.forward(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&expect) {
+            prop_assert!((a.re - b.re).abs() < 1e-7);
+            prop_assert!((a.im - b.im).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn grid3_roundtrip(seed in 0u64..500) {
+        let dims = [8, 8, 8];
+        let data: Vec<Complex> = (0..512)
+            .map(|i| {
+                let t = seed as f64 * 0.1 + i as f64;
+                Complex::new((t * 0.3).sin(), (t * 0.7).cos())
+            })
+            .collect();
+        let plan = Fft3d::new(dims).unwrap();
+        let mut g = Grid3::from_vec(dims, data.clone());
+        plan.forward(&dpp::Serial, &mut g).unwrap();
+        plan.inverse(&dpp::Serial, &mut g).unwrap();
+        for (a, b) in g.as_slice().iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+}

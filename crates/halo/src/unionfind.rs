@@ -1,0 +1,153 @@
+//! Disjoint-set (union-find) with path halving and union by size.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "union-find limited to u32 indices");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        loop {
+            let p = self.parent[x] as usize;
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p];
+            self.parent[x] = gp;
+            x = gp as usize;
+        }
+    }
+
+    /// Merge the sets containing `a` and `b`; returns the new root.
+    pub fn union(&mut self, a: usize, b: usize) -> usize {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return ra;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        ra
+    }
+
+    /// True if `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Compact group labels: element → group id in `0..ngroups`, groups
+    /// numbered by first appearance.
+    pub fn labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut label_of_root = vec![u32::MAX; n];
+        let mut out = vec![0u32; n];
+        let mut next = 0u32;
+        for i in 0..n {
+            let r = self.find(i);
+            if label_of_root[r] == u32::MAX {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            out[i] = label_of_root[r];
+        }
+        (out, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_disconnected() {
+        let mut uf = UnionFind::new(5);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.set_size(3), 1);
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(4, 5);
+        assert!(uf.connected(0, 2));
+        assert!(uf.connected(5, 4));
+        assert!(!uf.connected(2, 4));
+        assert_eq!(uf.set_size(0), 3);
+        assert_eq!(uf.set_size(4), 2);
+        assert_eq!(uf.set_size(3), 1);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new(3);
+        let r1 = uf.union(0, 1);
+        let r2 = uf.union(1, 0);
+        assert_eq!(r1, r2);
+        assert_eq!(uf.set_size(0), 2);
+    }
+
+    #[test]
+    fn labels_are_compact_and_consistent() {
+        let mut uf = UnionFind::new(7);
+        uf.union(0, 3);
+        uf.union(3, 6);
+        uf.union(1, 2);
+        let (labels, ngroups) = uf.labels();
+        assert_eq!(ngroups, 4); // {0,3,6}, {1,2}, {4}, {5}
+        assert_eq!(labels[0], labels[3]);
+        assert_eq!(labels[3], labels[6]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[4], labels[5]);
+        // Labels are dense 0..ngroups.
+        let mut seen: Vec<u32> = labels.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, (0..ngroups as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chain_unions_form_one_group() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 1..n {
+            uf.union(i - 1, i);
+        }
+        assert_eq!(uf.set_size(0), n);
+        let (_, g) = uf.labels();
+        assert_eq!(g, 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! Checkpoint/restart for the simulation (the paper's data accounting
+//! explicitly excludes "check-point restart files" — HACC writes them; so do
+//! we). The format captures the exact integrator state, so a restored run
+//! continues bit-for-bit identically to an uninterrupted one.
+
+use crate::cosmology::Cosmology;
+use crate::particle::Particle;
+use crate::sim::{SimConfig, Simulation};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"HACCCKPT";
+const VERSION: u32 = 1;
+
+/// Checkpoint errors.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Not a checkpoint file.
+    BadMagic,
+    /// Format version not understood.
+    BadVersion(u32),
+    /// File ends prematurely or fields inconsistent.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a HACC checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+struct Writer<W: Write>(W);
+
+impl<W: Write> Writer<W> {
+    fn u32(&mut self, v: u32) -> std::io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn u64(&mut self, v: u64) -> std::io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn f64(&mut self, v: f64) -> std::io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+    fn f32(&mut self, v: f32) -> std::io::Result<()> {
+        self.0.write_all(&v.to_le_bytes())
+    }
+}
+
+struct Reader<R: Read>(R);
+
+impl<R: Read> Reader<R> {
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        let mut b = [0u8; 8];
+        self.0.read_exact(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+    fn f32(&mut self) -> Result<f32, CheckpointError> {
+        let mut b = [0u8; 4];
+        self.0.read_exact(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+}
+
+/// Write the simulation state to `path`.
+pub fn save(sim: &Simulation, path: &Path) -> Result<(), CheckpointError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = Writer(std::io::BufWriter::new(f));
+    w.0.write_all(MAGIC)?;
+    w.u32(VERSION)?;
+    let cfg = sim.config();
+    w.u64(cfg.np as u64)?;
+    w.u64(cfg.ng as u64)?;
+    w.u64(cfg.nsteps as u64)?;
+    w.u64(cfg.seed)?;
+    w.f64(cfg.z_init)?;
+    w.f64(cfg.z_final)?;
+    w.f64(cfg.cosmology.omega_m)?;
+    w.f64(cfg.cosmology.h)?;
+    w.f64(cfg.cosmology.ns)?;
+    w.f64(cfg.cosmology.sigma_cell)?;
+    w.f64(cfg.cosmology.box_size)?;
+    w.f64(sim.scale_factor())?;
+    w.u64(sim.step_index() as u64)?;
+    w.u64(sim.particles().len() as u64)?;
+    for p in sim.particles() {
+        for d in 0..3 {
+            w.f32(p.pos[d])?;
+        }
+        for d in 0..3 {
+            w.f32(p.vel[d])?;
+        }
+        w.f32(p.mass)?;
+        w.u64(p.tag)?;
+    }
+    w.0.flush()?;
+    Ok(())
+}
+
+/// Restore a simulation from `path`; it continues exactly where it stopped.
+pub fn restore(path: &Path) -> Result<Simulation, CheckpointError> {
+    let f = std::fs::File::open(path)?;
+    let mut r = Reader(std::io::BufReader::new(f));
+    let mut magic = [0u8; 8];
+    r.0.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let np = r.u64()? as usize;
+    let ng = r.u64()? as usize;
+    let nsteps = r.u64()? as usize;
+    let seed = r.u64()?;
+    let z_init = r.f64()?;
+    let z_final = r.f64()?;
+    let cosmology = Cosmology {
+        omega_m: r.f64()?,
+        h: r.f64()?,
+        ns: r.f64()?,
+        sigma_cell: r.f64()?,
+        box_size: r.f64()?,
+    };
+    let a = r.f64()?;
+    let step = r.u64()? as usize;
+    let n = r.u64()? as usize;
+    if n != np * np * np {
+        return Err(CheckpointError::Corrupt("particle count mismatch"));
+    }
+    if step > nsteps {
+        return Err(CheckpointError::Corrupt("step index beyond run length"));
+    }
+    let mut particles = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut pos = [0.0f32; 3];
+        let mut vel = [0.0f32; 3];
+        for v in &mut pos {
+            *v = r.f32()?;
+        }
+        for v in &mut vel {
+            *v = r.f32()?;
+        }
+        let mass = r.f32()?;
+        let tag = r.u64()?;
+        particles.push(Particle {
+            pos,
+            vel,
+            mass,
+            tag,
+        });
+    }
+    let cfg = SimConfig {
+        cosmology,
+        np,
+        ng,
+        z_init,
+        z_final,
+        nsteps,
+        seed,
+    };
+    Ok(Simulation::from_state(cfg, particles, a, step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+    use dpp::Serial;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            np: 16,
+            ng: 16,
+            nsteps: 10,
+            seed: 12321,
+            ..SimConfig::default()
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hacc_ckpt_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn restart_continues_bit_for_bit() {
+        // Run 10 steps straight through.
+        let mut straight = Simulation::new(&Serial, cfg());
+        straight.run(&Serial);
+
+        // Run 4 steps, checkpoint, restore, run the remaining 6.
+        let mut first = Simulation::new(&Serial, cfg());
+        for _ in 0..4 {
+            first.step(&Serial);
+        }
+        let path = tmp("bitforbit");
+        save(&first, &path).unwrap();
+        let mut resumed = restore(&path).unwrap();
+        assert_eq!(resumed.step_index(), 4);
+        resumed.run(&Serial);
+
+        assert_eq!(resumed.step_index(), straight.step_index());
+        assert_eq!(resumed.scale_factor(), straight.scale_factor());
+        for (a, b) in resumed.particles().iter().zip(straight.particles()) {
+            assert_eq!(a.pos, b.pos, "positions must match exactly");
+            assert_eq!(a.vel, b.vel, "momenta must match exactly");
+            assert_eq!(a.tag, b.tag);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"not a checkpoint at all").unwrap();
+        assert!(matches!(restore(&path), Err(CheckpointError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut sim = Simulation::new(&Serial, cfg());
+        sim.step(&Serial);
+        let path = tmp("truncated");
+        save(&sim, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(restore(&path), Err(CheckpointError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let sim = Simulation::new(&Serial, cfg());
+        let path = tmp("version");
+        save(&sim, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 99; // version field
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            restore(&path),
+            Err(CheckpointError::BadVersion(99))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,144 @@
+//! Background cosmology and the linear matter power spectrum.
+//!
+//! Dynamics are integrated in an Einstein–de-Sitter background (Ω_m = 1) in
+//! code units with H₀ = 1, which keeps the leapfrog factors closed-form while
+//! producing the strongly clustered, steep-mass-function particle
+//! distributions the workflow study needs. The *shape* of the initial power
+//! spectrum uses the BBKS transfer function with Γ = Ω_m·h, so ΛCDM-like
+//! parameter choices still shape the structure. (Substitution documented in
+//! DESIGN.md.)
+
+/// Cosmological and box parameters of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cosmology {
+    /// Matter density parameter used for the power-spectrum *shape* Γ = Ω_m·h.
+    pub omega_m: f64,
+    /// Dimensionless Hubble parameter.
+    pub h: f64,
+    /// Primordial spectral index.
+    pub ns: f64,
+    /// RMS linear overdensity per grid cell, extrapolated to z = 0. Plays the
+    /// role σ₈ plays in the paper's runs: it sets how nonlinear z = 0 is.
+    pub sigma_cell: f64,
+    /// Comoving box side in Mpc/h.
+    pub box_size: f64,
+}
+
+impl Default for Cosmology {
+    fn default() -> Self {
+        // WMAP-7-like shape parameters, as used for the Q Continuum run.
+        // sigma_cell = 3.0 compensates for the growth the coarse PM stepping
+        // loses at toy resolutions, giving strongly nonlinear z = 0 fields.
+        Cosmology {
+            omega_m: 0.265,
+            h: 0.71,
+            ns: 0.963,
+            sigma_cell: 3.0,
+            box_size: 162.5, // the paper's downscaled test volume
+        }
+    }
+}
+
+impl Cosmology {
+    /// Scale factor at redshift `z`.
+    pub fn a_of_z(z: f64) -> f64 {
+        1.0 / (1.0 + z)
+    }
+
+    /// Redshift at scale factor `a`.
+    pub fn z_of_a(a: f64) -> f64 {
+        1.0 / a - 1.0
+    }
+
+    /// Linear growth factor, EdS: `D(a) = a` (normalized to `D(1) = 1`).
+    pub fn growth(a: f64) -> f64 {
+        a
+    }
+
+    /// Leapfrog factor `f(a) = 1/(a·ȧ·a⁻²)`… in EdS code units with H₀ = 1,
+    /// `ȧ = a^{-1/2}`, giving `f(a) = √a`.
+    pub fn leapfrog_f(a: f64) -> f64 {
+        a.sqrt()
+    }
+
+    /// BBKS transfer function (Bardeen, Bond, Kaiser & Szalay 1986).
+    /// `k` in h/Mpc.
+    pub fn transfer_bbks(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 1.0;
+        }
+        let gamma = self.omega_m * self.h;
+        let q = k / gamma;
+        let a = 2.34 * q;
+        let poly = 1.0 + 3.89 * q + (16.1 * q).powi(2) + (5.46 * q).powi(3) + (6.71 * q).powi(4);
+        if a < 1e-8 {
+            return 1.0;
+        }
+        ((1.0 + a).ln() / a) * poly.powf(-0.25)
+    }
+
+    /// Unnormalized linear power spectrum `P(k) ∝ kⁿ T²(k)`, `k` in h/Mpc.
+    /// Overall amplitude is fixed separately by `sigma_cell` when the initial
+    /// conditions are realized.
+    pub fn power_unnormalized(&self, k: f64) -> f64 {
+        if k <= 0.0 {
+            return 0.0;
+        }
+        let t = self.transfer_bbks(k);
+        k.powf(self.ns) * t * t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_factor_redshift_roundtrip() {
+        for z in [0.0, 0.5, 1.0, 10.0, 200.0] {
+            let a = Cosmology::a_of_z(z);
+            assert!((Cosmology::z_of_a(a) - z).abs() < 1e-12);
+        }
+        assert_eq!(Cosmology::a_of_z(0.0), 1.0);
+    }
+
+    #[test]
+    fn growth_is_normalized_today() {
+        assert_eq!(Cosmology::growth(1.0), 1.0);
+        assert!(Cosmology::growth(0.01) < 0.02);
+    }
+
+    #[test]
+    fn transfer_limits() {
+        let c = Cosmology::default();
+        // T → 1 as k → 0.
+        assert!((c.transfer_bbks(1e-6) - 1.0).abs() < 1e-3);
+        // T decays at large k.
+        assert!(c.transfer_bbks(10.0) < 0.01);
+        // Monotone decreasing over a broad range.
+        let mut last = c.transfer_bbks(1e-4);
+        for i in 1..100 {
+            let k = 1e-4 * 10f64.powf(i as f64 * 0.05);
+            let t = c.transfer_bbks(k);
+            assert!(t <= last + 1e-12, "transfer not monotone at k={k}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn power_spectrum_peaks_at_intermediate_scales() {
+        let c = Cosmology::default();
+        let p_small_k = c.power_unnormalized(1e-3);
+        let p_peak = c.power_unnormalized(0.02);
+        let p_large_k = c.power_unnormalized(5.0);
+        assert!(p_peak > p_small_k, "rising on large scales (k^ns)");
+        assert!(p_peak > p_large_k, "falling on small scales (transfer²)");
+        assert_eq!(c.power_unnormalized(0.0), 0.0);
+    }
+
+    #[test]
+    fn leapfrog_factor_eds() {
+        assert_eq!(Cosmology::leapfrog_f(1.0), 1.0);
+        assert!((Cosmology::leapfrog_f(0.25) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! Particle-mesh gravity: CIC deposit, k-space Poisson solve, CIC force
+//! interpolation. All mesh quantities live in *grid units* (cell = 1).
+
+use crate::particle::Particle;
+use dpp::Backend;
+use fft::{freq_index, Complex, Fft3d, Grid3};
+use parking_lot::Mutex;
+
+/// Convert a position in box units (Mpc/h) to grid units for mesh size `ng`.
+#[inline]
+pub fn to_grid_units(pos: f32, box_size: f64, ng: usize) -> f64 {
+    let u = pos as f64 / box_size * ng as f64;
+    // Wrap defensively: positions should already be in [0, box_size).
+    u.rem_euclid(ng as f64)
+}
+
+/// Cloud-in-cell deposit of particle mass onto an `ng³` mesh. Returns the
+/// *overdensity* field `δ = ρ/ρ̄ − 1`, where the mean is taken over the mesh.
+pub fn cic_deposit(
+    backend: &dyn Backend,
+    particles: &[Particle],
+    ng: usize,
+    box_size: f64,
+) -> Grid3<f64> {
+    let ncell = ng * ng * ng;
+    // Partial grids are collected per chunk and merged in chunk order so the
+    // floating-point result is identical run-to-run and backend-to-backend.
+    let partials: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+    let grain = (particles.len() / backend.concurrency().max(1)).max(4096);
+    backend.dispatch(particles.len(), grain, &|r| {
+        let start = r.start;
+        let mut local = vec![0.0f64; ncell];
+        for p in &particles[r] {
+            let u = [
+                to_grid_units(p.pos[0], box_size, ng),
+                to_grid_units(p.pos[1], box_size, ng),
+                to_grid_units(p.pos[2], box_size, ng),
+            ];
+            let i = [u[0] as usize % ng, u[1] as usize % ng, u[2] as usize % ng];
+            let d = [u[0] - i[0] as f64, u[1] - i[1] as f64, u[2] - i[2] as f64];
+            let m = p.mass as f64;
+            for (dx, wx) in [(0usize, 1.0 - d[0]), (1, d[0])] {
+                for (dy, wy) in [(0usize, 1.0 - d[1]), (1, d[1])] {
+                    for (dz, wz) in [(0usize, 1.0 - d[2]), (1, d[2])] {
+                        let x = (i[0] + dx) % ng;
+                        let y = (i[1] + dy) % ng;
+                        let z = (i[2] + dz) % ng;
+                        local[(x * ng + y) * ng + z] += m * wx * wy * wz;
+                    }
+                }
+            }
+        }
+        partials.lock().push((start, local));
+    });
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|(s, _)| *s);
+    let mut rho = vec![0.0f64; ncell];
+    for (_, local) in partials {
+        for (gv, lv) in rho.iter_mut().zip(&local) {
+            *gv += lv;
+        }
+    }
+    let total: f64 = particles.iter().map(|p| p.mass as f64).sum();
+    let mean = total / ncell as f64;
+    if mean > 0.0 {
+        for v in &mut rho {
+            *v = *v / mean - 1.0;
+        }
+    }
+    Grid3::from_vec([ng, ng, ng], rho)
+}
+
+/// Solve `∇²φ = (3 Ω/2a) δ` on the periodic mesh and return the acceleration
+/// components `g = −∇φ` as three real grids (grid units).
+///
+/// `prefactor` is `(3 Ω/2a)`; the Poisson kernel uses the continuum `k²` in
+/// grid angular frequencies.
+pub fn poisson_accel(
+    backend: &dyn Backend,
+    delta: &Grid3<f64>,
+    prefactor: f64,
+) -> [Grid3<f64>; 3] {
+    let dims = delta.dims();
+    let ng = dims[0];
+    assert!(dims[1] == ng && dims[2] == ng, "mesh must be cubic");
+    let plan = Fft3d::new(dims).expect("mesh dims must be powers of two");
+
+    // Forward transform of δ.
+    let mut dk = Grid3::from_vec(
+        dims,
+        delta
+            .as_slice()
+            .iter()
+            .map(|&r| Complex::from_real(r))
+            .collect(),
+    );
+    plan.forward(backend, &mut dk).expect("forward FFT");
+
+    let two_pi = 2.0 * std::f64::consts::PI;
+    let mut out: Vec<Grid3<f64>> = Vec::with_capacity(3);
+    for axis in 0..3 {
+        let mut gk = Grid3::filled(dims, Complex::ZERO);
+        for x in 0..ng {
+            let kx = two_pi * freq_index(x, ng) as f64 / ng as f64;
+            for y in 0..ng {
+                let ky = two_pi * freq_index(y, ng) as f64 / ng as f64;
+                for z in 0..ng {
+                    let kz = two_pi * freq_index(z, ng) as f64 / ng as f64;
+                    let k2 = kx * kx + ky * ky + kz * kz;
+                    if k2 == 0.0 {
+                        continue;
+                    }
+                    let kd = [kx, ky, kz][axis];
+                    // φ_k = −prefactor δ_k / k²; g_k = −i k_d φ_k
+                    //     = i k_d prefactor δ_k / k².
+                    let phi_factor = prefactor / k2;
+                    let d = *dk.get(x, y, z);
+                    *gk.get_mut(x, y, z) = Complex::new(-d.im, d.re).scale(kd * phi_factor);
+                }
+            }
+        }
+        plan.inverse(backend, &mut gk).expect("inverse FFT");
+        out.push(Grid3::from_vec(
+            dims,
+            gk.as_slice().iter().map(|z| z.re).collect(),
+        ));
+    }
+    let mut it = out.into_iter();
+    [it.next().unwrap(), it.next().unwrap(), it.next().unwrap()]
+}
+
+/// Trilinear (CIC) interpolation of a mesh field at a position given in box
+/// units.
+#[inline]
+pub fn cic_interpolate(field: &Grid3<f64>, pos: [f32; 3], box_size: f64) -> f64 {
+    let ng = field.dims()[0];
+    let u = [
+        to_grid_units(pos[0], box_size, ng),
+        to_grid_units(pos[1], box_size, ng),
+        to_grid_units(pos[2], box_size, ng),
+    ];
+    let i = [u[0] as usize % ng, u[1] as usize % ng, u[2] as usize % ng];
+    let d = [u[0] - i[0] as f64, u[1] - i[1] as f64, u[2] - i[2] as f64];
+    let mut acc = 0.0;
+    for (dx, wx) in [(0usize, 1.0 - d[0]), (1, d[0])] {
+        for (dy, wy) in [(0usize, 1.0 - d[1]), (1, d[1])] {
+            for (dz, wz) in [(0usize, 1.0 - d[2]), (1, d[2])] {
+                let x = (i[0] + dx) % ng;
+                let y = (i[1] + dy) % ng;
+                let z = (i[2] + dz) % ng;
+                acc += field.get(x, y, z) * wx * wy * wz;
+            }
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::{Serial, Threaded};
+
+    fn one_particle_at(pos: [f32; 3]) -> Vec<Particle> {
+        vec![Particle::at_rest(pos, 1.0, 0)]
+    }
+
+    #[test]
+    fn deposit_conserves_mass() {
+        let t = Threaded::new(4);
+        let box_size = 16.0;
+        let parts: Vec<Particle> = (0..1000)
+            .map(|i| {
+                let f = i as f32 * 0.618;
+                Particle::at_rest(
+                    [
+                        (f * 3.1) % 16.0,
+                        (f * 7.7) % 16.0,
+                        (f * 1.3) % 16.0,
+                    ],
+                    1.0,
+                    i,
+                )
+            })
+            .collect();
+        let delta = cic_deposit(&t, &parts, 8, box_size);
+        // δ sums to zero when mass is conserved (Σρ = N·mass, mean removed).
+        let sum: f64 = delta.as_slice().iter().sum();
+        assert!(sum.abs() < 1e-9, "Σδ = {sum}");
+    }
+
+    #[test]
+    fn deposit_particle_at_cell_center_hits_one_cell() {
+        // Grid unit = 2.0 box units; particle at cell (1,1,1) corner exactly.
+        let delta = cic_deposit(&Serial, &one_particle_at([2.0, 2.0, 2.0]), 4, 8.0);
+        // All mass lands in cell (1,1,1): δ there is max.
+        let mut max_idx = (0, 0, 0);
+        let mut max = f64::MIN;
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    if *delta.get(x, y, z) > max {
+                        max = *delta.get(x, y, z);
+                        max_idx = (x, y, z);
+                    }
+                }
+            }
+        }
+        assert_eq!(max_idx, (1, 1, 1));
+    }
+
+    #[test]
+    fn deposit_splits_mass_between_cells() {
+        // Particle halfway between cells 0 and 1 in x.
+        let delta = cic_deposit(&Serial, &one_particle_at([1.0, 0.0, 0.0]), 4, 8.0);
+        // grid unit = pos/2 → u = (0.5, 0, 0): half mass each to x=0 and x=1.
+        let v0 = *delta.get(0, 0, 0);
+        let v1 = *delta.get(1, 0, 0);
+        assert!((v0 - v1).abs() < 1e-12, "{v0} vs {v1}");
+    }
+
+    #[test]
+    fn backends_agree_on_deposit() {
+        let t = Threaded::new(4);
+        let parts: Vec<Particle> = (0..5000)
+            .map(|i| {
+                let f = i as f32;
+                Particle::at_rest(
+                    [(f * 0.37) % 32.0, (f * 0.71) % 32.0, (f * 0.13) % 32.0],
+                    1.0,
+                    i,
+                )
+            })
+            .collect();
+        let a = cic_deposit(&Serial, &parts, 16, 32.0);
+        let b = cic_deposit(&t, &parts, 16, 32.0);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn point_mass_accel_points_toward_mass() {
+        // A single overdense point at the center: acceleration at a probe
+        // point to its +x side must point in −x (toward the mass).
+        let ng = 16;
+        let mut delta = Grid3::filled([ng, ng, ng], 0.0);
+        *delta.get_mut(8, 8, 8) = 100.0;
+        let g = poisson_accel(&Serial, &delta, 1.5);
+        let box_size = ng as f64;
+        let probe = [11.0f32, 8.0, 8.0];
+        let gx = cic_interpolate(&g[0], probe, box_size);
+        let gy = cic_interpolate(&g[1], probe, box_size);
+        assert!(gx < 0.0, "gx = {gx} should point toward the mass");
+        assert!(gy.abs() < gx.abs() * 0.2, "gy = {gy} should be ~0 on axis");
+        // Mirror probe on the other side.
+        let gx2 = cic_interpolate(&g[0], [5.0, 8.0, 8.0], box_size);
+        assert!(gx2 > 0.0);
+    }
+
+    #[test]
+    fn accel_falls_off_with_distance() {
+        let ng = 32;
+        let mut delta = Grid3::filled([ng, ng, ng], 0.0);
+        *delta.get_mut(16, 16, 16) = 1000.0;
+        let g = poisson_accel(&Serial, &delta, 1.0);
+        let l = ng as f64;
+        let near = cic_interpolate(&g[0], [19.0, 16.0, 16.0], l).abs();
+        let far = cic_interpolate(&g[0], [26.0, 16.0, 16.0], l).abs();
+        assert!(near > far, "near {near} vs far {far}");
+    }
+
+    #[test]
+    fn uniform_density_gives_zero_force() {
+        let delta = Grid3::filled([8, 8, 8], 0.0);
+        let g = poisson_accel(&Serial, &delta, 1.5);
+        for axis in &g {
+            for v in axis.as_slice() {
+                assert!(v.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn interpolation_at_grid_point_returns_grid_value() {
+        let mut f = Grid3::filled([4, 4, 4], 0.0);
+        *f.get_mut(2, 1, 3) = 7.0;
+        // box_size = 4 → grid units == box units.
+        let v = cic_interpolate(&f, [2.0, 1.0, 3.0], 4.0);
+        assert!((v - 7.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,83 @@
+//! Batch jobs and their accounting records.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier assigned at submission, unique within one simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// A job submitted to the batch system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// Human-readable name (shows up in records).
+    pub name: String,
+    /// Requested node count.
+    pub nodes: usize,
+    /// Actual runtime once started, in seconds.
+    pub runtime: f64,
+    /// Simulation time at which the job enters the queue.
+    pub submit_time: f64,
+}
+
+impl JobRequest {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, nodes: usize, runtime: f64, submit_time: f64) -> Self {
+        JobRequest {
+            name: name.into(),
+            nodes,
+            runtime,
+            submit_time,
+        }
+    }
+}
+
+/// Completed-job record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The id assigned at submission.
+    pub id: JobId,
+    /// Job name.
+    pub name: String,
+    /// Node count held for the duration.
+    pub nodes: usize,
+    /// Queue entry time.
+    pub submit_time: f64,
+    /// Dispatch time.
+    pub start_time: f64,
+    /// Completion time.
+    pub end_time: f64,
+    /// Core-hours charged under the machine's policy.
+    pub core_hours: f64,
+}
+
+impl JobRecord {
+    /// Seconds spent waiting in the queue.
+    pub fn queue_wait(&self) -> f64 {
+        self.start_time - self.submit_time
+    }
+
+    /// Seconds spent running.
+    pub fn runtime(&self) -> f64 {
+        self.end_time - self.start_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_derives_waits() {
+        let r = JobRecord {
+            id: JobId(1),
+            name: "x".into(),
+            nodes: 4,
+            submit_time: 10.0,
+            start_time: 25.0,
+            end_time: 100.0,
+            core_hours: 0.0,
+        };
+        assert_eq!(r.queue_wait(), 15.0);
+        assert_eq!(r.runtime(), 75.0);
+    }
+}

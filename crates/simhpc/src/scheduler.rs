@@ -1,0 +1,586 @@
+//! Discrete-event batch scheduler.
+//!
+//! Models the queueing behaviour the paper had to work around: Titan's policy
+//! favours large jobs and caps how many small jobs may run simultaneously
+//! (§3.2: "The queue policy only allows two jobs that use less than 125 nodes
+//! to run simultaneously"), while analysis clusters like Rhea keep capacity
+//! free so small jobs start quickly.
+
+use crate::job::{JobId, JobRecord, JobRequest};
+use crate::machine::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// Queue ordering discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueDiscipline {
+    /// First come, first served — greedy: jobs behind a blocked head may
+    /// start if they fit (unlimited backfill, no reservation protection).
+    Fcfs,
+    /// Larger jobs first (Titan-style "capability" priority), FCFS within a
+    /// size; greedy like [`QueueDiscipline::Fcfs`].
+    LargestFirst,
+    /// Strict FCFS: nothing behind a blocked head-of-queue job may start.
+    FcfsStrict,
+    /// EASY backfill: the head of the queue gets a reservation at the
+    /// earliest time enough nodes free up; younger jobs may jump ahead only
+    /// if they both fit now *and* finish before that reservation — the
+    /// discipline real schedulers use, and what the paper's "schedulers
+    /// available at the time were generally inadequate" remark (Ref. [31])
+    /// is about.
+    FcfsBackfill,
+}
+
+/// Facility queue policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueuePolicy {
+    /// Queue ordering.
+    pub discipline: QueueDiscipline,
+    /// Jobs below this node count are "small".
+    pub small_job_threshold: usize,
+    /// Max number of small jobs running at once (`None` = unlimited).
+    pub max_running_small_jobs: Option<usize>,
+    /// Synthetic baseline queue wait (seconds) applied per job in addition to
+    /// resource waiting: `base_wait × (nodes / total_nodes)^wait_exponent`.
+    /// Models the multi-day waits for full-machine allocations without
+    /// simulating the whole facility workload.
+    pub base_wait: f64,
+    /// Exponent of the size-dependent synthetic wait.
+    pub wait_exponent: f64,
+}
+
+impl QueuePolicy {
+    /// Titan-like: favour big jobs, at most two sub-125-node jobs running,
+    /// long waits for large allocations.
+    pub fn titan() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::LargestFirst,
+            small_job_threshold: 125,
+            max_running_small_jobs: Some(2),
+            base_wait: 4.0 * 24.0 * 3600.0, // full-machine request ≈ 4 days
+            wait_exponent: 0.7,
+        }
+    }
+
+    /// Analysis-cluster-like: FCFS, no small-job cap, negligible waits.
+    pub fn analysis_cluster() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::Fcfs,
+            small_job_threshold: 0,
+            max_running_small_jobs: None,
+            base_wait: 120.0,
+            wait_exponent: 0.3,
+        }
+    }
+
+    /// No synthetic waits at all (unit tests, pure-throughput studies).
+    pub fn ideal() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::Fcfs,
+            small_job_threshold: 0,
+            max_running_small_jobs: None,
+            base_wait: 0.0,
+            wait_exponent: 1.0,
+        }
+    }
+
+    /// The synthetic baseline wait for a job of `nodes` on a machine of
+    /// `total` nodes.
+    pub fn synthetic_wait(&self, nodes: usize, total: usize) -> f64 {
+        if self.base_wait == 0.0 {
+            return 0.0;
+        }
+        let frac = (nodes as f64 / total as f64).clamp(0.0, 1.0);
+        self.base_wait * frac.powf(self.wait_exponent)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct QueuedJob {
+    id: JobId,
+    req: JobRequest,
+    /// Earliest time the job may start (submit + synthetic wait).
+    eligible_time: f64,
+}
+
+#[derive(Debug, Clone)]
+struct RunningJob {
+    id: JobId,
+    req: JobRequest,
+    start: f64,
+    end: f64,
+}
+
+/// Event-driven simulator of one machine's batch queue.
+#[derive(Debug, Clone)]
+pub struct BatchSimulator {
+    machine: MachineSpec,
+    policy: QueuePolicy,
+    next_id: u64,
+    clock: f64,
+    free_nodes: usize,
+    queue: Vec<QueuedJob>,
+    running: Vec<RunningJob>,
+    finished: Vec<JobRecord>,
+}
+
+impl BatchSimulator {
+    /// New simulator at time zero with all nodes free.
+    pub fn new(machine: MachineSpec, policy: QueuePolicy) -> Self {
+        let free_nodes = machine.total_nodes;
+        BatchSimulator {
+            machine,
+            policy,
+            next_id: 0,
+            clock: 0.0,
+            free_nodes,
+            queue: Vec::new(),
+            running: Vec::new(),
+            finished: Vec::new(),
+        }
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.machine
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Enqueue a job. `submit_time` may be in the simulated future; it must
+    /// not precede the current clock.
+    pub fn submit(&mut self, req: JobRequest) -> JobId {
+        assert!(
+            req.nodes > 0 && req.nodes <= self.machine.total_nodes,
+            "job `{}` requests {} nodes on a {}-node machine",
+            req.name,
+            req.nodes,
+            self.machine.total_nodes
+        );
+        assert!(
+            req.submit_time >= self.clock - 1e-9,
+            "job `{}` submitted in the past ({} < {})",
+            req.name,
+            req.submit_time,
+            self.clock
+        );
+        assert!(req.runtime >= 0.0);
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let wait = self
+            .policy
+            .synthetic_wait(req.nodes, self.machine.total_nodes);
+        self.queue.push(QueuedJob {
+            id,
+            eligible_time: req.submit_time + wait,
+            req,
+        });
+        id
+    }
+
+    fn running_small_jobs(&self) -> usize {
+        self.running
+            .iter()
+            .filter(|r| r.req.nodes < self.policy.small_job_threshold)
+            .count()
+    }
+
+    /// Earliest time `needed` nodes will be free, given the running set
+    /// (small-job caps are ignored for reservation purposes — real EASY
+    /// implementations reserve on node counts too).
+    fn reservation_time(&self, needed: usize) -> f64 {
+        let mut ends: Vec<(f64, usize)> =
+            self.running.iter().map(|r| (r.end, r.req.nodes)).collect();
+        ends.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut free = self.free_nodes;
+        for (end, nodes) in ends {
+            if free >= needed {
+                break;
+            }
+            free += nodes;
+            if free >= needed {
+                return end;
+            }
+        }
+        self.clock
+    }
+
+    /// Start every eligible queued job the discipline allows.
+    fn try_start_jobs(&mut self) {
+        // Order candidates by the queue discipline.
+        self.queue.sort_by(|a, b| match self.policy.discipline {
+            QueueDiscipline::Fcfs | QueueDiscipline::FcfsStrict | QueueDiscipline::FcfsBackfill => {
+                a.req
+                    .submit_time
+                    .partial_cmp(&b.req.submit_time)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            }
+            QueueDiscipline::LargestFirst => b.req.nodes.cmp(&a.req.nodes).then(
+                a.req
+                    .submit_time
+                    .partial_cmp(&b.req.submit_time)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id)),
+            ),
+        });
+        loop {
+            let mut started_any = false;
+            // Reservation held by the first blocked eligible job (strict /
+            // backfill disciplines only).
+            let mut reservation: Option<f64> = None;
+            let mut i = 0;
+            while i < self.queue.len() {
+                let q = &self.queue[i];
+                if q.eligible_time > self.clock {
+                    i += 1;
+                    continue; // not yet in the queue for scheduling purposes
+                }
+                let is_small = q.req.nodes < self.policy.small_job_threshold;
+                let small_cap_ok = !is_small
+                    || self
+                        .policy
+                        .max_running_small_jobs
+                        .map(|cap| self.running_small_jobs() < cap)
+                        .unwrap_or(true);
+                let fits = q.req.nodes <= self.free_nodes && small_cap_ok;
+                let honors_reservation = match (self.policy.discipline, reservation) {
+                    (_, None) => true,
+                    (QueueDiscipline::FcfsBackfill, Some(t)) => self.clock + q.req.runtime <= t,
+                    (QueueDiscipline::FcfsStrict, Some(_)) => false,
+                    // Greedy disciplines never hold reservations.
+                    _ => true,
+                };
+                if fits && honors_reservation {
+                    let q = self.queue.remove(i);
+                    self.free_nodes -= q.req.nodes;
+                    self.running.push(RunningJob {
+                        id: q.id,
+                        start: self.clock,
+                        end: self.clock + q.req.runtime,
+                        req: q.req,
+                    });
+                    started_any = true;
+                    continue; // same index now holds the next candidate
+                }
+                if !fits
+                    && reservation.is_none()
+                    && matches!(
+                        self.policy.discipline,
+                        QueueDiscipline::FcfsStrict | QueueDiscipline::FcfsBackfill
+                    )
+                {
+                    reservation = Some(self.reservation_time(q.req.nodes));
+                }
+                i += 1;
+            }
+            if !started_any {
+                break;
+            }
+        }
+    }
+
+    /// Advance until all submitted jobs have finished; returns records sorted
+    /// by completion time.
+    pub fn run_to_completion(&mut self) -> Vec<JobRecord> {
+        loop {
+            self.try_start_jobs();
+            if self.running.is_empty() {
+                if self.queue.is_empty() {
+                    break;
+                }
+                // Nothing running: jump to the earliest future eligibility.
+                let next = self
+                    .queue
+                    .iter()
+                    .map(|q| q.eligible_time)
+                    .filter(|&t| t > self.clock)
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    next.is_finite(),
+                    "scheduler stuck: {} queued job(s) are eligible but can never start \
+                     (e.g. small-job cap of zero)",
+                    self.queue.len()
+                );
+                self.clock = next;
+                continue;
+            }
+            // Advance to the next event: a completion, or a queued job
+            // becoming eligible (it may start on freed capacity rules).
+            let next_end = self
+                .running
+                .iter()
+                .map(|r| r.end)
+                .fold(f64::INFINITY, f64::min);
+            let next_elig = self
+                .queue
+                .iter()
+                .map(|q| q.eligible_time)
+                .filter(|&t| t > self.clock)
+                .fold(f64::INFINITY, f64::min);
+            self.clock = next_end.min(next_elig);
+            // Retire completed jobs.
+            let mut j = 0;
+            while j < self.running.len() {
+                if self.running[j].end <= self.clock + 1e-9 {
+                    let r = self.running.swap_remove(j);
+                    self.free_nodes += r.req.nodes;
+                    let core_hours = self.machine.charge_core_hours(r.req.nodes, r.req.runtime);
+                    self.finished.push(JobRecord {
+                        id: r.id,
+                        name: r.req.name,
+                        nodes: r.req.nodes,
+                        submit_time: r.req.submit_time,
+                        start_time: r.start,
+                        end_time: r.end,
+                        core_hours,
+                    });
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        let mut out = std::mem::take(&mut self.finished);
+        out.sort_by(|a, b| a.end_time.partial_cmp(&b.end_time).unwrap().then(a.id.cmp(&b.id)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{rhea, titan, MachineSpec};
+
+    fn tiny_machine(nodes: usize) -> MachineSpec {
+        let mut m = titan();
+        m.total_nodes = nodes;
+        m
+    }
+
+    #[test]
+    fn single_job_runs_immediately_under_ideal_policy() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("a", 4, 100.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].start_time, 0.0);
+        assert_eq!(recs[0].end_time, 100.0);
+        // Titan charging: 4 nodes × (100/3600) h × 30.
+        assert!((recs[0].core_hours - 4.0 * 100.0 / 3600.0 * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jobs_queue_when_machine_is_full() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("big", 8, 50.0, 0.0));
+        sim.submit(JobRequest::new("next", 8, 10.0, 0.0));
+        let recs = sim.run_to_completion();
+        let big = recs.iter().find(|r| r.name == "big").unwrap();
+        let next = recs.iter().find(|r| r.name == "next").unwrap();
+        assert_eq!(big.start_time, 0.0);
+        assert_eq!(next.start_time, 50.0);
+        assert_eq!(next.queue_wait(), 50.0);
+    }
+
+    #[test]
+    fn parallel_jobs_share_free_nodes() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("a", 4, 100.0, 0.0));
+        sim.submit(JobRequest::new("b", 4, 100.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert!(recs.iter().all(|r| r.start_time == 0.0));
+    }
+
+    #[test]
+    fn future_submissions_wait_for_their_time() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("later", 1, 5.0, 1000.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs[0].start_time, 1000.0);
+    }
+
+    #[test]
+    fn titan_small_job_cap_limits_concurrency() {
+        let mut m = titan();
+        m.total_nodes = 1000;
+        let mut policy = QueuePolicy::titan();
+        policy.base_wait = 0.0; // isolate the cap behaviour
+        let mut sim = BatchSimulator::new(m, policy);
+        for i in 0..4 {
+            sim.submit(JobRequest::new(format!("small{i}"), 4, 100.0, 0.0));
+        }
+        let recs = sim.run_to_completion();
+        // Only two run at once: finish times 100, 100, 200, 200.
+        let mut ends: Vec<f64> = recs.iter().map(|r| r.end_time).collect();
+        ends.sort_by(f64::total_cmp);
+        assert_eq!(ends, vec![100.0, 100.0, 200.0, 200.0]);
+    }
+
+    #[test]
+    fn largest_first_discipline_prefers_big_jobs() {
+        let mut m = titan();
+        m.total_nodes = 100;
+        let mut policy = QueuePolicy::titan();
+        policy.base_wait = 0.0;
+        policy.max_running_small_jobs = None;
+        let mut sim = BatchSimulator::new(m, policy);
+        // Occupy the machine, then queue a small and a big job.
+        sim.submit(JobRequest::new("occupier", 100, 10.0, 0.0));
+        sim.submit(JobRequest::new("small", 10, 10.0, 1.0));
+        sim.submit(JobRequest::new("big", 100, 10.0, 2.0));
+        let recs = sim.run_to_completion();
+        let small = recs.iter().find(|r| r.name == "small").unwrap();
+        let big = recs.iter().find(|r| r.name == "big").unwrap();
+        // Big job starts at t=10 despite arriving later; small runs after.
+        assert_eq!(big.start_time, 10.0);
+        assert!(small.start_time >= big.end_time);
+    }
+
+    #[test]
+    fn synthetic_wait_grows_with_job_size() {
+        let p = QueuePolicy::titan();
+        let full = p.synthetic_wait(18_688, 18_688);
+        let small = p.synthetic_wait(32, 18_688);
+        assert!(full > 3.0 * 24.0 * 3600.0);
+        assert!(small < full / 10.0);
+        assert_eq!(QueuePolicy::ideal().synthetic_wait(100, 100), 0.0);
+    }
+
+    #[test]
+    fn rhea_analysis_jobs_start_promptly() {
+        let mut sim = BatchSimulator::new(rhea(), QueuePolicy::analysis_cluster());
+        for i in 0..10 {
+            sim.submit(JobRequest::new(format!("analysis{i}"), 4, 500.0, i as f64 * 10.0));
+        }
+        let recs = sim.run_to_completion();
+        // Plenty of nodes: every job starts as soon as eligible.
+        for r in &recs {
+            assert!(r.queue_wait() < 130.0, "wait {}", r.queue_wait());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requests")]
+    fn oversized_job_rejected() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("too-big", 9, 1.0, 0.0));
+    }
+
+    #[test]
+    fn co_scheduled_small_jobs_overlap_the_big_one() {
+        // The co-scheduling scenario: a long simulation plus analysis jobs
+        // submitted as output appears; they run simultaneously.
+        let mut m = titan();
+        m.total_nodes = 64;
+        let mut policy = QueuePolicy::titan();
+        policy.base_wait = 0.0;
+        let mut sim = BatchSimulator::new(m, policy);
+        sim.submit(JobRequest::new("sim", 32, 1000.0, 0.0));
+        for i in 0..3 {
+            sim.submit(JobRequest::new(
+                format!("analysis{i}"),
+                4,
+                100.0,
+                200.0 * (i as f64 + 1.0),
+            ));
+        }
+        let recs = sim.run_to_completion();
+        let sim_rec = recs.iter().find(|r| r.name == "sim").unwrap();
+        for i in 0..3 {
+            let a = recs.iter().find(|r| r.name == format!("analysis{i}")).unwrap();
+            assert!(a.start_time < sim_rec.end_time, "analysis{i} must overlap the simulation");
+        }
+    }
+}
+
+#[cfg(test)]
+mod backfill_tests {
+    use super::*;
+    use crate::machine::titan;
+
+    fn machine(nodes: usize) -> crate::machine::MachineSpec {
+        let mut m = titan();
+        m.total_nodes = nodes;
+        m
+    }
+
+    fn policy(discipline: QueueDiscipline) -> QueuePolicy {
+        QueuePolicy {
+            discipline,
+            small_job_threshold: 0,
+            max_running_small_jobs: None,
+            base_wait: 0.0,
+            wait_exponent: 1.0,
+        }
+    }
+
+    /// Workload: an 8-node occupier (100 s), then a blocked 8-node head,
+    /// then a 2-node shorty.
+    fn submit_workload(sim: &mut BatchSimulator, shorty_runtime: f64) {
+        sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+        sim.submit(JobRequest::new("head", 8, 50.0, 1.0));
+        sim.submit(JobRequest::new("shorty", 2, shorty_runtime, 2.0));
+    }
+
+    fn start_of(recs: &[JobRecord], name: &str) -> f64 {
+        recs.iter().find(|r| r.name == name).unwrap().start_time
+    }
+
+    #[test]
+    fn strict_fcfs_blocks_everything_behind_the_head() {
+        let mut sim = BatchSimulator::new(machine(10), policy(QueueDiscipline::FcfsStrict));
+        submit_workload(&mut sim, 10.0);
+        let recs = sim.run_to_completion();
+        // Shorty fits (2 ≤ 10-8) but must wait for the head anyway.
+        assert_eq!(start_of(&recs, "head"), 100.0);
+        assert!(start_of(&recs, "shorty") >= 100.0, "strict FCFS: no jumping");
+    }
+
+    #[test]
+    fn easy_backfill_lets_short_jobs_jump_without_delaying_the_head() {
+        let mut sim = BatchSimulator::new(machine(10), policy(QueueDiscipline::FcfsBackfill));
+        submit_workload(&mut sim, 10.0);
+        let recs = sim.run_to_completion();
+        // Shorty (10 s) finishes well before the head's reservation (t=100):
+        // it backfills immediately.
+        assert_eq!(start_of(&recs, "shorty"), 2.0);
+        // And the head still starts exactly at its reservation.
+        assert_eq!(start_of(&recs, "head"), 100.0);
+    }
+
+    #[test]
+    fn easy_backfill_refuses_jobs_that_would_delay_the_head() {
+        let mut sim = BatchSimulator::new(machine(10), policy(QueueDiscipline::FcfsBackfill));
+        // Shorty runs 500 s — past the head's reservation at t=100.
+        submit_workload(&mut sim, 500.0);
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "head"), 100.0, "head must not be delayed");
+        assert!(
+            start_of(&recs, "shorty") >= 100.0,
+            "a long backfill candidate must wait"
+        );
+    }
+
+    #[test]
+    fn greedy_fcfs_jumps_regardless() {
+        let mut sim = BatchSimulator::new(machine(10), policy(QueueDiscipline::Fcfs));
+        submit_workload(&mut sim, 500.0);
+        let recs = sim.run_to_completion();
+        // Greedy: shorty starts immediately even though it outlives the
+        // head's would-be reservation (and thereby delays the head).
+        assert_eq!(start_of(&recs, "shorty"), 2.0);
+    }
+
+    #[test]
+    fn reservation_time_accumulates_freed_nodes() {
+        let mut sim = BatchSimulator::new(machine(10), policy(QueueDiscipline::FcfsBackfill));
+        sim.submit(JobRequest::new("a", 4, 10.0, 0.0));
+        sim.submit(JobRequest::new("b", 4, 20.0, 0.0));
+        sim.submit(JobRequest::new("wide", 10, 5.0, 1.0));
+        let recs = sim.run_to_completion();
+        // `wide` needs every node: reservation at t=20 when both a and b end.
+        assert_eq!(start_of(&recs, "wide"), 20.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the batch scheduler: capacity safety, causality,
+//! completeness, and correct charging under arbitrary job mixes.
+
+use proptest::prelude::*;
+use simhpc::{machine, BatchSimulator, JobRequest, QueueDiscipline, QueuePolicy};
+
+fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
+    (
+        prop_oneof![Just(QueueDiscipline::Fcfs), Just(QueueDiscipline::LargestFirst)],
+        0usize..200,
+        prop_oneof![Just(None), (1usize..4).prop_map(Some)],
+        0.0f64..1000.0,
+    )
+        .prop_map(|(discipline, small_job_threshold, max_running_small_jobs, base_wait)| {
+            QueuePolicy {
+                discipline,
+                small_job_threshold,
+                max_running_small_jobs,
+                base_wait,
+                wait_exponent: 0.7,
+            }
+        })
+}
+
+fn arb_jobs(max_nodes: usize) -> impl Strategy<Value = Vec<JobRequest>> {
+    proptest::collection::vec(
+        (1usize..=max_nodes, 1.0f64..500.0, 0.0f64..2000.0),
+        1..40,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, runtime, submit))| {
+                JobRequest::new(format!("job{i}"), nodes, runtime, submit)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_invariants(policy in arb_policy(), jobs in arb_jobs(64)) {
+        let mut m = machine::titan();
+        m.total_nodes = 64;
+        // A small-job cap of zero would deadlock small jobs by design; the
+        // generator never produces Some(0).
+        let mut sim = BatchSimulator::new(m.clone(), policy.clone());
+        let n_jobs = jobs.len();
+        for j in &jobs {
+            sim.submit(j.clone());
+        }
+        let recs = sim.run_to_completion();
+
+        // 1. Every job completes exactly once.
+        prop_assert_eq!(recs.len(), n_jobs);
+
+        // 2. Causality: no job starts before its submit time (plus synthetic
+        //    wait) and runs exactly its requested duration.
+        for r in &recs {
+            let req = jobs.iter().find(|j| j.name == r.name).unwrap();
+            let min_start = req.submit_time + policy.synthetic_wait(req.nodes, 64);
+            prop_assert!(r.start_time >= min_start - 1e-6, "{} started early", r.name);
+            prop_assert!((r.runtime() - req.runtime).abs() < 1e-6);
+            // 3. Charging: nodes × hours × factor.
+            let expect = req.nodes as f64 * req.runtime / 3600.0 * m.charge_factor;
+            prop_assert!((r.core_hours - expect).abs() < 1e-6);
+        }
+
+        // 4. Capacity: at no instant do running jobs exceed the machine.
+        //    Check at every start event.
+        for r in &recs {
+            let t = r.start_time;
+            let in_flight: usize = recs
+                .iter()
+                .filter(|o| o.start_time <= t + 1e-9 && o.end_time > t + 1e-9)
+                .map(|o| o.nodes)
+                .sum();
+            prop_assert!(in_flight <= 64, "overcommitted at t={t}: {in_flight}");
+        }
+
+        // 5. Small-job cap honored at every start instant.
+        if let Some(cap) = policy.max_running_small_jobs {
+            for r in &recs {
+                if r.nodes >= policy.small_job_threshold {
+                    continue;
+                }
+                let t = r.start_time;
+                let small_running = recs
+                    .iter()
+                    .filter(|o| {
+                        o.nodes < policy.small_job_threshold
+                            && o.start_time <= t + 1e-9
+                            && o.end_time > t + 1e-9
+                    })
+                    .count();
+                prop_assert!(small_running <= cap, "small-job cap violated at t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn io_time_monotone(bytes_a in 1.0f64..1e13, factor in 1.0f64..100.0, nodes in 1usize..20000) {
+        let t = machine::titan();
+        // More bytes → more time.
+        prop_assert!(t.fs.io_time(bytes_a * factor, nodes) >= t.fs.io_time(bytes_a, nodes));
+        // More clients → no slower.
+        prop_assert!(t.fs.io_time(bytes_a, nodes + 1) <= t.fs.io_time(bytes_a, nodes) + 1e-9);
+        // Redistribution likewise.
+        prop_assert!(
+            t.net.redistribute_time(bytes_a * factor, nodes)
+                >= t.net.redistribute_time(bytes_a, nodes)
+        );
+    }
+
+    #[test]
+    fn synthetic_wait_monotone_in_size(nodes_a in 1usize..10000, extra in 1usize..5000) {
+        let p = QueuePolicy::titan();
+        let total = 18_688;
+        let small = p.synthetic_wait(nodes_a.min(total), total);
+        let big = p.synthetic_wait((nodes_a + extra).min(total), total);
+        prop_assert!(big >= small - 1e-9);
+    }
+}

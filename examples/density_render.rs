@@ -1,0 +1,68 @@
+//! A stand-in for the paper's Figure 2: visualize the final-step particle
+//! distribution of a small run as a column-density projection — written as a
+//! portable PGM image plus an ASCII rendering on stdout.
+//!
+//! ```text
+//! cargo run --release --example density_render
+//! ```
+
+use dpp::Threaded;
+use nbody::{cic_deposit, SimConfig, Simulation};
+
+fn main() {
+    let backend = Threaded::with_available_parallelism();
+    let cfg = SimConfig {
+        np: 64,
+        ng: 64,
+        nsteps: 40,
+        seed: 314159,
+        ..SimConfig::default()
+    };
+    let box_size = cfg.cosmology.box_size;
+    println!("evolving {}^3 particles to z = 0...", cfg.np);
+    let mut sim = Simulation::new(&backend, cfg);
+    sim.run(&backend);
+
+    // Project the density along z.
+    let ng = 64usize;
+    let delta = cic_deposit(&backend, sim.particles(), ng, box_size);
+    let mut proj = vec![0.0f64; ng * ng];
+    for x in 0..ng {
+        for y in 0..ng {
+            let mut s = 0.0;
+            for z in 0..ng {
+                s += 1.0 + delta.get(x, y, z);
+            }
+            proj[x * ng + y] = s;
+        }
+    }
+
+    // Log-stretch for display.
+    let max = proj.iter().cloned().fold(0.0, f64::max);
+    let stretched: Vec<f64> = proj.iter().map(|&v| (1.0 + v).ln() / (1.0 + max).ln()).collect();
+
+    // PGM output.
+    let path = std::env::temp_dir().join("hacc_density.pgm");
+    let mut pgm = format!("P2\n{ng} {ng}\n255\n");
+    for v in &stretched {
+        pgm.push_str(&format!("{} ", (v * 255.0) as u8));
+    }
+    std::fs::write(&path, pgm).expect("write pgm");
+    println!("wrote {} ({}x{} PGM)", path.display(), ng, ng);
+
+    // ASCII rendering (coarse).
+    let ramp: Vec<char> = " .:-=+*#%@".chars().collect();
+    println!("\ncolumn density at z = {:.2} (log stretch):", sim.redshift());
+    for x in (0..ng).step_by(2) {
+        let mut line = String::new();
+        for y in 0..ng {
+            let v = (stretched[x * ng + y] * (ramp.len() - 1) as f64) as usize;
+            line.push(ramp[v.min(ramp.len() - 1)]);
+        }
+        println!("{line}");
+    }
+    println!(
+        "\ndensity rms grew to {:.1} (clustered filaments and knots = the halos the workflow analyzes)",
+        sim.density_rms(&backend)
+    );
+}

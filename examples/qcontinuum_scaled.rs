@@ -1,0 +1,82 @@
+//! Q-Continuum-scale projections (paper §4.1): Table 1 data sizes, Table 2
+//! per-node timing extremes, Figure 3 halo mass histogram with the
+//! 300,000-particle split, Figure 4 per-node center-time distribution, and
+//! the headline core-hour comparison.
+//!
+//! ```text
+//! cargo run --release --example qcontinuum_scaled
+//! ```
+
+use hacc_core::experiments::{
+    fig3, fig4, format_fig3, format_fig4, format_table1, format_table2, qcontinuum_report,
+    subhalo_imbalance, table1, table2,
+};
+use hacc_core::{choose_split, plan_coschedule, TitanFrame};
+use halo::massfn::{qcontinuum, MassFunction};
+use rand::SeedableRng;
+
+fn main() {
+    let frame = TitanFrame::default();
+
+    println!("{}", format_table1(&table1()));
+    println!("{}", format_table2(&table2(&frame)));
+    println!("{}", format_fig3(&fig3(40)));
+    println!("{}", format_fig4(&fig4(&frame, 20150715)));
+    println!("{}", qcontinuum_report(&frame));
+
+    // §4.1: the Moonlight campaign as actually run — 128 file-level jobs.
+    let campaign = hacc_core::experiments::moonlight_campaign(&frame, 20150715, 6.0);
+    println!(
+        "Moonlight campaign: {} single-node jobs; longest {:.1} h (paper 37.8), shortest {:.1} h \
+         (paper 6.0), longest block {:.1} h (paper 10.6), total {:.0} node-hours (paper ~1770)\n",
+        campaign.n_jobs,
+        campaign.longest_hours,
+        campaign.shortest_hours,
+        campaign.longest_block_hours,
+        campaign.node_hours
+    );
+
+    // §4.2: the subhalo task's load imbalance.
+    let (max, min) = subhalo_imbalance(20150715);
+    println!(
+        "subhalo finding (32 nodes, parents > 5000 particles): slowest {:.0} s, fastest {:.0} s, imbalance {:.1}x",
+        max,
+        min,
+        max / min
+    );
+    println!("  (paper: 8172 s vs 1457 s, >5x)\n");
+
+    // The automated split of §4.1 applied to the Q Continuum population.
+    let t_io = 600.0; // ~10 minutes to read a 20 TB snapshot
+    let mf = MassFunction::q_continuum();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let tail = mf.sample_many_above(&mut rng, qcontinuum::OFFLOADED_HALOS as usize, 300_000.0);
+    let decision = choose_split(t_io, &tail);
+    println!(
+        "autosplit: t_io = {:.0} s -> threshold {} particles; largest sampled halo {} -> {}",
+        decision.t_io,
+        decision.threshold,
+        tail.iter().max().unwrap(),
+        if decision.all_in_situ {
+            "everything fits in situ"
+        } else {
+            "off-load required"
+        }
+    );
+    let offloaded: Vec<u64> = tail
+        .iter()
+        .copied()
+        .filter(|&n| n > decision.threshold)
+        .collect();
+    if let Some(plan) = plan_coschedule(&offloaded) {
+        println!(
+            "co-schedule plan: {} halos above the autosplit threshold -> {} ranks, \
+             total {:.1} h, longest {:.1} h, imbalance {:.2}x",
+            offloaded.len(),
+            plan.ranks,
+            plan.total_seconds / 3600.0,
+            plan.longest_single / 3600.0,
+            plan.imbalance()
+        );
+    }
+}

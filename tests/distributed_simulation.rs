@@ -1,0 +1,99 @@
+//! Cross-crate integration of the fully rank-parallel path: distributed
+//! PM simulation (slab FFT, ghost planes, re-homing) feeding directly into
+//! the rank-parallel analysis (overload-region FOF + centers) and the
+//! distributed power spectrum — no gather anywhere.
+
+use comm::{CartDecomp, World};
+use cosmotools::distributed_power_spectrum;
+use halo::{fof_and_centers_timed, FofConfig};
+use nbody::{DistSim, SimConfig, Simulation};
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        np: 16,
+        ng: 16,
+        nsteps: 20,
+        seed: 20150715,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn distributed_sim_feeds_distributed_analysis() {
+    let nranks = 4;
+    let box_size = cfg().cosmology.box_size;
+    let link = 0.28 * box_size / 16.0;
+    let world = World::new(nranks);
+    let results = world.run(|comm| {
+        let mut sim = DistSim::new(comm, cfg());
+        sim.run();
+        assert!(sim.finished());
+
+        // In-situ power spectrum straight off the slab-local particles
+        // (DistSim homes particles by x-slab, which is exactly the layout
+        // distributed_power_spectrum expects).
+        let spec = distributed_power_spectrum(comm, sim.particles(), 16, box_size, 8);
+        assert!(!spec.is_empty());
+
+        // Halo analysis needs the near-cubic decomposition: redistribute.
+        let decomp = CartDecomp::new(comm.size(), box_size);
+        let locals = comm::redistribute(comm, &decomp, sim.particles().to_vec());
+        let fof = FofConfig {
+            link_length: link,
+            min_size: 12,
+            overload_width: (10.0 * link).min(0.45 * decomp.min_block_width()),
+        };
+        let (catalog, _) =
+            fof_and_centers_timed(comm, &decomp, &locals, &fof, &dpp::Serial, 1e-3, usize::MAX);
+        (spec, catalog.len(), catalog.total_particles())
+    });
+
+    // Every rank computed the identical global spectrum.
+    for r in 1..nranks {
+        assert_eq!(results[0].0.len(), results[r].0.len());
+        for (a, b) in results[0].0.iter().zip(&results[r].0) {
+            assert_eq!(a.modes, b.modes);
+            assert!((a.power - b.power).abs() < 1e-9 * a.power.abs().max(1e-12));
+        }
+    }
+    // Halos exist and are spread across ranks without duplication (count
+    // equals a single-rank rerun).
+    let total_halos: usize = results.iter().map(|r| r.1).sum();
+    assert!(total_halos > 0, "the run must form halos");
+
+    let single = World::new(1).run(|comm| {
+        let mut sim = DistSim::new(comm, cfg());
+        sim.run();
+        let decomp = CartDecomp::new(1, box_size);
+        let locals = comm::redistribute(comm, &decomp, sim.particles().to_vec());
+        let fof = FofConfig {
+            link_length: link,
+            min_size: 12,
+            overload_width: (10.0 * link).min(0.45 * decomp.min_block_width()),
+        };
+        let (catalog, _) =
+            fof_and_centers_timed(comm, &decomp, &locals, &fof, &dpp::Serial, 1e-3, usize::MAX);
+        catalog.len()
+    });
+    assert_eq!(total_halos, single[0], "rank count must not change the catalog");
+}
+
+#[test]
+fn distributed_and_shared_memory_sims_agree_statistically() {
+    let mut shared = Simulation::new(&dpp::Serial, cfg());
+    shared.run(&dpp::Serial);
+    let shared_rms = shared.density_rms(&dpp::Serial);
+
+    let world = World::new(2);
+    let rms = world.run(|comm| {
+        let mut sim = DistSim::new(comm, cfg());
+        sim.run();
+        sim.density_rms()
+    });
+    for r in rms {
+        assert!(
+            (r / shared_rms - 1.0).abs() < 0.1,
+            "distributed rms {r} vs shared {shared_rms}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Cross-crate integration: tracking halo evolution across real snapshots
+//! of one simulation (paper §3: halos "merge and accrete mass" over time and
+//! the analysis "tracks their evolution to the end of the simulation").
+
+use cosmotools::find_halos_with_centers;
+use dpp::Threaded;
+use halo::{fit_power_law, track_halos, HaloCatalog};
+use nbody::{SimConfig, Simulation};
+
+fn snapshot_catalogs(at_steps: &[usize]) -> Vec<(usize, f64, HaloCatalog)> {
+    let backend = Threaded::new(4);
+    let cfg = SimConfig {
+        np: 32,
+        ng: 32,
+        nsteps: 30,
+        seed: 20150715,
+        ..SimConfig::default()
+    };
+    let box_size = cfg.cosmology.box_size;
+    let mut out = Vec::new();
+    let mut sim = Simulation::new(&backend, cfg);
+    sim.run_with_hook(&backend, |step, sim| {
+        if at_steps.contains(&step) {
+            let cat = find_halos_with_centers(
+                &backend,
+                sim.particles(),
+                box_size,
+                0.2,
+                20,
+                0, // no centers needed for tracking
+                1e-3,
+            );
+            out.push((step, sim.redshift(), cat));
+        }
+    });
+    out
+}
+
+#[test]
+fn halos_accrete_and_track_across_snapshots() {
+    let snaps = snapshot_catalogs(&[22, 30]);
+    assert_eq!(snaps.len(), 2);
+    let (_, z_early, early) = &snaps[0];
+    let (_, z_late, late) = &snaps[1];
+    assert!(z_early > z_late);
+    assert!(!early.is_empty() && !late.is_empty());
+
+    let tracking = track_halos(early, late, 0.5);
+    // Structure formation: a healthy majority of early halos must have
+    // descendants (halos grow; they rarely evaporate).
+    assert!(
+        tracking.links.len() * 2 > early.len(),
+        "{} of {} early halos tracked",
+        tracking.links.len(),
+        early.len()
+    );
+    // Accretion: on average descendants are at least as massive.
+    let mut grew = 0;
+    let mut shrank = 0;
+    for link in &tracking.links {
+        let e = early.halos.iter().find(|h| h.id == link.progenitor).unwrap();
+        let l = late.halos.iter().find(|h| h.id == link.descendant).unwrap();
+        if l.count() >= e.count() {
+            grew += 1;
+        } else {
+            shrank += 1;
+        }
+    }
+    assert!(
+        grew > shrank,
+        "accretion should dominate: {grew} grew vs {shrank} shrank"
+    );
+    // Late-time structure keeps forming: new halos appear.
+    assert!(
+        late.len() + tracking.disrupted.len() >= early.len(),
+        "halo counts should not collapse"
+    );
+}
+
+#[test]
+fn measured_mass_function_feeds_the_projection_machinery() {
+    // The route DESIGN.md describes: fit the measured catalog's slope, then
+    // use the fitted form for projections.
+    let snaps = snapshot_catalogs(&[30]);
+    let (_, _, cat) = &snaps[0];
+    let sizes: Vec<u64> = cat.halos.iter().map(|h| h.count() as u64).collect();
+    // Toy catalogs are small; the fit may legitimately decline. If it
+    // succeeds, the slope must be a physical mass-function slope.
+    if let Some(fit) = fit_power_law(&sizes, 20.0) {
+        assert!(
+            (0.5..3.5).contains(&fit.alpha),
+            "implausible slope {}",
+            fit.alpha
+        );
+    }
+    // Either way the census is usable for split decisions.
+    let largest = *sizes.iter().max().unwrap();
+    let decision = hacc_core::choose_split(60.0, &sizes);
+    assert_eq!(
+        decision.all_in_situ,
+        largest <= decision.threshold,
+        "split decision consistent with the census"
+    );
+}

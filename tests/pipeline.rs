@@ -1,0 +1,169 @@
+#![allow(clippy::needless_range_loop)]
+//! Cross-crate integration: initial conditions → simulation → in-situ
+//! analysis → Level 2 file → off-line driver → merged Level 3 output.
+
+use cosmotools::{
+    centers_from_catalog, centers_from_level2, merge_center_sets, read_container,
+    write_container, write_level2_container, Config, HaloFinderTask, InSituAnalysisManager,
+    PowerSpectrumTask, Product, SnapshotMeta,
+};
+use dpp::Threaded;
+use halo::HaloCatalog;
+use nbody::{SimConfig, Simulation};
+
+fn small_sim(backend: &dyn dpp::Backend) -> (Simulation, f64) {
+    let cfg = SimConfig {
+        np: 32,
+        ng: 32,
+        nsteps: 30,
+        seed: 2015,
+        ..SimConfig::default()
+    };
+    let box_size = cfg.cosmology.box_size;
+    let mut sim = Simulation::new(backend, cfg);
+    sim.run(backend);
+    (sim, box_size)
+}
+
+#[test]
+fn full_in_situ_pipeline_produces_all_products() {
+    let backend = Threaded::new(4);
+    let cfg = SimConfig {
+        np: 32,
+        ng: 32,
+        nsteps: 30,
+        seed: 2015,
+        ..SimConfig::default()
+    };
+    let box_size = cfg.cosmology.box_size;
+
+    let mut manager = InSituAnalysisManager::new();
+    manager.register(Box::new(PowerSpectrumTask::new()));
+    manager.register(Box::new(HaloFinderTask::new()));
+    let deck = Config::parse(
+        "[powerspectrum]\nevery = 6\nbins = 12\n\
+         [halofinder]\nmin_size = 30\ncenter_threshold = 100000\n",
+    )
+    .unwrap();
+    manager.configure(&deck).unwrap();
+
+    let mut sim = Simulation::new(&backend, cfg);
+    sim.run_with_hook(&backend, |step, sim| {
+        manager.execute_at(
+            step,
+            sim.total_steps(),
+            sim.redshift(),
+            sim.particles(),
+            box_size,
+            &backend,
+        );
+    });
+
+    let products = manager.take_products();
+    let n_spectra = products
+        .iter()
+        .filter(|p| matches!(p, Product::PowerSpectrum { .. }))
+        .count();
+    let n_halo_cats = products
+        .iter()
+        .filter(|p| matches!(p, Product::Halos { .. }))
+        .count();
+    assert_eq!(n_spectra, 5, "steps 6, 12, 18, 24, 30");
+    assert_eq!(n_halo_cats, 1, "final step only");
+    // The final catalog contains clustered structure.
+    let Some(Product::Halos { catalog, .. }) = products
+        .iter()
+        .find(|p| matches!(p, Product::Halos { .. }))
+    else {
+        unreachable!()
+    };
+    assert!(!catalog.is_empty(), "z = 0 must have halos");
+    assert!(catalog.halos.iter().all(|h| h.count() >= 30));
+}
+
+#[test]
+fn in_situ_writer_offline_reader_roundtrip() {
+    // The combined workflow's hand-off: what the in-situ side writes, the
+    // off-line driver must reconstruct bit-for-bit and analyze to the same
+    // answer.
+    let backend = Threaded::new(4);
+    let (sim, box_size) = small_sim(&backend);
+    let catalog = cosmotools::find_halos_with_centers(
+        &backend,
+        sim.particles(),
+        box_size,
+        0.2,
+        30,
+        usize::MAX,
+        1e-3,
+    );
+    assert!(!catalog.is_empty());
+
+    // Pretend everything above the median size is "large".
+    let mut sizes: Vec<usize> = catalog.halos.iter().map(|h| h.count()).collect();
+    sizes.sort_unstable();
+    let threshold = sizes[sizes.len() / 2];
+    let (small, large) = catalog.clone().split_by_size(threshold);
+
+    let meta = SnapshotMeta {
+        step: 12,
+        redshift: 0.0,
+        box_size,
+    };
+    let container = write_level2_container(&large, meta);
+    let bytes = write_container(&container);
+    let back = read_container(&bytes).expect("clean roundtrip");
+    assert_eq!(back.total_particles(), large.total_particles());
+
+    // Off-line centers must equal the in-situ centers for the same halos.
+    let offline_centers = centers_from_level2(&backend, &back, 1e-3);
+    for rec in &offline_centers {
+        let insitu = catalog
+            .halos
+            .iter()
+            .find(|h| h.id == rec.halo_id)
+            .expect("halo exists");
+        let c = insitu.mbp_center.expect("centered in the full run");
+        for d in 0..3 {
+            assert!((c[d] - rec.center[d]).abs() < 1e-6);
+        }
+    }
+
+    // And the merge covers the whole original catalog exactly once.
+    let small_centers = centers_from_catalog(&small);
+    let merged = merge_center_sets(small_centers, offline_centers);
+    assert_eq!(merged.len(), catalog.len());
+}
+
+#[test]
+fn corrupted_level2_file_is_rejected_not_misanalyzed() {
+    let backend = Threaded::new(2);
+    let (sim, box_size) = small_sim(&backend);
+    let catalog = cosmotools::find_halos_with_centers(
+        &backend,
+        sim.particles(),
+        box_size,
+        0.2,
+        30,
+        0, // no centers needed
+        1e-3,
+    );
+    let mut large = HaloCatalog::new();
+    large.merge(catalog);
+    let container = write_level2_container(
+        &large,
+        SnapshotMeta {
+            step: 12,
+            redshift: 0.0,
+            box_size,
+        },
+    );
+    let bytes = write_container(&container);
+    let mut corrupt = bytes.to_vec();
+    let n = corrupt.len();
+    corrupt[n / 2] ^= 0x5A;
+    assert!(
+        read_container(&corrupt).is_err(),
+        "bit flip inside the payload must be caught by the block CRC"
+    );
+}
