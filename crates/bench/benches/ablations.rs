@@ -147,7 +147,10 @@ fn bench_fof_engines(c: &mut Criterion) {
 fn bench_threshold_sweep(c: &mut Criterion) {
     let frame = TitanFrame::default();
     println!("\nsplit-threshold sweep (projected analysis core-hours, 1024^3/32 nodes):");
-    println!("{:>12} {:>12} {:>14} {:>12}", "threshold", "in-situ", "combined", "saving");
+    println!(
+        "{:>12} {:>12} {:>14} {:>12}",
+        "threshold", "in-situ", "combined", "saving"
+    );
     let base = RunSpec::small_run(7);
     for threshold in [50_000u64, 100_000, 300_000, 1_000_000, u64::MAX] {
         let spec = RunSpec {

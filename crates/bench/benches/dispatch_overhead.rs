@@ -1,0 +1,116 @@
+//! Dispatch-overhead microbenchmarks: the persistent worker pool versus a
+//! spawn-per-dispatch baseline (the executor this repo used previously).
+//!
+//! The paper's in-situ cost model charges the analysis kernels per simulation
+//! step, so fixed per-dispatch overhead is paid thousands of times per run —
+//! exactly what moving from spawn-per-dispatch to parked persistent workers
+//! is meant to shrink. `small_n` keeps the work tiny so the numbers are
+//! dominated by dispatch machinery, not the kernel.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpp::ThreadPool;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The old executor's strategy: create and join one scoped OS thread per
+/// worker on every dispatch, chunks pulled from a shared atomic counter.
+fn spawn_per_dispatch(workers: usize, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    let chunks = n.div_ceil(grain);
+    let next = AtomicU64::new(0);
+    let run = || loop {
+        let c = next.fetch_add(1, Ordering::Relaxed) as usize;
+        if c >= chunks {
+            break;
+        }
+        let lo = c * grain;
+        f(lo..(lo + grain).min(n));
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..workers.max(1) {
+            scope.spawn(run);
+        }
+        run();
+    });
+}
+
+fn bench_small_dispatch(c: &mut Criterion) {
+    let workers = 4;
+    let pool = ThreadPool::new(workers);
+    let mut group = c.benchmark_group("dispatch_overhead");
+    for n in [256usize, 4096, 65_536] {
+        let grain = (n / 16).max(1);
+        group.bench_with_input(BenchmarkId::new("persistent_pool", n), &n, |b, &n| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                pool.dispatch(n, grain, &|r| {
+                    let mut s = 0u64;
+                    for i in r {
+                        s = s.wrapping_add(i as u64);
+                    }
+                    acc.fetch_add(s, Ordering::Relaxed);
+                });
+                black_box(acc.into_inner())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("spawn_per_dispatch", n), &n, |b, &n| {
+            b.iter(|| {
+                let acc = AtomicU64::new(0);
+                spawn_per_dispatch(workers, n, grain, &|r| {
+                    let mut s = 0u64;
+                    for i in r {
+                        s = s.wrapping_add(i as u64);
+                    }
+                    acc.fetch_add(s, Ordering::Relaxed);
+                });
+                black_box(acc.into_inner())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Back-to-back tiny dispatches on one pool: the in-situ per-step pattern
+/// (many kernel invocations per simulation step, same pool throughout).
+fn bench_dispatch_train(c: &mut Criterion) {
+    let pool = ThreadPool::new(4);
+    c.bench_function("dispatch_train/100x_n1024_persistent", |b| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            for _ in 0..100 {
+                pool.dispatch(1024, 64, &|r| {
+                    acc.fetch_add(r.len() as u64, Ordering::Relaxed);
+                });
+            }
+            black_box(acc.into_inner())
+        })
+    });
+    c.bench_function("dispatch_train/100x_n1024_spawning", |b| {
+        b.iter(|| {
+            let acc = AtomicU64::new(0);
+            for _ in 0..100 {
+                spawn_per_dispatch(4, 1024, 64, &|r| {
+                    acc.fetch_add(r.len() as u64, Ordering::Relaxed);
+                });
+            }
+            black_box(acc.into_inner())
+        })
+    });
+}
+
+fn short() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = short();
+    targets = bench_small_dispatch, bench_dispatch_train
+}
+criterion_main!(benches);

@@ -13,8 +13,8 @@ use bench::snapshot_32;
 use comm::{CartDecomp, World};
 use criterion::{criterion_group, criterion_main, Criterion};
 use dpp::Threaded;
-use halo::{fof_and_centers_timed, FofConfig, SubhaloParams};
 use hacc_core::{RunnerConfig, TestBed};
+use halo::{fof_and_centers_timed, FofConfig, SubhaloParams};
 use nbody::SimConfig;
 
 fn short() -> Criterion {
@@ -45,15 +45,26 @@ fn bench_measured_table2(c: &mut Criterion) {
                 .filter(|p| decomp.owner_of(p.pos_f64()) == comm.rank())
                 .copied()
                 .collect();
-            fof_and_centers_timed(comm, &decomp, &locals, &fof, &backend, 1e-3, usize::MAX)
-                .1
+            fof_and_centers_timed(comm, &decomp, &locals, &fof, &backend, 1e-3, usize::MAX).1
         })
     };
     let timings = run();
-    let fmax = timings.iter().map(|t| t.find_seconds).fold(0.0f64, f64::max);
-    let fmin = timings.iter().map(|t| t.find_seconds).fold(f64::INFINITY, f64::min);
-    let cmax = timings.iter().map(|t| t.center_seconds).fold(0.0f64, f64::max);
-    let cmin = timings.iter().map(|t| t.center_seconds).fold(f64::INFINITY, f64::min);
+    let fmax = timings
+        .iter()
+        .map(|t| t.find_seconds)
+        .fold(0.0f64, f64::max);
+    let fmin = timings
+        .iter()
+        .map(|t| t.find_seconds)
+        .fold(f64::INFINITY, f64::min);
+    let cmax = timings
+        .iter()
+        .map(|t| t.center_seconds)
+        .fold(0.0f64, f64::max);
+    let cmin = timings
+        .iter()
+        .map(|t| t.center_seconds)
+        .fold(f64::INFINITY, f64::min);
     println!(
         "\nmeasured Table 2 analog (z = 0, {nranks} ranks): find {:.4}/{:.4} s (x{:.1}), center {:.4}/{:.4} s (x{:.1})",
         fmax,
@@ -120,9 +131,8 @@ fn bench_measured_workflows(c: &mut Criterion) {
 fn bench_measured_subhalos(c: &mut Criterion) {
     let (particles, box_size) = snapshot_32();
     let backend = Threaded::with_available_parallelism();
-    let catalog = cosmotools::find_halos_with_centers(
-        &backend, particles, *box_size, 0.2, 40, 0, 1e-3,
-    );
+    let catalog =
+        cosmotools::find_halos_with_centers(&backend, particles, *box_size, 0.2, 40, 0, 1e-3);
     let params = SubhaloParams {
         min_size: 15,
         ..Default::default()

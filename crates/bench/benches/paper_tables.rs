@@ -29,7 +29,9 @@ fn bench_table1(c: &mut Criterion) {
 fn bench_table2(c: &mut Criterion) {
     let frame = TitanFrame::default();
     println!("\n{}", format_table2(&table2(&frame)));
-    c.bench_function("table2_find_center_imbalance", |b| b.iter(|| table2(&frame)));
+    c.bench_function("table2_find_center_imbalance", |b| {
+        b.iter(|| table2(&frame))
+    });
 }
 
 fn bench_table3_table4(c: &mut Criterion) {
@@ -50,7 +52,9 @@ fn bench_fig3(c: &mut Criterion) {
 fn bench_fig4(c: &mut Criterion) {
     let frame = TitanFrame::default();
     println!("\n{}", format_fig4(&fig4(&frame, 20150715)));
-    c.bench_function("fig4_node_time_histogram", |b| b.iter(|| fig4(&frame, 20150715)));
+    c.bench_function("fig4_node_time_histogram", |b| {
+        b.iter(|| fig4(&frame, 20150715))
+    });
 }
 
 fn bench_qcontinuum(c: &mut Criterion) {

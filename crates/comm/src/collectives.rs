@@ -167,7 +167,11 @@ mod tests {
     fn broadcast_from_nonzero_root() {
         let world = World::new(4);
         let out = world.run(|c| {
-            let v = if c.rank() == 2 { Some(vec![1u8, 2, 3]) } else { None };
+            let v = if c.rank() == 2 {
+                Some(vec![1u8, 2, 3])
+            } else {
+                None
+            };
             c.broadcast(2, v)
         });
         for v in out {

@@ -101,7 +101,11 @@ impl CartDecomp {
     pub fn rank_of(&self, coords: [isize; 3]) -> usize {
         let [dx, dy, dz] = self.dims;
         let wrap = |c: isize, d: usize| -> usize { c.rem_euclid(d as isize) as usize };
-        let (x, y, z) = (wrap(coords[0], dx), wrap(coords[1], dy), wrap(coords[2], dz));
+        let (x, y, z) = (
+            wrap(coords[0], dx),
+            wrap(coords[1], dy),
+            wrap(coords[2], dz),
+        );
         (x * dy + y) * dz + z
     }
 
@@ -331,11 +335,7 @@ mod tests {
             let parts: Vec<[f64; 3]> = (0..100)
                 .map(|i| {
                     let t = (c.rank() * 100 + i) as f64;
-                    [
-                        (t * 7.3) % 32.0,
-                        (t * 3.1) % 32.0,
-                        (t * 1.7) % 32.0,
-                    ]
+                    [(t * 7.3) % 32.0, (t * 3.1) % 32.0, (t * 1.7) % 32.0]
                 })
                 .collect();
             let mine = redistribute(c, &d, parts);

@@ -6,10 +6,10 @@
 //! receives match on `(source, tag)` with out-of-order buffering, mirroring
 //! MPI matching semantics.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 
 /// A tagged message in flight.
 struct Envelope {
@@ -53,12 +53,19 @@ impl Communicator {
     /// Panics if `dst` is out of range or `tag` collides with the reserved
     /// collective tag space.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.send_raw(dst, tag, value);
     }
 
     pub(crate) fn send_raw<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
-        assert!(dst < self.size, "send to rank {dst} out of range {}", self.size);
+        assert!(
+            dst < self.size,
+            "send to rank {dst} out of range {}",
+            self.size
+        );
         self.senders[dst]
             .send(Envelope {
                 src: self.rank,
@@ -73,7 +80,10 @@ impl Communicator {
     /// Panics if the matched payload has a different type (a protocol error)
     /// or if the world shuts down while waiting.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        assert!(tag < COLLECTIVE_TAG_BASE, "tag {tag} is reserved for collectives");
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
         self.recv_raw(src, tag)
     }
 
@@ -160,15 +170,23 @@ impl World {
         F: Fn(&Communicator) -> T + Sync,
     {
         let size = self.size;
-        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..size).map(|_| unbounded()).unzip();
+        let (senders, inboxes): (Vec<_>, Vec<_>) = (0..size).map(|_| channel()).unzip();
         let senders = Arc::new(senders);
         let mut results: Vec<Option<T>> = (0..size).map(|_| None).collect();
 
-        let scope_result = crossbeam::thread::scope(|scope| {
+        // Join every rank thread before deciding the outcome so a panicking
+        // rank never leaves peers running against dropped channels, then
+        // re-raise one rank's original payload so callers (and tests) see the
+        // real failure message. A rank that dies because a *peer* panicked
+        // first fails with the secondary "hung up" message; prefer a primary
+        // payload over those when picking what to re-raise.
+        let panics: Mutex<Vec<Box<dyn Any + Send>>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(size);
             for (rank, (inbox, slot)) in inboxes.into_iter().zip(results.iter_mut()).enumerate() {
                 let senders = Arc::clone(&senders);
                 let f = &f;
-                scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let comm = Communicator {
                         rank,
                         size,
@@ -178,22 +196,30 @@ impl World {
                         coll_seq: RefCell::new(0),
                     };
                     *slot = Some(f(&comm));
-                });
+                }));
+            }
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    panics
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(payload);
+                }
             }
         });
-        if let Err(payload) = scope_result {
-            // Re-raise the original rank panic so callers (and tests) see the
-            // real failure message. Crossbeam aggregates unjoined-child panics
-            // into a Vec of payloads and may also double-box single payloads.
-            let payload = match payload.downcast::<Vec<Box<dyn Any + Send>>>() {
-                Ok(mut v) if !v.is_empty() => v.remove(0),
-                Ok(_) => Box::new("rank panicked with empty payload"),
-                Err(p) => match p.downcast::<Box<dyn Any + Send>>() {
-                    Ok(inner) => *inner,
-                    Err(p) => p,
-                },
+        let mut panics = panics.into_inner().unwrap_or_else(|p| p.into_inner());
+        if !panics.is_empty() {
+            let is_secondary = |p: &Box<dyn Any + Send>| {
+                let msg = p
+                    .downcast_ref::<&'static str>()
+                    .copied()
+                    .map(str::to_string)
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                msg.contains("hung up") || msg.contains("world shut down")
             };
-            std::panic::resume_unwind(payload);
+            let pick = panics.iter().position(|p| !is_secondary(p)).unwrap_or(0);
+            std::panic::resume_unwind(panics.swap_remove(pick));
         }
 
         results

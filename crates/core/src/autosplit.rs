@@ -60,8 +60,7 @@ impl CoSchedulePlan {
     /// Load-balance quality: max rank time over mean rank time (1 = perfect).
     pub fn imbalance(&self) -> f64 {
         let max = self.rank_seconds.iter().cloned().fold(0.0, f64::max);
-        let mean =
-            self.rank_seconds.iter().sum::<f64>() / self.rank_seconds.len().max(1) as f64;
+        let mean = self.rank_seconds.iter().sum::<f64>() / self.rank_seconds.len().max(1) as f64;
         if mean == 0.0 {
             1.0
         } else {

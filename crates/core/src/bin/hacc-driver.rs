@@ -10,8 +10,8 @@
 //! ```
 
 use cosmotools::{
-    centers_from_level2, Config, HaloFinderTask, InSituAnalysisManager, PowerSpectrumTask,
-    Product, SnapshotMeta, SoMassTask, SubsampleTask,
+    centers_from_level2, Config, HaloFinderTask, InSituAnalysisManager, PowerSpectrumTask, Product,
+    SnapshotMeta, SoMassTask, SubsampleTask,
 };
 use dpp::Threaded;
 use hacc_core::experiments as exp;
@@ -191,7 +191,9 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = PathBuf::from(req(args, "--level1")?);
-    let link: f64 = opt(args, "--link").map(|s| s.parse().unwrap_or(0.2)).unwrap_or(0.2);
+    let link: f64 = opt(args, "--link")
+        .map(|s| s.parse().unwrap_or(0.2))
+        .unwrap_or(0.2);
     let min_size: usize = opt(args, "--min-size")
         .map(|s| s.parse().unwrap_or(40))
         .unwrap_or(40);
@@ -207,13 +209,17 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     let backend = Threaded::with_available_parallelism();
     let catalog = cosmotools::analyze_level1(&backend, &container, link, min_size, 1e-3);
-    println!("found {} halos (min size {min_size}, b = {link})", catalog.len());
+    println!(
+        "found {} halos (min size {min_size}, b = {link})",
+        catalog.len()
+    );
     for h in catalog.halos.iter().take(10) {
         println!(
             "  halo {:>8}: {:>8} particles, center {:?}",
             h.id,
             h.count(),
-            h.mbp_center.map(|c| [c[0] as f32, c[1] as f32, c[2] as f32])
+            h.mbp_center
+                .map(|c| [c[0] as f32, c[1] as f32, c[2] as f32])
         );
     }
     if catalog.len() > 10 {
@@ -248,7 +254,10 @@ fn cmd_listen(args: &[String]) -> Result<(), String> {
     let timeout_ms: u64 = opt(args, "--timeout-ms")
         .map(|s| s.parse().unwrap_or(60_000))
         .unwrap_or(60_000);
-    println!("listening on {} for *{suffix} (max {max_files}, {timeout_ms} ms)", dir.display());
+    println!(
+        "listening on {} for *{suffix} (max {max_files}, {timeout_ms} ms)",
+        dir.display()
+    );
     let listener = Listener::spawn(
         dir,
         ListenerConfig {
@@ -296,7 +305,17 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     if run("qcontinuum") {
         println!("{}", exp::qcontinuum_report(&frame));
     }
-    if !["table1", "table2", "table3", "fig3", "fig4", "qcontinuum", "all"].contains(&which) {
+    if ![
+        "table1",
+        "table2",
+        "table3",
+        "fig3",
+        "fig4",
+        "qcontinuum",
+        "all",
+    ]
+    .contains(&which)
+    {
         return Err(format!("unknown experiment `{which}`"));
     }
     Ok(())

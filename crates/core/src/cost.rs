@@ -93,7 +93,8 @@ impl WorkflowCost {
 
     /// Total core-hours including the simulation itself.
     pub fn total_core_hours(&self) -> f64 {
-        self.simulation.total_core_hours() + self.post.iter().map(|j| j.total_core_hours()).sum::<f64>()
+        self.simulation.total_core_hours()
+            + self.post.iter().map(|j| j.total_core_hours()).sum::<f64>()
     }
 
     /// End-to-end wall time assuming post jobs run after the simulation
@@ -118,7 +119,15 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
         writeln!(
             out,
             "{:<18} {:>9} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9} | {:>10}",
-            "job", "queuing", "sim", "read", "redistribute", "analysis", "write", "total", "core-hrs"
+            "job",
+            "queuing",
+            "sim",
+            "read",
+            "redistribute",
+            "analysis",
+            "write",
+            "total",
+            "core-hrs"
         )
         .unwrap();
         for job in std::iter::once(&wc.simulation).chain(wc.post.iter()) {
@@ -243,7 +252,12 @@ mod tests {
         let wc = WorkflowCost {
             strategy: "x".into(),
             simulation: JobCost::new("simulation", &t, 32, phases(1.0, 2.0, 3.0)),
-            post: vec![JobCost::new("post-processing", &t, 4, phases(0.0, 5.0, 0.0))],
+            post: vec![JobCost::new(
+                "post-processing",
+                &t,
+                4,
+                phases(0.0, 5.0, 0.0),
+            )],
         };
         let s = format_table4(&[wc]);
         assert!(s.contains("simulation (32xtitan)"));

@@ -4,7 +4,7 @@
 
 use crate::model::{expected_center_seconds, qcontinuum_projection, RunSpec, TitanFrame};
 use halo::massfn::{qcontinuum, MassFunction};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 // ---------------------------------------------------------------- Table 1
 
@@ -188,8 +188,16 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
         writeln!(
             out,
             "{:>5} {:>5.3} {:>10.0} {:>8.0} {:>9.0} {:>8.0} {:>11.0} {:>8.0} {:>11.1} {:>8.1}",
-            r.slice, r.redshift, r.find_max, p.2, r.find_min, p.3, r.center_max, p.4,
-            r.center_min, p.5
+            r.slice,
+            r.redshift,
+            r.find_max,
+            p.2,
+            r.find_min,
+            p.3,
+            r.center_max,
+            p.4,
+            r.center_min,
+            p.5
         )
         .unwrap();
     }
@@ -237,9 +245,8 @@ pub fn fig3(nbins: usize) -> Vec<Fig3Bin> {
 /// Render Figure 3 as an ASCII log-log histogram.
 pub fn format_fig3(bins: &[Fig3Bin]) -> String {
     use std::fmt::Write;
-    let mut out = String::from(
-        "Figure 3: halo counts vs mass (log-log); '#' in-situ, 'O' off-loaded\n",
-    );
+    let mut out =
+        String::from("Figure 3: halo counts vs mass (log-log); '#' in-situ, 'O' off-loaded\n");
     let max_log = bins
         .iter()
         .map(|b| b.count.max(1.0).log10())
@@ -320,7 +327,15 @@ pub fn format_fig4(f: &Fig4) -> String {
             continue;
         }
         let bar = "#".repeat(((c as f64).log10() * 12.0) as usize + 1);
-        writeln!(out, "{:>6}-{:<6} {:>8}  {}", i * 1000, (i + 1) * 1000, c, bar).unwrap();
+        writeln!(
+            out,
+            "{:>6}-{:<6} {:>8}  {}",
+            i * 1000,
+            (i + 1) * 1000,
+            c,
+            bar
+        )
+        .unwrap();
     }
     writeln!(
         out,
@@ -407,7 +422,11 @@ pub struct MoonlightCampaign {
 /// `per_job_overhead_hours` models the file-level fixed costs the paper's
 /// jobs carried (staging a ~30 GB file to one node, unpacking, small-halo
 /// passes): the shortest observed job was 6.0 h even for light files.
-pub fn moonlight_campaign(frame: &TitanFrame, seed: u64, per_job_overhead_hours: f64) -> MoonlightCampaign {
+pub fn moonlight_campaign(
+    frame: &TitanFrame,
+    seed: u64,
+    per_job_overhead_hours: f64,
+) -> MoonlightCampaign {
     let mf = MassFunction::q_continuum();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let tail = mf.sample_many_above(
@@ -415,29 +434,41 @@ pub fn moonlight_campaign(frame: &TitanFrame, seed: u64, per_job_overhead_hours:
         qcontinuum::OFFLOADED_HALOS as usize,
         qcontinuum::SPLIT_THRESHOLD as f64,
     );
-    // Producing node of each halo (hashed), then 128 nodes aggregate per
-    // file: node / 128 = file index.
+    // Producing node of each halo, then 128 nodes aggregate per file:
+    // node / 128 = file index. Nodes hold spatial sub-volumes, and massive
+    // halos trace large-scale structure, so the per-node off-loaded halo
+    // density is far from uniform — model it as a lognormal field (the
+    // standard approximation for cosmic density fluctuations). This is what
+    // spreads the 128 jobs from near-pure-overhead (the paper's 6.0 h
+    // shortest) to the 37.8 h longest; a uniform hash would give every file
+    // an almost identical load.
     let n_files = 128usize;
     let nodes = qcontinuum::TITAN_NODES as usize;
+    let sigma = 1.7; // per-node lognormal width; file-level spread ~ paper's
+    let mut node_cdf = Vec::with_capacity(nodes);
+    let mut acc = 0.0f64;
+    for _ in 0..nodes {
+        // Box-Muller standard normal.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        acc += (sigma * z).exp();
+        node_cdf.push(acc);
+    }
     let mut per_file_seconds = vec![per_job_overhead_hours * 3600.0; n_files];
     let mut longest_block: f64 = 0.0;
     let moonlight_slowdown = 1.0 / frame.moonlight.node_speed;
-    for (i, &n) in tail.iter().enumerate() {
-        let h = (i as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .rotate_left(27)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        let node = (h % nodes as u64) as usize;
+    for &n in tail.iter() {
+        let u: f64 = rng.gen_range(0.0..acc);
+        let node = node_cdf.partition_point(|&c| c < u).min(nodes - 1);
         let file = node / (nodes / n_files);
         let t = frame.center_seconds(n) * moonlight_slowdown;
         per_file_seconds[file] += t;
         longest_block = longest_block.max(t);
     }
     // One single-node job per file through the analysis cluster's queue.
-    let mut sim = simhpc::BatchSimulator::new(
-        frame.moonlight.clone(),
-        simhpc::QueuePolicy::ideal(),
-    );
+    let mut sim =
+        simhpc::BatchSimulator::new(frame.moonlight.clone(), simhpc::QueuePolicy::ideal());
     for (i, &secs) in per_file_seconds.iter().enumerate() {
         sim.submit(simhpc::JobRequest::new(format!("file{i:04}"), 1, secs, 0.0));
     }
@@ -446,7 +477,10 @@ pub fn moonlight_campaign(frame: &TitanFrame, seed: u64, per_job_overhead_hours:
     MoonlightCampaign {
         n_jobs: n_files,
         longest_hours: per_file_seconds.iter().cloned().fold(0.0, f64::max) / 3600.0,
-        shortest_hours: per_file_seconds.iter().cloned().fold(f64::INFINITY, f64::min)
+        shortest_hours: per_file_seconds
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
             / 3600.0,
         longest_block_hours: longest_block / 3600.0,
         node_hours,
@@ -490,13 +524,29 @@ mod tests {
         assert_eq!(rows.len(), 2);
         // 1024³: ~40 GB Level 1, a few GB Level 2, tens of MB Level 3.
         let small = &rows[0];
-        assert!((35e9..45e9).contains(&(small.level1 as f64)), "{}", small.level1);
-        assert!((0.5e9..15e9).contains(&(small.level2 as f64)), "{}", small.level2);
-        assert!((5e6..50e6).contains(&(small.level3 as f64)), "{}", small.level3);
+        assert!(
+            (35e9..45e9).contains(&(small.level1 as f64)),
+            "{}",
+            small.level1
+        );
+        assert!(
+            (0.5e9..15e9).contains(&(small.level2 as f64)),
+            "{}",
+            small.level2
+        );
+        assert!(
+            (5e6..50e6).contains(&(small.level3 as f64)),
+            "{}",
+            small.level3
+        );
         // 8192³: ~20 TB Level 1, ~4 TB Level 2, ~10 GB Level 3.
         let big = &rows[1];
         assert!((18e12..22e12).contains(&(big.level1 as f64)));
-        assert!((0.5e12..8e12).contains(&(big.level2 as f64)), "{}", big.level2);
+        assert!(
+            (0.5e12..8e12).contains(&(big.level2 as f64)),
+            "{}",
+            big.level2
+        );
         assert!((4e9..16e9).contains(&(big.level3 as f64)));
         let s = format_table1(&rows);
         assert!(s.contains("1024^3") && s.contains("8192^3"));
@@ -526,7 +576,13 @@ mod tests {
             );
             // Find within a factor 2 of the paper.
             let fr = r.find_min / p.3;
-            assert!((0.5..2.0).contains(&fr), "slice {}: find {} vs {}", r.slice, r.find_min, p.3);
+            assert!(
+                (0.5..2.0).contains(&fr),
+                "slice {}: find {} vs {}",
+                r.slice,
+                r.find_min,
+                p.3
+            );
         }
         // Imbalance grows toward z = 0.
         let early = rows[0].center_max / rows[0].center_min.max(0.1);

@@ -3,9 +3,22 @@
 //! running simulation and submits an analysis batch job for each one, then
 //! resumes checking. A final sweep after the main job completes catches
 //! outputs written at the very end of the run.
+//!
+//! Large simulation outputs take many poll intervals to write (the paper's
+//! level-2 files are ~30 GB), so a file's *appearance* is not a safe submit
+//! signal — analyzing a half-written container would fail or, worse, silently
+//! truncate. Two guards address this:
+//!
+//! * **quiescence gate** — a new file is submitted only once its size is
+//!   unchanged across two consecutive polls ([`ListenerConfig::require_quiescence`]);
+//!   the final sweep at [`Listener::stop`] bypasses the gate because the
+//!   simulation has exited and its files are complete;
+//! * **temporary exclusion** — writers that stage through `foo.tmp` + rename
+//!   are supported by skipping names with a configured suffix outright
+//!   ([`ListenerConfig::exclude_suffix`]).
 
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -21,6 +34,15 @@ pub struct ListenerConfig {
     pub prefix: String,
     /// …and ends with this suffix.
     pub suffix: String,
+    /// Never react to names ending with this suffix, even when they match
+    /// `prefix`/`suffix` — covers writers that stage output through a
+    /// temporary name before an atomic rename. `None` disables the filter.
+    pub exclude_suffix: Option<String>,
+    /// Submit a newly appeared file only after its size is unchanged across
+    /// two consecutive polls, so in-progress writes are never picked up. The
+    /// final sweep in [`Listener::stop`] bypasses this gate (the simulation
+    /// has finished; its files are complete).
+    pub require_quiescence: bool,
 }
 
 impl Default for ListenerConfig {
@@ -29,6 +51,8 @@ impl Default for ListenerConfig {
             poll_interval: Duration::from_millis(20),
             prefix: String::new(),
             suffix: String::new(),
+            exclude_suffix: Some(".tmp".to_string()),
+            require_quiescence: true,
         }
     }
 }
@@ -51,7 +75,15 @@ fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .map(|n| n.starts_with(&cfg.prefix) && n.ends_with(&cfg.suffix))
+                .map(|n| {
+                    n.starts_with(&cfg.prefix)
+                        && n.ends_with(&cfg.suffix)
+                        && cfg
+                            .exclude_suffix
+                            .as_deref()
+                            .map(|x| !n.ends_with(x))
+                            .unwrap_or(true)
+                })
                 .unwrap_or(false)
         })
         .collect();
@@ -72,22 +104,40 @@ impl Listener {
         let seen2 = Arc::clone(&seen);
         let handle = std::thread::spawn(move || {
             let mut submitted: Vec<PathBuf> = Vec::new();
-            let sweep = |on_file: &mut F, submitted: &mut Vec<PathBuf>| {
+            // Size at the previous poll for files still being written.
+            let mut pending: HashMap<PathBuf, u64> = HashMap::new();
+            let mut sweep = |on_file: &mut F, submitted: &mut Vec<PathBuf>, final_sweep: bool| {
                 for f in matching_files(&dir, &cfg) {
-                    let fresh = seen2.lock().insert(f.clone());
-                    if fresh {
-                        on_file(&f);
-                        submitted.push(f);
+                    if seen2.lock().contains(&f) {
+                        continue;
                     }
+                    if cfg.require_quiescence && !final_sweep {
+                        let Ok(meta) = std::fs::metadata(&f) else {
+                            continue; // raced with a writer's rename/delete
+                        };
+                        let size = meta.len();
+                        if pending.get(&f) != Some(&size) {
+                            // First sighting, or still growing: wait for a
+                            // poll where the size holds steady.
+                            pending.insert(f.clone(), size);
+                            continue;
+                        }
+                    }
+                    pending.remove(&f);
+                    seen2.lock().insert(f.clone());
+                    on_file(&f);
+                    submitted.push(f);
                 }
             };
             loop {
                 if stop2.load(Ordering::Acquire) {
-                    // One final sweep "to catch the last output data".
-                    sweep(&mut on_file, &mut submitted);
+                    // One final sweep "to catch the last output data". The
+                    // simulation has exited, so files are complete and the
+                    // quiescence gate is bypassed.
+                    sweep(&mut on_file, &mut submitted, true);
                     break;
                 }
-                sweep(&mut on_file, &mut submitted);
+                sweep(&mut on_file, &mut submitted, false);
                 // Interruptible sleep: check the stop flag every few ms so
                 // stop() never blocks for a whole poll interval.
                 let mut remaining = cfg.poll_interval;
@@ -100,11 +150,7 @@ impl Listener {
             }
             submitted
         });
-        Listener {
-            stop,
-            handle,
-            seen,
-        }
+        Listener { stop, handle, seen }
     }
 
     /// Number of files handled so far.
@@ -204,6 +250,97 @@ mod tests {
         let files = listener.stop();
         assert_eq!(files.len(), 1);
         assert_eq!(count.load(Ordering::SeqCst), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn partially_written_file_submits_once_after_quiescence() {
+        let dir = tmpdir("quiesce");
+        let path = dir.join("big.hcio");
+        // Record the file size observed at submission time.
+        let sizes: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&sizes);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(60),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            move |p| {
+                s2.lock().push(std::fs::metadata(p).unwrap().len());
+            },
+        );
+        // Simulate a slow writer: the file grows in small appends spanning
+        // several poll intervals, so no two consecutive polls during the
+        // write ever observe an unchanged size.
+        use std::io::Write;
+        let mut fh = std::fs::File::create(&path).unwrap();
+        for _ in 0..40 {
+            fh.write_all(&[0u8; 64]).unwrap();
+            fh.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(fh);
+        let total = 40 * 64;
+        assert_eq!(
+            listener.handled(),
+            0,
+            "a still-growing file must not be submitted"
+        );
+        // Writer done: two quiet polls later the job fires, exactly once.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(listener.handled(), 1, "quiescent file must be submitted");
+        let files = listener.stop();
+        assert_eq!(files.len(), 1, "exactly one (late) submission");
+        assert_eq!(
+            sizes.lock().as_slice(),
+            &[total],
+            "submission must see the complete file"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn excluded_temporaries_are_never_submitted() {
+        let dir = tmpdir("tmpskip");
+        std::fs::write(dir.join("a.out"), b"done").unwrap();
+        std::fs::write(dir.join("b.tmp"), b"in progress").unwrap();
+        let listener = Listener::spawn(
+            dir.clone(),
+            // Default config: match everything, exclude `.tmp`.
+            ListenerConfig::default(),
+            |_| {},
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        // Even the final sweep must not pick up the temporary.
+        let files = listener.stop();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("a.out"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renamed_temporary_is_submitted_under_its_final_name() {
+        let dir = tmpdir("rename");
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(10),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            |_| {},
+        );
+        std::fs::write(dir.join("out.hcio.tmp"), b"staged").unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(listener.handled(), 0);
+        std::fs::rename(dir.join("out.hcio.tmp"), dir.join("out.hcio")).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(listener.handled(), 1);
+        let files = listener.stop();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("out.hcio"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

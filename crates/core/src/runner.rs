@@ -273,12 +273,8 @@ impl TestBed {
             .expect("valid level 2 container");
         let read = t_r.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let large_centers = centers_over_ranks(
-            &l2_back,
-            self.cfg.post_ranks,
-            self.cfg.softening,
-            backend,
-        );
+        let large_centers =
+            centers_over_ranks(&l2_back, self.cfg.post_ranks, self.cfg.softening, backend);
         let analysis_post = t1.elapsed().as_secs_f64();
 
         let centers = merge_center_sets(small_centers, large_centers);
@@ -381,12 +377,8 @@ impl TestBed {
                     let container = cosmotools::read_file(&path)
                         .expect("io")
                         .expect("valid container");
-                    let centers = centers_over_ranks(
-                        &container,
-                        post_ranks,
-                        softening,
-                        &dpp::Serial,
-                    );
+                    let centers =
+                        centers_over_ranks(&container, post_ranks, softening, &dpp::Serial);
                     r3.lock().push((path, centers, started_at));
                 });
                 h2.lock().push(handle);
@@ -445,11 +437,8 @@ impl TestBed {
                     box_size: decomp.box_size(),
                 };
                 let container = write_level2_container(&large, meta);
-                cosmotools::write_file(
-                    &dir.join(format!("l2_step{step:04}.hcio")),
-                    &container,
-                )
-                .expect("write level 2");
+                cosmotools::write_file(&dir.join(format!("l2_step{step:04}.hcio")), &container)
+                    .expect("write level 2");
                 emitted += 1;
             }
         });
@@ -547,7 +536,10 @@ pub fn measured_table2(
                 usize::MAX,
             )
         });
-        let find_max = results.iter().map(|(_, t)| t.find_seconds).fold(0.0f64, f64::max);
+        let find_max = results
+            .iter()
+            .map(|(_, t)| t.find_seconds)
+            .fold(0.0f64, f64::max);
         let find_min = results
             .iter()
             .map(|(_, t)| t.find_seconds)
@@ -652,10 +644,8 @@ mod tests {
             linking_length: 0.28,
             threshold: 60,
             min_size: 12,
-            workdir: std::env::temp_dir().join(format!(
-                "hacc_runner_test_{name}_{}",
-                std::process::id()
-            )),
+            workdir: std::env::temp_dir()
+                .join(format!("hacc_runner_test_{name}_{}", std::process::id())),
             ..Default::default()
         }
     }
@@ -729,10 +719,8 @@ mod tests {
             nranks: 8,
             threshold: usize::MAX,
             min_size: 20,
-            workdir: std::env::temp_dir().join(format!(
-                "hacc_runner_test_t2_{}",
-                std::process::id()
-            )),
+            workdir: std::env::temp_dir()
+                .join(format!("hacc_runner_test_t2_{}", std::process::id())),
             ..Default::default()
         };
         let rows = measured_table2(&cfg, &backend, &[20, 30]);

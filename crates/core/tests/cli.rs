@@ -31,7 +31,10 @@ fn unknown_command_fails() {
 
 #[test]
 fn experiments_qcontinuum_prints_headline() {
-    let out = driver().args(["experiments", "qcontinuum"]).output().unwrap();
+    let out = driver()
+        .args(["experiments", "qcontinuum"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("cost factor"), "{stdout}");
@@ -60,7 +63,13 @@ fn sim_then_offline_analyze_then_centers_roundtrip() {
 
     // 1. The simulation job.
     let out = driver()
-        .args(["sim", "--deck", deck.to_str().unwrap(), "--out", dir.to_str().unwrap()])
+        .args([
+            "sim",
+            "--deck",
+            deck.to_str().unwrap(),
+            "--out",
+            dir.to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(
@@ -152,7 +161,11 @@ fn experiments_report_writes_markdown() {
         .args(["experiments", "all", "--out", out.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(res.status.success(), "{}", String::from_utf8_lossy(&res.stderr));
+    assert!(
+        res.status.success(),
+        "{}",
+        String::from_utf8_lossy(&res.stderr)
+    );
     let text = std::fs::read_to_string(&out).unwrap();
     assert!(text.contains("# Reproduction report"));
     assert!(text.contains("Table 1"));

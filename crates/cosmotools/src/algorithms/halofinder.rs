@@ -8,7 +8,7 @@
 
 use crate::config::{Config, ConfigError};
 use crate::insitu::{AnalysisContext, InSituAlgorithm, Product};
-use halo::{fof_grid, members_by_group, mbp_brute, unwrap_positions, Halo, HaloCatalog};
+use halo::{fof_grid, mbp_brute, members_by_group, unwrap_positions, Halo, HaloCatalog};
 use nbody::particle::Particle;
 
 /// The in-situ halo analysis task.
@@ -187,8 +187,8 @@ mod tests {
     #[test]
     fn schedule_explicit_steps() {
         let mut task = HaloFinderTask::default();
-        let cfg = Config::parse("[halofinder]\nat_steps = 60,64,73\nat_final_step = true\n")
-            .unwrap();
+        let cfg =
+            Config::parse("[halofinder]\nat_steps = 60,64,73\nat_final_step = true\n").unwrap();
         task.set_parameters(&cfg).unwrap();
         assert!(task.should_execute(60, 100, 1.68));
         assert!(task.should_execute(73, 100, 0.959));

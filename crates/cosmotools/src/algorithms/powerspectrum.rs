@@ -77,8 +77,7 @@ pub fn power_spectrum_of_field(
                 if k > knyq {
                     continue;
                 }
-                let b = (((k.ln() - lmin) / (lmax - lmin) * nbins as f64) as usize)
-                    .min(nbins - 1);
+                let b = (((k.ln() - lmin) / (lmax - lmin) * nbins as f64) as usize).min(nbins - 1);
                 let amp2 = dk.get(x, y, z).norm_sqr() / (ncells * ncells);
                 k_sum[b] += k;
                 p_sum[b] += amp2 * volume;
@@ -148,8 +147,7 @@ pub fn distributed_power_spectrum(
                 if k > knyq {
                     continue;
                 }
-                let b = (((k.ln() - lmin) / (lmax - lmin) * nbins as f64) as usize)
-                    .min(nbins - 1);
+                let b = (((k.ln() - lmin) / (lmax - lmin) * nbins as f64) as usize).min(nbins - 1);
                 k_sum[b] += k;
                 p_sum[b] += dk.get(yl, x, z).norm_sqr() / (ncells * ncells) * volume;
                 count[b] += 1.0;
@@ -387,7 +385,10 @@ mod tests {
         assert!(task.should_execute(10, 60, 1.0));
         assert!(!task.should_execute(11, 60, 1.0));
         assert!(task.should_execute(60, 60, 0.0));
-        assert!(task.should_execute(57, 57, 0.0), "always runs at the final step");
+        assert!(
+            task.should_execute(57, 57, 0.0),
+            "always runs at the final step"
+        );
     }
 
     #[test]

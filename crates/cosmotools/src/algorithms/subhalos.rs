@@ -141,8 +141,7 @@ impl InSituAlgorithm for SoMassTask {
             .iter()
             .filter_map(|h| {
                 let center = h.mbp_center?;
-                so_mass(&h.particles, center, self.delta, mean_density)
-                    .map(|r| (h.id, r.mass))
+                so_mass(&h.particles, center, self.delta, mean_density).map(|r| (h.id, r.mass))
             })
             .collect();
         vec![Product::SoMasses {
@@ -177,10 +176,7 @@ mod tests {
         Halo::from_particles(parts)
     }
 
-    fn ctx_with<'a>(
-        catalog: &'a HaloCatalog,
-        particles: &'a [Particle],
-    ) -> AnalysisContext<'a> {
+    fn ctx_with<'a>(catalog: &'a HaloCatalog, particles: &'a [Particle]) -> AnalysisContext<'a> {
         AnalysisContext {
             step: 60,
             total_steps: 60,

@@ -155,9 +155,8 @@ mod tests {
     #[test]
     fn config_and_schedule() {
         let mut task = SubsampleTask::default();
-        let cfg =
-            Config::parse("[subsample]\nenabled = true\nfraction_inverse = 20\nevery = 4\n")
-                .unwrap();
+        let cfg = Config::parse("[subsample]\nenabled = true\nfraction_inverse = 20\nevery = 4\n")
+            .unwrap();
         task.set_parameters(&cfg).unwrap();
         assert!(task.should_execute(4, 60, 3.0));
         assert!(!task.should_execute(5, 60, 3.0));

@@ -270,7 +270,10 @@ mod tests {
     #[test]
     fn step_lists_parse() {
         let cfg = Config::parse("[h]\nat_steps = 60, 64,73,100\n").unwrap();
-        assert_eq!(cfg.get_steps("h", "at_steps").unwrap(), vec![60, 64, 73, 100]);
+        assert_eq!(
+            cfg.get_steps("h", "at_steps").unwrap(),
+            vec![60, 64, 73, 100]
+        );
     }
 
     #[test]

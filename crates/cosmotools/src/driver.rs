@@ -151,7 +151,8 @@ mod tests {
     fn level2_roundtrip_and_centering() {
         let mut cat = HaloCatalog::new();
         cat.halos.push(Halo::from_particles(blob([8.0; 3], 200, 0)));
-        cat.halos.push(Halo::from_particles(blob([24.0; 3], 150, 1000)));
+        cat.halos
+            .push(Halo::from_particles(blob([24.0; 3], 150, 1000)));
         let container = write_level2_container(&cat, meta());
         // Serialize through the binary format like the real workflow.
         let bytes = write_container(&container);
@@ -177,15 +178,7 @@ mod tests {
             blocks: vec![parts.clone()],
         };
         let offline = analyze_level1(&Serial, &container, 0.2, 40, 1e-3);
-        let insitu = find_halos_with_centers(
-            &Serial,
-            &parts,
-            32.0,
-            0.2,
-            40,
-            usize::MAX,
-            1e-3,
-        );
+        let insitu = find_halos_with_centers(&Serial, &parts, 32.0, 0.2, 40, usize::MAX, 1e-3);
         assert_eq!(offline.len(), insitu.len());
         for (a, b) in offline.halos.iter().zip(&insitu.halos) {
             assert_eq!(a.id, b.id);
@@ -232,7 +225,8 @@ mod tests {
         let mut h1 = Halo::from_particles(blob([8.0; 3], 60, 0));
         h1.mbp_center = Some([8.0; 3]);
         cat.halos.push(h1);
-        cat.halos.push(Halo::from_particles(blob([24.0; 3], 70, 500)));
+        cat.halos
+            .push(Halo::from_particles(blob([24.0; 3], 70, 500)));
         let recs = centers_from_catalog(&cat);
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].halo_id, 0);

@@ -21,17 +21,20 @@ pub mod genio;
 pub mod insitu;
 pub mod levels;
 
-pub use algorithms::{
-    compute_power_spectrum, distributed_power_spectrum, find_halos_with_centers, HaloFinderTask, HaloPropertiesTask,
-    PowerBin,
-    PowerSpectrumTask, SoMassTask, SubhaloTask, SubsampleTask,
-};
 pub use aggregate::{read_aggregated, read_manifest, write_aggregated, AggregateError, Manifest};
+pub use algorithms::{
+    compute_power_spectrum, distributed_power_spectrum, find_halos_with_centers, HaloFinderTask,
+    HaloPropertiesTask, PowerBin, PowerSpectrumTask, SoMassTask, SubhaloTask, SubsampleTask,
+};
 pub use config::{default_deck, Config, ConfigError};
 pub use driver::{
     analyze_level1, centers_from_catalog, centers_from_level2, merge_center_sets,
     write_level2_container, CenterRecord,
 };
-pub use genio::{read_container, read_file, write_container, write_file, Container, GenioError, SnapshotMeta};
-pub use insitu::{AnalysisContext, ExecutionRecord, InSituAlgorithm, InSituAnalysisManager, Product};
+pub use genio::{
+    read_container, read_file, write_container, write_file, Container, GenioError, SnapshotMeta,
+};
+pub use insitu::{
+    AnalysisContext, ExecutionRecord, InSituAlgorithm, InSituAnalysisManager, Product,
+};
 pub use levels::{level1_bytes, level2_bytes, level3_center_bytes, DataLevel, SnapshotSizes};

@@ -69,7 +69,7 @@ pub struct Threaded {
 }
 
 impl Threaded {
-    /// Backend using `workers` threads per dispatch.
+    /// Backend with a dedicated pool of `workers` persistent threads.
     pub fn new(workers: usize) -> Self {
         Threaded {
             pool: ThreadPool::new(workers),
@@ -83,7 +83,13 @@ impl Threaded {
         }
     }
 
-    /// The underlying pool (for task-parallel use).
+    /// Backend sharing an existing pool's worker threads (pools are
+    /// reference-counted; clones of one pool share one set of workers).
+    pub fn from_pool(pool: ThreadPool) -> Self {
+        Threaded { pool }
+    }
+
+    /// The underlying pool (for task-parallel use and [`ThreadPool::stats`]).
     pub fn pool(&self) -> &ThreadPool {
         &self.pool
     }
@@ -123,6 +129,18 @@ impl StaticThreaded {
             pool: ThreadPool::new(workers),
         }
     }
+
+    /// Backend sized to available hardware parallelism.
+    pub fn with_available_parallelism() -> Self {
+        StaticThreaded {
+            pool: ThreadPool::with_available_parallelism(),
+        }
+    }
+
+    /// Backend sharing an existing pool's worker threads.
+    pub fn from_pool(pool: ThreadPool) -> Self {
+        StaticThreaded { pool }
+    }
 }
 
 impl Backend for StaticThreaded {
@@ -158,7 +176,9 @@ pub enum AnyBackend {
 }
 
 impl AnyBackend {
-    /// Parse a backend spec: `"serial"` or `"threaded"`/`"threaded:N"`.
+    /// Parse a backend spec: `"serial"`, `"threaded"`/`"threaded:N"`, or
+    /// `"static"`/`"static:N"`. The bare multi-threaded forms size the pool
+    /// to the machine's available parallelism.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let spec = spec.trim();
         if spec.eq_ignore_ascii_case("serial") {
@@ -166,6 +186,11 @@ impl AnyBackend {
         }
         if spec.eq_ignore_ascii_case("threaded") {
             return Ok(AnyBackend::Threaded(Threaded::with_available_parallelism()));
+        }
+        if spec.eq_ignore_ascii_case("static") {
+            return Ok(AnyBackend::StaticThreaded(
+                StaticThreaded::with_available_parallelism(),
+            ));
         }
         if let Some(rest) = spec.strip_prefix("threaded:") {
             let n: usize = rest
@@ -258,6 +283,9 @@ impl<T> SendPtr<T> {
 
 /// Build a `Vec<T>` of length `n` where element `i` is produced by `init(i)`,
 /// with elements initialized in parallel chunks.
+///
+/// If `init` panics, every element that was already initialized is dropped
+/// before the panic is re-raised, so no `T` leaks.
 pub fn par_init<T, F>(backend: &dyn Backend, n: usize, grain: usize, init: F) -> Vec<T>
 where
     T: Send,
@@ -265,14 +293,51 @@ where
 {
     let mut out: Vec<T> = Vec::with_capacity(n);
     let ptr = SendPtr(out.as_mut_ptr());
-    backend.dispatch(n, grain, &|r: Range<usize>| {
-        for i in r {
-            // SAFETY: ranges from dispatch are disjoint and within 0..n, and
-            // the buffer has capacity n.
-            unsafe { ptr.write(i, init(i)) };
+    // Each chunk records its initialized prefix through an unwind-safe guard,
+    // so a panicking `init` (in this chunk or any other) leaves an exact
+    // account of which elements hold live values.
+    let written: parking_lot::Mutex<Vec<(usize, usize)>> = parking_lot::Mutex::new(Vec::new());
+    struct ChunkGuard<'a> {
+        lo: usize,
+        count: usize,
+        written: &'a parking_lot::Mutex<Vec<(usize, usize)>>,
+    }
+    impl Drop for ChunkGuard<'_> {
+        fn drop(&mut self) {
+            if self.count > 0 {
+                self.written.lock().push((self.lo, self.count));
+            }
         }
-    });
-    // SAFETY: every index in 0..n was written exactly once above.
+    }
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        backend.dispatch(n, grain, &|r: Range<usize>| {
+            let mut guard = ChunkGuard {
+                lo: r.start,
+                count: 0,
+                written: &written,
+            };
+            for i in r {
+                // SAFETY: ranges from dispatch are disjoint and within 0..n,
+                // and the buffer has capacity n.
+                unsafe { ptr.write(i, init(i)) };
+                guard.count += 1;
+            }
+        });
+    }));
+    if let Err(payload) = result {
+        // `dispatch` completes every chunk before re-raising, so the record
+        // is final: drop each initialized element, then propagate.
+        for (lo, count) in written.into_inner() {
+            for i in lo..lo + count {
+                // SAFETY: `[lo, lo+count)` was fully initialized by exactly
+                // one chunk and is dropped exactly once here.
+                unsafe { std::ptr::drop_in_place(ptr.at(i)) };
+            }
+        }
+        std::panic::resume_unwind(payload);
+    }
+    // SAFETY: no chunk panicked, so every index in 0..n was written exactly
+    // once above.
     unsafe { out.set_len(n) };
     out
 }
@@ -364,14 +429,82 @@ mod tests {
 
     #[test]
     fn any_backend_parses() {
-        assert!(matches!(AnyBackend::parse("serial"), Ok(AnyBackend::Serial(_))));
-        assert!(matches!(AnyBackend::parse("threaded"), Ok(AnyBackend::Threaded(_))));
+        assert!(matches!(
+            AnyBackend::parse("serial"),
+            Ok(AnyBackend::Serial(_))
+        ));
+        assert!(matches!(
+            AnyBackend::parse("threaded"),
+            Ok(AnyBackend::Threaded(_))
+        ));
         match AnyBackend::parse("threaded:7") {
             Ok(AnyBackend::Threaded(t)) => assert_eq!(t.concurrency(), 7),
             other => panic!("unexpected {other:?}"),
         }
         assert!(AnyBackend::parse("cuda").is_err());
         assert!(AnyBackend::parse("threaded:x").is_err());
+        assert!(AnyBackend::parse("static:x").is_err());
+    }
+
+    #[test]
+    fn bare_static_spec_uses_available_parallelism() {
+        let expected = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        match AnyBackend::parse("static") {
+            Ok(AnyBackend::StaticThreaded(b)) => assert_eq!(b.concurrency(), expected),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Case- and whitespace-insensitive like the other specs.
+        assert!(matches!(
+            AnyBackend::parse("  Static "),
+            Ok(AnyBackend::StaticThreaded(_))
+        ));
+    }
+
+    #[test]
+    fn backends_can_share_one_pool() {
+        let pool = crate::pool::ThreadPool::new(4);
+        let dynamic = Threaded::from_pool(pool.clone());
+        let static_ = StaticThreaded::from_pool(pool.clone());
+        dynamic.dispatch(1000, 10, &|_| {});
+        static_.dispatch(1000, 10, &|_| {});
+        assert_eq!(pool.stats().dispatches, 2, "both dispatches hit one pool");
+    }
+
+    #[test]
+    fn par_init_panic_drops_initialized_elements() {
+        use std::sync::atomic::{AtomicIsize, Ordering};
+        static LIVE: AtomicIsize = AtomicIsize::new(0);
+        struct Counted;
+        impl Counted {
+            fn new() -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Counted
+            }
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        for backend in [&Serial as &dyn Backend, &Threaded::new(4)] {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                par_init(backend, 1000, 8, |i| {
+                    if i == 500 {
+                        panic!("init failed");
+                    }
+                    Counted::new()
+                })
+            }));
+            assert!(result.is_err());
+            assert_eq!(
+                LIVE.load(Ordering::SeqCst),
+                0,
+                "every initialized element must be dropped on {}",
+                backend.name()
+            );
+        }
     }
 
     #[test]

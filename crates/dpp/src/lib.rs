@@ -4,8 +4,12 @@
 //! used by the paper: each analysis algorithm is written **once** against a
 //! small set of data-parallel primitives and executes unchanged on every
 //! [`Backend`]. The original targeted CUDA, OpenMP and TBB through Thrust;
-//! here the adapters are [`Serial`] (reference) and [`Threaded`] (multi-core
-//! via a hand-rolled dynamic-scheduling pool built on crossbeam).
+//! here the adapters are [`Serial`] (reference), [`Threaded`] (multi-core,
+//! dynamic self-scheduling), and [`StaticThreaded`] (multi-core, one static
+//! block per worker — the load-imbalance ablation). Both threaded adapters
+//! run on [`ThreadPool`]: persistent workers created once and parked between
+//! dispatches, with per-pool [`pool::PoolStats`] instrumentation; see the
+//! [`pool`] module docs.
 //!
 //! Primitives: [`ops::map()`](ops::map()), [`ops::reduce()`](ops::reduce()), [`ops::inclusive_scan`] /
 //! [`ops::exclusive_scan`], [`ops::par_sort_by`], [`ops::gather()`](ops::gather()) /
@@ -33,7 +37,6 @@ pub mod pool;
 
 pub use backend::{
     par_chunks_mut, par_for_each_mut, par_init, AnyBackend, Backend, SendPtr, Serial,
-    StaticThreaded, Threaded,
-    DEFAULT_GRAIN,
+    StaticThreaded, Threaded, DEFAULT_GRAIN,
 };
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};

@@ -68,7 +68,11 @@ where
 
 /// Return the indices of elements satisfying `pred` (ascending) and those
 /// failing it (ascending) as `(true_indices, false_indices)`.
-pub fn partition_indices<T, F>(backend: &dyn Backend, input: &[T], pred: F) -> (Vec<usize>, Vec<usize>)
+pub fn partition_indices<T, F>(
+    backend: &dyn Backend,
+    input: &[T],
+    pred: F,
+) -> (Vec<usize>, Vec<usize>)
 where
     T: Sync,
     F: Fn(&T) -> bool + Sync,

@@ -12,7 +12,9 @@ pub fn gather<T>(backend: &dyn Backend, src: &[T], indices: &[usize]) -> Vec<T>
 where
     T: Send + Sync + Clone,
 {
-    par_init(backend, indices.len(), DEFAULT_GRAIN, |i| src[indices[i]].clone())
+    par_init(backend, indices.len(), DEFAULT_GRAIN, |i| {
+        src[indices[i]].clone()
+    })
 }
 
 /// `dst[indices[i]] = values[i]`.
@@ -30,7 +32,11 @@ where
         "scatter requires one index per value"
     );
     for &ix in indices {
-        assert!(ix < dst.len(), "scatter index {ix} out of bounds {}", dst.len());
+        assert!(
+            ix < dst.len(),
+            "scatter index {ix} out of bounds {}",
+            dst.len()
+        );
     }
     #[cfg(debug_assertions)]
     {

@@ -67,7 +67,9 @@ mod tests {
     #[test]
     fn reduce_max() {
         let t = Threaded::new(4);
-        let v: Vec<i64> = (0..9999).map(|i| (i * 2654435761u64 as i64) % 10007).collect();
+        let v: Vec<i64> = (0..9999)
+            .map(|i| (i * 2654435761u64 as i64) % 10007)
+            .collect();
         let expect = *v.iter().max().unwrap();
         let got = reduce(&t, &v, i64::MIN, |a, b| a.max(*b));
         assert_eq!(got, expect);

@@ -119,10 +119,7 @@ mod tests {
             labels.extend(std::iter::repeat_n(label, size));
         }
         let sizes = run_length_encode(&t, &labels);
-        assert_eq!(
-            sizes,
-            vec![(0, 400), (1, 25), (2, 31_000), (3, 40)]
-        );
+        assert_eq!(sizes, vec![(0, 400), (1, 25), (2, 31_000), (3, 40)]);
     }
 
     #[test]

@@ -46,7 +46,10 @@ where
         {
             // Merge from src into dst.
             let (src, dst): (&[T], &mut [T]) = if src_is_data {
-                (unsafe { std::slice::from_raw_parts(data.as_ptr(), n) }, &mut buf)
+                (
+                    unsafe { std::slice::from_raw_parts(data.as_ptr(), n) },
+                    &mut buf,
+                )
             } else {
                 (unsafe { std::slice::from_raw_parts(buf.as_ptr(), n) }, data)
             };
@@ -133,7 +136,8 @@ pub fn is_sorted_by<T, F>(data: &[T], cmp: F) -> bool
 where
     F: Fn(&T, &T) -> Ordering,
 {
-    data.windows(2).all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
+    data.windows(2)
+        .all(|w| cmp(&w[0], &w[1]) != Ordering::Greater)
 }
 
 #[cfg(test)]
@@ -142,7 +146,9 @@ mod tests {
     use crate::backend::{Serial, Threaded};
 
     fn scrambled(n: usize) -> Vec<u64> {
-        (0..n as u64).map(|i| i.wrapping_mul(2654435761) % 100_003).collect()
+        (0..n as u64)
+            .map(|i| i.wrapping_mul(2654435761) % 100_003)
+            .collect()
     }
 
     #[test]
@@ -193,7 +199,9 @@ mod tests {
     #[test]
     fn float_sort_with_total_order() {
         let t = Threaded::new(4);
-        let mut v: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1009) as f64 - 500.0).collect();
+        let mut v: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37) % 1009) as f64 - 500.0)
+            .collect();
         par_sort_by(&t, &mut v, |a, b| a.total_cmp(b));
         assert!(is_sorted_by(&v, |a, b| a.total_cmp(b)));
     }

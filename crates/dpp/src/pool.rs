@@ -1,31 +1,332 @@
-//! A small work-distributing thread pool built on `crossbeam::thread::scope`.
+//! A persistent work-distributing thread pool.
 //!
 //! The pool executes *parallel-for* style dispatches: a half-open index range
 //! `0..n` is cut into chunks of at least `grain` elements, and worker threads
 //! pull chunk indices from a shared atomic counter (dynamic self-scheduling,
 //! which tolerates the load imbalance that this project studies).
 //!
-//! Threads are spawned per dispatch and joined before the dispatch returns, so
-//! borrowed data may safely flow into the closures (the same guarantee
-//! `crossbeam`'s scoped threads provide). For the problem sizes this library
-//! targets, dispatch setup cost is negligible next to chunk work.
+//! Worker threads are created **once**, when the pool is built, and parked on
+//! a condition variable between dispatches. A dispatch publishes an
+//! epoch-stamped job (a lifetime-erased pointer to the caller's closure plus
+//! the chunk counters), wakes the workers, and the calling thread itself
+//! joins in claiming chunks. The call returns only after every chunk has
+//! completed — a completion barrier that makes the lifetime erasure sound:
+//! the borrowed closure is never invoked after `dispatch` returns, even when
+//! a chunk panics (the panic is captured, the barrier still completes, and
+//! the payload is re-raised on the calling thread).
+//!
+//! Compared to the previous spawn-per-dispatch executor (built on
+//! `crossbeam::thread::scope`), this removes an OS thread create/join cycle
+//! from every kernel invocation — overhead that the paper's per-step in-situ
+//! cost model is directly sensitive to. Per-pool [`PoolStats`] counters
+//! (dispatches, chunk claims by workers vs. the caller, worker wake-ups,
+//! cumulative dispatch wall time) expose the dispatch layer's behavior to the
+//! instrumentation and the benches.
+//!
+//! Cloning a [`ThreadPool`] is cheap and **shares** the same worker threads;
+//! the workers shut down when the last clone is dropped. Dispatches from a
+//! chunk body onto the same pool (reentrancy) are executed serially inline on
+//! the calling thread rather than deadlocking; dispatches from distinct
+//! threads onto one pool are serialized by a submission lock.
 
+use std::any::Any;
+use std::cell::RefCell;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
 
-/// Dynamic-scheduling parallel-for executor.
-#[derive(Debug, Clone)]
-pub struct ThreadPool {
+/// The closure type a dispatch executes over chunks.
+type JobFn = dyn Fn(Range<usize>) + Sync;
+
+/// One in-flight parallel-for, shared between the caller and the workers.
+struct Job {
+    /// Lifetime-erased pointer to the caller's closure. Only dereferenced
+    /// for chunk indices `< chunks`, all of which complete before `dispatch`
+    /// returns, so the borrow is always live when used.
+    f: *const JobFn,
+    n: usize,
+    grain: usize,
+    chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Chunks fully executed (including ones whose closure panicked).
+    completed: AtomicUsize,
+    /// Set by the first panicking chunk.
+    panicked: AtomicBool,
+    /// Payload of the first panic, re-raised by the caller.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: `f` points at a `Sync` closure; the raw pointer is only shared for
+// the duration of the dispatch (enforced by the completion barrier).
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// Pool state guarded by the mutex: the published job and lifecycle flags.
+struct State {
+    /// Incremented per published job so a worker never re-runs one it has
+    /// already seen.
+    epoch: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// Monotonic counters describing pool activity (see [`ThreadPool::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total `dispatch` calls, including serial fast-path ones.
+    pub dispatches: u64,
+    /// Dispatches executed inline on the caller (1 worker, 1 chunk, or a
+    /// reentrant dispatch from within a chunk body).
+    pub serial_dispatches: u64,
+    /// Chunks claimed and executed by parked worker threads.
+    pub chunks_by_workers: u64,
+    /// Chunks claimed and executed by the dispatching thread itself.
+    pub chunks_by_caller: u64,
+    /// Worker park→wake transitions (one per worker per job it noticed).
+    pub worker_wakeups: u64,
+    /// Closures executed through `run_tasks`.
+    pub tasks_executed: u64,
+    /// Cumulative wall time spent inside `dispatch`, in nanoseconds.
+    pub total_dispatch_nanos: u64,
+}
+
+impl PoolStats {
+    /// Total chunks executed across all dispatches.
+    pub fn chunks_executed(&self) -> u64 {
+        self.chunks_by_workers + self.chunks_by_caller
+    }
+
+    /// Mean wall time per dispatch in nanoseconds (0 if none ran).
+    pub fn mean_dispatch_nanos(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.total_dispatch_nanos as f64 / self.dispatches as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    dispatches: AtomicU64,
+    serial_dispatches: AtomicU64,
+    chunks_by_workers: AtomicU64,
+    chunks_by_caller: AtomicU64,
+    worker_wakeups: AtomicU64,
+    tasks_executed: AtomicU64,
+    total_dispatch_nanos: AtomicU64,
+}
+
+impl StatCells {
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
+            chunks_by_workers: self.chunks_by_workers.load(Ordering::Relaxed),
+            chunks_by_caller: self.chunks_by_caller.load(Ordering::Relaxed),
+            worker_wakeups: self.worker_wakeups.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            total_dispatch_nanos: self.total_dispatch_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.dispatches.store(0, Ordering::Relaxed);
+        self.serial_dispatches.store(0, Ordering::Relaxed);
+        self.chunks_by_workers.store(0, Ordering::Relaxed);
+        self.chunks_by_caller.store(0, Ordering::Relaxed);
+        self.worker_wakeups.store(0, Ordering::Relaxed);
+        self.tasks_executed.store(0, Ordering::Relaxed);
+        self.total_dispatch_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    /// Unique pool id, used for the thread-local reentrancy check.
+    id: u64,
+    state: Mutex<State>,
+    /// Workers park here waiting for a new epoch (or shutdown).
+    work_cv: Condvar,
+    /// The dispatching thread parks here waiting for chunk completion.
+    done_cv: Condvar,
+    stats: StatCells,
+}
+
+thread_local! {
+    /// Ids of pools whose dispatch/worker loop is active on this thread;
+    /// a dispatch on a pool already in this list runs serially inline.
+    static ACTIVE_POOLS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII marker that the current thread is executing chunks for pool `id`.
+struct PoolContext {
+    id: u64,
+}
+
+impl PoolContext {
+    fn enter(id: u64) -> PoolContext {
+        ACTIVE_POOLS.with(|p| p.borrow_mut().push(id));
+        PoolContext { id }
+    }
+
+    fn is_active(id: u64) -> bool {
+        ACTIVE_POOLS.with(|p| p.borrow().contains(&id))
+    }
+}
+
+impl Drop for PoolContext {
+    fn drop(&mut self) {
+        ACTIVE_POOLS.with(|p| {
+            let mut p = p.borrow_mut();
+            if let Some(i) = p.iter().rposition(|&x| x == self.id) {
+                p.remove(i);
+            }
+        });
+    }
+}
+
+/// Claim and execute chunks of `job` until the claim counter is exhausted.
+/// Panics in the closure are captured into the job, never unwound here.
+fn run_job(job: &Job, shared: &Shared, is_worker: bool) {
+    let mut executed = 0u64;
+    loop {
+        let c = job.next.fetch_add(1, Ordering::Relaxed);
+        if c >= job.chunks {
+            break;
+        }
+        let lo = c * job.grain;
+        let hi = (lo + job.grain).min(job.n);
+        // SAFETY: `c < chunks`, and every chunk completes before `dispatch`
+        // returns, so the closure behind `f` is still borrowed and live.
+        let f = unsafe { &*job.f };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(lo..hi))) {
+            if !job.panicked.swap(true, Ordering::SeqCst) {
+                *job.panic_payload.lock().unwrap_or_else(|p| p.into_inner()) = Some(payload);
+            }
+        }
+        executed += 1;
+        let done = job.completed.fetch_add(1, Ordering::AcqRel) + 1;
+        if done == job.chunks {
+            // Take the state lock so the notify cannot race ahead of the
+            // dispatcher entering its wait.
+            let _guard = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            shared.done_cv.notify_all();
+        }
+    }
+    let cell = if is_worker {
+        &shared.stats.chunks_by_workers
+    } else {
+        &shared.stats.chunks_by_caller
+    };
+    cell.fetch_add(executed, Ordering::Relaxed);
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    let _ctx = PoolContext::enter(shared.id);
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let (true, Some(job)) = (st.epoch != seen_epoch, st.job.as_ref()) {
+                    seen_epoch = st.epoch;
+                    break Arc::clone(job);
+                }
+                st = shared.work_cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        shared.stats.worker_wakeups.fetch_add(1, Ordering::Relaxed);
+        run_job(&job, &shared, true);
+    }
+}
+
+/// Owns the worker threads; dropped when the last pool handle goes away.
+struct PoolInner {
+    shared: Arc<Shared>,
+    /// Logical concurrency: persistent workers + the dispatching thread.
     workers: usize,
+    /// Serializes dispatches submitted from different threads.
+    submit: Mutex<()>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        let handles = std::mem::take(self.handles.get_mut().unwrap_or_else(|p| p.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Dynamic-scheduling parallel-for executor with persistent workers.
+///
+/// Clones share the same worker threads; see the module docs.
+#[derive(Clone)]
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("workers", &self.inner.workers)
+            .field("id", &self.inner.shared.id)
+            .finish()
+    }
 }
 
 impl ThreadPool {
-    /// Create a pool that will use up to `workers` OS threads per dispatch.
+    /// Create a pool with `workers` of logical concurrency: `workers - 1`
+    /// persistent OS threads are spawned now, and the thread calling
+    /// [`dispatch`](Self::dispatch) acts as the final worker.
     ///
-    /// `workers == 0` is clamped to 1.
+    /// `workers == 0` is clamped to 1 (no threads are spawned; dispatches
+    /// run serially on the caller).
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            id: NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            stats: StatCells::default(),
+        });
+        let handles = (1..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dpp-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("failed to spawn dpp worker thread")
+            })
+            .collect();
         ThreadPool {
-            workers: workers.max(1),
+            inner: Arc::new(PoolInner {
+                shared,
+                workers,
+                submit: Mutex::new(()),
+                handles: Mutex::new(handles),
+            }),
         }
     }
 
@@ -37,82 +338,168 @@ impl ThreadPool {
         ThreadPool::new(n)
     }
 
-    /// Number of worker threads used per dispatch.
+    /// Logical concurrency of the pool (persistent workers + caller).
     pub fn workers(&self) -> usize {
-        self.workers
+        self.inner.workers
+    }
+
+    /// Snapshot of the pool's activity counters.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.shared.stats.snapshot()
+    }
+
+    /// Zero all activity counters.
+    pub fn reset_stats(&self) {
+        self.inner.shared.stats.reset();
     }
 
     /// Run `f` over every chunk of `0..n`, where each chunk holds at least
     /// `grain` indices (the final chunk may be shorter). Chunks are handed to
-    /// worker threads dynamically. Returns once every chunk has completed.
+    /// the persistent workers dynamically; the calling thread participates.
+    /// Returns once every chunk has completed. If any chunk panics, the
+    /// first panic is re-raised on the caller *after* all chunks finish.
     pub fn dispatch(&self, n: usize, grain: usize, f: &(dyn Fn(Range<usize>) + Sync)) {
         if n == 0 {
             return;
         }
         let grain = grain.max(1);
         let chunks = n.div_ceil(grain);
-        let threads = self.workers.min(chunks);
-        if threads <= 1 {
-            // Serial fast path: no spawn cost, identical chunk traversal order.
+        let shared = &self.inner.shared;
+        let t0 = Instant::now();
+
+        if self.inner.workers <= 1 || chunks <= 1 || PoolContext::is_active(shared.id) {
+            // Serial fast path: single worker, single chunk, or a reentrant
+            // dispatch from inside a chunk body of this same pool (running
+            // inline avoids self-deadlock on the submission lock).
             for c in 0..chunks {
                 let lo = c * grain;
                 let hi = (lo + grain).min(n);
                 f(lo..hi);
             }
+            let stats = &shared.stats;
+            stats.dispatches.fetch_add(1, Ordering::Relaxed);
+            stats.serial_dispatches.fetch_add(1, Ordering::Relaxed);
+            stats
+                .chunks_by_caller
+                .fetch_add(chunks as u64, Ordering::Relaxed);
+            stats
+                .total_dispatch_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             return;
         }
-        let next = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let c = next.fetch_add(1, Ordering::Relaxed);
-                    if c >= chunks {
-                        break;
-                    }
-                    let lo = c * grain;
-                    let hi = (lo + grain).min(n);
-                    f(lo..hi);
-                });
+
+        // One dispatch in flight at a time; callers on other threads queue.
+        let _submit = self.inner.submit.lock().unwrap_or_else(|p| p.into_inner());
+
+        // SAFETY (lifetime erasure): the borrow of `f` outlives this call,
+        // and the completion barrier below guarantees no chunk — hence no
+        // use of this pointer for a valid index — survives past the return.
+        let f_erased: *const JobFn =
+            unsafe { std::mem::transmute::<&(dyn Fn(Range<usize>) + Sync), *const JobFn>(f) };
+        let job = Arc::new(Job {
+            f: f_erased,
+            n,
+            grain,
+            chunks,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+        });
+
+        {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            debug_assert!(st.job.is_none(), "a job is already in flight");
+            st.epoch = st.epoch.wrapping_add(1);
+            st.job = Some(Arc::clone(&job));
+        }
+        shared.work_cv.notify_all();
+
+        // The caller claims chunks too (inside the reentrancy context, so a
+        // nested dispatch on this pool from the closure runs inline).
+        {
+            let _ctx = PoolContext::enter(shared.id);
+            run_job(&job, shared, false);
+        }
+
+        // Completion barrier: wait for the workers to drain the stragglers.
+        {
+            let mut st = shared.state.lock().unwrap_or_else(|p| p.into_inner());
+            while job.completed.load(Ordering::Acquire) < chunks {
+                st = shared.done_cv.wait(st).unwrap_or_else(|p| p.into_inner());
             }
-        })
-        .expect("dpp worker thread panicked");
+            st.job = None;
+        }
+
+        let stats = &shared.stats;
+        stats.dispatches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .total_dispatch_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        if job.panicked.load(Ordering::Acquire) {
+            let payload = job
+                .panic_payload
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .take();
+            resume_chunk_panic(payload);
+        }
     }
 
-    /// Run `tasks` closures concurrently (task parallelism). Each closure is
-    /// executed exactly once; up to `self.workers` run at any moment.
+    /// Run `tasks` closures concurrently (task parallelism) on the
+    /// persistent workers. Each closure is executed exactly once; up to
+    /// `self.workers()` run at any moment.
     pub fn run_tasks<'a>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'a>>) {
         let n = tasks.len();
         if n == 0 {
             return;
         }
-        if self.workers == 1 || n == 1 {
+        self.inner
+            .shared
+            .stats
+            .tasks_executed
+            .fetch_add(n as u64, Ordering::Relaxed);
+        if self.inner.workers == 1 || n == 1 {
             for t in tasks {
                 t();
             }
             return;
         }
-        // Wrap in per-slot mutexes so workers can claim tasks by index.
+        // Wrap in per-slot mutexes so workers can claim tasks by index
+        // through the ordinary chunked dispatch (grain 1 → one task each).
         type Slot<'a> = parking_lot::Mutex<Option<Box<dyn FnOnce() + Send + 'a>>>;
-        let slots: Vec<Slot<'a>> =
-            tasks.into_iter().map(|t| parking_lot::Mutex::new(Some(t))).collect();
-        let next = AtomicUsize::new(0);
-        let threads = self.workers.min(n);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        break;
-                    }
-                    let task = slots[i].lock().take();
-                    if let Some(task) = task {
-                        task();
-                    }
-                });
+        let slots: Vec<Slot<'a>> = tasks
+            .into_iter()
+            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .collect();
+        self.dispatch(n, 1, &|r: Range<usize>| {
+            for i in r {
+                let task = slots[i].lock().take();
+                if let Some(task) = task {
+                    task();
+                }
             }
-        })
-        .expect("dpp task thread panicked");
+        });
     }
+}
+
+/// Re-raise a captured chunk panic on the dispatching thread, prefixing the
+/// message so existing callers (and tests) can identify pool panics.
+fn resume_chunk_panic(payload: Option<Box<dyn Any + Send>>) -> ! {
+    let msg = match payload.as_deref() {
+        Some(p) => {
+            if let Some(s) = p.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        }
+        None => "unknown panic".to_string(),
+    };
+    panic!("dpp worker thread panicked: {msg}");
 }
 
 impl Default for ThreadPool {
@@ -199,5 +586,127 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_dispatch() {
+        let pool = ThreadPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(64, 1, &|r| {
+                if r.start == 13 {
+                    panic!("transient");
+                }
+            });
+        }));
+        assert!(caught.is_err());
+        // The workers must still be alive and correct afterwards.
+        let sum = AtomicU64::new(0);
+        pool.dispatch(1000, 16, &|r| {
+            sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn repeated_dispatches_reuse_the_same_workers() {
+        let pool = ThreadPool::new(4);
+        let sum = AtomicU64::new(0);
+        for _ in 0..2_000 {
+            pool.dispatch(256, 16, &|r| {
+                sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 2_000 * 256);
+        let stats = pool.stats();
+        assert_eq!(stats.dispatches, 2_000);
+        assert_eq!(stats.chunks_executed(), 2_000 * 16);
+    }
+
+    #[test]
+    fn nested_dispatch_on_same_pool_runs_inline() {
+        let pool = ThreadPool::new(4);
+        let outer_n = 64;
+        let inner_n = 32;
+        let count = AtomicU64::new(0);
+        let p2 = pool.clone();
+        pool.dispatch(outer_n, 4, &|r| {
+            for _ in r {
+                p2.dispatch(inner_n, 8, &|ir| {
+                    count.fetch_add(ir.len() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(
+            count.load(Ordering::Relaxed),
+            (outer_n * inner_n) as u64,
+            "every nested dispatch must fully execute"
+        );
+    }
+
+    #[test]
+    fn concurrent_dispatches_from_clones_serialize_safely() {
+        let pool = ThreadPool::new(4);
+        let total = Arc::new(AtomicU64::new(0));
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let pool = pool.clone();
+            let total = Arc::clone(&total);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    pool.dispatch(512, 32, &|r| {
+                        total.fetch_add(r.len() as u64, Ordering::Relaxed);
+                    });
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 50 * 512);
+    }
+
+    #[test]
+    fn stats_reflect_activity_and_reset() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.stats(), PoolStats::default());
+        pool.dispatch(1024, 8, &|_| {});
+        pool.dispatch(1, 8, &|_| {}); // single chunk → serial fast path
+        let s = pool.stats();
+        assert_eq!(s.dispatches, 2);
+        assert_eq!(s.serial_dispatches, 1);
+        assert_eq!(s.chunks_executed(), 128 + 1);
+        assert!(s.total_dispatch_nanos > 0);
+        assert!(s.mean_dispatch_nanos() > 0.0);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn workers_park_between_dispatches() {
+        let pool = ThreadPool::new(4);
+        pool.dispatch(4096, 8, &|_| {
+            std::thread::sleep(std::time::Duration::from_micros(5));
+        });
+        let wakeups_after_one = pool.stats().worker_wakeups;
+        assert!(
+            wakeups_after_one <= 3,
+            "3 persistent workers can wake at most once each per job, got {wakeups_after_one}"
+        );
+    }
+
+    #[test]
+    fn drop_shuts_down_workers() {
+        let pool = ThreadPool::new(8);
+        pool.dispatch(100, 1, &|_| {});
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn clones_share_one_set_of_workers() {
+        let pool = ThreadPool::new(4);
+        let clone = pool.clone();
+        clone.dispatch(100, 10, &|_| {});
+        // Stats are shared, proving the clone reached the same pool.
+        assert_eq!(pool.stats().dispatches, 1);
     }
 }

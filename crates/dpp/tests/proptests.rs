@@ -154,3 +154,43 @@ proptest! {
         prop_assert_eq!(all, (0..v.len()).collect::<Vec<_>>());
     }
 }
+
+// Persistent-pool dispatch properties: exact coverage for arbitrary shapes,
+// including degenerate grains and worker counts, with pool reuse across cases.
+proptest! {
+    #[test]
+    fn dispatch_covers_exactly_once(
+        n in 0usize..5000,
+        grain in 0usize..300,
+        workers in 0usize..9,
+    ) {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        let pool = dpp::ThreadPool::new(workers);
+        let hits: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+        pool.dispatch(n, grain, &|r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "index {} hit count", i);
+        }
+    }
+
+    #[test]
+    fn reused_pool_keeps_exact_coverage(
+        shapes in proptest::collection::vec((1usize..2000, 1usize..200), 1..8),
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // One pool, many dispatches: the persistent workers must never lose
+        // or duplicate a chunk across jobs.
+        let pool = dpp::ThreadPool::new(4);
+        for (n, grain) in shapes {
+            let sum = AtomicU64::new(0);
+            pool.dispatch(n, grain, &|r| {
+                sum.fetch_add(r.len() as u64, Ordering::Relaxed);
+            });
+            prop_assert_eq!(sum.load(Ordering::Relaxed), n as u64);
+        }
+    }
+}

@@ -23,7 +23,10 @@ impl std::fmt::Display for FftError {
                 write!(f, "FFT length {n} is not a positive power of two")
             }
             FftError::LengthMismatch { expected, got } => {
-                write!(f, "FFT buffer length {got} does not match plan length {expected}")
+                write!(
+                    f,
+                    "FFT buffer length {got} does not match plan length {expected}"
+                )
             }
         }
     }
@@ -52,7 +55,13 @@ impl Fft1d {
             .collect();
         let bits = n.trailing_zeros();
         let rev = (0..n as u32)
-            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    i.reverse_bits() >> (32 - bits)
+                }
+            })
             .collect();
         Ok(Fft1d { n, twiddles, rev })
     }
@@ -141,7 +150,11 @@ pub fn naive_dft(data: &[Complex], inverse: bool) -> Vec<Complex> {
         for (j, x) in data.iter().enumerate() {
             acc += *x * Complex::cis(sign * std::f64::consts::PI * (j * k) as f64 / n as f64);
         }
-        *o = if inverse { acc.scale(1.0 / n as f64) } else { acc };
+        *o = if inverse {
+            acc.scale(1.0 / n as f64)
+        } else {
+            acc
+        };
     }
     out
 }
@@ -168,7 +181,10 @@ mod tests {
         let mut buf = vec![Complex::ZERO; 4];
         assert!(matches!(
             plan.forward(&mut buf),
-            Err(FftError::LengthMismatch { expected: 8, got: 4 })
+            Err(FftError::LengthMismatch {
+                expected: 8,
+                got: 4
+            })
         ));
     }
 

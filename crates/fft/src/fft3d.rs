@@ -18,7 +18,11 @@ impl Fft3d {
     pub fn new(dims: [usize; 3]) -> Result<Self, FftError> {
         Ok(Fft3d {
             dims,
-            plans: [Fft1d::new(dims[0])?, Fft1d::new(dims[1])?, Fft1d::new(dims[2])?],
+            plans: [
+                Fft1d::new(dims[0])?,
+                Fft1d::new(dims[1])?,
+                Fft1d::new(dims[2])?,
+            ],
         })
     }
 
@@ -28,12 +32,20 @@ impl Fft3d {
     }
 
     /// In-place forward transform (no normalization).
-    pub fn forward(&self, backend: &dyn Backend, grid: &mut Grid3<Complex>) -> Result<(), FftError> {
+    pub fn forward(
+        &self,
+        backend: &dyn Backend,
+        grid: &mut Grid3<Complex>,
+    ) -> Result<(), FftError> {
         self.transform(backend, grid, false)
     }
 
     /// In-place inverse transform with `1/(nx·ny·nz)` normalization.
-    pub fn inverse(&self, backend: &dyn Backend, grid: &mut Grid3<Complex>) -> Result<(), FftError> {
+    pub fn inverse(
+        &self,
+        backend: &dyn Backend,
+        grid: &mut Grid3<Complex>,
+    ) -> Result<(), FftError> {
         self.transform(backend, grid, true)
     }
 
@@ -123,12 +135,13 @@ impl Fft3d {
 }
 
 /// Forward-transform a real-valued grid (promoted to complex).
-pub fn forward_real(
-    backend: &dyn Backend,
-    real: &Grid3<f64>,
-) -> Result<Grid3<Complex>, FftError> {
+pub fn forward_real(backend: &dyn Backend, real: &Grid3<f64>) -> Result<Grid3<Complex>, FftError> {
     let plan = Fft3d::new(real.dims())?;
-    let data: Vec<Complex> = real.as_slice().iter().map(|&r| Complex::from_real(r)).collect();
+    let data: Vec<Complex> = real
+        .as_slice()
+        .iter()
+        .map(|&r| Complex::from_real(r))
+        .collect();
     let mut grid = Grid3::from_vec(real.dims(), data);
     plan.forward(backend, &mut grid)?;
     Ok(grid)
@@ -165,10 +178,7 @@ mod tests {
         for x in 0..dims[0] {
             for y in 0..dims[1] {
                 for z in 0..dims[2] {
-                    let phase = 2.0
-                        * std::f64::consts::PI
-                        * (k[0] * x) as f64
-                        / dims[0] as f64
+                    let phase = 2.0 * std::f64::consts::PI * (k[0] * x) as f64 / dims[0] as f64
                         + 2.0 * std::f64::consts::PI * (k[1] * y) as f64 / dims[1] as f64
                         + 2.0 * std::f64::consts::PI * (k[2] * z) as f64 / dims[2] as f64;
                     *g.get_mut(x, y, z) = Complex::cis(phase);
@@ -253,7 +263,9 @@ mod tests {
     #[test]
     fn real_input_spectrum_is_hermitian() {
         let dims = [8, 8, 8];
-        let real_data: Vec<f64> = (0..512).map(|i| ((i * 37) % 101) as f64 / 50.0 - 1.0).collect();
+        let real_data: Vec<f64> = (0..512)
+            .map(|i| ((i * 37) % 101) as f64 / 50.0 - 1.0)
+            .collect();
         let real = Grid3::from_vec(dims, real_data);
         let spec = forward_real(&Serial, &real).unwrap();
         // X(-k) = conj(X(k))

@@ -295,8 +295,7 @@ mod tests {
                             let got = *b.get(yl, x, z);
                             let want = *reference.get(x, r * s + yl, z);
                             assert!(
-                                (got.re - want.re).abs() < 1e-9
-                                    && (got.im - want.im).abs() < 1e-9,
+                                (got.re - want.re).abs() < 1e-9 && (got.im - want.im).abs() < 1e-9,
                                 "nranks={nranks} rank={r} ({yl},{x},{z}): {got:?} vs {want:?}"
                             );
                         }

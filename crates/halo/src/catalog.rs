@@ -22,7 +22,10 @@ pub struct Halo {
 impl Halo {
     /// Build from member particles, computing the id and center of mass.
     pub fn from_particles(particles: Vec<Particle>) -> Self {
-        assert!(!particles.is_empty(), "halo must have at least one particle");
+        assert!(
+            !particles.is_empty(),
+            "halo must have at least one particle"
+        );
         let id = particles.iter().map(|p| p.tag).min().unwrap();
         let mut com = [0.0f64; 3];
         let mut mass = 0.0f64;
@@ -113,8 +116,7 @@ impl HaloCatalog {
 
     /// Merge another catalog in, dropping duplicate halo ids (keeps first).
     pub fn merge(&mut self, other: HaloCatalog) {
-        let mut have: std::collections::HashSet<u64> =
-            self.halos.iter().map(|h| h.id).collect();
+        let mut have: std::collections::HashSet<u64> = self.halos.iter().map(|h| h.id).collect();
         for h in other.halos {
             if have.insert(h.id) {
                 self.halos.push(h);

@@ -349,8 +349,7 @@ mod tests {
             let mut expect: Vec<u32> = (0..pos.len() as u32)
                 .filter(|&i| {
                     let p = pos[i as usize];
-                    (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2)
-                        <= r * r
+                    (p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2) + (p[2] - q[2]).powi(2) <= r * r
                 })
                 .collect();
             expect.sort_unstable();

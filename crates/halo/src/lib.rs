@@ -39,5 +39,5 @@ pub use mbp::{center_time_titan_gpu, mbp_astar, mbp_brute, potential_of, MbpResu
 pub use parallel::{fof_and_centers_timed, parallel_fof, FofConfig, RankTiming};
 pub use properties::{halo_properties, HaloProperties};
 pub use so::{so_mass, SoResult};
-pub use tracking::{track_halos, HaloLink, TrackingResult};
 pub use subhalo::{find_subhalos, local_densities, Subhalo, SubhaloParams};
+pub use tracking::{track_halos, HaloLink, TrackingResult};

@@ -71,10 +71,7 @@ impl MassFunction {
         if m <= self.m_min {
             return 1.0;
         }
-        match self
-            .grid
-            .binary_search_by(|g| g.partial_cmp(&m).unwrap())
-        {
+        match self.grid.binary_search_by(|g| g.partial_cmp(&m).unwrap()) {
             Ok(i) | Err(i) => {
                 if i == 0 {
                     1.0
@@ -95,10 +92,7 @@ impl MassFunction {
     /// Draw one halo mass (particle count).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
         let u: f64 = rng.gen_range(0.0..1.0);
-        let i = match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        let i = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(TABLE_N - 1),
         };
@@ -121,10 +115,7 @@ impl MassFunction {
     pub fn sample_above<R: Rng>(&self, rng: &mut R, m_lo: f64) -> u64 {
         let cdf_lo = 1.0 - self.fraction_above(m_lo);
         let u: f64 = rng.gen_range(cdf_lo..1.0);
-        let i = match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).unwrap())
-        {
+        let i = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
             Ok(i) => i,
             Err(i) => i.min(TABLE_N - 1),
         };
@@ -379,6 +370,9 @@ mod tests {
         // Conditional tail fraction above 1M should match analytics.
         let emp = tail.iter().filter(|&&m| m > 1_000_000).count() as f64 / tail.len() as f64;
         let ana = mf.fraction_above(1_000_000.0) / mf.fraction_above(300_000.0);
-        assert!((emp - ana).abs() < 0.05, "empirical {emp} vs analytic {ana}");
+        assert!(
+            (emp - ana).abs() < 0.05,
+            "empirical {emp} vs analytic {ana}"
+        );
     }
 }

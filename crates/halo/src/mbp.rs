@@ -35,8 +35,7 @@ pub fn potential_of(particles: &[Particle], i: usize, softening: f64) -> f64 {
             continue;
         }
         let q = p.pos_f64();
-        let d = ((q[0] - pi[0]).powi(2) + (q[1] - pi[1]).powi(2) + (q[2] - pi[2]).powi(2))
-            .sqrt();
+        let d = ((q[0] - pi[0]).powi(2) + (q[1] - pi[1]).powi(2) + (q[2] - pi[2]).powi(2)).sqrt();
         acc -= p.mass as f64 / (d + softening);
     }
     acc

@@ -199,7 +199,11 @@ mod tests {
                     (center[1] + ((t * 0.414).fract() - 0.5) * spread).rem_euclid(box_size),
                     (center[2] + ((t * 0.732).fract() - 0.5) * spread).rem_euclid(box_size),
                 ];
-                Particle::at_rest([pos[0] as f32, pos[1] as f32, pos[2] as f32], 1.0, tag0 + i as u64)
+                Particle::at_rest(
+                    [pos[0] as f32, pos[1] as f32, pos[2] as f32],
+                    1.0,
+                    tag0 + i as u64,
+                )
             })
             .collect()
     }
@@ -264,7 +268,11 @@ mod tests {
             let total = ids.len();
             ids.sort_unstable();
             ids.dedup();
-            assert_eq!(ids.len(), total, "duplicate halo assignment, nranks={nranks}");
+            assert_eq!(
+                ids.len(),
+                total,
+                "duplicate halo assignment, nranks={nranks}"
+            );
         }
     }
 

@@ -74,7 +74,11 @@ pub fn halo_properties(particles: &[Particle], center: [f64; 3]) -> HaloProperti
             break;
         }
     }
-    let concentration = if r_half > 0.0 { r_max / r_half } else { f64::INFINITY };
+    let concentration = if r_half > 0.0 {
+        r_max / r_half
+    } else {
+        f64::INFINITY
+    };
     HaloProperties {
         count: n,
         mass,
@@ -134,7 +138,11 @@ mod tests {
             p.vel = [100.0, -50.0, 25.0];
         }
         let props = halo_properties(&parts, [0.0; 3]);
-        assert!(props.velocity_dispersion < 1e-4, "{}", props.velocity_dispersion);
+        assert!(
+            props.velocity_dispersion < 1e-4,
+            "{}",
+            props.velocity_dispersion
+        );
     }
 
     #[test]

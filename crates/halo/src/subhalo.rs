@@ -227,12 +227,11 @@ fn unbind(particles: &[Particle], mut members: Vec<u32>, params: &SubhaloParams)
                         continue;
                     }
                     let q = particles[j as usize].pos_f64();
-                    let d = ((q[0] - qi[0]).powi(2)
-                        + (q[1] - qi[1]).powi(2)
-                        + (q[2] - qi[2]).powi(2))
-                    .sqrt();
-                    pe -= p.mass as f64 * particles[j as usize].mass as f64
-                        / (d + params.softening);
+                    let d =
+                        ((q[0] - qi[0]).powi(2) + (q[1] - qi[1]).powi(2) + (q[2] - qi[2]).powi(2))
+                            .sqrt();
+                    pe -=
+                        p.mass as f64 * particles[j as usize].mass as f64 / (d + params.softening);
                 }
                 (i, ke + pe)
             })

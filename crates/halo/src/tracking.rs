@@ -55,7 +55,11 @@ impl TrackingResult {
             .into_iter()
             .filter(|(_, ls)| ls.len() > 1)
             .map(|(d, mut ls)| {
-                ls.sort_by(|a, b| b.shared.cmp(&a.shared).then(a.progenitor.cmp(&b.progenitor)));
+                ls.sort_by(|a, b| {
+                    b.shared
+                        .cmp(&a.shared)
+                        .then(a.progenitor.cmp(&b.progenitor))
+                });
                 (d, ls.iter().map(|l| l.progenitor).collect())
             })
             .collect();
@@ -69,7 +73,11 @@ impl TrackingResult {
 /// `min_fraction` is the minimum fraction of a progenitor's particles that
 /// must land in one descendant for the link to count (0.5 is typical:
 /// plurality-with-majority).
-pub fn track_halos(earlier: &HaloCatalog, later: &HaloCatalog, min_fraction: f64) -> TrackingResult {
+pub fn track_halos(
+    earlier: &HaloCatalog,
+    later: &HaloCatalog,
+    min_fraction: f64,
+) -> TrackingResult {
     assert!((0.0..=1.0).contains(&min_fraction));
     // Tag → later-halo id.
     let mut tag_owner: HashMap<u64, u64> = HashMap::new();
@@ -93,9 +101,7 @@ pub fn track_halos(earlier: &HaloCatalog, later: &HaloCatalog, min_fraction: f64
             .into_iter()
             .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)));
         match best {
-            Some((descendant, shared))
-                if shared as f64 / h.count() as f64 >= min_fraction =>
-            {
+            Some((descendant, shared)) if shared as f64 / h.count() as f64 >= min_fraction => {
                 links.push(HaloLink {
                     progenitor: h.id,
                     descendant,

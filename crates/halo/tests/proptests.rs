@@ -1,8 +1,8 @@
 //! Property tests for the halo analysis algorithms.
 
 use halo::{
-    fof_brute, fof_kdtree, mbp_astar, mbp_brute, members_by_group, potential_of, so_mass,
-    KdTree, MassFunction,
+    fof_brute, fof_kdtree, mbp_astar, mbp_brute, members_by_group, potential_of, so_mass, KdTree,
+    MassFunction,
 };
 use nbody::particle::Particle;
 use proptest::prelude::*;
@@ -19,9 +19,7 @@ fn particles_from(positions: &[[f64; 3]]) -> Vec<Particle> {
     positions
         .iter()
         .enumerate()
-        .map(|(i, p)| {
-            Particle::at_rest([p[0] as f32, p[1] as f32, p[2] as f32], 1.0, i as u64)
-        })
+        .map(|(i, p)| Particle::at_rest([p[0] as f32, p[1] as f32, p[2] as f32], 1.0, i as u64))
         .collect()
 }
 

@@ -181,10 +181,7 @@ impl<'a> DistSim<'a> {
                     }
                 }
             }
-            let real_slab = self
-                .slab_fft
-                .inverse(self.comm, gk)
-                .expect("planned dims");
+            let real_slab = self.slab_fft.inverse(self.comm, gk).expect("planned dims");
             // Append the ghost plane from the next rank (its plane 0).
             let mut field: Vec<f64> = real_slab.as_slice().iter().map(|c| c.re).collect();
             let my_plane0: Vec<f64> = field[..ng * ng].to_vec();
@@ -448,10 +445,7 @@ mod tests {
                 // Every local particle sits in this rank's slab.
                 let l = sim.config().cosmology.box_size;
                 for p in sim.particles() {
-                    assert_eq!(
-                        DistSim::owner_of_x(p.pos[0] as f64, l, c.size()),
-                        c.rank()
-                    );
+                    assert_eq!(DistSim::owner_of_x(p.pos[0] as f64, l, c.size()), c.rank());
                 }
                 sim.total_particles()
             });

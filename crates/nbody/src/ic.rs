@@ -68,7 +68,10 @@ pub fn realize_linear_field(
     cfg: &IcConfig,
 ) -> LinearField {
     let np = cfg.np;
-    assert!(np.is_power_of_two(), "particle lattice must be a power of two");
+    assert!(
+        np.is_power_of_two(),
+        "particle lattice must be a power of two"
+    );
     let dims = [np, np, np];
     let plan = Fft3d::new(dims).expect("power-of-two mesh");
 
@@ -107,14 +110,15 @@ pub fn realize_linear_field(
     plan.inverse(backend, &mut real).expect("ifft");
     let n = real.len() as f64;
     let rms = (real.as_slice().iter().map(|z| z.re * z.re).sum::<f64>() / n).sqrt();
-    let scale = if rms > 0.0 { cosmo.sigma_cell / rms } else { 1.0 };
+    let scale = if rms > 0.0 {
+        cosmo.sigma_cell / rms
+    } else {
+        1.0
+    };
     for v in nk.as_mut_slice() {
         *v = v.scale(scale);
     }
-    let delta = Grid3::from_vec(
-        dims,
-        real.as_slice().iter().map(|z| z.re * scale).collect(),
-    );
+    let delta = Grid3::from_vec(dims, real.as_slice().iter().map(|z| z.re * scale).collect());
 
     // Displacement ψ_k = i k δ_k / k².
     let mut psi = Vec::with_capacity(3);
@@ -229,7 +233,12 @@ mod tests {
         let g = white_noise(16, 7);
         let n = g.len() as f64;
         let mean: f64 = g.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = g.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = g
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 1.0).abs() < 0.15, "var {var}");
     }
@@ -298,7 +307,10 @@ mod tests {
             let d2 = crate::particle::periodic_dist2(p.pos_f64(), q, cosmo.box_size);
             max_disp = max_disp.max(d2.sqrt());
         }
-        assert!(max_disp < cell, "max displacement {max_disp} vs cell {cell}");
+        assert!(
+            max_disp < cell,
+            "max displacement {max_disp} vs cell {cell}"
+        );
     }
 
     #[test]

@@ -31,10 +31,10 @@ pub mod particle;
 pub mod pm;
 pub mod sim;
 
+pub use checkpoint::{restore, save, CheckpointError};
 pub use cosmology::Cosmology;
+pub use distributed::DistSim;
 pub use ic::{realize_linear_field, zeldovich_particles, IcConfig, LinearField};
 pub use particle::{min_image, periodic_dist2, Particle, PARTICLE_BYTES};
 pub use pm::{cic_deposit, cic_interpolate, poisson_accel};
-pub use checkpoint::{restore, save, CheckpointError};
-pub use distributed::DistSim;
 pub use sim::{SimConfig, Simulation};

@@ -25,9 +25,8 @@ pub const PARTICLE_BYTES: usize = 36;
 // in-memory record at exactly that size (8-byte alignment would pad to 40, so
 // the tag is stored as two u32 halves if padding ever appears — instead we
 // simply assert the packed logical size used for I/O accounting).
-const _: () = assert!(
-    std::mem::size_of::<[f32; 7]>() + std::mem::size_of::<u64>() == PARTICLE_BYTES
-);
+const _: () =
+    assert!(std::mem::size_of::<[f32; 7]>() + std::mem::size_of::<u64>() == PARTICLE_BYTES);
 
 impl Particle {
     /// A particle at rest.

@@ -75,11 +75,7 @@ pub fn cic_deposit(
 ///
 /// `prefactor` is `(3 Ω/2a)`; the Poisson kernel uses the continuum `k²` in
 /// grid angular frequencies.
-pub fn poisson_accel(
-    backend: &dyn Backend,
-    delta: &Grid3<f64>,
-    prefactor: f64,
-) -> [Grid3<f64>; 3] {
+pub fn poisson_accel(backend: &dyn Backend, delta: &Grid3<f64>, prefactor: f64) -> [Grid3<f64>; 3] {
     let dims = delta.dims();
     let ng = dims[0];
     assert!(dims[1] == ng && dims[2] == ng, "mesh must be cubic");
@@ -172,11 +168,7 @@ mod tests {
             .map(|i| {
                 let f = i as f32 * 0.618;
                 Particle::at_rest(
-                    [
-                        (f * 3.1) % 16.0,
-                        (f * 7.7) % 16.0,
-                        (f * 1.3) % 16.0,
-                    ],
+                    [(f * 3.1) % 16.0, (f * 7.7) % 16.0, (f * 1.3) % 16.0],
                     1.0,
                     i,
                 )

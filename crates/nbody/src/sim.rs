@@ -204,7 +204,12 @@ impl Simulation {
 
     /// Clustering diagnostic: RMS of the CIC overdensity field.
     pub fn density_rms(&self, backend: &dyn Backend) -> f64 {
-        let delta = cic_deposit(backend, &self.particles, self.cfg.ng, self.cfg.cosmology.box_size);
+        let delta = cic_deposit(
+            backend,
+            &self.particles,
+            self.cfg.ng,
+            self.cfg.cosmology.box_size,
+        );
         let n = delta.len() as f64;
         (delta.as_slice().iter().map(|v| v * v).sum::<f64>() / n).sqrt()
     }
@@ -239,7 +244,11 @@ mod tests {
         assert!((sim.redshift() - 50.0).abs() < 1e-9);
         sim.run(&t);
         assert!(sim.finished());
-        assert!(sim.redshift().abs() < 1e-9, "ends at z=0, got {}", sim.redshift());
+        assert!(
+            sim.redshift().abs() < 1e-9,
+            "ends at z=0, got {}",
+            sim.redshift()
+        );
         assert_eq!(sim.step_index(), 12);
     }
 

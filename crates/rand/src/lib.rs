@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! subset of the `rand` 0.8 API the workspace uses: [`SeedableRng`],
+//! [`Rng::gen_range`] over half-open ranges, and [`rngs::StdRng`]. The
+//! generator is xoshiro256** seeded through SplitMix64 — *not* the upstream
+//! ChaCha-based `StdRng`, so streams differ from real `rand`, but every use in
+//! this workspace is statistical (tolerance-based tests, synthetic workloads),
+//! not golden-value based.
+
+use std::ops::Range;
+
+/// Types that can seed themselves from a `u64` (subset of `rand`'s trait).
+pub trait SeedableRng: Sized {
+    /// Construct a deterministically-seeded generator.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling support for [`Rng::gen_range`].
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Sample uniformly from `[lo, hi)` using `bits` (a full-entropy `u64`).
+    fn sample_from_bits(bits: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_from_bits(bits: u64, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "gen_range requires a non-empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (bits as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_from_bits(bits: u64, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo < hi, "gen_range requires a non-empty range");
+                // 53 high bits -> uniform in [0, 1).
+                let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = lo as f64 + unit * (hi as f64 - lo as f64);
+                // Guard the open upper bound against rounding (probability
+                // ~2^-53; returning `lo` keeps the result in range).
+                let v = v as $t;
+                if v >= hi {
+                    lo
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_float!(f32, f64);
+
+/// The user-facing random-value interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next full-entropy 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_from_bits(self.next_u64(), range.start, range.end)
+    }
+
+    /// A uniform `f64` in `[0, 1)` (stand-in for `gen::<f64>()`).
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic pseudo-random generator (xoshiro256**).
+    ///
+    /// API-compatible stand-in for `rand::rngs::StdRng`; the output stream
+    /// differs from upstream but is stable across runs and platforms.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but be defensive.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let n: usize = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+            let i: i64 = rng.gen_range(-50i64..-10);
+            assert!((-50..-10).contains(&i));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

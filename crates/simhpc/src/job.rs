@@ -1,13 +1,11 @@
 //! Batch jobs and their accounting records.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier assigned at submission, unique within one simulator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
 /// A job submitted to the batch system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
     /// Human-readable name (shows up in records).
     pub name: String,
@@ -32,7 +30,7 @@ impl JobRequest {
 }
 
 /// Completed-job record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobRecord {
     /// The id assigned at submission.
     pub id: JobId,

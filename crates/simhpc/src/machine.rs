@@ -6,13 +6,11 @@
 //! run the center finder at ~0.55× the speed of Titan's K20X, and the GPU
 //! brute-force MBP kernel is ~50× faster than one CPU rank per node.
 
-use serde::{Deserialize, Serialize};
-
 /// Parallel file system performance model.
 ///
 /// Effective bandwidth grows with the number of participating nodes up to a
 /// system-wide peak: `bw = min(peak_bw, per_node_bw × nodes)`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FileSystemSpec {
     /// Aggregate ceiling in bytes/s.
     pub peak_bw: f64,
@@ -36,7 +34,7 @@ impl FileSystemSpec {
 }
 
 /// Interconnect model for large data redistribution (all-to-all).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InterconnectSpec {
     /// Per-node injection bandwidth in bytes/s.
     pub per_node_bw: f64,
@@ -61,7 +59,7 @@ impl InterconnectSpec {
 /// in-transit variation; none of the 2015 machines had one — §4.2 calls the
 /// set-up hypothetical — so presets carry `None` and a future-system preset
 /// attaches one).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BurstBufferSpec {
     /// Per-client bandwidth in bytes/s (NVMe/NVRAM class, ~20× disk).
     pub per_node_bw: f64,
@@ -88,7 +86,7 @@ impl BurstBufferSpec {
 }
 
 /// A compute platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineSpec {
     /// Facility name, e.g. `"titan"`.
     pub name: String,

@@ -8,10 +8,9 @@
 
 use crate::job::{JobId, JobRecord, JobRequest};
 use crate::machine::MachineSpec;
-use serde::{Deserialize, Serialize};
 
 /// Queue ordering discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueDiscipline {
     /// First come, first served — greedy: jobs behind a blocked head may
     /// start if they fit (unlimited backfill, no reservation protection).
@@ -31,7 +30,7 @@ pub enum QueueDiscipline {
 }
 
 /// Facility queue policy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueuePolicy {
     /// Queue ordering.
     pub discipline: QueueDiscipline,
@@ -343,7 +342,12 @@ impl BatchSimulator {
             }
         }
         let mut out = std::mem::take(&mut self.finished);
-        out.sort_by(|a, b| a.end_time.partial_cmp(&b.end_time).unwrap().then(a.id.cmp(&b.id)));
+        out.sort_by(|a, b| {
+            a.end_time
+                .partial_cmp(&b.end_time)
+                .unwrap()
+                .then(a.id.cmp(&b.id))
+        });
         out
     }
 }
@@ -452,7 +456,12 @@ mod tests {
     fn rhea_analysis_jobs_start_promptly() {
         let mut sim = BatchSimulator::new(rhea(), QueuePolicy::analysis_cluster());
         for i in 0..10 {
-            sim.submit(JobRequest::new(format!("analysis{i}"), 4, 500.0, i as f64 * 10.0));
+            sim.submit(JobRequest::new(
+                format!("analysis{i}"),
+                4,
+                500.0,
+                i as f64 * 10.0,
+            ));
         }
         let recs = sim.run_to_completion();
         // Plenty of nodes: every job starts as soon as eligible.
@@ -489,8 +498,14 @@ mod tests {
         let recs = sim.run_to_completion();
         let sim_rec = recs.iter().find(|r| r.name == "sim").unwrap();
         for i in 0..3 {
-            let a = recs.iter().find(|r| r.name == format!("analysis{i}")).unwrap();
-            assert!(a.start_time < sim_rec.end_time, "analysis{i} must overlap the simulation");
+            let a = recs
+                .iter()
+                .find(|r| r.name == format!("analysis{i}"))
+                .unwrap();
+            assert!(
+                a.start_time < sim_rec.end_time,
+                "analysis{i} must overlap the simulation"
+            );
         }
     }
 }
@@ -535,7 +550,10 @@ mod backfill_tests {
         let recs = sim.run_to_completion();
         // Shorty fits (2 ≤ 10-8) but must wait for the head anyway.
         assert_eq!(start_of(&recs, "head"), 100.0);
-        assert!(start_of(&recs, "shorty") >= 100.0, "strict FCFS: no jumping");
+        assert!(
+            start_of(&recs, "shorty") >= 100.0,
+            "strict FCFS: no jumping"
+        );
     }
 
     #[test]

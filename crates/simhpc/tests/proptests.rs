@@ -6,36 +6,37 @@ use simhpc::{machine, BatchSimulator, JobRequest, QueueDiscipline, QueuePolicy};
 
 fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
     (
-        prop_oneof![Just(QueueDiscipline::Fcfs), Just(QueueDiscipline::LargestFirst)],
+        prop_oneof![
+            Just(QueueDiscipline::Fcfs),
+            Just(QueueDiscipline::LargestFirst)
+        ],
         0usize..200,
         prop_oneof![Just(None), (1usize..4).prop_map(Some)],
         0.0f64..1000.0,
     )
-        .prop_map(|(discipline, small_job_threshold, max_running_small_jobs, base_wait)| {
-            QueuePolicy {
+        .prop_map(
+            |(discipline, small_job_threshold, max_running_small_jobs, base_wait)| QueuePolicy {
                 discipline,
                 small_job_threshold,
                 max_running_small_jobs,
                 base_wait,
                 wait_exponent: 0.7,
-            }
-        })
+            },
+        )
 }
 
 fn arb_jobs(max_nodes: usize) -> impl Strategy<Value = Vec<JobRequest>> {
-    proptest::collection::vec(
-        (1usize..=max_nodes, 1.0f64..500.0, 0.0f64..2000.0),
-        1..40,
+    proptest::collection::vec((1usize..=max_nodes, 1.0f64..500.0, 0.0f64..2000.0), 1..40).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (nodes, runtime, submit))| {
+                    JobRequest::new(format!("job{i}"), nodes, runtime, submit)
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (nodes, runtime, submit))| {
-                JobRequest::new(format!("job{i}"), nodes, runtime, submit)
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -64,8 +64,16 @@ fn main() {
     };
 
     for (label, machine, mut policy) in [
-        ("Titan (small-job cap = 2)", machine::titan(), QueuePolicy::titan()),
-        ("analysis cluster (Rhea-like)", machine::rhea(), QueuePolicy::analysis_cluster()),
+        (
+            "Titan (small-job cap = 2)",
+            machine::titan(),
+            QueuePolicy::titan(),
+        ),
+        (
+            "analysis cluster (Rhea-like)",
+            machine::rhea(),
+            QueuePolicy::analysis_cluster(),
+        ),
     ] {
         policy.base_wait = 0.0; // isolate the structural queue effects
         let mut m = machine;
@@ -75,7 +83,11 @@ fn main() {
             sim.submit(j);
         }
         let recs = sim.run_to_completion();
-        let sim_end = recs.iter().find(|r| r.name == "simulation").unwrap().end_time;
+        let sim_end = recs
+            .iter()
+            .find(|r| r.name == "simulation")
+            .unwrap()
+            .end_time;
         let overlapped = recs
             .iter()
             .filter(|r| r.name.starts_with("analysis") && r.start_time < sim_end)

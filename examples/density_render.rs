@@ -39,7 +39,10 @@ fn main() {
 
     // Log-stretch for display.
     let max = proj.iter().cloned().fold(0.0, f64::max);
-    let stretched: Vec<f64> = proj.iter().map(|&v| (1.0 + v).ln() / (1.0 + max).ln()).collect();
+    let stretched: Vec<f64> = proj
+        .iter()
+        .map(|&v| (1.0 + v).ln() / (1.0 + max).ln())
+        .collect();
 
     // PGM output.
     let path = std::env::temp_dir().join("hacc_density.pgm");
@@ -52,7 +55,10 @@ fn main() {
 
     // ASCII rendering (coarse).
     let ramp: Vec<char> = " .:-=+*#%@".chars().collect();
-    println!("\ncolumn density at z = {:.2} (log stretch):", sim.redshift());
+    println!(
+        "\ncolumn density at z = {:.2} (log stretch):",
+        sim.redshift()
+    );
     for x in (0..ng).step_by(2) {
         let mut line = String::new();
         for y in 0..ng {

@@ -47,15 +47,8 @@ fn main() {
             min_size: 20,
             overload_width: (25.0 * link).min(0.45 * decomp.min_block_width()),
         };
-        let (catalog, timing) = fof_and_centers_timed(
-            comm,
-            &decomp,
-            &locals,
-            &fof,
-            &dpp::Serial,
-            1e-3,
-            usize::MAX,
-        );
+        let (catalog, timing) =
+            fof_and_centers_timed(comm, &decomp, &locals, &fof, &dpp::Serial, 1e-3, usize::MAX);
         (
             comm.rank(),
             sim_seconds,
@@ -81,12 +74,18 @@ fn main() {
         total_halos += nhalos;
     }
     println!("\ntotal halos found: {total_halos} (each assigned to exactly one rank)");
-    let find_max = results.iter().map(|r| r.6.find_seconds).fold(0.0f64, f64::max);
+    let find_max = results
+        .iter()
+        .map(|r| r.6.find_seconds)
+        .fold(0.0f64, f64::max);
     let find_min = results
         .iter()
         .map(|r| r.6.find_seconds)
         .fold(f64::INFINITY, f64::min);
-    let c_max = results.iter().map(|r| r.6.center_seconds).fold(0.0f64, f64::max);
+    let c_max = results
+        .iter()
+        .map(|r| r.6.center_seconds)
+        .fold(0.0f64, f64::max);
     let c_min = results
         .iter()
         .map(|r| r.6.center_seconds)

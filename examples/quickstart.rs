@@ -52,7 +52,10 @@ fn main() {
 
     println!(
         "running {}^3 particles in a ({} Mpc/h)^3 box, {} steps, backend `{}`...",
-        cfg.np, box_size, cfg.nsteps, dpp::Backend::name(&backend)
+        cfg.np,
+        box_size,
+        cfg.nsteps,
+        dpp::Backend::name(&backend)
     );
     let t0 = std::time::Instant::now();
     let mut sim = Simulation::new(&backend, cfg);
@@ -66,10 +69,16 @@ fn main() {
             &backend,
         );
         if ran > 0 {
-            println!("  step {step:>3} (z = {:>6.3}): {ran} analysis task(s) ran", sim.redshift());
+            println!(
+                "  step {step:>3} (z = {:>6.3}): {ran} analysis task(s) ran",
+                sim.redshift()
+            );
         }
     });
-    println!("simulation + in-situ analysis: {:.2} s", t0.elapsed().as_secs_f64());
+    println!(
+        "simulation + in-situ analysis: {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // Walk the products like the storage system would.
     for p in manager.products() {
@@ -86,7 +95,11 @@ fn main() {
                 );
             }
             Product::Halos { step, catalog } => {
-                let centered = catalog.halos.iter().filter(|h| h.mbp_center.is_some()).count();
+                let centered = catalog
+                    .halos
+                    .iter()
+                    .filter(|h| h.mbp_center.is_some())
+                    .count();
                 let largest = catalog.halos.iter().map(|h| h.count()).max().unwrap_or(0);
                 println!(
                     "halos @ step {step}: {} halos (largest {largest} particles), {centered} centered in situ",
@@ -105,6 +118,9 @@ fn main() {
     // Timing records — the paper's "negligible overhead" claim is observable.
     println!("\nper-task timings:");
     for r in manager.records() {
-        println!("  {:<16} step {:>3}: {:>8.3} s", r.algorithm, r.step, r.seconds);
+        println!(
+            "  {:<16} step {:>3}: {:>8.3} s",
+            r.algorithm, r.step, r.seconds
+        );
     }
 }

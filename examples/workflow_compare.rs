@@ -36,7 +36,11 @@ fn main() {
     };
     println!("== measured: real execution of the three workflows ==");
     let bed = TestBed::create(cfg, &backend);
-    println!("simulation: {:.2} s ({} particles)", bed.sim_seconds, bed.particles.len());
+    println!(
+        "simulation: {:.2} s ({} particles)",
+        bed.sim_seconds,
+        bed.particles.len()
+    );
 
     let in_situ = bed.run_in_situ_only(&backend);
     let off_line = bed.run_offline_only(&backend);

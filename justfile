@@ -1,0 +1,24 @@
+# Developer workflow shortcuts. `just` (or `just check`) mirrors CI.
+
+# Run everything CI runs, in the same order.
+check: fmt build test clippy
+
+fmt:
+    cargo fmt --all --check
+
+build:
+    cargo build --release
+
+test:
+    cargo test -q --workspace --release
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Dispatch-layer microbenchmarks (persistent pool vs spawn-per-dispatch).
+bench-dispatch:
+    cargo bench -p bench --bench dispatch_overhead
+
+# Regenerate the paper's tables/figures benches.
+bench-paper:
+    cargo bench -p bench --bench paper_tables

@@ -75,7 +75,10 @@ fn distributed_sim_feeds_distributed_analysis() {
             fof_and_centers_timed(comm, &decomp, &locals, &fof, &dpp::Serial, 1e-3, usize::MAX);
         catalog.len()
     });
-    assert_eq!(total_halos, single[0], "rank count must not change the catalog");
+    assert_eq!(
+        total_halos, single[0],
+        "rank count must not change the catalog"
+    );
 }
 
 #[test]

@@ -58,7 +58,11 @@ fn halos_accrete_and_track_across_snapshots() {
     let mut grew = 0;
     let mut shrank = 0;
     for link in &tracking.links {
-        let e = early.halos.iter().find(|h| h.id == link.progenitor).unwrap();
+        let e = early
+            .halos
+            .iter()
+            .find(|h| h.id == link.progenitor)
+            .unwrap();
         let l = late.halos.iter().find(|h| h.id == link.descendant).unwrap();
         if l.count() >= e.count() {
             grew += 1;

@@ -3,9 +3,9 @@
 //! analysis → Level 2 file → off-line driver → merged Level 3 output.
 
 use cosmotools::{
-    centers_from_catalog, centers_from_level2, merge_center_sets, read_container,
-    write_container, write_level2_container, Config, HaloFinderTask, InSituAnalysisManager,
-    PowerSpectrumTask, Product, SnapshotMeta,
+    centers_from_catalog, centers_from_level2, merge_center_sets, read_container, write_container,
+    write_level2_container, Config, HaloFinderTask, InSituAnalysisManager, PowerSpectrumTask,
+    Product, SnapshotMeta,
 };
 use dpp::Threaded;
 use halo::HaloCatalog;
@@ -71,9 +71,8 @@ fn full_in_situ_pipeline_produces_all_products() {
     assert_eq!(n_spectra, 5, "steps 6, 12, 18, 24, 30");
     assert_eq!(n_halo_cats, 1, "final step only");
     // The final catalog contains clustered structure.
-    let Some(Product::Halos { catalog, .. }) = products
-        .iter()
-        .find(|p| matches!(p, Product::Halos { .. }))
+    let Some(Product::Halos { catalog, .. }) =
+        products.iter().find(|p| matches!(p, Product::Halos { .. }))
     else {
         unreachable!()
     };
