@@ -27,4 +27,4 @@ pub mod decomp;
 pub mod world;
 
 pub use decomp::{exchange_overload, redistribute, CartDecomp, HasPosition};
-pub use world::{Communicator, World};
+pub use world::{CommError, Communicator, World};

@@ -6,10 +6,49 @@
 //! receives match on `(source, tag)` with out-of-order buffering, mirroring
 //! MPI matching semantics.
 
+use faults::{fault_point, FaultKind};
 use std::any::Any;
 use std::cell::RefCell;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by the timeout-aware communication calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the deadline — the peer may have
+    /// crashed or stalled. Surfaced instead of hanging forever.
+    Timeout {
+        /// Rank the receive was matching on.
+        src: usize,
+        /// Tag the receive was matching on.
+        tag: u64,
+        /// How long the call waited.
+        waited: Duration,
+    },
+    /// The peer's endpoint no longer exists (its rank thread exited), so the
+    /// message can never arrive.
+    Disconnected {
+        /// Rank the operation addressed.
+        peer: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src, tag, waited } => write!(
+                f,
+                "timed out after {waited:?} waiting for a message from rank {src} tag {tag}"
+            ),
+            CommError::Disconnected { peer } => {
+                write!(f, "rank {peer} hung up; message can never be delivered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 /// A tagged message in flight.
 struct Envelope {
@@ -66,6 +105,14 @@ impl Communicator {
             "send to rank {dst} out of range {}",
             self.size
         );
+        // Fault site: a `Transient` fault models a dropped packet that the
+        // transport retransmits (delivery still happens, the fault is only
+        // recorded); a `Stall` delays the send; a `Crash` kills this rank.
+        match fault_point!("comm.send") {
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::Crash) => panic!("rank {} crashed by fault injection", self.rank),
+            Some(FaultKind::Transient) | None => {}
+        }
         self.senders[dst]
             .send(Envelope {
                 src: self.rank,
@@ -88,13 +135,9 @@ impl Communicator {
     }
 
     pub(crate) fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        // Check the unexpected-message queue first.
-        {
-            let mut pending = self.pending.borrow_mut();
-            if let Some(i) = pending.iter().position(|e| e.src == src && e.tag == tag) {
-                let env = pending.swap_remove(i);
-                return Self::downcast(env, src, tag);
-            }
+        self.apply_recv_fault();
+        if let Some(env) = self.take_pending(src, tag) {
+            return Self::downcast(env, src, tag);
         }
         loop {
             let env = self
@@ -105,6 +148,70 @@ impl Communicator {
                 return Self::downcast(env, src, tag);
             }
             self.pending.borrow_mut().push(env);
+        }
+    }
+
+    /// Blocking receive with a deadline: like [`Communicator::recv`], but a
+    /// peer that crashed or stalled past `timeout` surfaces as
+    /// [`CommError::Timeout`] instead of hanging the rank forever.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        assert!(
+            tag < COLLECTIVE_TAG_BASE,
+            "tag {tag} is reserved for collectives"
+        );
+        let deadline = Instant::now() + timeout;
+        self.apply_recv_fault();
+        if let Some(env) = self.take_pending(src, tag) {
+            return Ok(Self::downcast(env, src, tag));
+        }
+        loop {
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(CommError::Timeout {
+                    src,
+                    tag,
+                    waited: timeout,
+                });
+            };
+            match self.inbox.recv_timeout(remaining) {
+                Ok(env) if env.src == src && env.tag == tag => {
+                    return Ok(Self::downcast(env, src, tag));
+                }
+                Ok(env) => self.pending.borrow_mut().push(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(CommError::Timeout {
+                        src,
+                        tag,
+                        waited: timeout,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { peer: src });
+                }
+            }
+        }
+    }
+
+    /// Pull a matched envelope out of the unexpected-message queue.
+    fn take_pending(&self, src: usize, tag: u64) -> Option<Envelope> {
+        let mut pending = self.pending.borrow_mut();
+        let i = pending.iter().position(|e| e.src == src && e.tag == tag)?;
+        Some(pending.swap_remove(i))
+    }
+
+    /// Fault site on the receive path; mirrors the send-side semantics.
+    fn apply_recv_fault(&self) {
+        match fault_point!("comm.recv") {
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::Crash) => panic!("rank {} crashed by fault injection", self.rank),
+            Some(FaultKind::Transient) | None => {}
         }
     }
 

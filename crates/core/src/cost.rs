@@ -18,13 +18,16 @@ pub struct PhaseSeconds {
     pub analysis: f64,
     /// Writing output data.
     pub write: f64,
+    /// Graceful-degradation work: off-line fallback analysis performed
+    /// because an in-situ step failed (zero on a fault-free run).
+    pub fallback: f64,
 }
 
 impl PhaseSeconds {
     /// Total wall seconds excluding queue wait (the paper quotes
     /// "total + queuing").
     pub fn total(&self) -> f64 {
-        self.sim + self.read + self.redistribute + self.analysis + self.write
+        self.sim + self.read + self.redistribute + self.analysis + self.write + self.fallback
     }
 }
 
@@ -118,7 +121,7 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
         writeln!(out, "=== {} ===", wc.strategy).unwrap();
         writeln!(
             out,
-            "{:<18} {:>9} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9} | {:>10}",
+            "{:<18} {:>9} {:>9} {:>9} {:>12} {:>9} {:>9} {:>9} {:>9} | {:>10}",
             "job",
             "queuing",
             "sim",
@@ -126,6 +129,7 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
             "redistribute",
             "analysis",
             "write",
+            "fallback",
             "total",
             "core-hrs"
         )
@@ -134,7 +138,7 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
             let p = &job.phases;
             writeln!(
                 out,
-                "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>12.1} {:>9.1} {:>9.1} {:>9.1} | {:>10.1}",
+                "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>12.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} | {:>10.1}",
                 format!("{} ({}x{})", job.label, job.nodes, job.machine),
                 p.queuing,
                 p.sim,
@@ -142,6 +146,7 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
                 p.redistribute,
                 p.analysis,
                 p.write,
+                p.fallback,
                 p.total(),
                 job.total_core_hours()
             )
@@ -170,6 +175,7 @@ mod tests {
             redistribute: 0.0,
             analysis,
             write,
+            fallback: 0.0,
         }
     }
 
@@ -201,6 +207,7 @@ mod tests {
                 redistribute: 435.0,
                 analysis: 892.0,
                 write: 0.3,
+                fallback: 0.0,
             },
         );
         // Table 4: 1332 s on 32 nodes → 355 core-hours.
@@ -237,6 +244,7 @@ mod tests {
                     redistribute: 75.0,
                     analysis: 1075.0,
                     write: 0.2,
+                    fallback: 0.0,
                 },
             )],
         };

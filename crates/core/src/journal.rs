@@ -1,0 +1,178 @@
+//! Crash-recovery journal for the co-scheduling listener.
+//!
+//! The listener's exactly-once guarantee has to survive the listener process
+//! dying between polls: on a real facility the login-node script gets killed
+//! and restarted, and a restarted listener must not resubmit analysis jobs
+//! for files it already handled. The journal is the persisted handled-file
+//! set: one header line, then one absolute path per line, appended after
+//! each successful submission.
+//!
+//! Torn writes are tolerated by construction: an entry is a single
+//! `write` of `path + "\n"`, and [`Journal::load`] drops a trailing chunk
+//! with no newline terminator. A torn entry therefore reverts to
+//! "unhandled" — the restarted listener submits that file again, which is
+//! the safe direction only when the fault model's crash points sit *between*
+//! per-file handling units (see DESIGN.md "Fault model"); within this repo's
+//! injected crashes the submit+append pair is never split, so replay yields
+//! the same handled-file set with no duplicates.
+
+use std::collections::BTreeSet;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// First line of every journal file; guards against feeding the listener an
+/// unrelated file.
+pub const JOURNAL_HEADER: &str = "hacc-listener-journal v1";
+
+/// Append-only handled-file journal at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    path: PathBuf,
+}
+
+impl Journal {
+    /// A journal stored at `path` (created on first append).
+    pub fn new(path: PathBuf) -> Self {
+        Journal { path }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read the handled-file set back. A missing file is an empty set; a
+    /// file with the wrong header is an error; an incomplete (torn) final
+    /// line is dropped.
+    pub fn load(&self) -> io::Result<BTreeSet<PathBuf>> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+            Err(e) => return Err(e),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines = text.split_inclusive('\n');
+        match lines.next() {
+            None => return Ok(BTreeSet::new()),
+            Some(header) if header.trim_end_matches('\n') == JOURNAL_HEADER => {}
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("not a listener journal (header {:?})", other.trim_end()),
+                ));
+            }
+        }
+        Ok(lines
+            // A chunk without its trailing newline is a torn append: the
+            // entry never committed.
+            .filter(|l| l.ends_with('\n'))
+            .map(|l| PathBuf::from(l.trim_end_matches('\n')))
+            .filter(|p| !p.as_os_str().is_empty())
+            .collect())
+    }
+
+    /// Record `entry` as handled. Creates the file (with header) on first
+    /// use. The entry must not contain a newline — the journal is
+    /// line-oriented.
+    pub fn append(&self, entry: &Path) -> io::Result<()> {
+        let line = entry.to_string_lossy();
+        if line.contains('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "journal entries must not contain newlines",
+            ));
+        }
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        if f.metadata()?.len() == 0 {
+            f.write_all(format!("{JOURNAL_HEADER}\n").as_bytes())?;
+        } else {
+            // A torn append from a previous crash left bytes with no
+            // newline; terminate them so the fragment cannot corrupt this
+            // (good) entry by concatenation. The fragment then reads back as
+            // a bogus path no output file matches.
+            use std::io::{Read, Seek, SeekFrom};
+            f.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            f.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                f.write_all(b"\n")?;
+            }
+        }
+        // One write call per entry keeps a torn append detectable as a
+        // missing trailing newline.
+        f.write_all(format!("{line}\n").as_bytes())?;
+        f.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("journal_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    #[test]
+    fn missing_journal_is_an_empty_set() {
+        let j = Journal::new(tmpfile("never_written.journal"));
+        assert!(j.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn append_then_load_roundtrips() {
+        let j = Journal::new(tmpfile("roundtrip.journal"));
+        let _ = std::fs::remove_file(j.path());
+        j.append(Path::new("/out/l2_step0001.hcio")).unwrap();
+        j.append(Path::new("/out/l2_step0002.hcio")).unwrap();
+        let set = j.load().unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(Path::new("/out/l2_step0001.hcio")));
+    }
+
+    #[test]
+    fn torn_final_entry_is_dropped() {
+        let j = Journal::new(tmpfile("torn.journal"));
+        let _ = std::fs::remove_file(j.path());
+        j.append(Path::new("/out/a.hcio")).unwrap();
+        // Simulate a crash mid-append: bytes with no trailing newline.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(j.path())
+            .unwrap();
+        f.write_all(b"/out/b.hc").unwrap();
+        drop(f);
+        let set = j.load().unwrap();
+        assert_eq!(set.len(), 1, "torn entry must not count as handled");
+        assert!(set.contains(Path::new("/out/a.hcio")));
+        // The next append terminates the torn fragment before committing its
+        // own line, so the new entry is never corrupted by concatenation.
+        j.append(Path::new("/out/c.hcio")).unwrap();
+        let set = j.load().unwrap();
+        assert!(set.contains(Path::new("/out/c.hcio")));
+        assert!(
+            set.contains(Path::new("/out/b.hc")),
+            "fragment sealed as-is"
+        );
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let p = tmpfile("wrong_header.journal");
+        std::fs::write(&p, "something else\n/out/a.hcio\n").unwrap();
+        let err = Journal::new(p).load().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn newline_in_entry_is_rejected() {
+        let j = Journal::new(tmpfile("newline.journal"));
+        assert!(j.append(Path::new("a\nb")).is_err());
+    }
+}

@@ -26,6 +26,7 @@
 pub mod autosplit;
 pub mod cost;
 pub mod experiments;
+pub mod journal;
 pub mod listener;
 pub mod model;
 pub mod report;
@@ -33,7 +34,11 @@ pub mod runner;
 
 pub use autosplit::{choose_split, plan_coschedule, CoSchedulePlan, SplitDecision};
 pub use cost::{format_table4, JobCost, PhaseSeconds, WorkflowCost};
-pub use listener::{Listener, ListenerConfig};
+pub use journal::Journal;
+pub use listener::{Listener, ListenerConfig, ListenerReport, SubmitError};
 pub use model::{qcontinuum_projection, QContinuumSummary, RunSpec, TitanFrame};
 pub use report::full_report;
-pub use runner::{compare_all, measured_table2, MeasuredEpoch, RunnerConfig, TestBed, WorkflowRun};
+pub use runner::{
+    compare_all, measured_table2, MeasuredEpoch, RunnerConfig, TestBed, WorkflowRun,
+    RUNNER_FAULT_SITE,
+};

@@ -11,18 +11,49 @@
 //!
 //! * **quiescence gate** — a new file is submitted only once its size is
 //!   unchanged across two consecutive polls ([`ListenerConfig::require_quiescence`]);
-//!   the final sweep at [`Listener::stop`] bypasses the gate because the
-//!   simulation has exited and its files are complete;
+//!   the final sweep at [`Listener::stop`] applies the same gate (with
+//!   faster re-polls, bounded by [`ListenerConfig::stop_grace`]), so a file
+//!   still being written at stop time is never submitted truncated;
 //! * **temporary exclusion** — writers that stage through `foo.tmp` + rename
 //!   are supported by skipping names with a configured suffix outright
 //!   ([`ListenerConfig::exclude_suffix`]).
+//!
+//! On a real facility the listener itself fails: submissions bounce,
+//! directory scans hit filesystem hiccups, and the listener process gets
+//! killed. Three mechanisms make those survivable:
+//!
+//! * **retry with backoff** — a transient scan error skips one poll; a
+//!   transient submit error is retried under the capped exponential
+//!   [`ListenerConfig::retry`] policy, and a file whose submissions all fail
+//!   stays unhandled so a later poll tries again;
+//! * **crash-recovery journal** — with [`ListenerConfig::journal`] set,
+//!   every handled file is appended to a [`crate::journal::Journal`] and
+//!   preloaded on spawn, so a restarted listener never double-submits;
+//! * **fault sites** — `listener.scan`, `listener.submit`, and
+//!   `listener.journal` consult the [`ListenerConfig::injector`] (or the
+//!   globally installed one), letting the chaos harness rehearse all of the
+//!   above deterministically.
 
+use crate::journal::Journal;
+use faults::{BackoffPolicy, FaultInjector, FaultKind};
 use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// A failed submission attempt, reported by the `on_file` callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitError(pub String);
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "submit failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Listener configuration.
 #[derive(Debug, Clone)]
@@ -39,10 +70,20 @@ pub struct ListenerConfig {
     /// temporary name before an atomic rename. `None` disables the filter.
     pub exclude_suffix: Option<String>,
     /// Submit a newly appeared file only after its size is unchanged across
-    /// two consecutive polls, so in-progress writes are never picked up. The
-    /// final sweep in [`Listener::stop`] bypasses this gate (the simulation
-    /// has finished; its files are complete).
+    /// two consecutive polls, so in-progress writes are never picked up.
+    /// [`Listener::stop`]'s final sweep honors the same gate.
     pub require_quiescence: bool,
+    /// Backoff policy for transient submit/journal failures.
+    pub retry: BackoffPolicy,
+    /// Persisted handled-file set: preloaded on spawn, appended after every
+    /// successful submission, so a restarted listener never double-submits.
+    pub journal: Option<PathBuf>,
+    /// Fault injector consulted at the `listener.*` sites; `None` falls back
+    /// to the globally installed injector (usually none — no faults).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// How long [`Listener::stop`]'s final sweep keeps waiting for files
+    /// that are still growing before giving up on them.
+    pub stop_grace: Duration,
 }
 
 impl Default for ListenerConfig {
@@ -53,14 +94,50 @@ impl Default for ListenerConfig {
             suffix: String::new(),
             exclude_suffix: Some(".tmp".to_string()),
             require_quiescence: true,
+            retry: BackoffPolicy {
+                base_seconds: 0.005,
+                factor: 2.0,
+                max_delay_seconds: 0.1,
+                max_attempts: 5,
+            },
+            journal: None,
+            injector: None,
+            stop_grace: Duration::from_secs(2),
         }
     }
+}
+
+impl ListenerConfig {
+    /// Decide a fault at `site`: the explicit injector when configured,
+    /// otherwise the process-global one.
+    fn fault(&self, site: &str) -> Option<FaultKind> {
+        match &self.injector {
+            Some(inj) => inj.check(site),
+            None => faults::poll(site),
+        }
+    }
+}
+
+/// What one listener run did, returned by [`Listener::stop_report`].
+#[derive(Debug, Clone, Default)]
+pub struct ListenerReport {
+    /// Every file submitted by this run, in submission order (excludes files
+    /// recovered from the journal, which a previous run submitted).
+    pub submitted: Vec<PathBuf>,
+    /// The listener died to an injected `Crash` fault before `stop` (no
+    /// final sweep ran).
+    pub crashed: bool,
+    /// Failed submission attempts that were retried.
+    pub submit_retries: u64,
+    /// Journal appends that exhausted their retries (the file was submitted
+    /// but could not be recorded — a restart may resubmit it).
+    pub journal_failures: u64,
 }
 
 /// A running listener thread.
 pub struct Listener {
     stop: Arc<AtomicBool>,
-    handle: std::thread::JoinHandle<Vec<PathBuf>>,
+    handle: std::thread::JoinHandle<ListenerReport>,
     seen: Arc<Mutex<BTreeSet<PathBuf>>>,
 }
 
@@ -93,25 +170,52 @@ fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
 
 impl Listener {
     /// Start watching `dir`; `on_file` runs once per newly appeared matching
-    /// file (the "generate batch script and submit" step).
+    /// file (the "generate batch script and submit" step). Infallible
+    /// convenience wrapper over [`Listener::spawn_with`].
     pub fn spawn<F>(dir: PathBuf, cfg: ListenerConfig, mut on_file: F) -> Listener
     where
         F: FnMut(&Path) + Send + 'static,
     {
+        Self::spawn_with(dir, cfg, move |p| {
+            on_file(p);
+            Ok(())
+        })
+    }
+
+    /// Start watching `dir` with a fallible submitter: an `Err` from
+    /// `on_file` is a transient submission failure, retried under
+    /// [`ListenerConfig::retry`]; a file whose attempts all fail stays
+    /// unhandled and is retried on a later poll.
+    pub fn spawn_with<F>(dir: PathBuf, cfg: ListenerConfig, mut on_file: F) -> Listener
+    where
+        F: FnMut(&Path) -> Result<(), SubmitError> + Send + 'static,
+    {
         let stop = Arc::new(AtomicBool::new(false));
         let seen: Arc<Mutex<BTreeSet<PathBuf>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        // Crash recovery: files a previous listener run already handled are
+        // seen from the start and never resubmitted.
+        let journal = cfg.journal.clone().map(Journal::new);
+        if let Some(j) = &journal {
+            let recovered = j.load().expect("listener journal unreadable");
+            seen.lock().extend(recovered);
+        }
         let stop2 = Arc::clone(&stop);
         let seen2 = Arc::clone(&seen);
         let handle = std::thread::spawn(move || {
-            let mut submitted: Vec<PathBuf> = Vec::new();
+            let mut report = ListenerReport::default();
             // Size at the previous poll for files still being written.
             let mut pending: HashMap<PathBuf, u64> = HashMap::new();
-            let mut sweep = |on_file: &mut F, submitted: &mut Vec<PathBuf>, final_sweep: bool| {
+            // One gated sweep over the directory; returns false when an
+            // injected crash killed the listener mid-sweep.
+            let sweep = |on_file: &mut F,
+                         report: &mut ListenerReport,
+                         pending: &mut HashMap<PathBuf, u64>|
+             -> bool {
                 for f in matching_files(&dir, &cfg) {
                     if seen2.lock().contains(&f) {
                         continue;
                     }
-                    if cfg.require_quiescence && !final_sweep {
+                    if cfg.require_quiescence {
                         let Ok(meta) = std::fs::metadata(&f) else {
                             continue; // raced with a writer's rename/delete
                         };
@@ -123,21 +227,61 @@ impl Listener {
                             continue;
                         }
                     }
-                    pending.remove(&f);
-                    seen2.lock().insert(f.clone());
-                    on_file(&f);
-                    submitted.push(f);
+                    if !submit_one(&f, &cfg, on_file, report, journal.as_ref()) {
+                        return false; // crashed mid-submit
+                    }
+                    if report.submitted.last() == Some(&f) {
+                        pending.remove(&f);
+                        seen2.lock().insert(f.clone());
+                    }
                 }
+                true
             };
             loop {
                 if stop2.load(Ordering::Acquire) {
-                    // One final sweep "to catch the last output data". The
-                    // simulation has exited, so files are complete and the
-                    // quiescence gate is bypassed.
-                    sweep(&mut on_file, &mut submitted, true);
+                    // Final sweeps "to catch the last output data" — under
+                    // the same quiescence gate as regular polls (a file may
+                    // still be mid-write when stop is requested), re-polling
+                    // quickly until nothing unhandled remains or the grace
+                    // period runs out.
+                    let deadline = Instant::now() + cfg.stop_grace;
+                    loop {
+                        if !sweep(&mut on_file, &mut report, &mut pending) {
+                            report.crashed = true;
+                            return report;
+                        }
+                        let all_handled = {
+                            let seen = seen2.lock();
+                            matching_files(&dir, &cfg).iter().all(|f| seen.contains(f))
+                        };
+                        if all_handled || Instant::now() >= deadline {
+                            break;
+                        }
+                        // Re-poll quickly, but not so quickly that a slow
+                        // writer's size appears unchanged between passes.
+                        std::thread::sleep(cfg.poll_interval.min(Duration::from_millis(25)));
+                    }
                     break;
                 }
-                sweep(&mut on_file, &mut submitted, false);
+                match cfg.fault("listener.scan") {
+                    Some(FaultKind::Crash) => {
+                        // The listener process dies: no final sweep, no
+                        // journal flush beyond what already committed.
+                        report.crashed = true;
+                        return report;
+                    }
+                    Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+                    Some(FaultKind::Transient) => {
+                        // Directory scan failed (filesystem hiccup); the
+                        // next poll is the retry.
+                    }
+                    None => {
+                        if !sweep(&mut on_file, &mut report, &mut pending) {
+                            report.crashed = true;
+                            return report;
+                        }
+                    }
+                }
                 // Interruptible sleep: check the stop flag every few ms so
                 // stop() never blocks for a whole poll interval.
                 let mut remaining = cfg.poll_interval;
@@ -148,12 +292,12 @@ impl Listener {
                     remaining = remaining.saturating_sub(nap);
                 }
             }
-            submitted
+            report
         });
         Listener { stop, handle, seen }
     }
 
-    /// Number of files handled so far.
+    /// Number of files handled so far (journal-recovered files included).
     pub fn handled(&self) -> usize {
         self.seen.lock().len()
     }
@@ -161,9 +305,88 @@ impl Listener {
     /// Signal the end of the main application and wait for the final sweep;
     /// returns every file submitted, in submission order.
     pub fn stop(self) -> Vec<PathBuf> {
+        self.stop_report().submitted
+    }
+
+    /// Like [`Listener::stop`], but returns the full [`ListenerReport`]
+    /// (crash flag, retry counts) for the chaos harness.
+    pub fn stop_report(self) -> ListenerReport {
         self.stop.store(true, Ordering::Release);
         self.handle.join().expect("listener thread panicked")
     }
+}
+
+/// Submit one quiescent file with retry-with-backoff on transient failures.
+///
+/// Returns `false` only when an injected `Crash` fault killed the listener.
+/// Success is visible to the caller as `report.submitted.last() == Some(f)`;
+/// a file whose attempts are exhausted is simply not appended (a later poll
+/// retries it from scratch).
+fn submit_one<F>(
+    f: &Path,
+    cfg: &ListenerConfig,
+    on_file: &mut F,
+    report: &mut ListenerReport,
+    journal: Option<&Journal>,
+) -> bool
+where
+    F: FnMut(&Path) -> Result<(), SubmitError>,
+{
+    for attempt in 0..cfg.retry.max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.delay(attempt - 1));
+        }
+        let outcome = match cfg.fault("listener.submit") {
+            Some(FaultKind::Crash) => return false,
+            Some(FaultKind::Transient) => Err(SubmitError("injected transient fault".into())),
+            Some(FaultKind::Stall(d)) => {
+                std::thread::sleep(d);
+                on_file(f)
+            }
+            None => on_file(f),
+        };
+        match outcome {
+            Ok(()) => {
+                if let Some(j) = journal {
+                    if !journal_append(f, cfg, report, j) {
+                        return false; // crashed mid-append
+                    }
+                }
+                report.submitted.push(f.to_path_buf());
+                return true;
+            }
+            Err(_) => report.submit_retries += 1,
+        }
+    }
+    true // attempts exhausted; the file stays unhandled for a later poll
+}
+
+/// Append a handled file to the journal, retrying transient failures.
+/// Returns `false` when an injected `Crash` fault fired.
+fn journal_append(
+    f: &Path,
+    cfg: &ListenerConfig,
+    report: &mut ListenerReport,
+    j: &Journal,
+) -> bool {
+    for attempt in 0..cfg.retry.max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(cfg.retry.delay(attempt - 1));
+        }
+        match cfg.fault("listener.journal") {
+            Some(FaultKind::Crash) => return false,
+            Some(FaultKind::Transient) => continue,
+            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            None => {}
+        }
+        if j.append(f).is_ok() {
+            return true;
+        }
+    }
+    // The submission happened but could not be recorded; a restarted
+    // listener may resubmit this file.
+    report.journal_failures += 1;
+    true
 }
 
 #[cfg(test)]
@@ -350,5 +573,221 @@ mod tests {
         let listener = Listener::spawn(dir, ListenerConfig::default(), |_| {});
         std::thread::sleep(Duration::from_millis(30));
         assert!(listener.stop().is_empty());
+    }
+
+    #[test]
+    fn stop_waits_for_in_flight_writer_to_quiesce() {
+        // Satellite fix: the final sweep must honor the quiescence gate. A
+        // file still being written when stop() is called used to be submitted
+        // truncated; now stop re-polls until the size holds steady.
+        let dir = tmpdir("stopgate");
+        let path = dir.join("tail.hcio");
+        let sizes: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let s2 = Arc::clone(&sizes);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_secs(3600), // only the final sweep sees it
+                suffix: ".hcio".into(),
+                stop_grace: Duration::from_secs(5),
+                ..Default::default()
+            },
+            move |p| {
+                s2.lock().push(std::fs::metadata(p).unwrap().len());
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        // Writer starts just before stop and keeps appending across the
+        // final-sweep passes.
+        use std::io::Write;
+        let writer = std::thread::spawn(move || {
+            let mut fh = std::fs::File::create(&path).unwrap();
+            for _ in 0..20 {
+                fh.write_all(&[7u8; 32]).unwrap();
+                fh.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(8));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let files = listener.stop();
+        writer.join().unwrap();
+        assert_eq!(files.len(), 1, "the late file must still be caught");
+        assert_eq!(
+            sizes.lock().as_slice(),
+            &[20 * 32],
+            "final sweep must submit the complete file, not a truncation"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stop_gives_up_on_perpetually_growing_file_after_grace() {
+        let dir = tmpdir("stopgrace");
+        let path = dir.join("grow.hcio");
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_secs(3600),
+                suffix: ".hcio".into(),
+                stop_grace: Duration::from_millis(100),
+                ..Default::default()
+            },
+            |_| {},
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let stop_flag = Arc::new(AtomicBool::new(false));
+        let sf = Arc::clone(&stop_flag);
+        let writer = std::thread::spawn(move || {
+            use std::io::Write;
+            let mut fh = std::fs::File::create(&path).unwrap();
+            while !sf.load(Ordering::Acquire) {
+                fh.write_all(&[1u8; 16]).unwrap();
+                fh.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        let files = listener.stop();
+        let took = t0.elapsed();
+        stop_flag.store(true, Ordering::Release);
+        writer.join().unwrap();
+        assert!(
+            files.is_empty(),
+            "a never-quiescent file must not be submitted"
+        );
+        assert!(
+            took < Duration::from_secs(3),
+            "stop must give up after grace"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_submit_faults_are_retried_exactly_once_semantics() {
+        let dir = tmpdir("faultretry");
+        std::fs::write(dir.join("a.hcio"), b"x").unwrap();
+        let plan = faults::FaultPlan::new(42)
+            .with_site(faults::SiteSpec::transient("listener.submit", 1.0).with_max_faults(2))
+            .build();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                injector: Some(Arc::clone(&plan)),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        let report = listener.stop_report();
+        assert_eq!(report.submitted.len(), 1);
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "exactly-once despite retries"
+        );
+        assert_eq!(report.submit_retries, 2, "both injected faults retried");
+        assert!(!report.crashed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashed_listener_restarts_from_journal_without_double_submit() {
+        let dir = tmpdir("crashjournal");
+        let journal_path = dir.join("listener.journal");
+        std::fs::write(dir.join("a.hcio"), b"1").unwrap();
+        std::fs::write(dir.join("b.hcio"), b"2").unwrap();
+        let submissions: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Run 1: crash on the third scan — after a/b have been handled.
+        let plan = faults::FaultPlan::new(7)
+            .with_site(faults::SiteSpec::crash_at("listener.scan", 4))
+            .build();
+        let s2 = Arc::clone(&submissions);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                injector: Some(plan),
+                ..Default::default()
+            },
+            move |p| {
+                s2.lock().push(p.to_path_buf());
+            },
+        );
+        // Wait for the crash to land.
+        std::thread::sleep(Duration::from_millis(150));
+        let report1 = listener.stop_report();
+        assert!(report1.crashed, "the injected crash must kill the listener");
+        assert_eq!(report1.submitted.len(), 2);
+
+        // A new output appears while the listener is down.
+        std::fs::write(dir.join("c.hcio"), b"3").unwrap();
+
+        // Run 2: restart with the same journal, no faults.
+        let s3 = Arc::clone(&submissions);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                ..Default::default()
+            },
+            move |p| {
+                s3.lock().push(p.to_path_buf());
+            },
+        );
+        std::thread::sleep(Duration::from_millis(100));
+        let report2 = listener.stop_report();
+        assert!(!report2.crashed);
+        assert_eq!(report2.submitted.len(), 1, "only the new file is submitted");
+        assert!(report2.submitted[0].ends_with("c.hcio"));
+        // Across both runs every file was submitted exactly once.
+        let subs = submissions.lock();
+        assert_eq!(subs.len(), 3);
+        let names: BTreeSet<_> = subs.iter().map(|p| p.file_name().unwrap()).collect();
+        assert_eq!(names.len(), 3, "no double submissions across restart");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_recovery_counts_as_handled() {
+        let dir = tmpdir("recoverhandled");
+        let journal_path = dir.join("listener.journal");
+        let handled = dir.join("old.hcio");
+        std::fs::write(&handled, b"old").unwrap();
+        Journal::new(journal_path.clone()).append(&handled).unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        assert_eq!(listener.handled(), 1, "recovered file counts as handled");
+        let report = listener.stop_report();
+        assert!(
+            report.submitted.is_empty(),
+            "recovered file is not resubmitted"
+        );
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

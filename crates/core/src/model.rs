@@ -168,6 +168,7 @@ impl TitanFrame {
                     redistribute: 0.0,
                     analysis: find + center_all_max,
                     write: t.fs.io_time(l3_bytes, spec.sim_nodes),
+                    fallback: 0.0,
                 },
             ),
             post: vec![],
@@ -188,6 +189,7 @@ impl TitanFrame {
                     redistribute: 0.0,
                     analysis: 0.0,
                     write: t.fs.io_time(l1_bytes, spec.sim_nodes),
+                    fallback: 0.0,
                 },
             ),
             post: vec![JobCost::new(
@@ -201,6 +203,7 @@ impl TitanFrame {
                     redistribute: t.net.redistribute_time(l1_bytes, spec.sim_nodes),
                     analysis: find + center_all_max,
                     write: t.fs.io_time(l3_bytes, spec.sim_nodes),
+                    fallback: 0.0,
                 },
             )],
         };
@@ -248,6 +251,7 @@ impl TitanFrame {
                     redistribute: 0.0,
                     analysis: find + center_small_max,
                     write: t.fs.io_time(l2_bytes + l3_bytes, spec.sim_nodes),
+                    fallback: 0.0,
                 },
             ),
             post: vec![JobCost::new(
@@ -261,6 +265,7 @@ impl TitanFrame {
                     redistribute: t.net.redistribute_time(l2_bytes, spec.post_nodes),
                     analysis: post_center_max,
                     write: t.fs.io_time(l3_bytes, spec.post_nodes),
+                    fallback: 0.0,
                 },
             )],
         };

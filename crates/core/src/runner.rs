@@ -13,10 +13,16 @@ use cosmotools::{
     CenterRecord, Container, SnapshotMeta,
 };
 use dpp::Backend;
+use faults::{BackoffPolicy, FaultInjector, FaultKind};
 use halo::{fof_and_centers_timed, FofConfig, HaloCatalog, RankTiming};
 use nbody::{Particle, SimConfig, Simulation};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// The fault site consulted before each in-situ analysis step of the
+/// co-scheduled workflow.
+pub const RUNNER_FAULT_SITE: &str = "runner.insitu";
 
 /// Configuration of a real workflow comparison run.
 #[derive(Debug, Clone)]
@@ -37,6 +43,11 @@ pub struct RunnerConfig {
     pub softening: f64,
     /// Scratch directory for the Level 1/2 files.
     pub workdir: PathBuf,
+    /// Fault injector consulted at [`RUNNER_FAULT_SITE`]; `None` falls back
+    /// to the globally installed injector (usually none — no faults).
+    pub injector: Option<Arc<FaultInjector>>,
+    /// Retry policy for transient in-situ analysis failures.
+    pub insitu_retry: BackoffPolicy,
 }
 
 impl Default for RunnerConfig {
@@ -55,6 +66,13 @@ impl Default for RunnerConfig {
             threshold: 200,
             softening: 1e-3,
             workdir: std::env::temp_dir().join(format!("hacc_runner_{}", std::process::id())),
+            injector: None,
+            insitu_retry: BackoffPolicy {
+                base_seconds: 0.001,
+                factor: 2.0,
+                max_delay_seconds: 0.05,
+                max_attempts: 5,
+            },
         }
     }
 }
@@ -75,6 +93,15 @@ impl RunnerConfig {
             overload_width: (25.0 * link).min(0.45 * decomp.min_block_width()),
         }
     }
+
+    /// Decide a fault at `site`: the explicit injector when configured,
+    /// otherwise the process-global one.
+    fn fault(&self, site: &str) -> Option<FaultKind> {
+        match &self.injector {
+            Some(inj) => inj.check(site),
+            None => faults::poll(site),
+        }
+    }
 }
 
 /// Result of executing one workflow for real.
@@ -91,6 +118,12 @@ pub struct WorkflowRun {
     /// For co-scheduled runs: analysis jobs that started before the
     /// simulation finished.
     pub overlapped_jobs: usize,
+    /// Analysis steps where in-situ processing failed and the workflow fell
+    /// back to re-shipping the last good Level-2 output (graceful
+    /// degradation; zero on a fault-free run).
+    pub degraded_steps: usize,
+    /// Transient in-situ analysis failures absorbed by retries.
+    pub insitu_retries: u64,
 }
 
 /// The shared testbed: one finished simulation reused by every strategy.
@@ -183,6 +216,8 @@ impl TestBed {
             centers,
             rank_timings: timings,
             overlapped_jobs: 0,
+            degraded_steps: 0,
+            insitu_retries: 0,
         }
     }
 
@@ -242,6 +277,8 @@ impl TestBed {
             centers,
             rank_timings: timings,
             overlapped_jobs: 0,
+            degraded_steps: 0,
+            insitu_retries: 0,
         }
     }
 
@@ -290,6 +327,8 @@ impl TestBed {
             centers,
             rank_timings: timings,
             overlapped_jobs: 0,
+            degraded_steps: 0,
+            insitu_retries: 0,
         }
     }
 
@@ -332,6 +371,8 @@ impl TestBed {
             centers,
             rank_timings: timings,
             overlapped_jobs: 0,
+            degraded_steps: 0,
+            insitu_retries: 0,
         }
     }
 
@@ -393,11 +434,63 @@ impl TestBed {
         let decomp = self.decomp();
         let nranks = self.cfg.nranks;
         let mut insitu_analysis = 0.0;
+        let mut fallback_seconds = 0.0;
+        let mut degraded = 0usize;
+        let mut insitu_retries = 0u64;
+        let mut last_good: Option<PathBuf> = None;
         let mut small_centers: Vec<CenterRecord> = Vec::new();
         let mut emitted = 0usize;
+        let rcfg = &self.cfg;
         sim.run_with_hook(backend, |step, sim| {
             let last = step == sim.total_steps();
             if !(step % emit_every == 0 || last) {
+                return;
+            }
+            // Fault-aware in-situ stage: a transient failure retries under
+            // the configured policy; a crash (or exhausted retries) degrades
+            // gracefully — the last good Level-2 output is re-shipped for
+            // off-line analysis instead, and the step is recorded as
+            // degraded in the cost model's `fallback` phase.
+            let mut attempt: u32 = 0;
+            let insitu_ok = loop {
+                match rcfg.fault(RUNNER_FAULT_SITE) {
+                    Some(FaultKind::Crash) => break false,
+                    Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+                    Some(FaultKind::Transient) => {
+                        attempt += 1;
+                        insitu_retries += 1;
+                        if attempt >= rcfg.insitu_retry.max_attempts {
+                            break false;
+                        }
+                        std::thread::sleep(rcfg.insitu_retry.delay(attempt - 1));
+                        continue;
+                    }
+                    None => {}
+                }
+                break true;
+            };
+            if !insitu_ok {
+                let tf = Instant::now();
+                degraded += 1;
+                let path = dir.join(format!("l2_step{step:04}.hcio"));
+                match &last_good {
+                    Some(prev) => {
+                        std::fs::copy(prev, &path).expect("fallback copy");
+                    }
+                    None => {
+                        // Nothing good yet: an empty Level-2 container keeps
+                        // the downstream pipeline shape intact.
+                        let meta = SnapshotMeta {
+                            step: step as u64,
+                            redshift: sim.redshift(),
+                            box_size: decomp.box_size(),
+                        };
+                        let container = write_level2_container(&HaloCatalog::new(), meta);
+                        cosmotools::write_file(&path, &container).expect("write fallback level 2");
+                    }
+                }
+                emitted += 1;
+                fallback_seconds += tf.elapsed().as_secs_f64();
                 return;
             }
             let ta = Instant::now();
@@ -437,8 +530,9 @@ impl TestBed {
                     box_size: decomp.box_size(),
                 };
                 let container = write_level2_container(&large, meta);
-                cosmotools::write_file(&dir.join(format!("l2_step{step:04}.hcio")), &container)
-                    .expect("write level 2");
+                let path = dir.join(format!("l2_step{step:04}.hcio"));
+                cosmotools::write_file(&path, &container).expect("write level 2");
+                last_good = Some(path);
                 emitted += 1;
             }
         });
@@ -471,11 +565,14 @@ impl TestBed {
             phases: PhaseSeconds {
                 sim: sim_end,
                 analysis: insitu_analysis,
+                fallback: fallback_seconds,
                 ..Default::default()
             },
             centers,
             rank_timings: Vec::new(),
             overlapped_jobs: overlapped,
+            degraded_steps: degraded,
+            insitu_retries,
         }
     }
 }
@@ -763,5 +860,46 @@ mod tests {
         let simple = bed.run_combined_simple(&backend);
         let cosched = bed.run_combined_coscheduled(&backend, 4);
         assert_same_centers(&simple.centers, &cosched.centers);
+    }
+
+    #[test]
+    fn transient_insitu_faults_are_absorbed_by_retries() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("insitu_transient");
+        // Every analysis step fails once, then the retry succeeds.
+        cfg.injector = Some(
+            faults::FaultPlan::new(11)
+                .with_site(faults::SiteSpec::transient(RUNNER_FAULT_SITE, 1.0).with_max_faults(2))
+                .build(),
+        );
+        let bed = TestBed::create(cfg, &backend);
+        let baseline = bed.run_combined_simple(&backend);
+        let run = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(run.insitu_retries, 2, "each injected fault costs one retry");
+        assert_eq!(run.degraded_steps, 0, "retries absorbed every fault");
+        assert_same_centers(&baseline.centers, &run.centers);
+    }
+
+    #[test]
+    fn crashed_insitu_step_degrades_to_last_good_output() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("insitu_crash");
+        // The second analysis step's in-situ stage crashes outright.
+        cfg.injector = Some(
+            faults::FaultPlan::new(5)
+                .with_site(faults::SiteSpec::crash_at(RUNNER_FAULT_SITE, 2))
+                .build(),
+        );
+        let bed = TestBed::create(cfg, &backend);
+        let run = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(run.degraded_steps, 1, "one step fell back");
+        assert!(
+            run.phases.fallback > 0.0,
+            "degradation must be charged to the fallback phase"
+        );
+        // The workflow still completes with a full catalog: the final step
+        // is unaffected, so Level 3 output matches the fault-free runs.
+        let baseline = bed.run_combined_simple(&backend);
+        assert_same_centers(&baseline.centers, &run.centers);
     }
 }

@@ -1,0 +1,510 @@
+//! # faults — deterministic, seed-driven fault injection
+//!
+//! The paper's co-scheduling pipeline only earns its keep on a real facility,
+//! where jobs get killed, filesystems hiccup, and queues stall. This crate
+//! provides the machinery the workflow crates use to *rehearse* those
+//! failures deterministically:
+//!
+//! * [`FaultPlan`] — a seed plus per-site specifications ([`SiteSpec`]) of
+//!   which faults fire where: a per-hit probability, an explicit hit
+//!   schedule, or both, for [`FaultKind::Transient`], [`FaultKind::Crash`],
+//!   and [`FaultKind::Stall`] faults.
+//! * [`FaultInjector`] — the compiled plan. Every fault site draws from its
+//!   own RNG stream derived from `(seed, site)`, so decisions at one site are
+//!   independent of how threads interleave at another: **same seed ⇒ same
+//!   fault trace** (canonically ordered by site and hit index).
+//! * [`fault_point!`] — the hook components embed. It consults the globally
+//!   [`install`]ed injector; with nothing installed it is one relaxed atomic
+//!   load, and with the crate's `armed` feature disabled it compiles to a
+//!   constant `None`.
+//! * [`BackoffPolicy`] — capped exponential retry backoff shared by the
+//!   batch-scheduler requeue and the listener's transient-error retries.
+//!
+//! Components that own their fault checks (the batch simulator, the
+//! listener) take an `Arc<FaultInjector>` explicitly and bypass the global;
+//! the global exists for call sites buried inside library internals (the
+//! `comm` send/recv paths) where threading a handle through would distort the
+//! MPI-like API.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What kind of failure a fault point experiences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// A retryable failure: the operation fails once and succeeds when
+    /// retried (an I/O error, a killed-and-requeued batch job, a dropped
+    /// message that the transport retransmits).
+    Transient,
+    /// A fatal failure of the component: the listener process dies, a batch
+    /// job is lost. Recovery happens at a coarser level (journal replay,
+    /// workflow degradation), not by retrying the operation.
+    Crash,
+    /// The operation hangs for the given duration before completing. Sites
+    /// with timeouts surface long stalls as errors instead of hanging.
+    Stall(Duration),
+}
+
+/// Per-site fault specification inside a [`FaultPlan`].
+///
+/// `pattern` names one site exactly (`"listener.submit"`) or a whole family
+/// by prefix when it ends in `*` (`"comm.*"`). The first matching spec in
+/// plan order wins.
+#[derive(Debug, Clone)]
+pub struct SiteSpec {
+    /// Site name or `prefix*` pattern.
+    pub pattern: String,
+    /// Per-hit fault probability in `[0, 1]` (drawn from the site's own RNG
+    /// stream).
+    pub probability: f64,
+    /// The fault injected when this spec fires.
+    pub kind: FaultKind,
+    /// Fire unconditionally at these hit indices (0-based, per concrete
+    /// site), in addition to probabilistic firings.
+    pub at_hits: Vec<u64>,
+    /// Stop injecting at a site after this many faults (`None` = unlimited).
+    pub max_faults: Option<u64>,
+}
+
+impl SiteSpec {
+    /// Transient faults with probability `p` at sites matching `pattern`.
+    pub fn transient(pattern: impl Into<String>, p: f64) -> Self {
+        SiteSpec {
+            pattern: pattern.into(),
+            probability: p,
+            kind: FaultKind::Transient,
+            at_hits: Vec::new(),
+            max_faults: None,
+        }
+    }
+
+    /// A crash scheduled at exactly hit `hit` of sites matching `pattern`.
+    pub fn crash_at(pattern: impl Into<String>, hit: u64) -> Self {
+        SiteSpec {
+            pattern: pattern.into(),
+            probability: 0.0,
+            kind: FaultKind::Crash,
+            at_hits: vec![hit],
+            max_faults: Some(1),
+        }
+    }
+
+    /// Stalls of `delay` with probability `p` at sites matching `pattern`.
+    pub fn stall(pattern: impl Into<String>, p: f64, delay: Duration) -> Self {
+        SiteSpec {
+            pattern: pattern.into(),
+            probability: p,
+            kind: FaultKind::Stall(delay),
+            at_hits: Vec::new(),
+            max_faults: None,
+        }
+    }
+
+    /// Cap the number of faults this spec may inject.
+    pub fn with_max_faults(mut self, n: u64) -> Self {
+        self.max_faults = Some(n);
+        self
+    }
+
+    fn matches(&self, site: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => site.starts_with(prefix),
+            None => site == self.pattern,
+        }
+    }
+}
+
+/// A seed plus the sites to perturb. Build with [`FaultPlan::new`] and
+/// [`FaultPlan::with_site`], then compile into a [`FaultInjector`].
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Master seed; every per-site stream derives from it.
+    pub seed: u64,
+    /// Site specifications, first match wins.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            sites: Vec::new(),
+        }
+    }
+
+    /// Add a site specification.
+    pub fn with_site(mut self, spec: SiteSpec) -> Self {
+        self.sites.push(spec);
+        self
+    }
+
+    /// Compile into a shareable injector.
+    pub fn build(self) -> Arc<FaultInjector> {
+        Arc::new(FaultInjector::new(self))
+    }
+}
+
+/// One injected fault, as recorded in the trace.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FaultEvent {
+    /// Concrete site name the fault fired at.
+    pub site: String,
+    /// 0-based hit index at that site.
+    pub hit: u64,
+    /// The injected fault.
+    pub kind: FaultKind,
+}
+
+/// Per-concrete-site decision state.
+#[derive(Debug)]
+struct SiteState {
+    hits: u64,
+    faults: u64,
+    rng: StdRng,
+}
+
+/// FNV-1a over the site name — stable across runs and platforms, used to
+/// derive the per-site RNG stream from the master seed.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in site.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01B3);
+    }
+    h
+}
+
+/// The runtime fault decider: thread-safe, deterministic per site.
+///
+/// Decisions at a site depend only on `(plan.seed, site, hit index)`; the
+/// order in which *different* sites are exercised never shifts another
+/// site's stream, so multi-threaded runs stay reproducible.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<BTreeMap<String, SiteState>>,
+    trace: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultInjector {
+    /// Compile a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            state: Mutex::new(BTreeMap::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Record a hit at `site` and decide whether a fault fires there.
+    ///
+    /// This is the only mutating entry point; everything else reads the
+    /// trace it builds.
+    pub fn check(&self, site: &str) -> Option<FaultKind> {
+        let spec = self.plan.sites.iter().find(|s| s.matches(site))?;
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let st = state.entry(site.to_string()).or_insert_with(|| SiteState {
+            hits: 0,
+            faults: 0,
+            rng: StdRng::seed_from_u64(self.plan.seed ^ site_hash(site)),
+        });
+        let hit = st.hits;
+        st.hits += 1;
+        if spec.max_faults.is_some_and(|cap| st.faults >= cap) {
+            // Keep the stream advancing so the cap does not shift later
+            // decisions relative to an uncapped plan.
+            let _ = st.rng.gen_f64();
+            return None;
+        }
+        let scheduled = spec.at_hits.contains(&hit);
+        let rolled = st.rng.gen_f64() < spec.probability;
+        if !(scheduled || rolled) {
+            return None;
+        }
+        st.faults += 1;
+        let event = FaultEvent {
+            site: site.to_string(),
+            hit,
+            kind: spec.kind,
+        };
+        drop(state);
+        self.trace
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(event);
+        Some(spec.kind)
+    }
+
+    /// The canonical fault trace: every injected fault, ordered by
+    /// `(site, hit)` so concurrent runs under the same seed compare equal.
+    pub fn trace(&self) -> Vec<FaultEvent> {
+        let mut t = self.trace.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        t.sort();
+        t
+    }
+
+    /// Total faults injected so far.
+    pub fn fault_count(&self) -> usize {
+        self.trace.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Hits and faults per concrete site, for rate assertions.
+    pub fn site_stats(&self) -> BTreeMap<String, (u64, u64)> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(site, st)| (site.clone(), (st.hits, st.faults)))
+            .collect()
+    }
+}
+
+/// Capped exponential backoff: attempt `k` (0-based) waits
+/// `min(base × factor^k, max_delay)` and gives up after `max_attempts`
+/// tries in total.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry, in seconds (simulated or wall).
+    pub base_seconds: f64,
+    /// Multiplier per subsequent retry.
+    pub factor: f64,
+    /// Ceiling on any single delay, in seconds.
+    pub max_delay_seconds: f64,
+    /// Total attempts allowed (first try included); at least 1.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_seconds: 0.01,
+            factor: 2.0,
+            max_delay_seconds: 1.0,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay after failed attempt `attempt` (0-based), in seconds.
+    pub fn delay_seconds(&self, attempt: u32) -> f64 {
+        (self.base_seconds * self.factor.powi(attempt as i32)).min(self.max_delay_seconds)
+    }
+
+    /// The delay after failed attempt `attempt` (0-based), as a [`Duration`].
+    pub fn delay(&self, attempt: u32) -> Duration {
+        Duration::from_secs_f64(self.delay_seconds(attempt).max(0.0))
+    }
+}
+
+/// Fast-path flag: true while an injector is installed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// The globally installed injector, if any.
+static GLOBAL: Mutex<Option<Arc<FaultInjector>>> = Mutex::new(None);
+
+/// Guard returned by [`install`]; uninstalls on drop.
+#[must_use = "dropping the guard immediately uninstalls the injector"]
+pub struct InstallGuard(());
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        *GLOBAL.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+}
+
+/// Install `injector` as the process-global injector consulted by
+/// [`fault_point!`]. Panics if another injector is already installed —
+/// tests that arm the global must serialize on their own lock.
+pub fn install(injector: Arc<FaultInjector>) -> InstallGuard {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(
+        slot.is_none(),
+        "a global fault injector is already installed"
+    );
+    *slot = Some(injector);
+    ARMED.store(true, Ordering::Release);
+    InstallGuard(())
+}
+
+/// The decision behind [`fault_point!`]: one relaxed load when disarmed.
+#[cfg(feature = "armed")]
+#[inline]
+pub fn poll(site: &str) -> Option<FaultKind> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let inj = GLOBAL
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .as_ref()
+        .map(Arc::clone)?;
+    inj.check(site)
+}
+
+/// Disarmed build: every fault point is a constant `None`.
+#[cfg(not(feature = "armed"))]
+#[inline(always)]
+pub fn poll(_site: &str) -> Option<FaultKind> {
+    None
+}
+
+/// Mark a fault site. Evaluates to `Option<FaultKind>`: `None` on the happy
+/// path, `Some(kind)` when the installed plan injects a fault here.
+///
+/// ```
+/// # use faults::fault_point;
+/// if let Some(fault) = fault_point!("demo.site") {
+///     // simulate the failure `fault` describes
+///     let _ = fault;
+/// }
+/// ```
+#[macro_export]
+macro_rules! fault_point {
+    ($site:expr) => {
+        $crate::poll($site)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_faults() {
+        let inj = FaultPlan::new(7).build();
+        for _ in 0..100 {
+            assert_eq!(inj.check("anything"), None);
+        }
+        assert!(inj.trace().is_empty());
+    }
+
+    #[test]
+    fn probability_one_always_faults_and_zero_never_does() {
+        let inj = FaultPlan::new(1)
+            .with_site(SiteSpec::transient("hot", 1.0))
+            .with_site(SiteSpec::transient("cold", 0.0))
+            .build();
+        for _ in 0..50 {
+            assert_eq!(inj.check("hot"), Some(FaultKind::Transient));
+            assert_eq!(inj.check("cold"), None);
+        }
+        assert_eq!(inj.fault_count(), 50);
+    }
+
+    #[test]
+    fn same_seed_same_trace_different_seed_differs() {
+        let run = |seed| {
+            let inj = FaultPlan::new(seed)
+                .with_site(SiteSpec::transient("a.*", 0.3))
+                .build();
+            for _ in 0..200 {
+                inj.check("a.x");
+                inj.check("a.y");
+            }
+            inj.trace()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn per_site_streams_are_interleaving_independent() {
+        // Exercising site B between hits of site A must not change A's
+        // decisions.
+        let decisions = |interleave: bool| {
+            let inj = FaultPlan::new(9)
+                .with_site(SiteSpec::transient("*", 0.5))
+                .build();
+            let mut a = Vec::new();
+            for _ in 0..100 {
+                a.push(inj.check("a").is_some());
+                if interleave {
+                    inj.check("b");
+                }
+            }
+            a
+        };
+        assert_eq!(decisions(false), decisions(true));
+    }
+
+    #[test]
+    fn scheduled_hits_fire_exactly_there() {
+        let inj = FaultPlan::new(3)
+            .with_site(SiteSpec::crash_at("s", 4))
+            .build();
+        for hit in 0..10u64 {
+            let got = inj.check("s");
+            assert_eq!(got.is_some(), hit == 4, "hit {hit}");
+        }
+        assert_eq!(
+            inj.trace(),
+            vec![FaultEvent {
+                site: "s".into(),
+                hit: 4,
+                kind: FaultKind::Crash
+            }]
+        );
+    }
+
+    #[test]
+    fn max_faults_caps_injection() {
+        let inj = FaultPlan::new(5)
+            .with_site(SiteSpec::transient("s", 1.0).with_max_faults(3))
+            .build();
+        let fired = (0..20).filter(|_| inj.check("s").is_some()).count();
+        assert_eq!(fired, 3);
+        let stats = inj.site_stats();
+        assert_eq!(stats["s"], (20, 3));
+    }
+
+    #[test]
+    fn prefix_patterns_match_families() {
+        let spec = SiteSpec::transient("listener.*", 1.0);
+        assert!(spec.matches("listener.submit"));
+        assert!(spec.matches("listener.scan"));
+        assert!(!spec.matches("scheduler.job"));
+        let exact = SiteSpec::transient("comm.send", 1.0);
+        assert!(exact.matches("comm.send"));
+        assert!(!exact.matches("comm.send.extra"));
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let b = BackoffPolicy {
+            base_seconds: 1.0,
+            factor: 2.0,
+            max_delay_seconds: 5.0,
+            max_attempts: 4,
+        };
+        assert_eq!(b.delay_seconds(0), 1.0);
+        assert_eq!(b.delay_seconds(1), 2.0);
+        assert_eq!(b.delay_seconds(2), 4.0);
+        assert_eq!(b.delay_seconds(3), 5.0, "capped");
+        assert_eq!(b.delay(10), Duration::from_secs_f64(5.0));
+    }
+
+    #[test]
+    fn global_install_arms_fault_points() {
+        // Single test exercising the global slot (tests in this module run
+        // in one binary; only this one installs).
+        assert_eq!(fault_point!("g.x"), None, "disarmed by default");
+        let inj = FaultPlan::new(11)
+            .with_site(SiteSpec::transient("g.*", 1.0))
+            .build();
+        {
+            let _guard = install(Arc::clone(&inj));
+            assert_eq!(fault_point!("g.x"), Some(FaultKind::Transient));
+            assert_eq!(fault_point!("other"), None);
+        }
+        assert_eq!(fault_point!("g.x"), None, "guard drop disarms");
+        assert_eq!(inj.fault_count(), 1);
+    }
+}

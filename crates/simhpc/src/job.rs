@@ -44,8 +44,12 @@ pub struct JobRecord {
     pub start_time: f64,
     /// Completion time.
     pub end_time: f64,
-    /// Core-hours charged under the machine's policy.
+    /// Core-hours charged under the machine's policy (successful run only;
+    /// failed attempts are accounted in [`JobOutcome::wasted_seconds`]).
     pub core_hours: f64,
+    /// 1-based attempt number that completed (1 = succeeded first try;
+    /// higher values mean fault-injected failures forced requeues).
+    pub attempts: u32,
 }
 
 impl JobRecord {
@@ -58,6 +62,34 @@ impl JobRecord {
     pub fn runtime(&self) -> f64 {
         self.end_time - self.start_time
     }
+}
+
+/// Terminal state of a job under fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// The job finished (possibly after requeues) and has a [`JobRecord`].
+    Completed,
+    /// Every allowed attempt failed; the job was dropped from the queue.
+    Exhausted,
+}
+
+/// Per-job fault-and-retry accounting, one entry per submitted job.
+///
+/// Without an injector every outcome is `Completed` with `attempts == 1` and
+/// no wasted time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// The id assigned at submission.
+    pub id: JobId,
+    /// Job name.
+    pub name: String,
+    /// Attempts consumed (1-based; includes the final one).
+    pub attempts: u32,
+    /// How the job ended.
+    pub state: JobState,
+    /// Node-seconds × 1 of runtime burnt by failed attempts (node-hold time
+    /// that produced no output).
+    pub wasted_seconds: f64,
 }
 
 #[cfg(test)]
@@ -74,6 +106,7 @@ mod tests {
             start_time: 25.0,
             end_time: 100.0,
             core_hours: 0.0,
+            attempts: 1,
         };
         assert_eq!(r.queue_wait(), 15.0);
         assert_eq!(r.runtime(), 75.0);

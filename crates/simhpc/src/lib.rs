@@ -24,9 +24,9 @@ pub mod job;
 pub mod machine;
 pub mod scheduler;
 
-pub use job::{JobId, JobRecord, JobRequest};
+pub use job::{JobId, JobOutcome, JobRecord, JobRequest, JobState};
 pub use machine::{
     moonlight, rhea, titan, titan_with_burst_buffer, BurstBufferSpec, FileSystemSpec,
     InterconnectSpec, MachineSpec,
 };
-pub use scheduler::{BatchSimulator, QueueDiscipline, QueuePolicy};
+pub use scheduler::{BatchSimulator, QueueDiscipline, QueuePolicy, SCHEDULER_FAULT_SITE};

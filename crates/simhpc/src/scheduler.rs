@@ -6,8 +6,14 @@
 //! to run simultaneously"), while analysis clusters like Rhea keep capacity
 //! free so small jobs start quickly.
 
-use crate::job::{JobId, JobRecord, JobRequest};
+use crate::job::{JobId, JobOutcome, JobRecord, JobRequest, JobState};
 use crate::machine::MachineSpec;
+use faults::{BackoffPolicy, FaultInjector, FaultKind};
+use std::sync::Arc;
+
+/// Fault site consulted once per job-completion event when an injector is
+/// attached via [`BatchSimulator::inject_faults`].
+pub const SCHEDULER_FAULT_SITE: &str = "scheduler.job";
 
 /// Queue ordering discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,8 +103,13 @@ impl QueuePolicy {
 struct QueuedJob {
     id: JobId,
     req: JobRequest,
-    /// Earliest time the job may start (submit + synthetic wait).
+    /// Earliest time the job may start (submit + synthetic wait, or the
+    /// requeue backoff after a fault-injected failure).
     eligible_time: f64,
+    /// Failed attempts so far.
+    failures: u32,
+    /// Runtime burnt by those failed attempts.
+    wasted: f64,
 }
 
 #[derive(Debug, Clone)]
@@ -107,6 +118,10 @@ struct RunningJob {
     req: JobRequest,
     start: f64,
     end: f64,
+    /// 1-based attempt number currently executing.
+    attempt: u32,
+    /// Runtime burnt by earlier failed attempts.
+    wasted: f64,
 }
 
 /// Event-driven simulator of one machine's batch queue.
@@ -120,6 +135,9 @@ pub struct BatchSimulator {
     queue: Vec<QueuedJob>,
     running: Vec<RunningJob>,
     finished: Vec<JobRecord>,
+    outcomes: Vec<JobOutcome>,
+    faults: Option<Arc<FaultInjector>>,
+    backoff: BackoffPolicy,
 }
 
 impl BatchSimulator {
@@ -135,7 +153,29 @@ impl BatchSimulator {
             queue: Vec::new(),
             running: Vec::new(),
             finished: Vec::new(),
+            outcomes: Vec::new(),
+            faults: None,
+            backoff: BackoffPolicy::default(),
         }
+    }
+
+    /// Attach a fault injector: every job-completion event consults the
+    /// [`SCHEDULER_FAULT_SITE`] site. `Transient`/`Crash` faults kill the
+    /// job at its would-be end time and requeue it after a capped
+    /// exponential backoff (until `backoff.max_attempts` is exhausted, at
+    /// which point the job is dropped and reported in
+    /// [`BatchSimulator::job_outcomes`]); `Stall` faults extend the run by
+    /// the stall duration.
+    pub fn inject_faults(&mut self, injector: Arc<FaultInjector>, backoff: BackoffPolicy) {
+        assert!(backoff.max_attempts >= 1, "at least one attempt required");
+        self.faults = Some(injector);
+        self.backoff = backoff;
+    }
+
+    /// Per-job fault-and-retry accounting, in terminal-event order. Covers
+    /// every job that completed or exhausted its attempts so far.
+    pub fn job_outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
     }
 
     /// The machine being simulated.
@@ -175,6 +215,8 @@ impl BatchSimulator {
             id,
             eligible_time: req.submit_time + wait,
             req,
+            failures: 0,
+            wasted: 0.0,
         });
         id
     }
@@ -259,6 +301,8 @@ impl BatchSimulator {
                         id: q.id,
                         start: self.clock,
                         end: self.clock + q.req.runtime,
+                        attempt: q.failures + 1,
+                        wasted: q.wasted,
                         req: q.req,
                     });
                     started_any = true;
@@ -320,25 +364,78 @@ impl BatchSimulator {
                 .filter(|&t| t > self.clock)
                 .fold(f64::INFINITY, f64::min);
             self.clock = next_end.min(next_elig);
-            // Retire completed jobs.
+            // Retire completed jobs — each completion event is a fault site.
             let mut j = 0;
             while j < self.running.len() {
-                if self.running[j].end <= self.clock + 1e-9 {
-                    let r = self.running.swap_remove(j);
-                    self.free_nodes += r.req.nodes;
-                    let core_hours = self.machine.charge_core_hours(r.req.nodes, r.req.runtime);
-                    self.finished.push(JobRecord {
-                        id: r.id,
-                        name: r.req.name,
-                        nodes: r.req.nodes,
-                        submit_time: r.req.submit_time,
-                        start_time: r.start,
-                        end_time: r.end,
-                        core_hours,
-                    });
-                } else {
+                if self.running[j].end > self.clock + 1e-9 {
                     j += 1;
+                    continue;
                 }
+                let fault = self
+                    .faults
+                    .as_ref()
+                    .and_then(|inj| inj.check(SCHEDULER_FAULT_SITE));
+                match fault {
+                    Some(FaultKind::Stall(d)) if !d.is_zero() => {
+                        // The job hangs: it holds its nodes for `d` longer,
+                        // then hits another completion event (and another
+                        // fault check).
+                        self.running[j].end += d.as_secs_f64();
+                        j += 1;
+                    }
+                    Some(FaultKind::Transient) | Some(FaultKind::Crash) => {
+                        // The attempt dies at its would-be end time. Free the
+                        // nodes; requeue under capped exponential backoff or
+                        // report the job exhausted.
+                        let r = self.running.swap_remove(j);
+                        self.free_nodes += r.req.nodes;
+                        let wasted = r.wasted + r.req.runtime;
+                        if r.attempt >= self.backoff.max_attempts {
+                            self.outcomes.push(JobOutcome {
+                                id: r.id,
+                                name: r.req.name,
+                                attempts: r.attempt,
+                                state: JobState::Exhausted,
+                                wasted_seconds: wasted,
+                            });
+                        } else {
+                            let delay = self.backoff.delay_seconds(r.attempt - 1);
+                            self.queue.push(QueuedJob {
+                                id: r.id,
+                                eligible_time: self.clock + delay,
+                                req: r.req,
+                                failures: r.attempt,
+                                wasted,
+                            });
+                        }
+                    }
+                    _ => {
+                        let r = self.running.swap_remove(j);
+                        self.free_nodes += r.req.nodes;
+                        let core_hours = self.machine.charge_core_hours(r.req.nodes, r.req.runtime);
+                        self.outcomes.push(JobOutcome {
+                            id: r.id,
+                            name: r.req.name.clone(),
+                            attempts: r.attempt,
+                            state: JobState::Completed,
+                            wasted_seconds: r.wasted,
+                        });
+                        self.finished.push(JobRecord {
+                            id: r.id,
+                            name: r.req.name,
+                            nodes: r.req.nodes,
+                            submit_time: r.req.submit_time,
+                            start_time: r.start,
+                            end_time: r.end,
+                            core_hours,
+                            attempts: r.attempt,
+                        });
+                    }
+                }
+                debug_assert!(
+                    self.free_nodes <= self.machine.total_nodes,
+                    "node accounting overflow"
+                );
             }
         }
         let mut out = std::mem::take(&mut self.finished);
@@ -507,6 +604,139 @@ mod tests {
                 "analysis{i} must overlap the simulation"
             );
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::machine::titan;
+    use faults::{FaultPlan, SiteSpec};
+    use std::time::Duration;
+
+    fn machine(nodes: usize) -> crate::machine::MachineSpec {
+        let mut m = titan();
+        m.total_nodes = nodes;
+        m
+    }
+
+    fn backoff(max_attempts: u32) -> BackoffPolicy {
+        BackoffPolicy {
+            base_seconds: 10.0,
+            factor: 2.0,
+            max_delay_seconds: 60.0,
+            max_attempts,
+        }
+    }
+
+    #[test]
+    fn without_injector_outcomes_are_single_attempt_completions() {
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("a", 4, 100.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs[0].attempts, 1);
+        assert_eq!(sim.job_outcomes().len(), 1);
+        assert_eq!(sim.job_outcomes()[0].state, JobState::Completed);
+        assert_eq!(sim.job_outcomes()[0].wasted_seconds, 0.0);
+    }
+
+    #[test]
+    fn transient_fault_requeues_with_backoff() {
+        let inj = FaultPlan::new(1)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 1.0).with_max_faults(1))
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.inject_faults(std::sync::Arc::clone(&inj), backoff(5));
+        sim.submit(JobRequest::new("a", 4, 100.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs.len(), 1);
+        // Failed at t=100, requeued after the 10 s base backoff, reran for
+        // its full runtime.
+        assert_eq!(recs[0].attempts, 2);
+        assert_eq!(recs[0].start_time, 110.0);
+        assert_eq!(recs[0].end_time, 210.0);
+        let out = &sim.job_outcomes()[0];
+        assert_eq!(out.state, JobState::Completed);
+        assert_eq!(out.attempts, 2);
+        assert_eq!(out.wasted_seconds, 100.0);
+        assert_eq!(inj.fault_count(), 1);
+    }
+
+    #[test]
+    fn exhausted_jobs_are_reported_not_lost() {
+        let inj = FaultPlan::new(2)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 1.0))
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.inject_faults(inj, backoff(3));
+        sim.submit(JobRequest::new("doomed", 4, 50.0, 0.0));
+        sim.submit(JobRequest::new("also-doomed", 2, 20.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert!(recs.is_empty(), "every attempt fails");
+        assert_eq!(sim.job_outcomes().len(), 2);
+        for out in sim.job_outcomes() {
+            assert_eq!(out.state, JobState::Exhausted);
+            assert_eq!(out.attempts, 3);
+        }
+        let doomed = sim
+            .job_outcomes()
+            .iter()
+            .find(|o| o.name == "doomed")
+            .unwrap();
+        assert_eq!(doomed.wasted_seconds, 150.0, "3 × 50 s burnt");
+    }
+
+    #[test]
+    fn backoff_delays_are_capped_exponential() {
+        // Fail twice, then succeed: starts at 0, 50+10, 110+20.
+        let inj = FaultPlan::new(3)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 1.0).with_max_faults(2))
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.inject_faults(inj, backoff(5));
+        sim.submit(JobRequest::new("a", 4, 50.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs[0].attempts, 3);
+        assert_eq!(
+            recs[0].start_time, 130.0,
+            "0→50 fail, +10 → 60→110 fail, +20"
+        );
+    }
+
+    #[test]
+    fn stall_fault_extends_the_run() {
+        let inj = FaultPlan::new(4)
+            .with_site(
+                SiteSpec::stall(SCHEDULER_FAULT_SITE, 1.0, Duration::from_secs(30))
+                    .with_max_faults(1),
+            )
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.inject_faults(inj, backoff(5));
+        sim.submit(JobRequest::new("a", 4, 100.0, 0.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(recs[0].end_time, 130.0);
+        assert_eq!(recs[0].attempts, 1, "a stall is not a failed attempt");
+    }
+
+    #[test]
+    fn faulty_run_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let inj = FaultPlan::new(seed)
+                .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 0.4))
+                .build();
+            let mut sim = BatchSimulator::new(machine(16), QueuePolicy::ideal());
+            sim.inject_faults(std::sync::Arc::clone(&inj), backoff(4));
+            for i in 0..12 {
+                sim.submit(JobRequest::new(format!("j{i}"), 1 + i % 5, 30.0, i as f64));
+            }
+            let recs = sim.run_to_completion();
+            (recs, sim.job_outcomes().to_vec(), inj.trace())
+        };
+        assert_eq!(run(77), run(77));
+        let (a, ..) = run(77);
+        let (b, ..) = run(78);
+        assert_ne!(a, b, "different seeds must explore different schedules");
     }
 }
 

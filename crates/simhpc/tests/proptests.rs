@@ -1,8 +1,12 @@
 //! Property tests for the batch scheduler: capacity safety, causality,
 //! completeness, and correct charging under arbitrary job mixes.
 
+use faults::{BackoffPolicy, FaultPlan, SiteSpec};
 use proptest::prelude::*;
-use simhpc::{machine, BatchSimulator, JobRequest, QueueDiscipline, QueuePolicy};
+use simhpc::{
+    machine, BatchSimulator, JobRequest, JobState, QueueDiscipline, QueuePolicy,
+    SCHEDULER_FAULT_SITE,
+};
 
 fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
     (
@@ -99,6 +103,71 @@ proptest! {
                     .count();
                 prop_assert!(small_running <= cap, "small-job cap violated at t={t}");
             }
+        }
+    }
+
+    #[test]
+    fn scheduler_requeue_invariants(
+        jobs in arb_jobs(64),
+        fault_seed in any::<u64>(),
+        fault_prob in 0.0f64..0.9,
+        max_attempts in 1u32..6,
+        base_backoff in 0.0f64..100.0,
+    ) {
+        let mut m = machine::titan();
+        m.total_nodes = 64;
+        let injector = FaultPlan::new(fault_seed)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, fault_prob))
+            .build();
+        let mut sim = BatchSimulator::new(m, QueuePolicy::ideal());
+        sim.inject_faults(std::sync::Arc::clone(&injector), BackoffPolicy {
+            base_seconds: base_backoff,
+            factor: 2.0,
+            max_delay_seconds: base_backoff * 8.0 + 1.0,
+            max_attempts,
+        });
+        let n_jobs = jobs.len();
+        for j in &jobs {
+            sim.submit(j.clone());
+        }
+        // Termination: run_to_completion returns (attempts are bounded, so
+        // the event loop cannot spin forever).
+        let recs = sim.run_to_completion();
+
+        // Every submitted job is either completed or reported exhausted —
+        // exactly once, never both, never lost.
+        let outcomes = sim.job_outcomes();
+        prop_assert_eq!(outcomes.len(), n_jobs);
+        let mut ids: Vec<u64> = outcomes.iter().map(|o| o.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n_jobs, "duplicate or missing outcomes");
+        let completed = outcomes.iter().filter(|o| o.state == JobState::Completed).count();
+        prop_assert_eq!(recs.len(), completed, "records must match completions");
+
+        for out in outcomes {
+            // Attempt counts respect the cap, and only exhausted jobs hit it
+            // with a failure.
+            prop_assert!(out.attempts >= 1 && out.attempts <= max_attempts);
+            if out.state == JobState::Exhausted {
+                prop_assert_eq!(out.attempts, max_attempts);
+            }
+            // Wasted time is exactly (failed attempts) × runtime.
+            let req = jobs.iter().find(|j| j.name == out.name).unwrap();
+            let failures = out.attempts - u32::from(out.state == JobState::Completed);
+            prop_assert!((out.wasted_seconds - failures as f64 * req.runtime).abs() < 1e-6);
+        }
+
+        // Node accounting never goes negative (equivalently: the running set
+        // never exceeds the machine) at any start event, requeues included.
+        for r in &recs {
+            let t = r.start_time;
+            let in_flight: usize = recs
+                .iter()
+                .filter(|o| o.start_time <= t + 1e-9 && o.end_time > t + 1e-9)
+                .map(|o| o.nodes)
+                .sum();
+            prop_assert!(in_flight <= 64, "overcommitted at t={}: {}", t, in_flight);
         }
     }
 

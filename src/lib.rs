@@ -17,6 +17,7 @@
 //! | [`halo`] | FOF halos, MBP centers, SO masses, subhalos, mass functions |
 //! | [`cosmotools`] | the in-situ framework, input decks, data levels, binary I/O |
 //! | [`simhpc`] | Titan/Rhea/Moonlight platform & batch-queue models |
+//! | [`faults`] | deterministic, seed-driven fault injection for the chaos harness |
 //! | [`hacc_core`] | the workflow engine: strategies, listener, autosplit, cost model, experiments |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@
 pub use comm;
 pub use cosmotools;
 pub use dpp;
+pub use faults;
 pub use fft;
 pub use hacc_core;
 pub use halo;

@@ -1,0 +1,281 @@
+//! Deterministic chaos harness: the full co-scheduled workflow runs under
+//! seeded fault plans and must keep its guarantees — exactly-once submission,
+//! no lost outputs, bounded retries, and a final halo catalog identical to
+//! the fault-free run.
+//!
+//! The seed comes from `CHAOS_SEED` (default 1), so CI can sweep seeds:
+//!
+//! ```text
+//! CHAOS_SEED=3 cargo test --release --test chaos
+//! ```
+//!
+//! Determinism note: fault decisions depend only on `(seed, site, hit
+//! index)`. Sites driven by discrete events (scheduler retirements, in-situ
+//! analysis steps, comm calls) have reproducible hit counts, so their traces
+//! are compared exactly across same-seed runs. The listener's `listener.*`
+//! sites are driven by wall-clock polling — the *decision at each hit* is
+//! reproducible, but how many polls happen is not, so listener assertions
+//! check behavior (exactly-once, recovery) rather than trace equality.
+
+use dpp::Threaded;
+use faults::{FaultKind, FaultPlan, SiteSpec};
+use hacc_core::listener::{Listener, ListenerConfig};
+use hacc_core::runner::{assert_same_centers, RunnerConfig, TestBed, RUNNER_FAULT_SITE};
+use nbody::SimConfig;
+use parking_lot::Mutex;
+use simhpc::{machine, BatchSimulator, JobRequest, JobState, QueuePolicy, SCHEDULER_FAULT_SITE};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Seed for every plan in this file; override with `CHAOS_SEED=<n>`.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Tests that install a process-global injector must not overlap.
+static GLOBAL_INJECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_cfg(name: &str) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig {
+            np: 16,
+            ng: 16,
+            nsteps: 30,
+            seed: 4242,
+            ..SimConfig::default()
+        },
+        nranks: 4,
+        post_ranks: 2,
+        linking_length: 0.28,
+        threshold: 60,
+        min_size: 12,
+        workdir: std::env::temp_dir().join(format!("hacc_chaos_{name}_{}", std::process::id())),
+        ..Default::default()
+    }
+}
+
+/// The headline chaos plan: ≥10% transient fault probability at the
+/// listener, comm, and runner sites, all from one seed.
+fn chaos_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_site(SiteSpec::transient("listener.scan", 0.15))
+        .with_site(SiteSpec::transient("listener.submit", 0.15))
+        .with_site(SiteSpec::transient("listener.journal", 0.10))
+        .with_site(SiteSpec::transient("comm.send", 0.10))
+        .with_site(SiteSpec::transient("comm.recv", 0.10))
+        .with_site(SiteSpec::transient(RUNNER_FAULT_SITE, 0.12))
+}
+
+/// Headline: the full co-scheduled workflow under faults at every layer
+/// produces the same Level 3 catalog as the fault-free run, with every
+/// emitted file submitted exactly once and no hangs.
+#[test]
+fn coscheduled_catalog_survives_chaos() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(tiny_cfg("headline"), &backend);
+
+    // Fault-free baseline first (no injector installed).
+    let baseline = bed.run_combined_coscheduled(&backend, 4);
+    assert_eq!(baseline.degraded_steps, 0);
+    assert_eq!(baseline.insitu_retries, 0);
+
+    // Chaos run: the global injector covers the listener and comm sites the
+    // runner wires up internally.
+    let injector = chaos_plan(chaos_seed()).build();
+    let run = {
+        let _guard = faults::install(Arc::clone(&injector));
+        bed.run_combined_coscheduled(&backend, 4)
+    };
+
+    assert!(
+        injector.fault_count() > 0,
+        "the plan must actually inject faults for this test to mean anything"
+    );
+    // No lost outputs, no double submissions (the runner asserts
+    // files == emitted internally), identical science output.
+    assert_same_centers(&baseline.centers, &run.centers);
+    // Transient in-situ faults were absorbed by bounded retries, not
+    // degradation.
+    assert_eq!(run.degraded_steps, 0, "transient faults must not degrade");
+    let max = u64::from(bed.cfg.insitu_retry.max_attempts);
+    let steps = (bed.cfg.sim.nsteps / 4 + 2) as u64;
+    assert!(
+        run.insitu_retries <= max * steps,
+        "retries must stay bounded: {} > {max} * {steps}",
+        run.insitu_retries,
+    );
+}
+
+/// Same seed ⇒ same fault trace and same retry counts at the
+/// discrete-event sites (scheduler, comm, runner).
+#[test]
+fn same_seed_gives_identical_fault_trace() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(tiny_cfg("determinism"), &backend);
+
+    let mut runs = Vec::new();
+    for round in 0..2 {
+        let injector = FaultPlan::new(chaos_seed())
+            .with_site(SiteSpec::transient("comm.send", 0.10))
+            .with_site(SiteSpec::transient("comm.recv", 0.10))
+            .with_site(SiteSpec::transient(RUNNER_FAULT_SITE, 0.12))
+            .build();
+        let run = {
+            let _guard = faults::install(Arc::clone(&injector));
+            bed.run_combined_coscheduled(&backend, 4)
+        };
+        let _ = round;
+        runs.push((injector.trace(), injector.site_stats(), run.insitu_retries));
+    }
+    let (trace_a, stats_a, retries_a) = &runs[0];
+    let (trace_b, stats_b, retries_b) = &runs[1];
+    assert_eq!(trace_a, trace_b, "same seed must replay the same faults");
+    assert_eq!(stats_a, stats_b, "same seed must hit sites identically");
+    assert_eq!(retries_a, retries_b, "same seed must cost the same retries");
+    assert!(!trace_a.is_empty(), "the deterministic plan must fire");
+}
+
+/// Listener chaos: a crash mid-run plus a journal-backed restart never
+/// double-submits and never loses a file.
+#[test]
+fn listener_crash_restart_is_exactly_once() {
+    let dir = std::env::temp_dir().join(format!("hacc_chaos_listener_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("listener.journal");
+    let submissions: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+
+    for i in 0..4 {
+        std::fs::write(dir.join(format!("l2_step{i:04}.hcio")), b"data").unwrap();
+    }
+
+    // Run 1: transient submit faults plus a crash a few scans in.
+    let plan = FaultPlan::new(chaos_seed())
+        .with_site(SiteSpec::transient("listener.submit", 0.25))
+        .with_site(SiteSpec::crash_at("listener.scan", 6))
+        .build();
+    let s2 = Arc::clone(&submissions);
+    let listener = Listener::spawn(
+        dir.clone(),
+        ListenerConfig {
+            poll_interval: Duration::from_millis(5),
+            suffix: ".hcio".into(),
+            journal: Some(journal.clone()),
+            injector: Some(plan),
+            ..Default::default()
+        },
+        move |p| s2.lock().push(p.to_path_buf()),
+    );
+    std::thread::sleep(Duration::from_millis(250));
+    let report1 = listener.stop_report();
+    assert!(report1.crashed, "the injected crash must fire");
+
+    // More outputs appear while the listener is down.
+    for i in 4..6 {
+        std::fs::write(dir.join(format!("l2_step{i:04}.hcio")), b"data").unwrap();
+    }
+
+    // Run 2: restart from the journal, still under transient submit faults.
+    let plan = FaultPlan::new(chaos_seed().wrapping_add(1))
+        .with_site(SiteSpec::transient("listener.submit", 0.25))
+        .build();
+    let s3 = Arc::clone(&submissions);
+    let listener = Listener::spawn(
+        dir.clone(),
+        ListenerConfig {
+            poll_interval: Duration::from_millis(5),
+            suffix: ".hcio".into(),
+            journal: Some(journal),
+            injector: Some(plan),
+            ..Default::default()
+        },
+        move |p| s3.lock().push(p.to_path_buf()),
+    );
+    std::thread::sleep(Duration::from_millis(250));
+    let report2 = listener.stop_report();
+    assert!(!report2.crashed);
+
+    // Across both incarnations: all six files, each exactly once.
+    let subs = submissions.lock();
+    let unique: BTreeSet<_> = subs.iter().collect();
+    assert_eq!(unique.len(), 6, "every output file must be submitted");
+    assert_eq!(subs.len(), 6, "no file may be submitted twice: {:?}", *subs);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Scheduler chaos: under heavy transient job faults every job still
+/// terminates (completed or exhausted), retries stay bounded, and the same
+/// seed reproduces the identical outcome list and fault trace.
+#[test]
+fn scheduler_chaos_terminates_and_replays() {
+    let run_once = || {
+        let injector = FaultPlan::new(chaos_seed())
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 0.3))
+            .build();
+        let mut sim = BatchSimulator::new(machine::titan(), QueuePolicy::titan());
+        sim.inject_faults(Arc::clone(&injector), faults::BackoffPolicy::default());
+        for i in 0..40 {
+            sim.submit(JobRequest::new(
+                format!("job{i}"),
+                1 + (i * 7) % 64,
+                30.0 + (i as f64) * 3.0,
+                (i as f64) * 10.0,
+            ));
+        }
+        let records = sim.run_to_completion();
+        (records, sim.job_outcomes().to_vec(), injector.trace())
+    };
+    let (recs_a, outcomes_a, trace_a) = run_once();
+    let (recs_b, outcomes_b, trace_b) = run_once();
+
+    assert_eq!(outcomes_a.len(), 40, "every job must terminate");
+    for o in &outcomes_a {
+        assert!(o.attempts >= 1 && u64::from(o.attempts) <= 5);
+        if o.state == JobState::Exhausted {
+            assert_eq!(o.attempts, 5, "exhaustion only after max_attempts");
+        }
+    }
+    assert!(
+        trace_a.iter().any(|e| e.kind == FaultKind::Transient),
+        "p = 0.3 over 40+ retirements must fire at least once"
+    );
+    assert_eq!(recs_a, recs_b, "same seed ⇒ same completion records");
+    assert_eq!(outcomes_a, outcomes_b, "same seed ⇒ same outcomes");
+    assert_eq!(trace_a, trace_b, "same seed ⇒ same fault trace");
+}
+
+/// Comm chaos: stalls at the receive site surface as timeouts, never hangs.
+#[test]
+fn comm_stalls_surface_as_timeouts_not_hangs() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let injector = FaultPlan::new(chaos_seed())
+        .with_site(SiteSpec::stall("comm.recv", 1.0, Duration::from_millis(40)))
+        .build();
+    let _guard = faults::install(Arc::clone(&injector));
+    let world = comm::World::new(3);
+    let out = world.run(|c| match c.rank() {
+        0 => {
+            // Rank 2 never sends; the stall-injected receive path must still
+            // respect the deadline instead of hanging.
+            let r = c.recv_timeout::<u64>(2, 1, Duration::from_millis(120));
+            assert!(r.is_err(), "no message can exist: {r:?}");
+            // The healthy peer's message still gets through the stalls.
+            c.recv_timeout::<u64>(1, 1, Duration::from_secs(10))
+                .unwrap()
+        }
+        1 => {
+            c.send(0, 1, 99u64);
+            0
+        }
+        _ => 0,
+    });
+    assert_eq!(out[0], 99);
+    assert!(injector.fault_count() > 0, "the stalls must actually fire");
+}
