@@ -109,10 +109,18 @@ impl Communicator {
         // transport retransmits (delivery still happens, the fault is only
         // recorded); a `Stall` delays the send; a `Crash` kills this rank.
         match fault_point!("comm.send") {
-            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
-            Some(FaultKind::Crash) => panic!("rank {} crashed by fault injection", self.rank),
-            Some(FaultKind::Transient) | None => {}
+            Some(FaultKind::Stall(d)) => {
+                telemetry::instant!("faults", "comm.send", 2);
+                std::thread::sleep(d)
+            }
+            Some(FaultKind::Crash) => {
+                telemetry::instant!("faults", "comm.send", 1);
+                panic!("rank {} crashed by fault injection", self.rank)
+            }
+            Some(FaultKind::Transient) => telemetry::instant!("faults", "comm.send", 0),
+            None => {}
         }
+        telemetry::count!("comm", "bytes_sent", std::mem::size_of::<T>());
         self.senders[dst]
             .send(Envelope {
                 src: self.rank,
@@ -136,6 +144,7 @@ impl Communicator {
 
     pub(crate) fn recv_raw<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
         self.apply_recv_fault();
+        telemetry::count!("comm", "bytes_received", std::mem::size_of::<T>());
         if let Some(env) = self.take_pending(src, tag) {
             return Self::downcast(env, src, tag);
         }
@@ -167,6 +176,7 @@ impl Communicator {
         let deadline = Instant::now() + timeout;
         self.apply_recv_fault();
         if let Some(env) = self.take_pending(src, tag) {
+            telemetry::count!("comm", "bytes_received", std::mem::size_of::<T>());
             return Ok(Self::downcast(env, src, tag));
         }
         loop {
@@ -182,6 +192,7 @@ impl Communicator {
             };
             match self.inbox.recv_timeout(remaining) {
                 Ok(env) if env.src == src && env.tag == tag => {
+                    telemetry::count!("comm", "bytes_received", std::mem::size_of::<T>());
                     return Ok(Self::downcast(env, src, tag));
                 }
                 Ok(env) => self.pending.borrow_mut().push(env),
@@ -209,9 +220,16 @@ impl Communicator {
     /// Fault site on the receive path; mirrors the send-side semantics.
     fn apply_recv_fault(&self) {
         match fault_point!("comm.recv") {
-            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
-            Some(FaultKind::Crash) => panic!("rank {} crashed by fault injection", self.rank),
-            Some(FaultKind::Transient) | None => {}
+            Some(FaultKind::Stall(d)) => {
+                telemetry::instant!("faults", "comm.recv", 2);
+                std::thread::sleep(d)
+            }
+            Some(FaultKind::Crash) => {
+                telemetry::instant!("faults", "comm.recv", 1);
+                panic!("rank {} crashed by fault injection", self.rank)
+            }
+            Some(FaultKind::Transient) => telemetry::instant!("faults", "comm.recv", 0),
+            None => {}
         }
     }
 
@@ -302,6 +320,7 @@ impl World {
                         pending: RefCell::new(Vec::new()),
                         coll_seq: RefCell::new(0),
                     };
+                    let _span = telemetry::span!("comm", "rank", rank);
                     *slot = Some(f(&comm));
                 }));
             }

@@ -7,6 +7,8 @@
 //! hacc-driver centers --level2 /tmp/run/level2.hcio        # off-line center finding
 //! hacc-driver listen --dir /tmp/run --max-files 3          # co-scheduling listener
 //! hacc-driver experiments [table1|table2|table3|fig3|fig4|qcontinuum|all]
+//! hacc-driver sim --deck deck.ini --out /tmp/run --trace t.json  # + Chrome trace export
+//! hacc-driver trace-check t.json                           # validate an exported trace
 //! ```
 
 use cosmotools::{
@@ -27,18 +29,43 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let rest = &args[1..];
+    // `--trace <file>` on any command: record the run and export a Chrome
+    // trace-event JSON (load in Perfetto / chrome://tracing) plus a summary
+    // table on stdout.
+    let trace_out = opt(rest, "--trace");
+    let guard = trace_out.as_ref().map(|_| {
+        if !telemetry::COMPILED_WITH_RECORDING {
+            eprintln!(
+                "warning: built without the `recording` feature; \
+                 the trace will be empty (rebuild with `--features recording`)"
+            );
+        }
+        telemetry::install(std::sync::Arc::new(telemetry::Recorder::new(
+            telemetry::Clock::Wall,
+        )))
+    });
     let result = match cmd.as_str() {
         "sim" => cmd_sim(rest),
         "analyze" => cmd_analyze(rest),
         "centers" => cmd_centers(rest),
         "listen" => cmd_listen(rest),
         "experiments" => cmd_experiments(rest),
+        "trace-check" => cmd_trace_check(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    let result = result.and_then(|()| {
+        if let (Some(g), Some(path)) = (guard, trace_out) {
+            let trace = g.finish();
+            print!("{}", trace.summary_table());
+            std::fs::write(&path, trace.chrome_json()).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote trace {path}");
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -53,7 +80,11 @@ const USAGE: &str = "usage:
   hacc-driver analyze --level1 <file> [--link <frac>] [--min-size <n>]
   hacc-driver centers --level2 <file>
   hacc-driver listen --dir <dir> [--suffix <s>] [--max-files <n>] [--timeout-ms <t>]
-  hacc-driver experiments [table1|table2|table3|fig3|fig4|qcontinuum|all]";
+  hacc-driver experiments [table1|table2|table3|fig3|fig4|qcontinuum|all]
+  hacc-driver trace-check <trace.json>
+options (any command):
+  --trace <file>   export a Chrome trace-event JSON of the run
+                   (build with `--features recording` to capture events)";
 
 /// Pull `--key value` from an argument list.
 fn opt(args: &[String], key: &str) -> Option<String> {
@@ -275,8 +306,40 @@ fn cmd_listen(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_trace_check(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        return Err("usage: hacc-driver trace-check <trace.json>".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let v = telemetry::json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .ok_or_else(|| format!("{path}: missing `traceEvents` array"))?;
+    let mut layers: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+        .collect();
+    layers.sort_unstable();
+    layers.dedup();
+    println!(
+        "{path}: {} event(s) across {} layer(s){}{}",
+        events.len(),
+        layers.len(),
+        if layers.is_empty() { "" } else { ": " },
+        layers.join(", ")
+    );
+    Ok(())
+}
+
 fn cmd_experiments(args: &[String]) -> Result<(), String> {
-    let which = args.first().map(|s| s.as_str()).unwrap_or("all");
+    // The experiment selector is the first non-flag argument (`--out` /
+    // `--trace` may come without one).
+    let which = args
+        .first()
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with("--"))
+        .unwrap_or("all");
     let frame = TitanFrame::default();
     if let Some(out) = opt(args, "--out") {
         let report = hacc_core::full_report(&frame, 20150715);

@@ -514,6 +514,154 @@ pub fn subhalo_imbalance(seed: u64) -> (f64, f64) {
     (max, min)
 }
 
+// ---------------------------------------------------------- robustness
+
+/// Fault/robustness accounting surfaced by the full report: a chaos run of
+/// the batch scheduler (the paper's file-level job campaign under transient
+/// node failures) plus a faulted co-scheduled workflow on the real testbed.
+#[derive(Debug, Clone)]
+pub struct RobustnessSummary {
+    /// Jobs pushed through the faulted batch queue.
+    pub jobs_submitted: usize,
+    /// Jobs that eventually completed, retries included.
+    pub jobs_completed: usize,
+    /// Jobs dropped after exhausting every allowed attempt.
+    pub jobs_exhausted: usize,
+    /// Attempts consumed across all jobs (equals `jobs_submitted` on a
+    /// fault-free run).
+    pub total_attempts: u64,
+    /// Node-seconds of held-but-unproductive machine time burnt by failed
+    /// attempts, summed over every [`simhpc::JobOutcome`].
+    pub wasted_node_seconds: f64,
+    /// Co-scheduled analysis steps that fell back to re-shipping the last
+    /// good Level-2 output.
+    pub degraded_steps: usize,
+    /// Transient in-situ failures absorbed by the retry policy.
+    pub insitu_retries: u64,
+}
+
+/// Run both robustness experiments; deterministic in `seed`.
+///
+/// The batch half replays the Moonlight campaign's job shape against a
+/// 30 %-transient-failure queue; the workflow half re-runs the co-scheduled
+/// strategy on a tiny testbed with an in-situ fault plan aggressive enough
+/// to exhaust one step's retries (graceful degradation) and be absorbed on
+/// the next.
+pub fn robustness_report(frame: &TitanFrame, seed: u64) -> RobustnessSummary {
+    // (a) File-level jobs through a faulted batch queue.
+    let mut sim =
+        simhpc::BatchSimulator::new(frame.moonlight.clone(), simhpc::QueuePolicy::ideal());
+    sim.inject_faults(
+        faults::FaultPlan::new(seed)
+            .with_site(faults::SiteSpec::transient(
+                simhpc::SCHEDULER_FAULT_SITE,
+                0.3,
+            ))
+            .build(),
+        faults::BackoffPolicy::default(),
+    );
+    let n_jobs = 40usize;
+    for i in 0..n_jobs {
+        let secs = 3600.0 * (1.0 + (i % 7) as f64);
+        sim.submit(simhpc::JobRequest::new(
+            format!("file{i:02}"),
+            1,
+            secs,
+            i as f64 * 60.0,
+        ));
+    }
+    let _ = sim.run_to_completion();
+    let outcomes = sim.job_outcomes();
+    let jobs_completed = outcomes
+        .iter()
+        .filter(|o| o.state == simhpc::JobState::Completed)
+        .count();
+    let jobs_exhausted = outcomes
+        .iter()
+        .filter(|o| o.state == simhpc::JobState::Exhausted)
+        .count();
+    let total_attempts: u64 = outcomes.iter().map(|o| u64::from(o.attempts)).sum();
+    let wasted_node_seconds: f64 = outcomes.iter().map(|o| o.wasted_seconds).sum();
+
+    // (b) The co-scheduled workflow under in-situ faults: seven consecutive
+    // transients exhaust the first analysis step's five attempts (one
+    // degraded step) and are absorbed by retries on the next.
+    let mut cfg = crate::runner::RunnerConfig {
+        sim: nbody::SimConfig {
+            np: 16,
+            ng: 16,
+            nsteps: 30,
+            seed: 4242,
+            ..nbody::SimConfig::default()
+        },
+        nranks: 4,
+        post_ranks: 2,
+        linking_length: 0.28,
+        threshold: 60,
+        min_size: 12,
+        workdir: std::env::temp_dir()
+            .join(format!("hacc_robustness_{seed}_{}", std::process::id())),
+        ..Default::default()
+    };
+    cfg.injector = Some(
+        faults::FaultPlan::new(seed)
+            .with_site(
+                faults::SiteSpec::transient(crate::runner::RUNNER_FAULT_SITE, 1.0)
+                    .with_max_faults(7),
+            )
+            .build(),
+    );
+    let backend = dpp::Threaded::new(2);
+    let bed = crate::runner::TestBed::create(cfg, &backend);
+    let run = bed.run_combined_coscheduled(&backend, 4);
+
+    RobustnessSummary {
+        jobs_submitted: n_jobs,
+        jobs_completed,
+        jobs_exhausted,
+        total_attempts,
+        wasted_node_seconds,
+        degraded_steps: run.degraded_steps,
+        insitu_retries: run.insitu_retries,
+    }
+}
+
+/// Text rendering of the robustness summary.
+pub fn format_robustness(r: &RobustnessSummary) -> String {
+    let mut s = String::new();
+    s.push_str("batch queue under 30% transient job faults:\n");
+    s.push_str(&format!(
+        "  jobs submitted        {:>8}\n",
+        r.jobs_submitted
+    ));
+    s.push_str(&format!(
+        "  jobs completed        {:>8}\n",
+        r.jobs_completed
+    ));
+    s.push_str(&format!(
+        "  jobs exhausted        {:>8}\n",
+        r.jobs_exhausted
+    ));
+    s.push_str(&format!(
+        "  attempts consumed     {:>8}\n",
+        r.total_attempts
+    ));
+    s.push_str(&format!(
+        "  wasted node-seconds   {:>8.0}\n",
+        r.wasted_node_seconds
+    ));
+    s.push_str("co-scheduled workflow under in-situ faults:\n");
+    s.push_str(&format!(
+        "  degraded steps        {:>8}\n",
+        r.degraded_steps
+    ));
+    s.push_str(&format!(
+        "  in-situ retries       {:>8}\n",
+        r.insitu_retries
+    ));
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,6 +779,24 @@ mod tests {
         assert_eq!(total, 16_384);
         let s = format_fig4(&f);
         assert!(s.contains("16,384"));
+    }
+
+    #[test]
+    fn robustness_summary_accounts_for_faults() {
+        let frame = TitanFrame::default();
+        let r = robustness_report(&frame, 7);
+        // Every job terminates one way or the other.
+        assert_eq!(r.jobs_completed + r.jobs_exhausted, r.jobs_submitted);
+        // A 30% transient rate forces retries, which burn node time.
+        assert!(r.total_attempts > r.jobs_submitted as u64);
+        assert!(r.wasted_node_seconds > 0.0);
+        // The in-situ fault plan exhausts exactly one step's retries.
+        assert_eq!(r.degraded_steps, 1);
+        assert_eq!(r.insitu_retries, 7);
+        // Deterministic in the seed.
+        let again = robustness_report(&frame, 7);
+        assert_eq!(again.total_attempts, r.total_attempts);
+        assert_eq!(again.wasted_node_seconds, r.wasted_node_seconds);
     }
 
     #[test]

@@ -197,6 +197,7 @@ impl Listener {
         let journal = cfg.journal.clone().map(Journal::new);
         if let Some(j) = &journal {
             let recovered = j.load().expect("listener journal unreadable");
+            telemetry::count!("listener", "journal_recovered", recovered.len());
             seen.lock().extend(recovered);
         }
         let stop2 = Arc::clone(&stop);
@@ -263,17 +264,23 @@ impl Listener {
                     }
                     break;
                 }
+                telemetry::count!("listener", "scans", 1);
                 match cfg.fault("listener.scan") {
                     Some(FaultKind::Crash) => {
                         // The listener process dies: no final sweep, no
                         // journal flush beyond what already committed.
+                        telemetry::instant!("faults", "listener.scan", 1);
                         report.crashed = true;
                         return report;
                     }
-                    Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+                    Some(FaultKind::Stall(d)) => {
+                        telemetry::instant!("faults", "listener.scan", 2);
+                        std::thread::sleep(d);
+                    }
                     Some(FaultKind::Transient) => {
                         // Directory scan failed (filesystem hiccup); the
                         // next poll is the retry.
+                        telemetry::instant!("faults", "listener.scan", 0);
                     }
                     None => {
                         if !sweep(&mut on_file, &mut report, &mut pending) {
@@ -332,14 +339,22 @@ fn submit_one<F>(
 where
     F: FnMut(&Path) -> Result<(), SubmitError>,
 {
+    let _span = telemetry::span!("listener", "submit");
     for attempt in 0..cfg.retry.max_attempts {
         if attempt > 0 {
             std::thread::sleep(cfg.retry.delay(attempt - 1));
         }
         let outcome = match cfg.fault("listener.submit") {
-            Some(FaultKind::Crash) => return false,
-            Some(FaultKind::Transient) => Err(SubmitError("injected transient fault".into())),
+            Some(FaultKind::Crash) => {
+                telemetry::instant!("faults", "listener.submit", 1);
+                return false;
+            }
+            Some(FaultKind::Transient) => {
+                telemetry::instant!("faults", "listener.submit", 0);
+                Err(SubmitError("injected transient fault".into()))
+            }
             Some(FaultKind::Stall(d)) => {
+                telemetry::instant!("faults", "listener.submit", 2);
                 std::thread::sleep(d);
                 on_file(f)
             }
@@ -352,6 +367,7 @@ where
                         return false; // crashed mid-append
                     }
                 }
+                telemetry::count!("listener", "submitted", 1);
                 report.submitted.push(f.to_path_buf());
                 return true;
             }
@@ -374,9 +390,18 @@ fn journal_append(
             std::thread::sleep(cfg.retry.delay(attempt - 1));
         }
         match cfg.fault("listener.journal") {
-            Some(FaultKind::Crash) => return false,
-            Some(FaultKind::Transient) => continue,
-            Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+            Some(FaultKind::Crash) => {
+                telemetry::instant!("faults", "listener.journal", 1);
+                return false;
+            }
+            Some(FaultKind::Transient) => {
+                telemetry::instant!("faults", "listener.journal", 0);
+                continue;
+            }
+            Some(FaultKind::Stall(d)) => {
+                telemetry::instant!("faults", "listener.journal", 2);
+                std::thread::sleep(d);
+            }
             None => {}
         }
         if j.append(f).is_ok() {

@@ -124,6 +124,23 @@ pub struct WorkflowRun {
     pub degraded_steps: usize,
     /// Transient in-situ analysis failures absorbed by retries.
     pub insitu_retries: u64,
+    /// Thread-pool dispatches issued while this strategy ran (zero for
+    /// pool-less backends such as `dpp::Serial`).
+    pub pool_dispatches: u64,
+    /// Wall seconds spent inside pool dispatches while this strategy ran —
+    /// the measured counterpart of the cost model's analysis phase, fed by
+    /// the pool's `dispatches` / `dispatch_nanos` counters.
+    pub dispatch_overhead_seconds: f64,
+}
+
+/// Pool-counter delta for a region of work: dispatches issued and wall
+/// seconds spent inside them since `before` was snapshotted.
+fn pool_delta(backend: &dyn Backend, before: dpp::PoolStats) -> (u64, f64) {
+    let d = backend
+        .pool_stats()
+        .unwrap_or_default()
+        .delta_since(&before);
+    (d.dispatches, d.total_dispatch_nanos as f64 * 1e-9)
 }
 
 /// The shared testbed: one finished simulation reused by every strategy.
@@ -201,11 +218,14 @@ impl TestBed {
 
     /// Strategy 1: everything in situ (no I/O, no redistribution).
     pub fn run_in_situ_only(&self, backend: &dyn Backend) -> WorkflowRun {
+        let _span = telemetry::span!("runner", "in_situ_only");
+        let pool0 = backend.pool_stats().unwrap_or_default();
         let per_rank = self.distributed();
         let t0 = Instant::now();
         let (catalogs, timings) = self.analyze(&per_rank, usize::MAX, backend);
         let analysis = t0.elapsed().as_secs_f64();
         let centers = collect_centers(&catalogs);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "in-situ".into(),
             phases: PhaseSeconds {
@@ -218,12 +238,16 @@ impl TestBed {
             overlapped_jobs: 0,
             degraded_steps: 0,
             insitu_retries: 0,
+            pool_dispatches,
+            dispatch_overhead_seconds,
         }
     }
 
     /// Strategy 2: write Level 1 to disk, read it back, redistribute, then
     /// analyze everything off-line.
     pub fn run_offline_only(&self, backend: &dyn Backend) -> WorkflowRun {
+        let _span = telemetry::span!("runner", "offline_only");
+        let pool0 = backend.pool_stats().unwrap_or_default();
         let path = self.cfg.workdir.join("level1.hcio");
         // Simulation side: write Level 1 (one block per rank).
         let t_w = Instant::now();
@@ -264,6 +288,7 @@ impl TestBed {
         let (catalogs, timings) = self.analyze(&per_rank, usize::MAX, backend);
         let analysis = t0.elapsed().as_secs_f64();
         let centers = collect_centers(&catalogs);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "off-line".into(),
             phases: PhaseSeconds {
@@ -279,12 +304,16 @@ impl TestBed {
             overlapped_jobs: 0,
             degraded_steps: 0,
             insitu_retries: 0,
+            pool_dispatches,
+            dispatch_overhead_seconds,
         }
     }
 
     /// Strategy 3 (simple variation): in-situ find + small centers, Level 2
     /// to disk, off-line centers for the large halos, merge.
     pub fn run_combined_simple(&self, backend: &dyn Backend) -> WorkflowRun {
+        let _span = telemetry::span!("runner", "combined_simple");
+        let pool0 = backend.pool_stats().unwrap_or_default();
         let per_rank = self.distributed();
         // In-situ stage.
         let t0 = Instant::now();
@@ -315,6 +344,7 @@ impl TestBed {
         let analysis_post = t1.elapsed().as_secs_f64();
 
         let centers = merge_center_sets(small_centers, large_centers);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "combined (simple)".into(),
             phases: PhaseSeconds {
@@ -329,6 +359,8 @@ impl TestBed {
             overlapped_jobs: 0,
             degraded_steps: 0,
             insitu_retries: 0,
+            pool_dispatches,
+            dispatch_overhead_seconds,
         }
     }
 
@@ -336,6 +368,8 @@ impl TestBed {
     /// the Level 2 data never touches the file system — it is handed to the
     /// analysis stage through shared memory, paying only the redistribution.
     pub fn run_combined_intransit(&self, backend: &dyn Backend) -> WorkflowRun {
+        let _span = telemetry::span!("runner", "combined_intransit");
+        let pool0 = backend.pool_stats().unwrap_or_default();
         let per_rank = self.distributed();
         let t0 = Instant::now();
         let (catalogs, timings) = self.analyze(&per_rank, self.cfg.threshold, backend);
@@ -360,6 +394,7 @@ impl TestBed {
         let analysis_post = t1.elapsed().as_secs_f64();
 
         let centers = merge_center_sets(small_centers, large_centers);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "combined (in-transit)".into(),
             phases: PhaseSeconds {
@@ -373,6 +408,8 @@ impl TestBed {
             overlapped_jobs: 0,
             degraded_steps: 0,
             insitu_retries: 0,
+            pool_dispatches,
+            dispatch_overhead_seconds,
         }
     }
 
@@ -388,6 +425,8 @@ impl TestBed {
         use parking_lot::Mutex;
         use std::sync::Arc;
 
+        let _span = telemetry::span!("runner", "combined_coscheduled");
+        let pool0 = backend.pool_stats().unwrap_or_default();
         let dir = self.cfg.workdir.join("coscheduled");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
@@ -446,6 +485,7 @@ impl TestBed {
             if !(step % emit_every == 0 || last) {
                 return;
             }
+            let _step_span = telemetry::span!("runner", "in_situ_step", step);
             // Fault-aware in-situ stage: a transient failure retries under
             // the configured policy; a crash (or exhausted retries) degrades
             // gracefully — the last good Level-2 output is re-shipped for
@@ -454,11 +494,19 @@ impl TestBed {
             let mut attempt: u32 = 0;
             let insitu_ok = loop {
                 match rcfg.fault(RUNNER_FAULT_SITE) {
-                    Some(FaultKind::Crash) => break false,
-                    Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+                    Some(FaultKind::Crash) => {
+                        telemetry::instant!("faults", RUNNER_FAULT_SITE, 1);
+                        break false;
+                    }
+                    Some(FaultKind::Stall(d)) => {
+                        telemetry::instant!("faults", RUNNER_FAULT_SITE, 2);
+                        std::thread::sleep(d);
+                    }
                     Some(FaultKind::Transient) => {
+                        telemetry::instant!("faults", RUNNER_FAULT_SITE, 0);
                         attempt += 1;
                         insitu_retries += 1;
+                        telemetry::count!("runner", "insitu_retries", 1);
                         if attempt >= rcfg.insitu_retry.max_attempts {
                             break false;
                         }
@@ -472,6 +520,7 @@ impl TestBed {
             if !insitu_ok {
                 let tf = Instant::now();
                 degraded += 1;
+                telemetry::count!("runner", "degraded_steps", 1);
                 let path = dir.join(format!("l2_step{step:04}.hcio"));
                 match &last_good {
                     Some(prev) => {
@@ -560,6 +609,7 @@ impl TestBed {
             .filter(|(_, _, started_at)| *started_at < sim_end)
             .count();
         let centers = merge_center_sets(small_centers, large_centers);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "combined (co-scheduled)".into(),
             phases: PhaseSeconds {
@@ -573,6 +623,8 @@ impl TestBed {
             overlapped_jobs: overlapped,
             degraded_steps: degraded,
             insitu_retries,
+            pool_dispatches,
+            dispatch_overhead_seconds,
         }
     }
 }
@@ -860,6 +912,21 @@ mod tests {
         let simple = bed.run_combined_simple(&backend);
         let cosched = bed.run_combined_coscheduled(&backend, 4);
         assert_same_centers(&simple.centers, &cosched.centers);
+    }
+
+    #[test]
+    fn pool_dispatch_totals_are_attributed_per_run() {
+        let backend = Threaded::new(4);
+        let bed = TestBed::create(tiny_cfg("pooldelta"), &backend);
+        // The simulation in `create` already issued dispatches; the per-run
+        // delta must count only the strategy's own.
+        let run = bed.run_in_situ_only(&backend);
+        assert!(run.pool_dispatches > 0, "analysis dispatches were counted");
+        assert!(run.dispatch_overhead_seconds > 0.0);
+        // A pool-less backend reports zero rather than another pool's totals.
+        let serial = bed.run_in_situ_only(&dpp::Serial);
+        assert_eq!(serial.pool_dispatches, 0);
+        assert_eq!(serial.dispatch_overhead_seconds, 0.0);
     }
 
     #[test]

@@ -154,6 +154,56 @@ fn analyze_rejects_garbage_file() {
 }
 
 #[test]
+fn trace_flag_exports_parseable_chrome_json() {
+    let dir = workdir("trace");
+    let trace = dir.join("trace.json");
+    let out = driver()
+        .args(["experiments", "table1", "--trace", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote trace"), "{stdout}");
+    // Whether or not the build recorded events, the export must be valid
+    // Chrome trace-event JSON with a traceEvents array.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let v = telemetry::json::parse(&text).expect("exported trace parses");
+    assert!(
+        v.get("traceEvents").and_then(|e| e.as_arr()).is_some(),
+        "trace must carry a traceEvents array"
+    );
+    // The bundled validator agrees.
+    let check = driver()
+        .args(["trace-check", trace.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("event(s)"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_check_rejects_garbage() {
+    let dir = workdir("tracejunk");
+    let p = dir.join("junk.json");
+    std::fs::write(&p, b"{not json").unwrap();
+    let out = driver()
+        .args(["trace-check", p.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn experiments_report_writes_markdown() {
     let dir = workdir("report");
     let out = dir.join("report.md");

@@ -12,7 +12,7 @@
 //! modeled by the `simhpc` crate, GPU execution is represented by a speed
 //! factor applied by the platform model rather than by a third adapter.
 
-use crate::pool::ThreadPool;
+use crate::pool::{PoolStats, ThreadPool};
 use std::ops::Range;
 
 /// Default minimum number of elements handed to a worker in one chunk.
@@ -33,6 +33,14 @@ pub trait Backend: Sync {
 
     /// Human-readable adapter name (for logs and reports).
     fn name(&self) -> &'static str;
+
+    /// Snapshot of the backing pool's monotonic counters, when the backend
+    /// has one. Callers subtract two snapshots ([`PoolStats::delta_since`])
+    /// to attribute dispatch counts and overhead to a region of work; the
+    /// `Serial` reference backend has no pool and returns `None`.
+    fn pool_stats(&self) -> Option<PoolStats> {
+        None
+    }
 }
 
 /// Single-threaded reference backend.
@@ -44,6 +52,7 @@ impl Backend for Serial {
         if n == 0 {
             return;
         }
+        let _span = telemetry::span!("dpp", "dispatch", n);
         let grain = grain.max(1);
         let mut lo = 0;
         while lo < n {
@@ -107,6 +116,10 @@ impl Backend for Threaded {
     fn name(&self) -> &'static str {
         "threaded"
     }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
+    }
 }
 
 /// Multi-core backend with *static* scheduling: `0..n` is pre-partitioned
@@ -161,6 +174,10 @@ impl Backend for StaticThreaded {
 
     fn name(&self) -> &'static str {
         "static-threaded"
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        Some(self.pool.stats())
     }
 }
 
@@ -228,6 +245,10 @@ impl Backend for AnyBackend {
 
     fn name(&self) -> &'static str {
         self.as_dyn().name()
+    }
+
+    fn pool_stats(&self) -> Option<PoolStats> {
+        self.as_dyn().pool_stats()
     }
 }
 

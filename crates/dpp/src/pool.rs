@@ -21,7 +21,11 @@
 //! cost model is directly sensitive to. Per-pool [`PoolStats`] counters
 //! (dispatches, chunk claims by workers vs. the caller, worker wake-ups,
 //! cumulative dispatch wall time) expose the dispatch layer's behavior to the
-//! instrumentation and the benches.
+//! instrumentation and the benches: each dispatch also feeds the `dpp`
+//! telemetry counters (`dispatches`, `dispatch_nanos`) when recording is
+//! armed, and the workflow runner folds the per-run dispatch totals into its
+//! measured cost accounting (`WorkflowRun::dispatch_overhead_seconds`), so
+//! the cost model's analysis phase sees real dispatch overhead.
 //!
 //! Cloning a [`ThreadPool`] is cheap and **shares** the same worker threads;
 //! the workers shut down when the last clone is dropped. Dispatches from a
@@ -106,6 +110,29 @@ impl PoolStats {
             0.0
         } else {
             self.total_dispatch_nanos as f64 / self.dispatches as f64
+        }
+    }
+
+    /// Counter deltas accumulated since an `earlier` snapshot of the same
+    /// pool (saturating, so a reset between snapshots yields zeros rather
+    /// than wrapping).
+    pub fn delta_since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            dispatches: self.dispatches.saturating_sub(earlier.dispatches),
+            serial_dispatches: self
+                .serial_dispatches
+                .saturating_sub(earlier.serial_dispatches),
+            chunks_by_workers: self
+                .chunks_by_workers
+                .saturating_sub(earlier.chunks_by_workers),
+            chunks_by_caller: self
+                .chunks_by_caller
+                .saturating_sub(earlier.chunks_by_caller),
+            worker_wakeups: self.worker_wakeups.saturating_sub(earlier.worker_wakeups),
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            total_dispatch_nanos: self
+                .total_dispatch_nanos
+                .saturating_sub(earlier.total_dispatch_nanos),
         }
     }
 }
@@ -362,6 +389,7 @@ impl ThreadPool {
         if n == 0 {
             return;
         }
+        let _span = telemetry::span!("dpp", "dispatch", n);
         let grain = grain.max(1);
         let chunks = n.div_ceil(grain);
         let shared = &self.inner.shared;
@@ -377,6 +405,7 @@ impl ThreadPool {
                 f(lo..hi);
             }
             let stats = &shared.stats;
+            let nanos = t0.elapsed().as_nanos() as u64;
             stats.dispatches.fetch_add(1, Ordering::Relaxed);
             stats.serial_dispatches.fetch_add(1, Ordering::Relaxed);
             stats
@@ -384,7 +413,9 @@ impl ThreadPool {
                 .fetch_add(chunks as u64, Ordering::Relaxed);
             stats
                 .total_dispatch_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(nanos, Ordering::Relaxed);
+            telemetry::count!("dpp", "dispatches", 1);
+            telemetry::count!("dpp", "dispatch_nanos", nanos);
             return;
         }
 
@@ -432,10 +463,13 @@ impl ThreadPool {
         }
 
         let stats = &shared.stats;
+        let nanos = t0.elapsed().as_nanos() as u64;
         stats.dispatches.fetch_add(1, Ordering::Relaxed);
         stats
             .total_dispatch_nanos
-            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(nanos, Ordering::Relaxed);
+        telemetry::count!("dpp", "dispatches", 1);
+        telemetry::count!("dpp", "dispatch_nanos", nanos);
 
         if job.panicked.load(Ordering::Acquire) {
             let payload = job

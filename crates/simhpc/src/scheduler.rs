@@ -328,6 +328,7 @@ impl BatchSimulator {
     /// Advance until all submitted jobs have finished; returns records sorted
     /// by completion time.
     pub fn run_to_completion(&mut self) -> Vec<JobRecord> {
+        let _span = telemetry::span!("simhpc", "run_to_completion", self.queue.len());
         loop {
             self.try_start_jobs();
             if self.running.is_empty() {
@@ -380,10 +381,12 @@ impl BatchSimulator {
                         // The job hangs: it holds its nodes for `d` longer,
                         // then hits another completion event (and another
                         // fault check).
+                        telemetry::instant!("faults", "scheduler.job", 2);
                         self.running[j].end += d.as_secs_f64();
                         j += 1;
                     }
                     Some(FaultKind::Transient) | Some(FaultKind::Crash) => {
+                        telemetry::instant!("faults", "scheduler.job", 0);
                         // The attempt dies at its would-be end time. Free the
                         // nodes; requeue under capped exponential backoff or
                         // report the job exhausted.
@@ -391,6 +394,7 @@ impl BatchSimulator {
                         self.free_nodes += r.req.nodes;
                         let wasted = r.wasted + r.req.runtime;
                         if r.attempt >= self.backoff.max_attempts {
+                            telemetry::count!("simhpc", "jobs_exhausted", 1);
                             self.outcomes.push(JobOutcome {
                                 id: r.id,
                                 name: r.req.name,
@@ -413,6 +417,13 @@ impl BatchSimulator {
                         let r = self.running.swap_remove(j);
                         self.free_nodes += r.req.nodes;
                         let core_hours = self.machine.charge_core_hours(r.req.nodes, r.req.runtime);
+                        telemetry::instant!("simhpc", "job_retired", r.id.0);
+                        telemetry::count!("simhpc", "jobs_completed", 1);
+                        telemetry::observe!(
+                            "simhpc",
+                            "queue_wait_seconds",
+                            (r.start - r.req.submit_time).max(0.0)
+                        );
                         self.outcomes.push(JobOutcome {
                             id: r.id,
                             name: r.req.name.clone(),

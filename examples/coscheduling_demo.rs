@@ -18,6 +18,15 @@ use nbody::SimConfig;
 use simhpc::{machine, BatchSimulator, JobRequest, QueuePolicy};
 
 fn main() {
+    if !telemetry::COMPILED_WITH_RECORDING {
+        eprintln!(
+            "note: built without `--features recording`; the telemetry summary will be empty"
+        );
+    }
+    let guard = telemetry::install(std::sync::Arc::new(telemetry::Recorder::new(
+        telemetry::Clock::Wall,
+    )));
+
     // ---------------- live listener ----------------
     let backend = Threaded::with_available_parallelism();
     let cfg = RunnerConfig {
@@ -105,4 +114,7 @@ fn main() {
     }
     println!("\n(the Titan cap serializes the co-scheduled jobs in pairs — the paper's \"queue exemption\" problem;");
     println!(" the analysis cluster runs them as data arrives, which is the workflow the paper advocates)");
+
+    println!("\n== telemetry ==");
+    print!("{}", guard.finish().summary_table());
 }

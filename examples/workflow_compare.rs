@@ -8,7 +8,11 @@
 //!
 //! ```text
 //! cargo run --release --example workflow_compare
+//! cargo run --release --features recording --example workflow_compare -- --trace out.json
 //! ```
+//!
+//! With `--trace <file>` the run exports a Chrome trace-event JSON
+//! (Perfetto-loadable); the telemetry summary table prints either way.
 
 use dpp::Threaded;
 use hacc_core::experiments::{format_table3, table3_4};
@@ -16,6 +20,20 @@ use hacc_core::{format_table4, RunnerConfig, TestBed, TitanFrame};
 use nbody::SimConfig;
 
 fn main() {
+    let trace_out = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--trace")
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    if !telemetry::COMPILED_WITH_RECORDING {
+        eprintln!(
+            "note: built without `--features recording`; the telemetry summary will be empty"
+        );
+    }
+    let guard = telemetry::install(std::sync::Arc::new(telemetry::Recorder::new(
+        telemetry::Clock::Wall,
+    )));
     let backend = Threaded::with_available_parallelism();
 
     // ---------------- measured (real execution) ----------------
@@ -64,6 +82,18 @@ fn main() {
             run.overlapped_jobs
         );
     }
+    // Measured dispatch overhead per strategy: the pool counters the cost
+    // model's analysis phase is calibrated against.
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "strategy", "dispatches", "dispatch secs"
+    );
+    for run in [&in_situ, &off_line, &combined, &intransit, &cosched] {
+        println!(
+            "{:<26} {:>12} {:>16.4}",
+            run.strategy, run.pool_dispatches, run.dispatch_overhead_seconds
+        );
+    }
     // Every strategy must agree on the science output.
     hacc_core::runner::assert_same_centers(&in_situ.centers, &off_line.centers);
     hacc_core::runner::assert_same_centers(&in_situ.centers, &combined.centers);
@@ -109,4 +139,13 @@ fn main() {
         overlapped,
         (1.0 - overlapped / after) * 100.0
     );
+
+    // ---------------- telemetry ----------------
+    let trace = guard.finish();
+    println!("\n== telemetry ==");
+    print!("{}", trace.summary_table());
+    if let Some(path) = trace_out {
+        std::fs::write(&path, trace.chrome_json()).expect("write trace");
+        println!("wrote trace {path} (load in Perfetto / chrome://tracing)");
+    }
 }

@@ -22,3 +22,8 @@ bench-dispatch:
 # Regenerate the paper's tables/figures benches.
 bench-paper:
     cargo bench -p bench --bench paper_tables
+
+# Run the workflow comparison with telemetry armed and export a Chrome
+# trace (load trace.json in Perfetto / chrome://tracing).
+trace-demo:
+    cargo run --release --features recording --example workflow_compare -- --trace trace.json

@@ -1,0 +1,129 @@
+//! Armed-tracing integration test: the co-scheduled workflow plus the batch
+//! facility model run under injected faults with the telemetry recorder in
+//! logical-clock mode, and the exported Chrome trace must
+//!
+//! 1. parse as trace-event JSON,
+//! 2. contain spans from all six instrumented layers
+//!    (`dpp`, `comm`, `simhpc`, `runner`, `listener`, `faults`), and
+//! 3. be **byte-identical** across two runs with the same `CHAOS_SEED`
+//!    (the logical clock erases wall-time, and the export orders spans
+//!    canonically, so any nondeterminism in the instrumentation shows up
+//!    as a diff here).
+//!
+//! Only compiled with `--features recording`; the plan keeps faults to
+//! discrete-event sites (comm, runner, scheduler) whose hit counts replay
+//! exactly — the poll-driven `listener.*` sites stay fault-free.
+#![cfg(feature = "recording")]
+
+use dpp::Threaded;
+use faults::{FaultPlan, SiteSpec};
+use hacc_core::runner::{RunnerConfig, TestBed, RUNNER_FAULT_SITE};
+use nbody::SimConfig;
+use parking_lot::Mutex;
+use simhpc::{machine, BatchSimulator, JobRequest, QueuePolicy, SCHEDULER_FAULT_SITE};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Seed for every plan in this file; override with `CHAOS_SEED=<n>`.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Tests that install process-global state (the fault injector and the
+/// telemetry recorder) must not overlap.
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+fn tiny_cfg(name: &str) -> RunnerConfig {
+    RunnerConfig {
+        sim: SimConfig {
+            np: 16,
+            ng: 16,
+            nsteps: 30,
+            seed: 4242,
+            ..SimConfig::default()
+        },
+        nranks: 4,
+        post_ranks: 2,
+        linking_length: 0.28,
+        threshold: 60,
+        min_size: 12,
+        workdir: std::env::temp_dir().join(format!("hacc_trace_{name}_{}", std::process::id())),
+        ..Default::default()
+    }
+}
+
+/// One armed round: co-scheduled workflow under global comm/runner faults,
+/// then the batch facility model under scheduler faults, all on a single
+/// logical-clock recorder. Returns the exported Chrome JSON.
+fn traced_round(bed: &TestBed, backend: &Threaded) -> String {
+    let recorder = telemetry::install(Arc::new(telemetry::Recorder::new(
+        telemetry::Clock::Logical,
+    )));
+
+    // Global plan covering the discrete-event sites the workflow consults
+    // internally (same shape as chaos.rs's determinism test).
+    let injector = FaultPlan::new(chaos_seed())
+        .with_site(SiteSpec::transient("comm.send", 0.10))
+        .with_site(SiteSpec::transient("comm.recv", 0.10))
+        .with_site(SiteSpec::transient(RUNNER_FAULT_SITE, 0.12))
+        .build();
+    {
+        let _faults = faults::install(Arc::clone(&injector));
+        let run = bed.run_combined_coscheduled(backend, 4);
+        assert!(!run.centers.is_empty(), "the workload must do real work");
+    }
+
+    // The batch-facility model on the same recorder, with an explicit
+    // injector at the scheduler site: covers the `simhpc` layer.
+    let sched = FaultPlan::new(chaos_seed())
+        .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 0.3))
+        .build();
+    let mut sim = BatchSimulator::new(machine::titan(), QueuePolicy::titan());
+    sim.inject_faults(sched, faults::BackoffPolicy::default());
+    for i in 0..40usize {
+        sim.submit(JobRequest::new(
+            format!("job{i}"),
+            1 + (i * 7) % 64,
+            30.0 + i as f64 * 3.0,
+            i as f64 * 10.0,
+        ));
+    }
+    let _ = sim.run_to_completion();
+
+    recorder.finish().chrome_json()
+}
+
+#[test]
+fn armed_chaos_run_exports_identical_six_layer_traces() {
+    let _serial = GLOBAL_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(tiny_cfg("sixlayer"), &backend);
+
+    let a = traced_round(&bed, &backend);
+    let b = traced_round(&bed, &backend);
+
+    let v = telemetry::json::parse(&a).expect("exported trace must parse");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "an armed run must record events");
+    let cats: BTreeSet<&str> = events
+        .iter()
+        .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
+        .collect();
+    for layer in ["comm", "dpp", "faults", "listener", "runner", "simhpc"] {
+        assert!(
+            cats.contains(layer),
+            "trace must carry `{layer}` spans, got {cats:?}"
+        );
+    }
+
+    assert_eq!(
+        a, b,
+        "same CHAOS_SEED must export byte-identical logical traces"
+    );
+}
