@@ -1,0 +1,255 @@
+//! The on-disk cache index: an append-only log of `put`/`del` records that
+//! survives crash/restart with the same torn-append-healing discipline as
+//! `core::journal`.
+//!
+//! An entry is a single `write` call of one line; a crash mid-append leaves
+//! bytes with no trailing newline, which [`Index::load`] drops (the entry
+//! never committed). The next append seals such a fragment with a newline
+//! first, so the fragment can never corrupt a later (good) entry by
+//! concatenation — it reads back as an unparseable line, which replay
+//! skips. Because a `put` only lands *after* the object file is durably in
+//! place, a dropped or sealed index line degrades to a cache miss and a
+//! recompute, never to a false hit.
+
+use crate::digest::{CacheKey, Digest};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// First line of every index file; guards against feeding the cache an
+/// unrelated file.
+pub const INDEX_HEADER: &str = "hacc-artifact-cache v1";
+
+/// One live index entry after replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Key the artifact is stored under.
+    pub key: CacheKey,
+    /// Content digest of the object payload (also its object-file name).
+    pub digest: Digest,
+    /// Payload length in bytes (for the eviction byte budget).
+    pub len: u64,
+}
+
+/// Append-only `put`/`del` log at a fixed path.
+#[derive(Debug, Clone)]
+pub struct Index {
+    path: PathBuf,
+}
+
+impl Index {
+    /// An index stored at `path` (created on first append).
+    pub fn new(path: PathBuf) -> Self {
+        Index { path }
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replay the log into the set of live entries, ordered oldest-put
+    /// first (a re-`put` of a key moves it to the back — replay order
+    /// doubles as the LRU recency order after a restart).
+    ///
+    /// A missing file is an empty index; a wrong header is an error; a torn
+    /// (newline-less) tail and sealed unparseable fragments are skipped.
+    pub fn load(&self) -> io::Result<Vec<IndexEntry>> {
+        let bytes = match std::fs::read(&self.path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines = text.split_inclusive('\n');
+        match lines.next() {
+            None => return Ok(Vec::new()),
+            Some(header) if header.trim_end_matches('\n') == INDEX_HEADER => {}
+            Some(other) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "not an artifact-cache index (header {:?})",
+                        other.trim_end()
+                    ),
+                ));
+            }
+        }
+        // Replay: later records win; seq remembers when each live entry was
+        // last put so the final collect preserves recency order.
+        let mut live: std::collections::BTreeMap<u128, (u64, IndexEntry)> =
+            std::collections::BTreeMap::new();
+        for (seq, line) in lines.enumerate() {
+            // A chunk without its trailing newline is a torn append: the
+            // record never committed.
+            if !line.ends_with('\n') {
+                continue;
+            }
+            match Self::parse_line(line.trim_end_matches('\n')) {
+                Some(Record::Put(entry)) => {
+                    live.insert(entry.key.0 .0, (seq as u64, entry));
+                }
+                Some(Record::Del(key)) => {
+                    live.remove(&key.0 .0);
+                }
+                // Sealed torn fragments and any other garbage: skip. The
+                // object store is self-verifying, so dropping a record is
+                // always safe (it becomes a miss).
+                None => {}
+            }
+        }
+        let mut entries: Vec<(u64, IndexEntry)> = live.into_values().collect();
+        entries.sort_by_key(|(seq, _)| *seq);
+        Ok(entries.into_iter().map(|(_, e)| e).collect())
+    }
+
+    fn parse_line(line: &str) -> Option<Record> {
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next()? {
+            "put" => {
+                let key = CacheKey(Digest::parse(parts.next()?)?);
+                let digest = Digest::parse(parts.next()?)?;
+                let len: u64 = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(Record::Put(IndexEntry { key, digest, len }))
+            }
+            "del" => {
+                let key = CacheKey(Digest::parse(parts.next()?)?);
+                if parts.next().is_some() {
+                    return None;
+                }
+                Some(Record::Del(key))
+            }
+            _ => None,
+        }
+    }
+
+    /// Record that `entry` is live (object already durably written).
+    pub fn append_put(&self, entry: &IndexEntry) -> io::Result<()> {
+        self.append_line(&format!("put {} {} {}", entry.key, entry.digest, entry.len))
+    }
+
+    /// Record that `key` is gone (evicted or poisoned).
+    pub fn append_del(&self, key: CacheKey) -> io::Result<()> {
+        self.append_line(&format!("del {key}"))
+    }
+
+    /// One write call per record keeps a torn append detectable as a
+    /// missing trailing newline; a pre-existing torn fragment is sealed
+    /// first so it cannot merge with this record.
+    fn append_line(&self, line: &str) -> io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        if f.metadata()?.len() == 0 {
+            f.write_all(format!("{INDEX_HEADER}\n").as_bytes())?;
+        } else {
+            use std::io::{Read, Seek, SeekFrom};
+            f.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            f.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                f.write_all(b"\n")?;
+            }
+        }
+        f.write_all(format!("{line}\n").as_bytes())?;
+        f.sync_data()
+    }
+}
+
+enum Record {
+    Put(IndexEntry),
+    Del(CacheKey),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::digest_bytes;
+
+    fn tmpfile(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cache_index_test_{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d.join(name)
+    }
+
+    fn entry(tag: &[u8]) -> IndexEntry {
+        IndexEntry {
+            key: CacheKey(digest_bytes(tag)),
+            digest: digest_bytes(&[tag, b".payload"].concat()),
+            len: tag.len() as u64,
+        }
+    }
+
+    #[test]
+    fn missing_index_is_empty() {
+        let idx = Index::new(tmpfile("never_written.idx"));
+        assert!(idx.load().unwrap().is_empty());
+    }
+
+    #[test]
+    fn put_del_replay_keeps_recency_order() {
+        let idx = Index::new(tmpfile("replay.idx"));
+        let _ = std::fs::remove_file(idx.path());
+        let (a, b, c) = (entry(b"a"), entry(b"b"), entry(b"c"));
+        idx.append_put(&a).unwrap();
+        idx.append_put(&b).unwrap();
+        idx.append_put(&c).unwrap();
+        // Re-put a (moves it to the back), delete b.
+        idx.append_put(&a).unwrap();
+        idx.append_del(b.key).unwrap();
+        let live = idx.load().unwrap();
+        assert_eq!(live, vec![c, a], "oldest-put first, re-put moved back");
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_sealed_fragment_is_skipped() {
+        let idx = Index::new(tmpfile("torn.idx"));
+        let _ = std::fs::remove_file(idx.path());
+        let a = entry(b"a");
+        idx.append_put(&a).unwrap();
+        // Crash mid-append: half a record, no newline.
+        let b = entry(b"b");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(idx.path())
+            .unwrap();
+        let full = format!("put {} {} {}", b.key, b.digest, b.len);
+        f.write_all(&full.as_bytes()[..full.len() / 2]).unwrap();
+        drop(f);
+        assert_eq!(idx.load().unwrap(), vec![a], "torn record never committed");
+        // The next append seals the fragment; replay then skips it as
+        // unparseable instead of corrupting the new record.
+        let c = entry(b"c");
+        idx.append_put(&c).unwrap();
+        assert_eq!(idx.load().unwrap(), vec![a, c]);
+    }
+
+    #[test]
+    fn wrong_header_is_rejected() {
+        let p = tmpfile("wrong_header.idx");
+        std::fs::write(&p, "something else\nput x y 1\n").unwrap();
+        let err = Index::new(p).load().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn garbage_lines_are_skipped_not_fatal() {
+        let p = tmpfile("garbage.idx");
+        let idx = Index::new(p);
+        let _ = std::fs::remove_file(idx.path());
+        let a = entry(b"a");
+        idx.append_put(&a).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(idx.path())
+            .unwrap();
+        f.write_all(b"put short-key\nnot-a-verb x y z\nput k d extra junk here\n")
+            .unwrap();
+        drop(f);
+        assert_eq!(idx.load().unwrap(), vec![a]);
+    }
+}

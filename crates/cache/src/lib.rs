@@ -1,0 +1,34 @@
+//! # cache — content-addressed artifact store with incremental re-execution
+//!
+//! The paper's economics (Tables 3/4) assume the workflow never pays for the
+//! same analysis twice: a listener crash-restart, a re-queued co-scheduled
+//! job, or a `compare_all` sweep over identical inputs should reuse existing
+//! L3 products, not recompute them. This crate is that memory:
+//!
+//! * [`Digest`]/[`digest_bytes`] — a hand-rolled 128-bit FNV-style content
+//!   hash (this build environment has no crates.io access, so no external
+//!   hash crates).
+//! * [`FingerprintBuilder`]/[`Fingerprint`] — a typed hash over the
+//!   *configuration* that produced an artifact (runner strategy, algorithm
+//!   parameters, simulation seed), so changed parameters can never alias a
+//!   cached result.
+//! * [`CacheKey::compose`] — `(operation, input digest, fingerprint)` in one
+//!   128-bit key.
+//! * [`ArtifactCache`] — the store: objects at `objects/<digest>` written
+//!   tmp+rename and deduplicated by digest; a `put`/`del` index log that
+//!   survives crash/restart with the same torn-append-healing discipline as
+//!   `core::journal`; verify-on-lookup so a poisoned or torn entry degrades
+//!   to a recompute, never a wrong catalog; LRU byte-budget eviction; fault
+//!   sites `cache.read` / `cache.verify` for the chaos harness; and a
+//!   seventh telemetry layer (`cache`) with hit/miss/evict counters and a
+//!   verify-time histogram.
+
+#![warn(missing_docs)]
+
+mod digest;
+mod index;
+mod store;
+
+pub use digest::{digest_bytes, CacheKey, Digest, Fingerprint, FingerprintBuilder, Hasher};
+pub use index::{Index, IndexEntry, INDEX_HEADER};
+pub use store::{ArtifactCache, CacheStats};

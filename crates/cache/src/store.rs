@@ -1,0 +1,484 @@
+//! The content-addressed artifact store.
+//!
+//! Objects live at `dir/objects/<digest>` (written tmp+rename, deduplicated
+//! by digest with refcounts so two keys mapping to identical payloads share
+//! one file); the `dir/index` log maps cache keys to object digests and
+//! survives crashes via torn-append healing (see [`crate::index`]).
+//!
+//! Every lookup **re-verifies** the payload digest before returning, so a
+//! poisoned object file, a torn index record, or an injected fault can only
+//! ever produce a miss — the caller recomputes, and the workflow's output is
+//! byte-identical with the cache on or off. Fault sites `cache.read` and
+//! `cache.verify` let the chaos harness rehearse exactly that degradation.
+
+use crate::digest::{digest_bytes, CacheKey, Digest};
+use crate::index::{Index, IndexEntry};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Snapshot of the cache's lifetime counters (since [`ArtifactCache::open`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a verified payload.
+    pub hits: u64,
+    /// Lookups that found nothing usable (absent, fault-forced, or failed
+    /// verification).
+    pub misses: u64,
+    /// Entries inserted (or re-put) by [`ArtifactCache::insert`].
+    pub inserts: u64,
+    /// Entries removed by the LRU byte-budget policy.
+    pub evictions: u64,
+    /// Lookups whose payload failed digest verification (a subset of
+    /// `misses`); the offending entry is dropped.
+    pub verify_failures: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    digest: Digest,
+    len: u64,
+    /// LRU recency: larger = more recently put or hit.
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: BTreeMap<u128, Entry>,
+    /// Object refcounts by digest: an object file is deleted only when no
+    /// live entry references it.
+    refs: BTreeMap<u128, u64>,
+    total_bytes: u64,
+    next_seq: u64,
+}
+
+/// A content-addressed artifact cache rooted at one directory.
+///
+/// Thread-safe; share via `Arc`. All persistence is synchronous — an
+/// [`insert`](ArtifactCache::insert) that returns `Ok` has the object file
+/// renamed into place and the index record synced, in that order, so a crash
+/// at any point leaves either a fully usable entry or a harmless miss.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: PathBuf,
+    byte_budget: Option<u64>,
+    index: Index,
+    state: Mutex<State>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    verify_failures: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Open (or create) the cache at `dir`, replaying the index. Entries
+    /// whose records survived a previous run come back in recency order;
+    /// their payloads are verified lazily, on first lookup.
+    ///
+    /// `byte_budget` caps the total live payload bytes; `None` disables
+    /// eviction.
+    pub fn open(dir: impl Into<PathBuf>, byte_budget: Option<u64>) -> io::Result<ArtifactCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("objects"))?;
+        let index = Index::new(dir.join("index"));
+        let mut state = State::default();
+        for entry in index.load()? {
+            state.next_seq += 1;
+            let seq = state.next_seq;
+            if let Some(old) = state.entries.insert(
+                entry.key.0 .0,
+                Entry {
+                    digest: entry.digest,
+                    len: entry.len,
+                    seq,
+                },
+            ) {
+                state.total_bytes -= old.len;
+                Self::deref_locked(&mut state, old.digest);
+            }
+            state.total_bytes += entry.len;
+            *state.refs.entry(entry.digest.0).or_insert(0) += 1;
+        }
+        Ok(ArtifactCache {
+            dir,
+            byte_budget,
+            index,
+            state: Mutex::new(state),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Lifetime counters since open.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.state.lock().entries.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total live payload bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.state.lock().total_bytes
+    }
+
+    fn object_path(&self, digest: Digest) -> PathBuf {
+        self.dir.join("objects").join(digest.to_string())
+    }
+
+    /// Store `payload` under `key`, returning its digest. The object file
+    /// is written tmp+rename before the index record is appended, so a
+    /// crash between the two leaves an orphaned (harmless) object, never a
+    /// dangling index entry.
+    pub fn insert(&self, key: CacheKey, payload: &[u8]) -> io::Result<Digest> {
+        let _span = telemetry::span!("cache", "insert", payload.len());
+        let digest = digest_bytes(payload);
+        let mut state = self.state.lock();
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if let Some(existing) = state.entries.get_mut(&key.0 .0) {
+            if existing.digest == digest {
+                // Idempotent re-insert: just refresh recency.
+                existing.seq = seq;
+                self.inserts.fetch_add(1, Ordering::Relaxed);
+                return Ok(digest);
+            }
+        }
+        let path = self.object_path(digest);
+        if state.refs.get(&digest.0).copied().unwrap_or(0) == 0 && !path.exists() {
+            let tmp = self.dir.join("objects").join(format!("{digest}.tmp{seq}"));
+            std::fs::write(&tmp, payload)?;
+            std::fs::rename(&tmp, &path)?;
+        }
+        let entry = IndexEntry {
+            key,
+            digest,
+            len: payload.len() as u64,
+        };
+        self.index.append_put(&entry)?;
+        if let Some(old) = state.entries.insert(
+            key.0 .0,
+            Entry {
+                digest,
+                len: entry.len,
+                seq,
+            },
+        ) {
+            state.total_bytes -= old.len;
+            self.drop_object_ref(&mut state, old.digest);
+        }
+        state.total_bytes += entry.len;
+        *state.refs.entry(digest.0).or_insert(0) += 1;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.evict_over_budget(&mut state, Some(key));
+        Ok(digest)
+    }
+
+    /// Fetch and **verify** the payload stored under `key`. Returns `None`
+    /// on a miss — absent entry, injected fault, unreadable object, or a
+    /// digest mismatch (in which case the poisoned entry is dropped so it
+    /// cannot fail again). A `Some` payload is guaranteed to hash to the
+    /// digest recorded at insert time.
+    pub fn lookup(&self, key: CacheKey) -> Option<Vec<u8>> {
+        let _span = telemetry::span!("cache", "lookup");
+        let mut state = self.state.lock();
+        let entry = match state.entries.get(&key.0 .0) {
+            Some(e) => *e,
+            None => return self.miss(),
+        };
+        match faults::fault_point!("cache.read") {
+            Some(faults::FaultKind::Transient) => {
+                // A transient read error: this lookup misses, the entry
+                // survives for the next one.
+                return self.miss();
+            }
+            Some(faults::FaultKind::Crash) => {
+                // The object is gone for good (disk corruption, a purged
+                // scratch filesystem): poison the entry.
+                self.remove_entry(&mut state, key);
+                return self.miss();
+            }
+            Some(faults::FaultKind::Stall(d)) => std::thread::sleep(d),
+            None => {}
+        }
+        let payload = match std::fs::read(self.object_path(entry.digest)) {
+            Ok(b) => b,
+            Err(_) => {
+                self.remove_entry(&mut state, key);
+                return self.miss();
+            }
+        };
+        let verify_start = Instant::now();
+        let forced_fail = faults::fault_point!("cache.verify").is_some();
+        let ok = !forced_fail
+            && payload.len() as u64 == entry.len
+            && digest_bytes(&payload) == entry.digest;
+        telemetry::observe!(
+            "cache",
+            "verify_us",
+            verify_start.elapsed().as_micros() as u64
+        );
+        if !ok {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            telemetry::instant!("cache", "verify_fail", 0);
+            self.remove_entry(&mut state, key);
+            return self.miss();
+        }
+        state.next_seq += 1;
+        let seq = state.next_seq;
+        if let Some(e) = state.entries.get_mut(&key.0 .0) {
+            e.seq = seq;
+        }
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        telemetry::count!("cache", "hits", 1);
+        Some(payload)
+    }
+
+    /// True when `key` resolves to a payload that passes verification right
+    /// now. Equivalent to `lookup(key).is_some()` (and counted the same
+    /// way) — the listener's resubmission gate.
+    pub fn contains_verified(&self, key: CacheKey) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    fn miss(&self) -> Option<Vec<u8>> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::count!("cache", "misses", 1);
+        None
+    }
+
+    /// Drop `key` from the index and the in-memory map; deletes the object
+    /// file when no other entry shares its digest. Index-append failures
+    /// are swallowed: the in-memory drop already prevents a false hit this
+    /// run, and on replay the self-verifying lookup catches the rest.
+    fn remove_entry(&self, state: &mut State, key: CacheKey) {
+        if let Some(old) = state.entries.remove(&key.0 .0) {
+            state.total_bytes -= old.len;
+            let _ = self.index.append_del(key);
+            self.drop_object_ref(state, old.digest);
+        }
+    }
+
+    fn deref_locked(state: &mut State, digest: Digest) -> bool {
+        match state.refs.get_mut(&digest.0) {
+            Some(n) if *n > 1 => {
+                *n -= 1;
+                false
+            }
+            Some(_) => {
+                state.refs.remove(&digest.0);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn drop_object_ref(&self, state: &mut State, digest: Digest) {
+        if Self::deref_locked(state, digest) {
+            let _ = std::fs::remove_file(self.object_path(digest));
+        }
+    }
+
+    /// Evict least-recently-used entries until the byte budget is met,
+    /// sparing `protect` (the entry just inserted — an insert must be
+    /// readable at least once).
+    fn evict_over_budget(&self, state: &mut State, protect: Option<CacheKey>) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        while state.total_bytes > budget {
+            let victim = state
+                .entries
+                .iter()
+                .filter(|(k, _)| protect.map(|p| p.0 .0 != **k).unwrap_or(true))
+                .min_by_key(|(_, e)| e.seq)
+                .map(|(k, _)| CacheKey(Digest(*k)));
+            let Some(victim) = victim else { break };
+            self.remove_entry(state, victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            telemetry::count!("cache", "evictions", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::FingerprintBuilder;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "cache_store_test_{}_{}_{}",
+            std::process::id(),
+            name,
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn key(tag: &str) -> CacheKey {
+        let fp = FingerprintBuilder::new().push_u64(1).finish();
+        CacheKey::compose(tag, digest_bytes(tag.as_bytes()), fp)
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips_and_counts() {
+        let c = ArtifactCache::open(tmpdir("roundtrip"), None).unwrap();
+        let d = c.insert(key("a"), b"payload-a").unwrap();
+        assert_eq!(d, digest_bytes(b"payload-a"));
+        assert_eq!(c.lookup(key("a")).as_deref(), Some(&b"payload-a"[..]));
+        assert_eq!(c.lookup(key("b")), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 1, 1));
+        assert_eq!(c.total_bytes(), 9);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let c = ArtifactCache::open(&dir, None).unwrap();
+            c.insert(key("a"), b"alpha").unwrap();
+            c.insert(key("b"), b"beta").unwrap();
+        }
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(key("a")).as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(c.lookup(key("b")).as_deref(), Some(&b"beta"[..]));
+    }
+
+    #[test]
+    fn corrupted_object_degrades_to_miss_and_drops_entry() {
+        let dir = tmpdir("corrupt");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        let digest = c.insert(key("a"), b"good bytes").unwrap();
+        std::fs::write(dir.join("objects").join(digest.to_string()), b"bad bytess").unwrap();
+        assert_eq!(c.lookup(key("a")), None, "corruption must not hit");
+        assert_eq!(c.stats().verify_failures, 1);
+        assert_eq!(c.len(), 0, "poisoned entry dropped");
+        // And it stays gone across reopen (the del record persisted).
+        drop(c);
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        assert_eq!(c.lookup(key("a")), None);
+    }
+
+    #[test]
+    fn missing_object_file_degrades_to_miss() {
+        let dir = tmpdir("missing_obj");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        let digest = c.insert(key("a"), b"bytes").unwrap();
+        std::fs::remove_file(dir.join("objects").join(digest.to_string())).unwrap();
+        assert_eq!(c.lookup(key("a")), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn identical_payloads_share_one_object() {
+        let dir = tmpdir("dedup");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        let d1 = c.insert(key("a"), b"same bytes").unwrap();
+        let d2 = c.insert(key("b"), b"same bytes").unwrap();
+        assert_eq!(d1, d2);
+        let objects: Vec<_> = std::fs::read_dir(dir.join("objects")).unwrap().collect();
+        assert_eq!(objects.len(), 1, "one shared object file");
+        // Dropping one key keeps the shared object alive for the other.
+        std::fs::write(dir.join("objects").join(d1.to_string()), b"same bytes").unwrap();
+        let budget_victim = c.lookup(key("a")).unwrap();
+        assert_eq!(budget_victim, b"same bytes");
+    }
+
+    #[test]
+    fn lru_eviction_respects_budget_and_recency() {
+        let c = ArtifactCache::open(tmpdir("lru"), Some(10)).unwrap();
+        c.insert(key("a"), b"aaaa").unwrap(); // 4 bytes
+        c.insert(key("b"), b"bbbb").unwrap(); // 8 total
+                                              // Touch a so b becomes the LRU victim.
+        assert!(c.lookup(key("a")).is_some());
+        c.insert(key("c"), b"cccc").unwrap(); // 12 > 10: evict b
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.lookup(key("b")).is_none(), "b was least recent");
+        assert!(c.lookup(key("a")).is_some());
+        assert!(c.lookup(key("c")).is_some());
+        assert!(c.total_bytes() <= 10);
+    }
+
+    #[test]
+    fn oversized_insert_is_protected_once() {
+        let c = ArtifactCache::open(tmpdir("oversize"), Some(4)).unwrap();
+        c.insert(key("big"), b"way more than four").unwrap();
+        // The just-inserted entry is spared even though it exceeds the
+        // budget on its own — read-your-write holds.
+        assert!(c.lookup(key("big")).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_payload_is_idempotent() {
+        let dir = tmpdir("idempotent");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        c.insert(key("a"), b"payload").unwrap();
+        c.insert(key("a"), b"payload").unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.total_bytes(), 7);
+    }
+
+    #[test]
+    fn overwrite_key_with_new_payload_wins() {
+        let dir = tmpdir("overwrite");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        c.insert(key("a"), b"old").unwrap();
+        c.insert(key("a"), b"newer").unwrap();
+        assert_eq!(c.lookup(key("a")).as_deref(), Some(&b"newer"[..]));
+        assert_eq!(c.total_bytes(), 5);
+        drop(c);
+        let c = ArtifactCache::open(dir, None).unwrap();
+        assert_eq!(c.lookup(key("a")).as_deref(), Some(&b"newer"[..]));
+    }
+
+    #[test]
+    fn concurrent_insert_lookup_is_safe() {
+        let c = std::sync::Arc::new(ArtifactCache::open(tmpdir("concurrent"), None).unwrap());
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..16u32 {
+                        let k = key(&format!("k{}", (t * 16 + i) % 8));
+                        let payload = format!("payload-{}", (t * 16 + i) % 8);
+                        c.insert(k, payload.as_bytes()).unwrap();
+                        assert_eq!(c.lookup(k).unwrap(), payload.as_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 8);
+    }
+}

@@ -80,18 +80,36 @@ pub struct WorkflowCost {
     pub simulation: JobCost,
     /// Post-processing jobs (off-line / co-scheduled analysis).
     pub post: Vec<JobCost>,
+    /// Node-seconds of analysis that the artifact cache answered from
+    /// existing objects instead of recomputing (zero for a cold run or a
+    /// purely modeled projection). Not subtracted from the phase columns —
+    /// those record what the run *would* have cost — but reported alongside
+    /// so Table 4 shows what incremental re-execution saved.
+    pub saved_node_seconds: f64,
 }
 
 impl WorkflowCost {
     /// The paper's Table 3 "core hours" number: analysis + write cost of the
     /// simulation job, plus the full cost of post-processing (the simulation
     /// phase itself is common to all strategies and excluded).
+    ///
+    /// Fallback work is analysis by another name — off-line recomputation of
+    /// a failed in-situ step — so it counts here too; leaving it out made a
+    /// degraded run look *cheaper* than a clean one.
     pub fn analysis_core_hours(&self) -> f64 {
-        let sim_part = self
-            .simulation
-            .phase_core_hours(self.simulation.phases.analysis + self.simulation.phases.write);
+        let sim_part = self.simulation.phase_core_hours(
+            self.simulation.phases.analysis
+                + self.simulation.phases.write
+                + self.simulation.phases.fallback,
+        );
         let post: f64 = self.post.iter().map(|j| j.total_core_hours()).sum();
         sim_part + post
+    }
+
+    /// Core-hours the artifact cache saved (`saved_node_seconds` converted
+    /// at the simulation job's charge factor).
+    pub fn saved_core_hours(&self) -> f64 {
+        self.saved_node_seconds / 3600.0 * self.simulation.charge_factor
     }
 
     /// Total core-hours including the simulation itself.
@@ -158,6 +176,15 @@ pub fn format_table4(costs: &[WorkflowCost]) -> String {
             wc.analysis_core_hours()
         )
         .unwrap();
+        if wc.saved_node_seconds > 0.0 {
+            writeln!(
+                out,
+                "saved by artifact cache: {:.1} node-seconds ({:.2} core-hours)",
+                wc.saved_node_seconds,
+                wc.saved_core_hours()
+            )
+            .unwrap();
+        }
     }
     out
 }
@@ -188,9 +215,49 @@ mod tests {
             strategy: "in-situ".into(),
             simulation: job,
             post: vec![],
+            saved_node_seconds: 0.0,
         };
         let ch = wc.analysis_core_hours();
         assert!((ch - 193.0).abs() < 2.0, "{ch}");
+    }
+
+    #[test]
+    fn fallback_seconds_count_as_analysis_core_hours() {
+        // Regression: a degraded run (in-situ step failed, off-line fallback
+        // recomputed it) must cost *more* than the clean run, not the same.
+        let t = titan();
+        let clean = WorkflowCost {
+            strategy: "in-situ".into(),
+            simulation: JobCost::new("simulation", &t, 32, phases(772.0, 722.0, 0.3)),
+            post: vec![],
+            saved_node_seconds: 0.0,
+        };
+        let mut degraded = clean.clone();
+        degraded.simulation.phases.fallback = 100.0;
+        let extra = degraded.analysis_core_hours() - clean.analysis_core_hours();
+        let expected = degraded.simulation.phase_core_hours(100.0);
+        assert!(
+            (extra - expected).abs() < 1e-9,
+            "fallback must be charged: extra={extra} expected={expected}"
+        );
+        // And it shows up in the total column identically.
+        assert!(degraded.total_core_hours() > clean.total_core_hours());
+    }
+
+    #[test]
+    fn saved_core_hours_line_renders_only_when_nonzero() {
+        let t = titan();
+        let mut wc = WorkflowCost {
+            strategy: "warm".into(),
+            simulation: JobCost::new("simulation", &t, 32, phases(1.0, 2.0, 3.0)),
+            post: vec![],
+            saved_node_seconds: 0.0,
+        };
+        assert!(!format_table4(std::slice::from_ref(&wc)).contains("saved by artifact cache"));
+        wc.saved_node_seconds = 7200.0;
+        let s = format_table4(&[wc.clone()]);
+        assert!(s.contains("saved by artifact cache"), "{s}");
+        assert!((wc.saved_core_hours() - 2.0 * t.charge_factor).abs() < 1e-9);
     }
 
     #[test]
@@ -218,6 +285,7 @@ mod tests {
             strategy: "off-line".into(),
             simulation: JobCost::new("simulation", &t, 32, phases(779.0, 0.0, 5.0)),
             post: vec![post],
+            saved_node_seconds: 0.0,
         };
         assert!(with_queue.sequential_wall_seconds() > 1e5);
         // Analysis convention: sim-side write (5 s) + post job.
@@ -247,6 +315,7 @@ mod tests {
                     fallback: 0.0,
                 },
             )],
+            saved_node_seconds: 0.0,
         };
         let combined = wc.analysis_core_hours();
         assert!((combined - 135.0).abs() < 5.0, "{combined}");
@@ -266,6 +335,7 @@ mod tests {
                 4,
                 phases(0.0, 5.0, 0.0),
             )],
+            saved_node_seconds: 12.5 * 3600.0,
         };
         let s = format_table4(&[wc]);
         assert!(s.contains("simulation (32xtitan)"));

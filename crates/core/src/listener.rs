@@ -84,6 +84,30 @@ pub struct ListenerConfig {
     /// How long [`Listener::stop`]'s final sweep keeps waiting for files
     /// that are still growing before giving up on them.
     pub stop_grace: Duration,
+    /// Artifact-cache gate: consulted with each quiescent file *before*
+    /// submission. When it returns `true` — a verified analysis product for
+    /// this exact file already exists — the file is recorded as handled
+    /// (journal included) without submitting a job, so a crash-restart or a
+    /// duplicate scan never re-runs work whose output artifact survives.
+    pub cache_gate: Option<CacheGate>,
+}
+
+/// A cache-consultation callback (`true` = artifact exists and verifies, so
+/// skip the submission), wrapped so [`ListenerConfig`] stays `Debug`.
+#[derive(Clone)]
+pub struct CacheGate(pub Arc<dyn Fn(&Path) -> bool + Send + Sync>);
+
+impl CacheGate {
+    /// Wrap a closure.
+    pub fn new<F: Fn(&Path) -> bool + Send + Sync + 'static>(f: F) -> CacheGate {
+        CacheGate(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for CacheGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CacheGate(..)")
+    }
 }
 
 impl Default for ListenerConfig {
@@ -103,6 +127,7 @@ impl Default for ListenerConfig {
             journal: None,
             injector: None,
             stop_grace: Duration::from_secs(2),
+            cache_gate: None,
         }
     }
 }
@@ -132,6 +157,10 @@ pub struct ListenerReport {
     /// Journal appends that exhausted their retries (the file was submitted
     /// but could not be recorded — a restart may resubmit it).
     pub journal_failures: u64,
+    /// Files handled without a submission because the
+    /// [`ListenerConfig::cache_gate`] found a verified artifact for them, in
+    /// handling order.
+    pub cache_skipped: Vec<PathBuf>,
 }
 
 /// A running listener thread.
@@ -225,6 +254,27 @@ impl Listener {
                             // First sighting, or still growing: wait for a
                             // poll where the size holds steady.
                             pending.insert(f.clone(), size);
+                            continue;
+                        }
+                    }
+                    // Cache gate: a verified artifact for this exact file
+                    // means the submission would recompute something that
+                    // already exists. Record the file as handled — journal
+                    // included, so a restart doesn't resubmit it either —
+                    // without running a job. Checked only after quiescence:
+                    // a half-written file's digest matches nothing anyway,
+                    // but there is no point hashing a moving target.
+                    if let Some(gate) = &cfg.cache_gate {
+                        if (gate.0)(&f) {
+                            telemetry::count!("listener", "cache_skipped", 1);
+                            if let Some(j) = &journal {
+                                if !journal_append(&f, &cfg, report, j) {
+                                    return false; // crashed mid-append
+                                }
+                            }
+                            report.cache_skipped.push(f.clone());
+                            pending.remove(&f);
+                            seen2.lock().insert(f.clone());
                             continue;
                         }
                     }
@@ -781,6 +831,64 @@ mod tests {
         assert_eq!(subs.len(), 3);
         let names: BTreeSet<_> = subs.iter().map(|p| p.file_name().unwrap()).collect();
         assert_eq!(names.len(), 3, "no double submissions across restart");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cache_gate_skips_submission_and_journals_the_skip() {
+        let dir = tmpdir("cachegate");
+        let journal_path = dir.join("listener.journal");
+        std::fs::write(dir.join("hit.hcio"), b"already analyzed").unwrap();
+        std::fs::write(dir.join("miss.hcio"), b"new data").unwrap();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                cache_gate: Some(CacheGate::new(|p: &Path| {
+                    p.file_name().unwrap().to_str().unwrap().starts_with("hit")
+                })),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(listener.handled(), 2, "both files are handled");
+        let report = listener.stop_report();
+        assert_eq!(report.submitted.len(), 1);
+        assert!(report.submitted[0].ends_with("miss.hcio"));
+        assert_eq!(report.cache_skipped.len(), 1);
+        assert!(report.cache_skipped[0].ends_with("hit.hcio"));
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "no job for the cached file"
+        );
+
+        // The skip was journaled: a restarted listener *without* the gate
+        // still does not resubmit the cached file.
+        let c3 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path),
+                ..Default::default()
+            },
+            move |_| {
+                c3.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(80));
+        let report2 = listener.stop_report();
+        assert!(report2.submitted.is_empty(), "nothing left to submit");
+        assert_eq!(count.load(Ordering::SeqCst), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -172,6 +172,7 @@ impl TitanFrame {
                 },
             ),
             post: vec![],
+            saved_node_seconds: 0.0,
         };
 
         // --- Off-line only ---
@@ -206,6 +207,7 @@ impl TitanFrame {
                     fallback: 0.0,
                 },
             )],
+            saved_node_seconds: 0.0,
         };
 
         // --- Combined in-situ / off-line (simple variation) ---
@@ -268,6 +270,7 @@ impl TitanFrame {
                     fallback: 0.0,
                 },
             )],
+            saved_node_seconds: 0.0,
         };
 
         [in_situ, off_line, combined]

@@ -6,7 +6,8 @@
 //! qualitative trade-offs.
 
 use crate::cost::PhaseSeconds;
-use crate::listener::{Listener, ListenerConfig};
+use crate::listener::{CacheGate, Listener, ListenerConfig};
+use cache::{ArtifactCache, CacheKey, Digest, Fingerprint, FingerprintBuilder};
 use comm::{redistribute, CartDecomp, World};
 use cosmotools::{
     centers_from_catalog, centers_from_level2, merge_center_sets, write_level2_container,
@@ -48,6 +49,12 @@ pub struct RunnerConfig {
     pub injector: Option<Arc<FaultInjector>>,
     /// Retry policy for transient in-situ analysis failures.
     pub insitu_retry: BackoffPolicy,
+    /// Artifact cache for incremental re-execution: off-line analysis steps
+    /// are memoized under `(operation, input digest, config fingerprint)`
+    /// keys, so re-running a strategy over unchanged inputs reuses the
+    /// existing Level 3 products instead of recomputing them. `None`
+    /// disables memoization (every run computes from scratch).
+    pub cache: Option<Arc<ArtifactCache>>,
 }
 
 impl Default for RunnerConfig {
@@ -73,6 +80,7 @@ impl Default for RunnerConfig {
                 max_delay_seconds: 0.05,
                 max_attempts: 5,
             },
+            cache: None,
         }
     }
 }
@@ -95,13 +103,68 @@ impl RunnerConfig {
     }
 
     /// Decide a fault at `site`: the explicit injector when configured,
-    /// otherwise the process-global one.
+    /// otherwise the global one.
     fn fault(&self, site: &str) -> Option<FaultKind> {
         match &self.injector {
             Some(inj) => inj.check(site),
             None => faults::poll(site),
         }
     }
+
+    /// Fingerprint of every parameter that shapes an analysis result. Two
+    /// configs with the same *input bytes* but, say, a different linking
+    /// length or threshold produce disjoint cache keys — changed parameters
+    /// can never alias a stale artifact.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut fp = FingerprintBuilder::new();
+        fp.push_str("runner-analysis-v1")
+            .push_u64(self.sim.np as u64)
+            .push_u64(self.sim.ng as u64)
+            .push_u64(self.sim.nsteps as u64)
+            .push_u64(self.sim.seed)
+            .push_f64(self.sim.z_init)
+            .push_f64(self.sim.z_final)
+            .push_f64(self.sim.cosmology.omega_m)
+            .push_f64(self.sim.cosmology.h)
+            .push_f64(self.sim.cosmology.ns)
+            .push_f64(self.sim.cosmology.sigma_cell)
+            .push_f64(self.sim.cosmology.box_size)
+            .push_u64(self.nranks as u64)
+            .push_u64(self.post_ranks as u64)
+            .push_f64(self.linking_length)
+            .push_u64(self.min_size as u64)
+            .push_u64(self.threshold as u64)
+            .push_f64(self.softening);
+        fp.finish()
+    }
+
+    /// Cache key for the analysis of one input artifact under this config.
+    fn cache_key(&self, op: &str, input: Digest) -> CacheKey {
+        CacheKey::compose(op, input, self.fingerprint())
+    }
+}
+
+/// Serialize a memoized analysis result: the wall seconds the original
+/// computation took (so a hit can be credited as saved node-seconds in the
+/// cost report) followed by the fixed-width center records.
+fn encode_memo(seconds: f64, centers: &[CenterRecord]) -> Vec<u8> {
+    let mut out = seconds.to_bits().to_le_bytes().to_vec();
+    out.extend_from_slice(&cosmotools::encode_centers(centers));
+    out
+}
+
+/// Inverse of [`encode_memo`]; `None` on a malformed payload (the caller
+/// falls back to recomputing — a bad memo must never poison a catalog).
+fn decode_memo(bytes: &[u8]) -> Option<(f64, Vec<CenterRecord>)> {
+    let secs_bytes: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+    let seconds = f64::from_bits(u64::from_le_bytes(secs_bytes));
+    Some((seconds, cosmotools::decode_centers(&bytes[8..])?))
+}
+
+/// Look up and decode a memo; a verified hit with an undecodable payload is
+/// treated as a miss (the artifact belongs to something else entirely).
+fn memo_lookup(cache: &ArtifactCache, key: CacheKey) -> Option<(f64, Vec<CenterRecord>)> {
+    cache.lookup(key).and_then(|bytes| decode_memo(&bytes))
 }
 
 /// Result of executing one workflow for real.
@@ -131,6 +194,15 @@ pub struct WorkflowRun {
     /// the measured counterpart of the cost model's analysis phase, fed by
     /// the pool's `dispatches` / `dispatch_nanos` counters.
     pub dispatch_overhead_seconds: f64,
+    /// Off-line analysis steps answered from the artifact cache.
+    pub cache_hits: u64,
+    /// Off-line analysis steps that had to compute (and, with a cache
+    /// configured, were memoized for next time).
+    pub cache_misses: u64,
+    /// Wall seconds of analysis the cache hits replaced — what the original
+    /// computation of each reused artifact cost when it first ran. Reported
+    /// to the cost model as saved node-seconds.
+    pub saved_analysis_seconds: f64,
 }
 
 /// Pool-counter delta for a region of work: dispatches issued and wall
@@ -240,23 +312,59 @@ impl TestBed {
             insitu_retries: 0,
             pool_dispatches,
             dispatch_overhead_seconds,
+            cache_hits: 0,
+            cache_misses: 0,
+            saved_analysis_seconds: 0.0,
         }
     }
 
     /// Strategy 2: write Level 1 to disk, read it back, redistribute, then
     /// analyze everything off-line.
+    ///
+    /// With [`RunnerConfig::cache`] set, the whole post-processing stage is
+    /// memoized under the Level 1 file's content digest: a re-run over
+    /// unchanged inputs skips read, redistribution, and analysis entirely
+    /// and reuses the stored Level 3 centers.
     pub fn run_offline_only(&self, backend: &dyn Backend) -> WorkflowRun {
         let _span = telemetry::span!("runner", "offline_only");
         let pool0 = backend.pool_stats().unwrap_or_default();
         let path = self.cfg.workdir.join("level1.hcio");
-        // Simulation side: write Level 1 (one block per rank).
+        // Simulation side: write Level 1 (one block per rank), stamped with
+        // its content digest — the cache identity of this input.
         let t_w = Instant::now();
         let container = Container {
             meta: self.meta.clone(),
             blocks: self.distributed(),
         };
-        cosmotools::write_file(&path, &container).expect("write level 1");
+        let l1_digest = cosmotools::write_file_digest(&path, &container).expect("write level 1");
         let write = t_w.elapsed().as_secs_f64();
+
+        // Cache consultation: an existing, verified artifact for exactly
+        // this input and configuration replaces the whole post job.
+        if let Some(c) = &self.cfg.cache {
+            let key = self.cfg.cache_key("offline_analysis", l1_digest);
+            if let Some((saved, centers)) = memo_lookup(c, key) {
+                let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
+                return WorkflowRun {
+                    strategy: "off-line".into(),
+                    phases: PhaseSeconds {
+                        sim: self.sim_seconds,
+                        write,
+                        ..Default::default()
+                    },
+                    centers,
+                    rank_timings: Vec::new(),
+                    overlapped_jobs: 0,
+                    degraded_steps: 0,
+                    insitu_retries: 0,
+                    pool_dispatches,
+                    dispatch_overhead_seconds,
+                    cache_hits: 1,
+                    cache_misses: 0,
+                    saved_analysis_seconds: saved,
+                };
+            }
+        }
 
         // Post-processing job: read, redistribute, analyze.
         let t_r = Instant::now();
@@ -288,6 +396,14 @@ impl TestBed {
         let (catalogs, timings) = self.analyze(&per_rank, usize::MAX, backend);
         let analysis = t0.elapsed().as_secs_f64();
         let centers = collect_centers(&catalogs);
+        // Memoize what a future hit will skip: the whole post job.
+        let mut cache_misses = 0;
+        if let Some(c) = &self.cfg.cache {
+            cache_misses = 1;
+            let key = self.cfg.cache_key("offline_analysis", l1_digest);
+            let memo = encode_memo(read + redistribute_s + analysis, &centers);
+            c.insert(key, &memo).expect("cache insert");
+        }
         let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
         WorkflowRun {
             strategy: "off-line".into(),
@@ -306,6 +422,9 @@ impl TestBed {
             insitu_retries: 0,
             pool_dispatches,
             dispatch_overhead_seconds,
+            cache_hits: 0,
+            cache_misses,
+            saved_analysis_seconds: 0.0,
         }
     }
 
@@ -329,19 +448,42 @@ impl TestBed {
         }
         let l2 = write_level2_container(&large, self.meta.clone());
         let path = self.cfg.workdir.join("level2.hcio");
-        cosmotools::write_file(&path, &l2).expect("write level 2");
+        let l2_digest = cosmotools::write_file_digest(&path, &l2).expect("write level 2");
         let write = t_w.elapsed().as_secs_f64();
 
-        // Off-line stage: read Level 2, center each block in a small job.
-        let t_r = Instant::now();
-        let l2_back = cosmotools::read_file(&path)
-            .expect("io")
-            .expect("valid level 2 container");
-        let read = t_r.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        let large_centers =
-            centers_over_ranks(&l2_back, self.cfg.post_ranks, self.cfg.softening, backend);
-        let analysis_post = t1.elapsed().as_secs_f64();
+        // Off-line stage: read Level 2, center each block in a small job —
+        // or reuse the memoized centers for exactly these Level 2 bytes.
+        let mut read = 0.0;
+        let mut analysis_post = 0.0;
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        let mut saved_analysis_seconds = 0.0;
+        let key = self.cfg.cache_key("l2_centers", l2_digest);
+        let cached = self.cfg.cache.as_deref().and_then(|c| memo_lookup(c, key));
+        let large_centers = match cached {
+            Some((saved, centers)) => {
+                cache_hits = 1;
+                saved_analysis_seconds = saved;
+                centers
+            }
+            None => {
+                let t_r = Instant::now();
+                let l2_back = cosmotools::read_file(&path)
+                    .expect("io")
+                    .expect("valid level 2 container");
+                read = t_r.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                let centers =
+                    centers_over_ranks(&l2_back, self.cfg.post_ranks, self.cfg.softening, backend);
+                analysis_post = t1.elapsed().as_secs_f64();
+                if let Some(c) = &self.cfg.cache {
+                    cache_misses = 1;
+                    c.insert(key, &encode_memo(read + analysis_post, &centers))
+                        .expect("cache insert");
+                }
+                centers
+            }
+        };
 
         let centers = merge_center_sets(small_centers, large_centers);
         let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
@@ -361,6 +503,9 @@ impl TestBed {
             insitu_retries: 0,
             pool_dispatches,
             dispatch_overhead_seconds,
+            cache_hits,
+            cache_misses,
+            saved_analysis_seconds,
         }
     }
 
@@ -388,10 +533,39 @@ impl TestBed {
         let container = write_level2_container(&large, self.meta.clone());
         let redistribute_s = t_d.elapsed().as_secs_f64();
 
-        let t1 = Instant::now();
-        let large_centers =
-            centers_over_ranks(&container, self.cfg.post_ranks, self.cfg.softening, backend);
-        let analysis_post = t1.elapsed().as_secs_f64();
+        // Same serialized bytes as the simple variation's Level 2 file, so
+        // the two variations share memoized center sets.
+        let mut analysis_post = 0.0;
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        let mut saved_analysis_seconds = 0.0;
+        let key = self
+            .cfg
+            .cache_key("l2_centers", cosmotools::container_digest(&container));
+        let cached = self.cfg.cache.as_deref().and_then(|c| memo_lookup(c, key));
+        let large_centers = match cached {
+            Some((saved, centers)) => {
+                cache_hits = 1;
+                saved_analysis_seconds = saved;
+                centers
+            }
+            None => {
+                let t1 = Instant::now();
+                let centers = centers_over_ranks(
+                    &container,
+                    self.cfg.post_ranks,
+                    self.cfg.softening,
+                    backend,
+                );
+                analysis_post = t1.elapsed().as_secs_f64();
+                if let Some(c) = &self.cfg.cache {
+                    cache_misses = 1;
+                    c.insert(key, &encode_memo(analysis_post, &centers))
+                        .expect("cache insert");
+                }
+                centers
+            }
+        };
 
         let centers = merge_center_sets(small_centers, large_centers);
         let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
@@ -410,6 +584,9 @@ impl TestBed {
             insitu_retries: 0,
             pool_dispatches,
             dispatch_overhead_seconds,
+            cache_hits,
+            cache_misses,
+            saved_analysis_seconds,
         }
     }
 
@@ -441,24 +618,49 @@ impl TestBed {
         let h2 = Arc::clone(&handles);
         let post_ranks = self.cfg.post_ranks;
         let softening = self.cfg.softening;
+        let fingerprint = self.cfg.fingerprint();
+        // The listener consults the cache before submitting: a file whose
+        // analysis artifact already exists and verifies is recorded as
+        // handled without spawning a job (crash-restart and duplicate scans
+        // never re-submit completed work). Each job that does run memoizes
+        // its result, so the *next* co-scheduled run over identical Level 2
+        // bytes skips it.
+        let gate = self.cfg.cache.clone().map(|c| {
+            CacheGate::new(move |p: &std::path::Path| {
+                let Ok(digest) = cosmotools::file_digest(p) else {
+                    return false;
+                };
+                c.contains_verified(CacheKey::compose("l2_centers", digest, fingerprint))
+            })
+        });
+        let job_cache = self.cfg.cache.clone();
         let sim_start = Instant::now();
         let listener = Listener::spawn(
             dir.clone(),
             ListenerConfig {
                 suffix: ".hcio".into(),
+                cache_gate: gate,
                 ..Default::default()
             },
             move |path| {
                 let path = path.to_path_buf();
                 let r3 = Arc::clone(&r2);
+                let job_cache = job_cache.clone();
                 let handle = std::thread::spawn(move || {
                     // Job start time in the shared epoch, before any work.
                     let started_at = sim_start.elapsed().as_secs_f64();
-                    let container = cosmotools::read_file(&path)
-                        .expect("io")
-                        .expect("valid container");
+                    let bytes = std::fs::read(&path).expect("io");
+                    let input_digest = cache::digest_bytes(&bytes);
+                    let container = cosmotools::read_container(&bytes).expect("valid container");
+                    let t_job = Instant::now();
                     let centers =
                         centers_over_ranks(&container, post_ranks, softening, &dpp::Serial);
+                    let job_seconds = t_job.elapsed().as_secs_f64();
+                    if let Some(c) = &job_cache {
+                        let key = CacheKey::compose("l2_centers", input_digest, fingerprint);
+                        c.insert(key, &encode_memo(job_seconds, &centers))
+                            .expect("cache insert");
+                    }
                     r3.lock().push((path, centers, started_at));
                 });
                 h2.lock().push(handle);
@@ -590,26 +792,69 @@ impl TestBed {
         let sim_end = sim_start.elapsed().as_secs_f64();
 
         // Main job done: stop the listener (final sweep) and join jobs.
-        let files = listener.stop();
+        let report = listener.stop_report();
         for h in std::mem::take(&mut *handles.lock()) {
             h.join().expect("analysis job panicked");
         }
         let job_results = std::mem::take(&mut *results.lock());
-        assert_eq!(files.len(), emitted, "every emitted file gets a job");
+        assert_eq!(
+            report.submitted.len() + report.cache_skipped.len(),
+            emitted,
+            "every emitted file gets a job or a verified cache hit"
+        );
+
+        // Credit the cache hits: what each reused artifact cost when it was
+        // first computed, read back from the memo payloads.
+        let mut saved_analysis_seconds = 0.0;
+        let mut skipped_last_centers: Option<Vec<CenterRecord>> = None;
+        let last_file = dir.join(format!("l2_step{:04}.hcio", self.cfg.sim.nsteps));
+        if let Some(c) = &self.cfg.cache {
+            for p in &report.cache_skipped {
+                let Ok(digest) = cosmotools::file_digest(p) else {
+                    continue;
+                };
+                let key = CacheKey::compose("l2_centers", digest, fingerprint);
+                if let Some((saved, centers)) = memo_lookup(c, key) {
+                    saved_analysis_seconds += saved;
+                    if *p == last_file {
+                        skipped_last_centers = Some(centers);
+                    }
+                }
+            }
+        }
 
         // Reconcile: the final step's large-halo centers + in-situ centers.
-        let last_file = dir.join(format!("l2_step{:04}.hcio", self.cfg.sim.nsteps));
-        let large_centers = job_results
-            .iter()
-            .find(|(p, _, _)| *p == last_file)
-            .map(|(_, c, _)| c.clone())
-            .unwrap_or_default();
+        // A gate-skipped final file takes its centers from the cache; if the
+        // entry vanished between the gate and here (eviction, poisoning),
+        // recompute — degrade to work, never to a wrong catalog.
+        let large_centers = match job_results.iter().find(|(p, _, _)| *p == last_file) {
+            Some((_, c, _)) => c.clone(),
+            None if report.cache_skipped.contains(&last_file) => skipped_last_centers
+                .unwrap_or_else(|| {
+                    let container = cosmotools::read_file(&last_file)
+                        .expect("io")
+                        .expect("valid container");
+                    centers_over_ranks(
+                        &container,
+                        self.cfg.post_ranks,
+                        self.cfg.softening,
+                        &dpp::Serial,
+                    )
+                }),
+            None => Vec::new(),
+        };
         let overlapped = job_results
             .iter()
             .filter(|(_, _, started_at)| *started_at < sim_end)
             .count();
         let centers = merge_center_sets(small_centers, large_centers);
         let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
+        let cache_hits = report.cache_skipped.len() as u64;
+        let cache_misses = if self.cfg.cache.is_some() {
+            report.submitted.len() as u64
+        } else {
+            0
+        };
         WorkflowRun {
             strategy: "combined (co-scheduled)".into(),
             phases: PhaseSeconds {
@@ -625,6 +870,9 @@ impl TestBed {
             insitu_retries,
             pool_dispatches,
             dispatch_overhead_seconds,
+            cache_hits,
+            cache_misses,
+            saved_analysis_seconds,
         }
     }
 }
@@ -927,6 +1175,70 @@ mod tests {
         let serial = bed.run_in_situ_only(&dpp::Serial);
         assert_eq!(serial.pool_dispatches, 0);
         assert_eq!(serial.dispatch_overhead_seconds, 0.0);
+    }
+
+    #[test]
+    fn warm_rerun_reuses_offline_artifacts_across_strategies() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("cachewarm");
+        let cache_dir = cfg.workdir.join("artifact_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        let bed = TestBed::create(cfg, &backend);
+
+        // Off-line: the second run answers the whole post job from cache.
+        let cold = bed.run_offline_only(&backend);
+        assert_eq!((cold.cache_hits, cold.cache_misses), (0, 1));
+        assert!(cold.phases.analysis > 0.0);
+        let warm = bed.run_offline_only(&backend);
+        assert_eq!((warm.cache_hits, warm.cache_misses), (1, 0));
+        assert_eq!(warm.phases.analysis, 0.0, "no recompute on a warm run");
+        assert_eq!(warm.phases.read, 0.0);
+        assert!(warm.saved_analysis_seconds > 0.0);
+        assert_same_centers(&cold.centers, &warm.centers);
+
+        // Combined: the in-transit variation serializes identical Level 2
+        // bytes, so it reuses the simple variation's artifact directly.
+        let simple = bed.run_combined_simple(&backend);
+        assert_eq!((simple.cache_hits, simple.cache_misses), (0, 1));
+        let simple_warm = bed.run_combined_simple(&backend);
+        assert_eq!((simple_warm.cache_hits, simple_warm.cache_misses), (1, 0));
+        let transit = bed.run_combined_intransit(&backend);
+        assert_eq!(
+            (transit.cache_hits, transit.cache_misses),
+            (1, 0),
+            "in-transit must reuse the simple variation's Level 2 artifact"
+        );
+        assert_same_centers(&simple.centers, &transit.centers);
+
+        // The survival is on disk, not in memory: a fresh handle over the
+        // same directory still hits.
+        let mut cfg2 = tiny_cfg("cachewarm");
+        cfg2.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        let bed2 = TestBed::create(cfg2, &backend);
+        let reopened = bed2.run_offline_only(&backend);
+        assert_eq!((reopened.cache_hits, reopened.cache_misses), (1, 0));
+        assert_same_centers(&cold.centers, &reopened.centers);
+    }
+
+    #[test]
+    fn coscheduled_warm_rerun_submits_no_jobs() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("cachecosched");
+        let cache_dir = cfg.workdir.join("artifact_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        let bed = TestBed::create(cfg, &backend);
+        let cold = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(cold.cache_hits, 0, "cold run has nothing to reuse");
+        assert!(cold.cache_misses > 0);
+        // The re-run emits byte-identical Level 2 files (same seed, same
+        // analysis), so the listener's cache gate skips every submission.
+        let warm = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(warm.cache_misses, 0, "warm re-run must submit zero jobs");
+        assert_eq!(warm.cache_hits, cold.cache_misses);
+        assert!(warm.saved_analysis_seconds > 0.0);
+        assert_same_centers(&cold.centers, &warm.centers);
     }
 
     #[test]

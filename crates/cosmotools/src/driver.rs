@@ -114,6 +114,47 @@ pub fn merge_center_sets(
     in_situ
 }
 
+/// Bytes per serialized [`CenterRecord`]: id + 3 coords + count + potential.
+pub const CENTER_RECORD_BYTES: usize = 48;
+
+/// Serialize center records for the artifact cache (Level 3 payload).
+///
+/// Fixed 48-byte little-endian records; floats travel as raw bit patterns so
+/// a NaN potential (in-situ centers don't compute one) round-trips exactly
+/// and the encoding is byte-identical across runs.
+pub fn encode_centers(centers: &[CenterRecord]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(centers.len() * CENTER_RECORD_BYTES);
+    for r in centers {
+        out.extend_from_slice(&r.halo_id.to_le_bytes());
+        for c in r.center {
+            out.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&r.count.to_le_bytes());
+        out.extend_from_slice(&r.potential.to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`encode_centers`]. Returns `None` if the payload is not a
+/// whole number of records (a truncated or foreign cache object).
+pub fn decode_centers(bytes: &[u8]) -> Option<Vec<CenterRecord>> {
+    if !bytes.len().is_multiple_of(CENTER_RECORD_BYTES) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / CENTER_RECORD_BYTES);
+    for rec in bytes.chunks_exact(CENTER_RECORD_BYTES) {
+        let u64_at = |o: usize| u64::from_le_bytes(rec[o..o + 8].try_into().unwrap());
+        let f64_at = |o: usize| f64::from_bits(u64_at(o));
+        out.push(CenterRecord {
+            halo_id: u64_at(0),
+            center: [f64_at(8), f64_at(16), f64_at(24)],
+            count: u64_at(32),
+            potential: f64_at(40),
+        });
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +186,41 @@ mod tests {
             redshift: 0.0,
             box_size: 32.0,
         }
+    }
+
+    #[test]
+    fn center_records_roundtrip_including_nan_potential() {
+        let recs = vec![
+            CenterRecord {
+                halo_id: 42,
+                center: [1.5, -2.25, 1e12],
+                count: 999,
+                potential: -3.75,
+            },
+            CenterRecord {
+                halo_id: u64::MAX,
+                center: [0.0, -0.0, f64::MIN_POSITIVE],
+                count: 0,
+                potential: f64::NAN,
+            },
+        ];
+        let bytes = encode_centers(&recs);
+        assert_eq!(bytes.len(), recs.len() * CENTER_RECORD_BYTES);
+        let back = decode_centers(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0], recs[0]);
+        // NaN != NaN, so compare the second record field-wise by bits.
+        assert_eq!(back[1].halo_id, recs[1].halo_id);
+        assert_eq!(back[1].count, recs[1].count);
+        for d in 0..3 {
+            assert_eq!(back[1].center[d].to_bits(), recs[1].center[d].to_bits());
+        }
+        assert_eq!(back[1].potential.to_bits(), recs[1].potential.to_bits());
+        // Determinism: same records, same bytes.
+        assert_eq!(bytes, encode_centers(&recs));
+        // Truncated payloads are rejected, not misparsed.
+        assert!(decode_centers(&bytes[..bytes.len() - 1]).is_none());
+        assert_eq!(decode_centers(&[]), Some(vec![]));
     }
 
     #[test]

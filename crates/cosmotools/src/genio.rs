@@ -210,7 +210,31 @@ pub fn read_container(data: &[u8]) -> Result<Container, GenioError> {
 
 /// Write a container to a file.
 pub fn write_file(path: &std::path::Path, c: &Container) -> std::io::Result<()> {
-    std::fs::write(path, write_container(c))
+    write_file_digest(path, c).map(|_| ())
+}
+
+/// Write a container to a file and return the content digest of the bytes
+/// written — the artifact-cache identity of this Level 1/2 product. The
+/// container is serialized exactly once, so the digest is over precisely
+/// what landed on disk.
+pub fn write_file_digest(path: &std::path::Path, c: &Container) -> std::io::Result<cache::Digest> {
+    let bytes = write_container(c);
+    let digest = cache::digest_bytes(&bytes);
+    std::fs::write(path, bytes)?;
+    Ok(digest)
+}
+
+/// Content digest of a container's serialized form (equals
+/// [`write_file_digest`]'s result without touching the filesystem).
+pub fn container_digest(c: &Container) -> cache::Digest {
+    cache::digest_bytes(&write_container(c))
+}
+
+/// Content digest of an on-disk container file (hashes the raw bytes; does
+/// not parse them — a torn file digests to something, it just won't match
+/// any stamped artifact).
+pub fn file_digest(path: &std::path::Path) -> std::io::Result<cache::Digest> {
+    Ok(cache::digest_bytes(&std::fs::read(path)?))
 }
 
 /// Read a container from a file.
@@ -338,6 +362,27 @@ mod tests {
         write_file(&path, &c).unwrap();
         let back = read_file(&path).unwrap().unwrap();
         assert_eq!(back, c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn digest_stamping_agrees_between_memory_and_disk() {
+        let dir = std::env::temp_dir().join("hcio_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stamped.hcio");
+        let c = sample(2, 15);
+        let stamped = write_file_digest(&path, &c).unwrap();
+        assert_eq!(stamped, container_digest(&c));
+        assert_eq!(stamped, file_digest(&path).unwrap());
+        // A different container gets a different identity.
+        assert_ne!(stamped, container_digest(&sample(2, 16)));
+        // Flipping one byte on disk changes the file digest (so a stale or
+        // corrupted Level 2 file can never alias a cached analysis).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_ne!(stamped, file_digest(&path).unwrap());
         std::fs::remove_file(&path).ok();
     }
 }

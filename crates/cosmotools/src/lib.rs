@@ -28,11 +28,12 @@ pub use algorithms::{
 };
 pub use config::{default_deck, Config, ConfigError};
 pub use driver::{
-    analyze_level1, centers_from_catalog, centers_from_level2, merge_center_sets,
-    write_level2_container, CenterRecord,
+    analyze_level1, centers_from_catalog, centers_from_level2, decode_centers, encode_centers,
+    merge_center_sets, write_level2_container, CenterRecord, CENTER_RECORD_BYTES,
 };
 pub use genio::{
-    read_container, read_file, write_container, write_file, Container, GenioError, SnapshotMeta,
+    container_digest, file_digest, read_container, read_file, write_container, write_file,
+    write_file_digest, Container, GenioError, SnapshotMeta,
 };
 pub use insitu::{
     AnalysisContext, ExecutionRecord, InSituAlgorithm, InSituAnalysisManager, Product,

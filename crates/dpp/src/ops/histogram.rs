@@ -5,8 +5,11 @@ use parking_lot::Mutex;
 
 /// Histogram of `values` into `nbins` equal-width bins over `[lo, hi)`.
 ///
-/// Values outside the range are clamped into the first/last bin, matching the
-/// convention used for the paper's Figure 4 (every node lands in some bin).
+/// Finite values outside the range are clamped into the first/last bin,
+/// matching the convention used for the paper's Figure 4 (every node lands in
+/// some bin). NaN values are *skipped*: a NaN has no bin, and the previous
+/// behaviour — `NaN as usize` saturating to 0 — silently inflated the first
+/// bin. Use [`histogram_counted`] to also get the number skipped.
 /// Returns a vector of counts of length `nbins`.
 pub fn histogram(
     backend: &dyn Backend,
@@ -15,13 +18,31 @@ pub fn histogram(
     hi: f64,
     nbins: usize,
 ) -> Vec<u64> {
+    histogram_counted(backend, values, lo, hi, nbins).0
+}
+
+/// Like [`histogram`], but also returns how many values were skipped because
+/// they were NaN, so callers can surface data-quality problems instead of
+/// losing them.
+pub fn histogram_counted(
+    backend: &dyn Backend,
+    values: &[f64],
+    lo: f64,
+    hi: f64,
+    nbins: usize,
+) -> (Vec<u64>, u64) {
     assert!(nbins > 0, "histogram needs at least one bin");
     assert!(hi > lo, "histogram range must be non-empty");
     let width = (hi - lo) / nbins as f64;
-    let global: Mutex<Vec<u64>> = Mutex::new(vec![0; nbins]);
+    let global: Mutex<(Vec<u64>, u64)> = Mutex::new((vec![0; nbins], 0));
     backend.dispatch(values.len(), DEFAULT_GRAIN, &|r| {
         let mut local = vec![0u64; nbins];
+        let mut skipped = 0u64;
         for &v in &values[r] {
+            if v.is_nan() {
+                skipped += 1;
+                continue;
+            }
             let b = ((v - lo) / width).floor();
             let b = if b < 0.0 {
                 0
@@ -33,9 +54,10 @@ pub fn histogram(
             local[b] += 1;
         }
         let mut g = global.lock();
-        for (gb, lb) in g.iter_mut().zip(&local) {
+        for (gb, lb) in g.0.iter_mut().zip(&local) {
             *gb += lb;
         }
+        g.1 += skipped;
     });
     global.into_inner()
 }
@@ -80,6 +102,22 @@ mod tests {
         let v: Vec<f64> = (0..777).map(|i| (i as f64).cos() * 10.0).collect();
         let h = histogram(&Serial, &v, -1.0, 1.0, 13);
         assert_eq!(h.iter().sum::<u64>(), 777);
+    }
+
+    #[test]
+    fn nan_is_skipped_and_tallied_not_binned_as_zero() {
+        // Regression: NaN used to saturate to bin 0 via `as usize`.
+        let v = vec![f64::NAN, 0.1, f64::NAN, 0.9, -1.0, f64::NAN];
+        let (h, skipped) = histogram_counted(&Serial, &v, 0.0, 1.0, 2);
+        assert_eq!(skipped, 3);
+        // -1.0 clamps into bin 0; the NaNs must not join it.
+        assert_eq!(h, vec![2, 1]);
+        assert_eq!(h.iter().sum::<u64>() + skipped, v.len() as u64);
+        // Threaded agrees, including the tally.
+        let t = Threaded::new(4);
+        assert_eq!(histogram_counted(&t, &v, 0.0, 1.0, 2), (h, skipped));
+        // The Vec-only wrapper drops NaNs the same way.
+        assert_eq!(histogram(&Serial, &v, 0.0, 1.0, 2), vec![2, 1]);
     }
 
     #[test]

@@ -5,15 +5,46 @@
 
 use crate::backend::{Backend, DEFAULT_GRAIN};
 use parking_lot::Mutex;
+use std::cmp::Ordering;
+
+/// Total order over partially ordered keys: comparable keys keep their
+/// order, and a key that is incomparable (an IEEE NaN — `k != k`) sorts
+/// *after* every comparable key and ties with other NaNs.
+///
+/// The naive `k < *bk` comparison is nondeterministic under NaN: every
+/// comparison against a NaN is false, so whichever element a chunk
+/// happened to visit first got stuck as its local best, and Serial and
+/// Threaded backends (different chunkings) returned different indices.
+/// With NaN ordered last, any finite potential beats a NaN and ties fall
+/// back to the smallest index, so all backends agree.
+fn total_cmp_keys<K: PartialOrd>(a: &K, b: &K) -> Ordering {
+    match a.partial_cmp(b) {
+        Some(o) => o,
+        // A key incomparable with itself is NaN-like; order it last.
+        None => match (a.partial_cmp(a).is_none(), b.partial_cmp(b).is_none()) {
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            // Two NaNs (or an exotic incomparable pair): treat as a tie so
+            // the index tiebreak decides deterministically.
+            _ => Ordering::Equal,
+        },
+    }
+}
 
 /// Index of the minimum element under `key`. Ties resolve to the smallest
-/// index (deterministic across backends). Returns `None` on empty input.
+/// index (deterministic across backends), and NaN keys order last — a NaN
+/// is returned only when every key is NaN. Returns `None` on empty input.
 pub fn argmin_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<usize>
 where
     T: Sync,
     K: PartialOrd + Send,
     F: Fn(&T) -> K + Sync,
 {
+    let beats = |i: usize, k: &K, bi: usize, bk: &K| match total_cmp_keys(k, bk) {
+        Ordering::Less => true,
+        Ordering::Equal => i < bi,
+        Ordering::Greater => false,
+    };
     let best: Mutex<Option<(usize, K)>> = Mutex::new(None);
     backend.dispatch(input.len(), DEFAULT_GRAIN, &|r| {
         let mut local: Option<(usize, K)> = None;
@@ -21,7 +52,7 @@ where
             let k = key(&input[i]);
             let better = match &local {
                 None => true,
-                Some((bi, bk)) => k < *bk || (k == *bk && i < *bi),
+                Some((bi, bk)) => beats(i, &k, *bi, bk),
             };
             if better {
                 local = Some((i, k));
@@ -31,7 +62,7 @@ where
             let mut g = best.lock();
             let better = match &*g {
                 None => true,
-                Some((bi, bk)) => k < *bk || (k == *bk && i < *bi),
+                Some((bi, bk)) => beats(i, &k, *bi, bk),
             };
             if better {
                 *g = Some((i, k));
@@ -41,7 +72,8 @@ where
     best.into_inner().map(|(i, _)| i)
 }
 
-/// Index of the maximum element under `key`. Ties resolve to the smallest index.
+/// Index of the maximum element under `key`. Ties resolve to the smallest
+/// index; NaN keys order last (a NaN wins only when every key is NaN).
 pub fn argmax_by<T, K, F>(backend: &dyn Backend, input: &[T], key: F) -> Option<usize>
 where
     T: Sync,
@@ -135,5 +167,43 @@ mod tests {
         assert_eq!(argmax_by(&Serial, &v, |x| *x), Some(1));
         let t = Threaded::new(4);
         assert_eq!(argmax_by(&t, &v, |x| *x), Some(1));
+    }
+
+    #[test]
+    fn nan_keys_order_last_and_backends_agree() {
+        // Regression: under `k < *bk`, a NaN seen first by a chunk could
+        // never be displaced (all comparisons false), so Serial and
+        // Threaded disagreed on inputs like a halo potential array with a
+        // few NaNs from a degenerate force evaluation.
+        let t = Threaded::new(4);
+        let mut v: Vec<f64> = (0..50_000)
+            .map(|i| ((i as f64) * 0.73).sin() * 100.0)
+            .collect();
+        // Sprinkle NaNs, including at position 0 (first element a Serial
+        // scan sees) and at chunk-boundary-ish positions.
+        for i in [0usize, 1, 1023, 1024, 25_000, 49_999] {
+            v[i] = f64::NAN;
+        }
+        let s_min = argmin_by(&Serial, &v, |x| *x).unwrap();
+        let p_min = argmin_by(&t, &v, |x| *x).unwrap();
+        assert_eq!(s_min, p_min);
+        assert!(!v[s_min].is_nan(), "a finite key must beat every NaN");
+        for x in v.iter().filter(|x| !x.is_nan()) {
+            assert!(v[s_min] <= *x);
+        }
+        let s_max = argmax_by(&Serial, &v, |x| *x).unwrap();
+        assert_eq!(s_max, argmax_by(&t, &v, |x| *x).unwrap());
+        assert!(!v[s_max].is_nan());
+        assert_eq!(min_by(&Serial, &v, |x| *x), min_by(&t, &v, |x| *x));
+        assert_eq!(max_by(&Serial, &v, |x| *x), max_by(&t, &v, |x| *x));
+    }
+
+    #[test]
+    fn all_nan_input_still_returns_deterministic_first_index() {
+        let t = Threaded::new(3);
+        let v = vec![f64::NAN; 5000];
+        assert_eq!(argmin_by(&Serial, &v, |x| *x), Some(0));
+        assert_eq!(argmin_by(&t, &v, |x| *x), Some(0));
+        assert_eq!(argmax_by(&t, &v, |x| *x), Some(0));
     }
 }

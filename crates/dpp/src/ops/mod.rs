@@ -17,7 +17,7 @@ pub mod sort;
 
 pub use compact::{copy_if, count_if, partition_indices};
 pub use gather::{gather, iota, scatter};
-pub use histogram::histogram;
+pub use histogram::{histogram, histogram_counted};
 pub use map::{fill, map, map_indexed, transform_in_place, zip_map};
 pub use minmax::{argmax_by, argmin_by, max_by, min_by};
 pub use radix::{radix_sort_by_key, radix_sort_u64};

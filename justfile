@@ -27,3 +27,8 @@ bench-paper:
 # trace (load trace.json in Perfetto / chrome://tracing).
 trace-demo:
     cargo run --release --features recording --example workflow_compare -- --trace trace.json
+
+# Incremental re-execution: every workflow twice against one artifact cache;
+# the warm pass must hit for everything and change no catalog byte.
+cache-demo:
+    cargo run --release --example cache_demo

@@ -17,9 +17,10 @@
 //! reproducible, but how many polls happen is not, so listener assertions
 //! check behavior (exactly-once, recovery) rather than trace equality.
 
+use cache::{digest_bytes, ArtifactCache, CacheKey, FingerprintBuilder};
 use dpp::Threaded;
 use faults::{FaultKind, FaultPlan, SiteSpec};
-use hacc_core::listener::{Listener, ListenerConfig};
+use hacc_core::listener::{CacheGate, Listener, ListenerConfig};
 use hacc_core::runner::{assert_same_centers, RunnerConfig, TestBed, RUNNER_FAULT_SITE};
 use nbody::SimConfig;
 use parking_lot::Mutex;
@@ -249,6 +250,158 @@ fn scheduler_chaos_terminates_and_replays() {
     assert_eq!(recs_a, recs_b, "same seed ⇒ same completion records");
     assert_eq!(outcomes_a, outcomes_b, "same seed ⇒ same outcomes");
     assert_eq!(trace_a, trace_b, "same seed ⇒ same fault trace");
+}
+
+/// Artifact-cache chaos: with the same seed, the co-scheduled workflow must
+/// produce byte-identical catalogs with the cache off, with a cold cache,
+/// with a warm cache whose reads and verifications are being poisoned, and
+/// with a cache whose entries were all evicted. The cache may only ever turn
+/// work into a verified skip or a recompute — never into a different answer.
+#[test]
+fn cache_on_off_poisoned_and_evicted_catalogs_agree() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+
+    // Cache off under the headline chaos plan.
+    let bed_off = TestBed::create(tiny_cfg("cache_off"), &backend);
+    let run_off = {
+        let _guard = faults::install(chaos_plan(chaos_seed()).build());
+        bed_off.run_combined_coscheduled(&backend, 4)
+    };
+
+    // Cache on, cold, same seed: every artifact is a miss, same catalog.
+    let mut cfg = tiny_cfg("cache_on");
+    let cache_dir = cfg.workdir.join("artifact_cache");
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+    let mut bed_on = TestBed::create(cfg, &backend);
+    let cold = {
+        let _guard = faults::install(chaos_plan(chaos_seed()).build());
+        bed_on.run_combined_coscheduled(&backend, 4)
+    };
+    assert_same_centers(&run_off.centers, &cold.centers);
+    assert_eq!(cold.cache_hits, 0, "a cold cache cannot hit");
+    assert!(cold.cache_misses > 0, "every emitted artifact must miss");
+
+    // Warm re-run with hostile cache sites layered on the chaos plan:
+    // transient read errors and forced verification failures poison entries,
+    // which must degrade to recompute — never to a wrong catalog.
+    let warm = {
+        let plan = chaos_plan(chaos_seed())
+            .with_site(SiteSpec::transient("cache.read", 0.5))
+            .with_site(SiteSpec::transient("cache.verify", 0.5));
+        let _guard = faults::install(plan.build());
+        bed_on.run_combined_coscheduled(&backend, 4)
+    };
+    assert_same_centers(&run_off.centers, &warm.centers);
+    assert!(
+        warm.cache_hits + warm.cache_misses > 0,
+        "the warm run must consult the cache"
+    );
+
+    // Evict everything: a byte-starved handle over the same directory keeps
+    // only the freshly inserted pad, so the next run finds nothing and must
+    // recompute it all — again without changing the catalog.
+    {
+        let starved = ArtifactCache::open(&cache_dir, Some(1)).unwrap();
+        let pad = CacheKey::compose(
+            "pad",
+            digest_bytes(b"pad"),
+            FingerprintBuilder::new().finish(),
+        );
+        starved.insert(pad, b"x").unwrap();
+        assert!(
+            starved.stats().evictions > 0,
+            "the 1-byte budget must evict the warm entries"
+        );
+    }
+    bed_on.cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+    let evicted = {
+        let _guard = faults::install(chaos_plan(chaos_seed()).build());
+        bed_on.run_combined_coscheduled(&backend, 4)
+    };
+    assert_same_centers(&run_off.centers, &evicted.centers);
+    assert_eq!(evicted.cache_hits, 0, "evicted entries must not hit");
+    assert!(evicted.cache_misses > 0, "eviction must force recomputes");
+}
+
+/// Cache crash recovery: a crash mid-append tears the last index record.
+/// On restart the index heals by dropping the torn tail — the damaged entry
+/// can never false-hit, the intact one still gates its file out of the
+/// listener, and the healed log accepts new appends.
+#[test]
+fn torn_cache_index_heals_without_false_hits() {
+    let dir = std::env::temp_dir().join(format!("hacc_chaos_cachetorn_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_dir = dir.join("cache");
+    let fp = FingerprintBuilder::new().push_str("torn-test").finish();
+    let key_for = |bytes: &[u8]| CacheKey::compose("l2_centers", digest_bytes(bytes), fp);
+
+    {
+        let cache = ArtifactCache::open(&cache_dir, None).unwrap();
+        cache.insert(key_for(b"contents-a"), b"memo-a").unwrap();
+        cache.insert(key_for(b"contents-b"), b"memo-b").unwrap();
+    }
+    // Kill the writer mid-append of the second record: shear bytes off the
+    // index tail, exactly what a crash between write and sync leaves behind.
+    let index_path = cache_dir.join("index");
+    let bytes = std::fs::read(&index_path).unwrap();
+    std::fs::write(&index_path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let cache = Arc::new(ArtifactCache::open(&cache_dir, None).unwrap());
+    assert!(
+        cache.contains_verified(key_for(b"contents-a")),
+        "the intact record must survive healing"
+    );
+    assert!(
+        !cache.contains_verified(key_for(b"contents-b")),
+        "the torn record must never produce a hit"
+    );
+
+    // The healed cache gates a journaled listener: the surviving artifact is
+    // skipped, the torn one is resubmitted for recompute.
+    for (name, contents) in [
+        ("l2_step0000.hcio", "contents-a"),
+        ("l2_step0001.hcio", "contents-b"),
+    ] {
+        std::fs::write(dir.join(name), contents).unwrap();
+    }
+    let submissions: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&submissions);
+    let gate_cache = Arc::clone(&cache);
+    let listener = Listener::spawn(
+        dir.clone(),
+        ListenerConfig {
+            poll_interval: Duration::from_millis(5),
+            suffix: ".hcio".into(),
+            journal: Some(dir.join("listener.journal")),
+            cache_gate: Some(CacheGate::new(move |p| {
+                let Ok(b) = std::fs::read(p) else {
+                    return false;
+                };
+                gate_cache.contains_verified(CacheKey::compose("l2_centers", digest_bytes(&b), fp))
+            })),
+            ..Default::default()
+        },
+        move |p| s2.lock().push(p.to_path_buf()),
+    );
+    std::thread::sleep(Duration::from_millis(250));
+    let report = listener.stop_report();
+    let subs = submissions.lock();
+    assert_eq!(subs.len(), 1, "only the torn entry's file is recomputed");
+    assert!(subs[0].ends_with("l2_step0001.hcio"));
+    assert_eq!(report.cache_skipped.len(), 1);
+    assert!(report.cache_skipped[0].ends_with("l2_step0000.hcio"));
+
+    // The healed log keeps appending: re-inserting the recomputed artifact
+    // persists across another reopen.
+    cache.insert(key_for(b"contents-b"), b"memo-b").unwrap();
+    drop(subs);
+    let reopened = ArtifactCache::open(&cache_dir, None).unwrap();
+    assert!(reopened.contains_verified(key_for(b"contents-a")));
+    assert!(reopened.contains_verified(key_for(b"contents-b")));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Comm chaos: stalls at the receive site surface as timeouts, never hangs.

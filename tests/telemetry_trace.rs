@@ -3,8 +3,8 @@
 //! logical-clock mode, and the exported Chrome trace must
 //!
 //! 1. parse as trace-event JSON,
-//! 2. contain spans from all six instrumented layers
-//!    (`dpp`, `comm`, `simhpc`, `runner`, `listener`, `faults`), and
+//! 2. contain spans from all seven instrumented layers
+//!    (`dpp`, `comm`, `simhpc`, `runner`, `listener`, `faults`, `cache`), and
 //! 3. be **byte-identical** across two runs with the same `CHAOS_SEED`
 //!    (the logical clock erases wall-time, and the export orders spans
 //!    canonically, so any nondeterminism in the instrumentation shows up
@@ -15,6 +15,7 @@
 //! exactly — the poll-driven `listener.*` sites stay fault-free.
 #![cfg(feature = "recording")]
 
+use cache::ArtifactCache;
 use dpp::Threaded;
 use faults::{FaultPlan, SiteSpec};
 use hacc_core::runner::{RunnerConfig, TestBed, RUNNER_FAULT_SITE};
@@ -96,13 +97,23 @@ fn traced_round(bed: &TestBed, backend: &Threaded) -> String {
     recorder.finish().chrome_json()
 }
 
+/// A cold artifact cache in a wiped directory: every traced round sees the
+/// identical hit/miss sequence, so the cache spans replay byte-for-byte.
+fn fresh_cache(dir: &std::path::Path) -> Arc<ArtifactCache> {
+    let _ = std::fs::remove_dir_all(dir);
+    Arc::new(ArtifactCache::open(dir, None).expect("open trace cache"))
+}
+
 #[test]
-fn armed_chaos_run_exports_identical_six_layer_traces() {
+fn armed_chaos_run_exports_identical_seven_layer_traces() {
     let _serial = GLOBAL_LOCK.lock();
     let backend = Threaded::new(4);
-    let bed = TestBed::create(tiny_cfg("sixlayer"), &backend);
+    let mut bed = TestBed::create(tiny_cfg("sevenlayer"), &backend);
+    let cache_dir = bed.cfg.workdir.join("trace_cache");
 
+    bed.cfg.cache = Some(fresh_cache(&cache_dir));
     let a = traced_round(&bed, &backend);
+    bed.cfg.cache = Some(fresh_cache(&cache_dir));
     let b = traced_round(&bed, &backend);
 
     let v = telemetry::json::parse(&a).expect("exported trace must parse");
@@ -115,7 +126,9 @@ fn armed_chaos_run_exports_identical_six_layer_traces() {
         .iter()
         .filter_map(|e| e.get("cat").and_then(|c| c.as_str()))
         .collect();
-    for layer in ["comm", "dpp", "faults", "listener", "runner", "simhpc"] {
+    for layer in [
+        "cache", "comm", "dpp", "faults", "listener", "runner", "simhpc",
+    ] {
         assert!(
             cats.contains(layer),
             "trace must carry `{layer}` spans, got {cats:?}"
