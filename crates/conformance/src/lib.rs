@@ -1,0 +1,45 @@
+//! # conformance — the workflow stack's correctness tooling
+//!
+//! The paper's argument is an *equivalence claim*: in-situ, off-line,
+//! co-scheduled, and in-transit strategies must produce the same halo
+//! catalogs and spectra, just at different costs (§4, Tables 3–4). This
+//! crate turns the repo's implicit invariants into first-class, checkable
+//! conformance machinery, consumed by `tests/conformance.rs`:
+//!
+//! * [`strategies`] — proptest [`proptest::Strategy`] implementations that
+//!   generate the full IEEE-754 bestiary (NaN with either sign bit, ±inf,
+//!   ±0, denormals) so property tests stop silently avoiding non-finite
+//!   floats.
+//! * [`inputs`] — a deterministic adversarial corpus for the differential
+//!   executor: empty/single inputs, duplicate keys, grain-boundary lengths,
+//!   NaN/±inf mixtures.
+//! * [`differential`] — runs every `dpp` primitive over the corpus on
+//!   Serial, Threaded (fresh, single-worker, and pool-shared), and
+//!   StaticThreaded backends and checks **byte agreement** under the
+//!   documented total-order semantics, reporting every disagreement.
+//! * [`oracles`] — metamorphic physics oracles: FOF catalog invariance
+//!   under particle permutation, periodic translation, and 1/2/4/8-rank
+//!   domain splits; MBP brute ≡ A*; FFT Parseval and impulse identities;
+//!   SO-mass monotonicity.
+//! * [`golden`] — compact committed snapshots with a `BLESS=1`
+//!   regeneration path (`just bless`) and line-level drift diffs on
+//!   failure.
+//! * [`explorer`] — the exhaustive crash-schedule explorer: a record-only
+//!   instrumented pass enumerates every fault site the co-scheduled
+//!   workflow actually reaches (via [`faults::FaultInjector::sites_reached`]),
+//!   then a driver re-runs the workflow crashing at *each* `(site, hit)`
+//!   in turn, checking exactly-once job execution and byte-identical
+//!   recovered catalogs for every schedule.
+
+#![warn(missing_docs)]
+
+pub mod differential;
+pub mod explorer;
+pub mod golden;
+pub mod inputs;
+pub mod oracles;
+pub mod strategies;
+
+pub use differential::{assert_dpp_conformance, run_dpp_differential, DiffReport, Disagreement};
+pub use explorer::{explore, ExplorationReport, ExplorerConfig, ScheduleOutcome};
+pub use golden::{compare_or_bless, GoldenOutcome};

@@ -194,3 +194,99 @@ proptest! {
         }
     }
 }
+
+// Adversarial float properties: inputs drawn from the conformance crate's
+// IEEE-754 strategies, so NaN (both signs and odd payloads), ±inf, ±0, and
+// denormals flow through the primitives on every case instead of never.
+// Agreement is asserted at the bit level: the chunked dispatch decomposition
+// is backend-invariant, so even float reductions must match Serial exactly.
+proptest! {
+    #[test]
+    fn sort_total_order_handles_non_finite(
+        v in conformance::strategies::adversarial_vec(-1e9, 1e9, 3000),
+    ) {
+        let mut expect = v.clone();
+        expect.sort_by(|a, b| a.total_cmp(b));
+        let mut got = v.clone();
+        ops::par_sort_by(&threaded(), &mut got, |a, b| a.total_cmp(b));
+        let expect_bits: Vec<u64> = expect.iter().map(|x| x.to_bits()).collect();
+        let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(got_bits, expect_bits);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_backends(
+        v in conformance::strategies::adversarial_vec(-1e12, 1e12, 4000),
+    ) {
+        let serial = ops::sum_f64(&Serial, &v);
+        let threaded = ops::sum_f64(&threaded(), &v);
+        prop_assert_eq!(serial.to_bits(), threaded.to_bits());
+    }
+
+    #[test]
+    fn float_scan_is_bit_identical_across_backends(
+        v in conformance::strategies::adversarial_vec(-1e6, 1e6, 3000),
+    ) {
+        let serial = ops::inclusive_scan(&Serial, &v, 0.0, |a, b| a + b);
+        let thr = ops::inclusive_scan(&threaded(), &v, 0.0, |a, b| a + b);
+        let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+        let thr_bits: Vec<u64> = thr.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(thr_bits, serial_bits);
+    }
+
+    #[test]
+    fn total_order_max_reduce_handles_nan(
+        v in conformance::strategies::adversarial_vec(-1e9, 1e9, 3000),
+    ) {
+        // NaN-last total order: the reduce must agree with the sequential
+        // fold bit-for-bit on every backend.
+        let total_max = |a: f64, b: &f64| {
+            if b.total_cmp(&a) == std::cmp::Ordering::Greater { *b } else { a }
+        };
+        let expect = v.iter().fold(f64::NEG_INFINITY, &total_max);
+        let got = ops::reduce(&threaded(), &v, f64::NEG_INFINITY, total_max);
+        prop_assert_eq!(got.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn histogram_skips_every_nan_and_only_nans(
+        v in conformance::strategies::adversarial_vec(-1e3, 1e3, 3000),
+    ) {
+        let (counts, skipped) = ops::histogram_counted(&threaded(), &v, -100.0, 100.0, 16);
+        let nans = v.iter().filter(|x| x.is_nan()).count() as u64;
+        prop_assert_eq!(skipped, nans);
+        prop_assert_eq!(counts.iter().sum::<u64>() + skipped, v.len() as u64);
+        let (serial_counts, serial_skipped) =
+            ops::histogram_counted(&Serial, &v, -100.0, 100.0, 16);
+        prop_assert_eq!(counts, serial_counts);
+        prop_assert_eq!(skipped, serial_skipped);
+    }
+
+    #[test]
+    fn compact_on_finiteness_preserves_order_and_bits(
+        v in conformance::strategies::adversarial_vec(-1e9, 1e9, 2500),
+    ) {
+        let n = ops::count_if(&threaded(), &v, |x| x.is_finite());
+        let kept = ops::copy_if(&threaded(), &v, |x| x.is_finite());
+        prop_assert_eq!(kept.len(), n);
+        let expect_bits: Vec<u64> =
+            v.iter().filter(|x| x.is_finite()).map(|x| x.to_bits()).collect();
+        let kept_bits: Vec<u64> = kept.iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(kept_bits, expect_bits);
+    }
+
+    #[test]
+    fn any_bits_roundtrip_through_sort_loses_nothing(
+        v in proptest::collection::vec(conformance::strategies::any_bits_f64(), 0..2000),
+    ) {
+        // Sorting under total_cmp is a permutation even for exotic bit
+        // patterns: multiset of bit patterns is preserved.
+        let mut got = v.clone();
+        ops::par_sort_by(&threaded(), &mut got, |a, b| a.total_cmp(b));
+        let mut expect_bits: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+        expect_bits.sort_unstable();
+        let mut got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+        got_bits.sort_unstable();
+        prop_assert_eq!(got_bits, expect_bits);
+    }
+}

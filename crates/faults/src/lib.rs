@@ -19,6 +19,13 @@
 //!   constant `None`.
 //! * [`BackoffPolicy`] — capped exponential retry backoff shared by the
 //!   batch-scheduler requeue and the listener's transient-error retries.
+//! * **Site enumeration** — a record-only plan ([`FaultPlan::record_only`],
+//!   or [`FaultPlan::with_recording`] on any plan) makes the injector note
+//!   *every* site polled, matched by a spec or not, without injecting
+//!   anything extra. [`FaultInjector::sites_reached`] then lists each
+//!   concrete site with its hit count, so tools like the conformance
+//!   crash-schedule explorer can discover the fault surface a workload
+//!   actually exercises instead of grepping the source for `fault_point!`.
 //!
 //! Components that own their fault checks (the batch simulator, the
 //! listener) take an `Arc<FaultInjector>` explicitly and bypass the global;
@@ -128,6 +135,9 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Site specifications, first match wins.
     pub sites: Vec<SiteSpec>,
+    /// Record hits even at sites no spec matches (see
+    /// [`FaultPlan::with_recording`]).
+    pub record_all: bool,
 }
 
 impl FaultPlan {
@@ -136,7 +146,23 @@ impl FaultPlan {
         FaultPlan {
             seed,
             sites: Vec::new(),
+            record_all: false,
         }
+    }
+
+    /// A record-only plan: injects nothing, but every site polled is
+    /// recorded so [`FaultInjector::sites_reached`] can enumerate the
+    /// workload's fault surface after a clean instrumented run.
+    pub fn record_only(seed: u64) -> Self {
+        FaultPlan::new(seed).with_recording()
+    }
+
+    /// Also record hits at sites that no spec matches. Matched sites keep
+    /// their exact RNG-stream semantics (recording draws nothing from a
+    /// site's stream), so enabling this never changes which faults fire.
+    pub fn with_recording(mut self) -> Self {
+        self.record_all = true;
+        self
     }
 
     /// Add a site specification.
@@ -208,7 +234,10 @@ impl FaultInjector {
     /// This is the only mutating entry point; everything else reads the
     /// trace it builds.
     pub fn check(&self, site: &str) -> Option<FaultKind> {
-        let spec = self.plan.sites.iter().find(|s| s.matches(site))?;
+        let spec = self.plan.sites.iter().find(|s| s.matches(site));
+        if spec.is_none() && !self.plan.record_all {
+            return None;
+        }
         let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
         let st = state.entry(site.to_string()).or_insert_with(|| SiteState {
             hits: 0,
@@ -217,6 +246,10 @@ impl FaultInjector {
         });
         let hit = st.hits;
         st.hits += 1;
+        // Record-only observation of an unmatched site: the hit is counted
+        // but the site's RNG stream is left untouched, so a later plan that
+        // adds a spec for it sees the same per-hit decisions either way.
+        let spec = spec?;
         if spec.max_faults.is_some_and(|cap| st.faults >= cap) {
             // Keep the stream advancing so the cap does not shift later
             // decisions relative to an uncapped plan.
@@ -253,6 +286,24 @@ impl FaultInjector {
     /// Total faults injected so far.
     pub fn fault_count(&self) -> usize {
         self.trace.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Every concrete site polled so far with its hit count, sorted by
+    /// site name.
+    ///
+    /// Under a plan built with [`FaultPlan::record_only`] (or
+    /// [`FaultPlan::with_recording`]) this is the complete fault surface a
+    /// workload reached — including sites no spec matched — which is what
+    /// the conformance crash-schedule explorer enumerates before re-running
+    /// the workload with a [`SiteSpec::crash_at`] for each `(site, hit)`
+    /// pair. Without recording it lists only spec-matched sites.
+    pub fn sites_reached(&self) -> Vec<(String, u64)> {
+        self.state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(site, st)| (site.clone(), st.hits))
+            .collect()
     }
 
     /// Hits and faults per concrete site, for rate assertions.
@@ -463,6 +514,53 @@ mod tests {
         assert_eq!(fired, 3);
         let stats = inj.site_stats();
         assert_eq!(stats["s"], (20, 3));
+    }
+
+    #[test]
+    fn record_only_enumerates_sites_without_faulting() {
+        let inj = FaultPlan::record_only(2).build();
+        for _ in 0..3 {
+            assert_eq!(inj.check("listener.journal"), None);
+        }
+        assert_eq!(inj.check("cache.read"), None);
+        assert!(inj.trace().is_empty(), "record-only injects nothing");
+        assert_eq!(
+            inj.sites_reached(),
+            vec![
+                ("cache.read".to_string(), 1),
+                ("listener.journal".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn recording_does_not_shift_matched_site_streams() {
+        // Interleaving polls of an unmatched, recorded site must not change
+        // which faults fire at a matched site.
+        let decisions = |record: bool| {
+            let mut plan = FaultPlan::new(13).with_site(SiteSpec::transient("a", 0.5));
+            if record {
+                plan = plan.with_recording();
+            }
+            let inj = plan.build();
+            let mut a = Vec::new();
+            for _ in 0..100 {
+                a.push(inj.check("a").is_some());
+                inj.check("unmatched.site");
+            }
+            a
+        };
+        assert_eq!(decisions(false), decisions(true));
+    }
+
+    #[test]
+    fn sites_reached_without_recording_lists_only_matched_sites() {
+        let inj = FaultPlan::new(1)
+            .with_site(SiteSpec::transient("a", 0.0))
+            .build();
+        inj.check("a");
+        inj.check("b");
+        assert_eq!(inj.sites_reached(), vec![("a".to_string(), 1)]);
     }
 
     #[test]

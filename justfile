@@ -32,3 +32,19 @@ trace-demo:
 # the warm pass must hit for everything and change no catalog byte.
 cache-demo:
     cargo run --release --example cache_demo
+
+# Fast conformance suite: differential backends, physics oracles, bounded
+# crash-schedule exploration, listener regressions, golden fixtures.
+conformance:
+    cargo test -q --release --test conformance
+    cargo test -q --release -p conformance
+
+# Nightly scope: crash at every recorded (site, hit) pair instead of the
+# first hit per site.
+conformance-exhaustive:
+    CONFORMANCE_EXHAUSTIVE=1 cargo test -q --release --test conformance
+
+# Regenerate the golden fixtures under tests/goldens/ after an intentional
+# behaviour change (the only sanctioned way to update them).
+bless:
+    BLESS=1 cargo test -q --release --test conformance golden

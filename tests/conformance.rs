@@ -1,0 +1,265 @@
+//! Tier-1 conformance suite: differential backend agreement, metamorphic
+//! physics oracles, exhaustive crash-schedule exploration, golden-run
+//! fixtures, and focused listener regressions.
+//!
+//! Scope knobs:
+//!
+//! * `CONFORMANCE_SEED=<n>` — seed for the oracle universes and the
+//!   explorer's workflow inputs (default 1, so CI can sweep).
+//! * `CONFORMANCE_EXHAUSTIVE=1` — crash at *every* recorded `(site, hit)`
+//!   pair instead of the first hit per site (the nightly job's setting).
+//! * `BLESS=1` (`just bless`) — regenerate the golden fixtures under
+//!   `tests/goldens/` instead of comparing against them.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use conformance::explorer::{ExplorerConfig, EXPECTED_SITES};
+use conformance::{golden, oracles};
+use hacc_core::experiments;
+use hacc_core::{format_table4, Listener, ListenerConfig, TitanFrame};
+use parking_lot::Mutex;
+
+/// Tests that install a process-global fault injector, or that reach
+/// fault-instrumented code (listener, cache, comm), must not overlap with
+/// each other: an armed crash schedule in one test would fire inside
+/// another.
+static GLOBAL_INJECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn conf_seed() -> u64 {
+    std::env::var("CONFORMANCE_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+fn exhaustive_requested() -> bool {
+    std::env::var("CONFORMANCE_EXHAUSTIVE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("conformance-suite")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    match golden::compare_or_bless(&goldens_dir().join(name), actual) {
+        Ok(_) => {}
+        Err(msg) => panic!("{msg}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential backends
+// ---------------------------------------------------------------------------
+
+/// Every dpp op, every backend, every adversarial corpus case: byte
+/// agreement with the Serial reference under the documented total-order
+/// semantics. Non-finite inputs are in the corpus, so this is where
+/// NaN-ordering or chunk-merge regressions surface first.
+#[test]
+fn dpp_differential_backends_agree() {
+    let report = conformance::assert_dpp_conformance();
+    // The corpus is not supposed to silently shrink.
+    assert!(
+        report.checks > 1_000,
+        "differential corpus collapsed to {} checks",
+        report.checks
+    );
+    assert!(
+        report.backends.len() >= 5,
+        "expected threaded/pool-shared/static roster, got {:?}",
+        report.backends
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Metamorphic physics oracles
+// ---------------------------------------------------------------------------
+
+/// FOF invariance (permutation / periodic translation / rank splits),
+/// MBP brute ≡ A*, FFT Parseval + impulse identities, SO-mass monotonicity.
+#[test]
+fn physics_oracles_hold() {
+    // Rank-split invariance runs a comm World (fault-instrumented sites).
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let failures = oracles::run_all(conf_seed());
+    assert!(
+        failures.is_empty(),
+        "{} oracle(s) failed:\n{}",
+        failures.len(),
+        failures.join("\n---\n")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive crash-schedule exploration
+// ---------------------------------------------------------------------------
+
+/// Record-only pass enumerates every fault site the mini-workflow reaches;
+/// the sweep then crashes each one and requires a byte-identical recovered
+/// catalog with exactly-once analysis. Coverage is asserted against what was
+/// *reached*, not a hand-maintained list — plus [`EXPECTED_SITES`] as a
+/// floor so a site silently vanishing from the workflow also fails.
+#[test]
+fn crash_schedules_recover_exactly_once() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = ExplorerConfig::new(scratch("explorer"));
+    cfg.seed = conf_seed();
+    cfg.exhaustive = exhaustive_requested();
+    let report = conformance::explore(&cfg);
+    report.assert_exhaustive();
+    let expected_min = if cfg.exhaustive {
+        // 7 deterministic sites × 3 hits each is the floor; scan adds more.
+        EXPECTED_SITES.len() - 1 + 3
+    } else {
+        EXPECTED_SITES.len()
+    };
+    assert!(
+        report.schedules.len() >= expected_min,
+        "only {} schedules explored (expected at least {expected_min})",
+        report.schedules.len()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Listener regressions under crash-like conditions
+// ---------------------------------------------------------------------------
+
+/// Regression: orphan `.tmp` files — both pre-existing (stranded by an
+/// earlier crash between staging and publish) and appearing mid-run — are
+/// never submitted, while properly published files are.
+#[test]
+fn listener_never_submits_orphan_tmp() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let dir = scratch("tmp-exclusion");
+    // Stranded by a "crashed emitter" before the listener ever starts.
+    std::fs::write(dir.join("l2_0.tmp"), b"half-written junk").unwrap();
+    let submissions: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&submissions);
+    let cfg = ListenerConfig {
+        poll_interval: Duration::from_millis(5),
+        prefix: "l2_".to_string(),
+        ..ListenerConfig::default()
+    };
+    let listener = Listener::spawn_with(dir.clone(), cfg, move |p| {
+        s2.lock().push(p.to_path_buf());
+        Ok(())
+    });
+    // A properly published file and a second orphan appearing mid-run.
+    std::fs::write(dir.join("l2_1"), b"published payload").unwrap();
+    std::fs::write(dir.join("l2_2.tmp"), b"still being staged").unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while listener.handled() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = listener.stop_report();
+    let subs = submissions.lock();
+    assert_eq!(subs.as_slice(), &[dir.join("l2_1")], "wrong submission set");
+    assert_eq!(report.submitted, subs.as_slice());
+    assert!(!report.crashed);
+    // The orphans are ignored, not deleted: cleanup is the emitter's job.
+    assert!(dir.join("l2_0.tmp").exists());
+    assert!(dir.join("l2_2.tmp").exists());
+}
+
+/// Regression: the quiescence gate holds submission of a file that is
+/// growing under its final name until its size is stable — the job must see
+/// the complete bytes, in one submission, with zero retries.
+#[test]
+fn quiescence_gate_defers_slow_writers() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let dir = scratch("quiescence");
+    let seen: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+    let s2 = Arc::clone(&seen);
+    let cfg = ListenerConfig {
+        poll_interval: Duration::from_millis(10),
+        prefix: "l2_".to_string(),
+        ..ListenerConfig::default()
+    };
+    let listener = Listener::spawn_with(dir.clone(), cfg, move |p| {
+        s2.lock()
+            .push(std::fs::read(p).expect("read submitted file"));
+        Ok(())
+    });
+    // Stream the file out under its final name across many poll intervals.
+    // The 2ms chunk cadence stays well under the 10ms poll interval, so the
+    // size never looks stable until the write is complete.
+    let full: Vec<u8> = (0..4096u32).flat_map(|i| i.to_le_bytes()).collect();
+    let path = dir.join("l2_slow");
+    {
+        use std::io::Write as _;
+        // No fsync between chunks: a same-host reader sees page-cache writes
+        // immediately, and fsync latency would stall the writer past a poll
+        // interval, making a partial file look quiescent.
+        let mut f = std::fs::File::create(&path).unwrap();
+        for chunk in full.chunks(full.len() / 30 + 1) {
+            f.write_all(chunk).unwrap();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while listener.handled() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report = listener.stop_report();
+    let seen = seen.lock();
+    assert_eq!(seen.len(), 1, "expected exactly one submission");
+    assert_eq!(seen[0], full, "job saw torn bytes past the quiescence gate");
+    assert_eq!(report.submit_retries, 0);
+    assert_eq!(report.submitted, vec![path]);
+}
+
+// ---------------------------------------------------------------------------
+// Golden-run fixtures
+// ---------------------------------------------------------------------------
+
+/// Table 1 (strong-scaling model) golden. `just bless` regenerates.
+#[test]
+fn golden_table1_strong_scaling() {
+    check_golden(
+        "table1.txt",
+        &experiments::format_table1(&experiments::table1()),
+    );
+}
+
+/// Table 3 (workflow wall-clock costs) golden, fixed seed 1.
+#[test]
+fn golden_table3_workflow_costs() {
+    let costs = experiments::table3_4(&TitanFrame::default(), 1);
+    check_golden("table3.txt", &experiments::format_table3(&costs));
+}
+
+/// Table 4 (cost-model breakdown) golden, same fixed-seed costs as Table 3.
+#[test]
+fn golden_table4_cost_breakdown() {
+    let costs = experiments::table3_4(&TitanFrame::default(), 1);
+    check_golden("table4.txt", &format_table4(&costs));
+}
+
+/// The explorer's reference catalog is itself a golden: the mini-workflow's
+/// byte output for seed 1 must not drift across refactors (hex-dumped so the
+/// fixture is a reviewable text file).
+#[test]
+fn golden_explorer_reference_catalog() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = ExplorerConfig::new(scratch("golden-catalog"));
+    cfg.seed = 1;
+    let catalog = conformance::explorer::reference_catalog(&cfg);
+    let hex: String = catalog
+        .chunks(32)
+        .map(|row| row.iter().map(|b| format!("{b:02x}")).collect::<String>() + "\n")
+        .collect();
+    check_golden("explorer_catalog_seed1.hex", &hex);
+}
