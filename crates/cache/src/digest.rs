@@ -130,6 +130,21 @@ pub fn digest_bytes(data: &[u8]) -> Digest {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Fingerprint(pub Digest);
 
+impl Fingerprint {
+    /// Fold a namespace fingerprint into this one, yielding a fingerprint
+    /// that can only collide with the same parameters *in the same
+    /// namespace*. The workflow service derives a namespace from each
+    /// campaign's spec and scopes every product fingerprint with it, so
+    /// concurrent campaigns sharing one `ArtifactCache` can never read each
+    /// other's entries — while re-running the *same* campaign (solo or in a
+    /// service) still hits the same keys.
+    pub fn scoped(self, namespace: Fingerprint) -> Fingerprint {
+        let mut b = FingerprintBuilder::new();
+        b.push_fingerprint(namespace).push_fingerprint(self);
+        b.finish()
+    }
+}
+
 impl std::fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         self.0.fmt(f)
@@ -169,6 +184,13 @@ impl FingerprintBuilder {
     pub fn push_f64(&mut self, v: f64) -> &mut Self {
         self.h.update(&[3]);
         self.h.update(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Add a nested fingerprint field (namespacing / composition).
+    pub fn push_fingerprint(&mut self, fp: Fingerprint) -> &mut Self {
+        self.h.update(&[4]);
+        self.h.update(&fp.0 .0.to_le_bytes());
         self
     }
 
@@ -255,6 +277,39 @@ mod tests {
         let mut d = FingerprintBuilder::new();
         d.push_u64(1.0f64.to_bits());
         assert_ne!(c.finish(), d.finish(), "type tags must separate kinds");
+    }
+
+    #[test]
+    fn scoped_fingerprints_partition_the_key_space_by_namespace() {
+        let fp = FingerprintBuilder::new().push_f64(0.168).finish();
+        let ns_a = FingerprintBuilder::new().push_str("campaign-a").finish();
+        let ns_b = FingerprintBuilder::new().push_str("campaign-b").finish();
+
+        // Deterministic: the same campaign always lands on the same keys.
+        assert_eq!(fp.scoped(ns_a), fp.scoped(ns_a));
+        // Distinct namespaces never share a fingerprint, even for identical
+        // parameters — this is what prevents cross-campaign cache bleed.
+        assert_ne!(fp.scoped(ns_a), fp.scoped(ns_b));
+        // Scoping is not a no-op, and direction matters (ns(fp) != fp(ns)).
+        assert_ne!(fp.scoped(ns_a), fp);
+        assert_ne!(fp.scoped(ns_a), ns_a.scoped(fp));
+
+        let input = digest_bytes(b"same input bytes");
+        let ka = CacheKey::compose("centers", input, fp.scoped(ns_a));
+        let kb = CacheKey::compose("centers", input, fp.scoped(ns_b));
+        assert_ne!(ka, kb);
+    }
+
+    #[test]
+    fn push_fingerprint_is_tagged_against_collisions() {
+        let inner = FingerprintBuilder::new().push_u64(9).finish();
+        let mut nested = FingerprintBuilder::new();
+        nested.push_fingerprint(inner);
+        // A nested fingerprint must not collide with pushing its raw bits
+        // through another field type.
+        let mut raw_lo = FingerprintBuilder::new();
+        raw_lo.push_u64(inner.0 .0 as u64);
+        assert_ne!(nested.finish(), raw_lo.finish());
     }
 
     #[test]

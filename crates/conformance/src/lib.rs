@@ -30,6 +30,10 @@
 //!   then a driver re-runs the workflow crashing at *each* `(site, hit)`
 //!   in turn, checking exactly-once job execution and byte-identical
 //!   recovered catalogs for every schedule.
+//! * [`multi`] — the same crash-schedule sweep over the **multi-campaign
+//!   service**: K concurrent campaigns on shared shards/pool/cache, with
+//!   per-campaign exactly-once, byte-identical recovered catalogs, and
+//!   zero cross-campaign bleed asserted for every schedule.
 
 #![warn(missing_docs)]
 
@@ -37,9 +41,11 @@ pub mod differential;
 pub mod explorer;
 pub mod golden;
 pub mod inputs;
+pub mod multi;
 pub mod oracles;
 pub mod strategies;
 
 pub use differential::{assert_dpp_conformance, run_dpp_differential, DiffReport, Disagreement};
 pub use explorer::{explore, ExplorationReport, ExplorerConfig, ScheduleOutcome};
 pub use golden::{compare_or_bless, GoldenOutcome};
+pub use multi::{explore_multi, multi_reference, MultiConfig, MultiReport, MultiScheduleOutcome};

@@ -301,8 +301,8 @@ fn cmd_listen(args: &[String]) -> Result<(), String> {
     while listener.handled() < max_files && t0.elapsed().as_millis() < timeout_ms as u128 {
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    let files = listener.stop();
-    println!("listener handled {} file(s)", files.len());
+    let report = listener.stop_report();
+    println!("listener handled {} file(s)", report.submitted.len());
     Ok(())
 }
 

@@ -107,6 +107,98 @@ impl Journal {
         f.write_all(format!("{line}\n").as_bytes())?;
         f.sync_data()
     }
+
+    /// Current size of the backing file in bytes (0 when it does not exist).
+    /// Compaction triggers compare against this.
+    pub fn size_bytes(&self) -> io::Result<u64> {
+        match std::fs::metadata(&self.path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The staging path used by [`Journal::rewrite`]: `<path>.tmp`.
+    pub fn staging_path(&self) -> PathBuf {
+        let mut os = self.path.clone().into_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    }
+
+    /// Stage a full journal (header + `entries`) into [`staging_path`]
+    /// without committing it. Exposed separately from [`Journal::rewrite`]
+    /// so crash-schedule tests can die in the window between staging and
+    /// publish; production callers use `rewrite`.
+    ///
+    /// [`staging_path`]: Journal::staging_path
+    pub fn stage(&self, entries: &BTreeSet<PathBuf>) -> io::Result<()> {
+        let mut buf = String::with_capacity(64 * (entries.len() + 1));
+        buf.push_str(JOURNAL_HEADER);
+        buf.push('\n');
+        for entry in entries {
+            let line = entry.to_string_lossy();
+            if line.contains('\n') {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "journal entries must not contain newlines",
+                ));
+            }
+            buf.push_str(&line);
+            buf.push('\n');
+        }
+        let staging = self.staging_path();
+        let mut f = std::fs::File::create(&staging)?;
+        f.write_all(buf.as_bytes())?;
+        f.sync_data()
+    }
+
+    /// Publish a previously [`stage`]d journal over the live file via an
+    /// atomic rename.
+    ///
+    /// [`stage`]: Journal::stage
+    pub fn commit_staged(&self) -> io::Result<()> {
+        std::fs::rename(self.staging_path(), &self.path)
+    }
+
+    /// Atomically replace the journal with exactly `entries` (plus the
+    /// header), using the same tmp+rename discipline the emitters use for
+    /// drops: the new contents are staged at [`Journal::staging_path`] and
+    /// renamed over the live file only once fully written and synced.
+    ///
+    /// Crash safety: a crash before the rename leaves the original journal
+    /// untouched (the stale `.tmp` is simply overwritten by the next
+    /// rewrite); a crash after the rename leaves the complete new journal.
+    /// There is no intermediate state, so recovery never sees a torn
+    /// compaction. A rewrite also heals any torn trailing fragment as a side
+    /// effect, because only fully committed entries are written back.
+    pub fn rewrite(&self, entries: &BTreeSet<PathBuf>) -> io::Result<()> {
+        self.stage(entries)?;
+        self.commit_staged()
+    }
+
+    /// Size-triggered compaction: when the journal has grown past
+    /// `threshold_bytes`, rewrite it keeping only the entries `retain`
+    /// accepts. Long-lived services call this each sweep with a predicate
+    /// like "the output file still exists" — handled files that have been
+    /// swept away (or belong to a detached campaign) are dead weight a
+    /// resident process would otherwise accumulate forever.
+    ///
+    /// Returns `Some(dropped_entry_count)` when a compaction ran, `None`
+    /// when the journal was below the threshold.
+    pub fn compact_if_larger(
+        &self,
+        threshold_bytes: u64,
+        retain: impl Fn(&Path) -> bool,
+    ) -> io::Result<Option<usize>> {
+        if self.size_bytes()? <= threshold_bytes {
+            return Ok(None);
+        }
+        let before = self.load()?;
+        let kept: BTreeSet<PathBuf> = before.iter().filter(|p| retain(p)).cloned().collect();
+        let dropped = before.len() - kept.len();
+        self.rewrite(&kept)?;
+        Ok(Some(dropped))
+    }
 }
 
 #[cfg(test)]
@@ -174,5 +266,102 @@ mod tests {
     fn newline_in_entry_is_rejected() {
         let j = Journal::new(tmpfile("newline.journal"));
         assert!(j.append(Path::new("a\nb")).is_err());
+    }
+
+    #[test]
+    fn compaction_drops_dead_entries_and_keeps_live_ones() {
+        let j = Journal::new(tmpfile("compact.journal"));
+        let _ = std::fs::remove_file(j.path());
+        for i in 0..50 {
+            j.append(Path::new(&format!("/out/l2_{i:04}.hcio")))
+                .unwrap();
+        }
+        let before = j.size_bytes().unwrap();
+        // Below the threshold: nothing happens.
+        assert_eq!(j.compact_if_larger(before, |_| true).unwrap(), None);
+        assert_eq!(j.size_bytes().unwrap(), before);
+        // Over the threshold: keep only every 10th entry.
+        let dropped = j
+            .compact_if_larger(64, |p| {
+                p.to_string_lossy().trim_end_matches(".hcio").ends_with('0')
+            })
+            .unwrap()
+            .expect("journal over threshold must compact");
+        assert_eq!(dropped, 45);
+        assert!(j.size_bytes().unwrap() < before);
+        let set = j.load().unwrap();
+        assert_eq!(set.len(), 5);
+        assert!(set.contains(Path::new("/out/l2_0040.hcio")));
+        assert!(!set.contains(Path::new("/out/l2_0041.hcio")));
+        // Appends keep working against the compacted file.
+        j.append(Path::new("/out/l2_9999.hcio")).unwrap();
+        assert_eq!(j.load().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn compaction_heals_a_torn_tail() {
+        let j = Journal::new(tmpfile("compact_torn.journal"));
+        let _ = std::fs::remove_file(j.path());
+        j.append(Path::new("/out/a.hcio")).unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(j.path())
+            .unwrap();
+        f.write_all(b"/out/torn.hc").unwrap();
+        drop(f);
+        j.compact_if_larger(0, |_| true).unwrap().unwrap();
+        let set = j.load().unwrap();
+        assert_eq!(set.len(), 1, "torn fragment must not survive a rewrite");
+        assert!(set.contains(Path::new("/out/a.hcio")));
+    }
+
+    #[test]
+    fn crash_during_compaction_leaves_the_journal_intact() {
+        let j = Journal::new(tmpfile("compact_crash.journal"));
+        let _ = std::fs::remove_file(j.path());
+        let _ = std::fs::remove_file(j.staging_path());
+        for i in 0..8 {
+            j.append(Path::new(&format!("/out/l2_{i}.hcio"))).unwrap();
+        }
+        let full = j.load().unwrap();
+
+        // Crash window: the compaction staged its survivors but died before
+        // the rename. The live journal is byte-untouched, so recovery sees
+        // the full pre-compaction handled set — entries are only ever lost
+        // *atomically* with the publish.
+        let survivors: BTreeSet<PathBuf> = full.iter().take(2).cloned().collect();
+        j.stage(&survivors).unwrap();
+        assert!(j.staging_path().exists(), "stage must leave a .tmp behind");
+        assert_eq!(
+            j.load().unwrap(),
+            full,
+            "a crash before the rename must not lose any handled entry"
+        );
+
+        // The restarted process simply compacts again; the stale .tmp is
+        // overwritten, never read.
+        std::fs::write(j.staging_path(), b"garbage from a dead incarnation").unwrap();
+        let dropped = j.compact_if_larger(0, |p| survivors.contains(p)).unwrap();
+        assert_eq!(dropped, Some(6));
+        assert_eq!(j.load().unwrap(), survivors);
+        assert!(
+            !j.staging_path().exists(),
+            "publish must consume the staging file"
+        );
+    }
+
+    #[test]
+    fn crash_after_publish_yields_the_compacted_set() {
+        let j = Journal::new(tmpfile("compact_post.journal"));
+        let _ = std::fs::remove_file(j.path());
+        for i in 0..4 {
+            j.append(Path::new(&format!("/out/l2_{i}.hcio"))).unwrap();
+        }
+        let keep: BTreeSet<PathBuf> = [PathBuf::from("/out/l2_0.hcio")].into_iter().collect();
+        // stage + commit with nothing in between models a crash immediately
+        // after the rename: the new journal is already complete.
+        j.stage(&keep).unwrap();
+        j.commit_staged().unwrap();
+        assert_eq!(j.load().unwrap(), keep);
     }
 }

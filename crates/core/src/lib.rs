@@ -15,6 +15,9 @@
 //! * [`runner`] — *real* end-to-end execution of the in-situ, off-line, and
 //!   combined (simple & co-scheduled) workflows on an actual downscaled
 //!   simulation, with files on disk and a live listener.
+//! * [`service`] — the long-lived multi-campaign service: many concurrent
+//!   campaigns over one shared `dpp` pool and one `simhpc` batch queue,
+//!   with a sharded, work-stealing listener and admission backpressure.
 //! * [`experiments`] — one driver per table/figure of the evaluation
 //!   (Table 1–4, Figures 3–4, the §4.1 Q Continuum projection, the §4.2
 //!   subhalo imbalance).
@@ -31,6 +34,7 @@ pub mod listener;
 pub mod model;
 pub mod report;
 pub mod runner;
+pub mod service;
 
 pub use autosplit::{choose_split, plan_coschedule, CoSchedulePlan, SplitDecision};
 pub use cost::{format_table4, JobCost, PhaseSeconds, WorkflowCost};
@@ -41,4 +45,8 @@ pub use report::full_report;
 pub use runner::{
     compare_all, measured_table2, MeasuredEpoch, RunnerConfig, TestBed, WorkflowRun,
     RUNNER_FAULT_SITE,
+};
+pub use service::{
+    CampaignId, CampaignReport, CampaignSpec, CampaignStatus, ServiceConfig, ServiceError,
+    ServiceReport, WorkflowService,
 };

@@ -90,6 +90,14 @@ pub struct ListenerConfig {
     /// (journal included) without submitting a job, so a crash-restart or a
     /// duplicate scan never re-runs work whose output artifact survives.
     pub cache_gate: Option<CacheGate>,
+    /// Size-triggered journal compaction: once the journal file exceeds this
+    /// many bytes, it is rewritten (tmp + atomic rename) keeping only
+    /// entries whose output file still exists on disk. `None` disables
+    /// compaction — acceptable for one-shot runs, but a resident service
+    /// must set it or the journal grows without bound. Assumes outputs are
+    /// write-once: a handled file that is deleted and later *recreated
+    /// under the same name* would be resubmitted after compaction.
+    pub journal_compact_bytes: Option<u64>,
 }
 
 /// A cache-consultation callback (`true` = artifact exists and verifies, so
@@ -128,14 +136,16 @@ impl Default for ListenerConfig {
             injector: None,
             stop_grace: Duration::from_secs(2),
             cache_gate: None,
+            journal_compact_bytes: None,
         }
     }
 }
 
 impl ListenerConfig {
     /// Decide a fault at `site`: the explicit injector when configured,
-    /// otherwise the process-global one.
-    fn fault(&self, site: &str) -> Option<FaultKind> {
+    /// otherwise the process-global one. Shared with the service's sharded
+    /// listener, which reuses the `listener.*` sites.
+    pub(crate) fn fault(&self, site: &str) -> Option<FaultKind> {
         match &self.injector {
             Some(inj) => inj.check(site),
             None => faults::poll(site),
@@ -161,16 +171,18 @@ pub struct ListenerReport {
     /// [`ListenerConfig::cache_gate`] found a verified artifact for them, in
     /// handling order.
     pub cache_skipped: Vec<PathBuf>,
+    /// Journal compactions performed ([`ListenerConfig::journal_compact_bytes`]).
+    pub compactions: u64,
 }
 
 /// A running listener thread.
 pub struct Listener {
     stop: Arc<AtomicBool>,
     handle: std::thread::JoinHandle<ListenerReport>,
-    seen: Arc<Mutex<BTreeSet<PathBuf>>>,
+    state: Arc<Mutex<ScanState>>,
 }
 
-fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
+pub(crate) fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return Vec::new();
     };
@@ -197,6 +209,231 @@ fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
     out
 }
 
+/// Per-directory scan state, shared between the poll thread and the
+/// [`Listener`] handle (and, in service mode, between shard workers): the
+/// seen set, the quiescence size map, and the steady-state cursor.
+///
+/// The cursor is the heart of the O(new-files) steady state. Matching files
+/// are handled in sorted name order, and once a *contiguous prefix* of the
+/// sorted listing is fully handled the cursor advances to the prefix's last
+/// name: every later sweep dismisses the whole prefix with one binary
+/// search instead of probing each name against the seen set, and the
+/// prefix's entries are **evicted** from the seen set, so steady-state
+/// per-file work and memory track the unhandled tail — not every file ever
+/// handled. Eviction is enabled only when a journal is configured: the
+/// journal is the durable copy that rebuilds the seen set if the cursor's
+/// invariant ever breaks (a file appearing *below* the cursor, detected by
+/// comparing the below-cursor count against the one recorded when the
+/// cursor advanced).
+pub(crate) struct ScanState {
+    /// Handled files not (yet) covered by the cursor.
+    seen: BTreeSet<PathBuf>,
+    /// Size at the previous poll for files still being written.
+    pending: HashMap<PathBuf, u64>,
+    /// Greatest name of the fully-handled sorted prefix; every present
+    /// matching file `<=` this path is handled.
+    cursor: Option<PathBuf>,
+    /// How many matching files were `<= cursor` when it last advanced.
+    below: usize,
+    /// Total files handled (journal-recovered included) — the counter
+    /// behind [`Listener::handled`], kept separately because eviction makes
+    /// `seen.len()` an undercount.
+    handled_total: usize,
+}
+
+impl ScanState {
+    pub(crate) fn new() -> Self {
+        ScanState {
+            seen: BTreeSet::new(),
+            pending: HashMap::new(),
+            cursor: None,
+            below: 0,
+            handled_total: 0,
+        }
+    }
+
+    /// Preload journal-recovered entries; each counts as handled.
+    pub(crate) fn recover(&mut self, entries: impl IntoIterator<Item = PathBuf>) {
+        let before = self.seen.len();
+        self.seen.extend(entries);
+        self.handled_total += self.seen.len() - before;
+    }
+
+    /// Total files handled so far (recovered included).
+    pub(crate) fn handled_total(&self) -> usize {
+        self.handled_total
+    }
+
+    /// Entries currently resident in memory — bounded by the unhandled tail
+    /// once the cursor is active, not by total files handled.
+    pub(crate) fn seen_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    pub(crate) fn is_handled(&self, f: &Path) -> bool {
+        self.cursor.as_deref().is_some_and(|c| f <= c) || self.seen.contains(f)
+    }
+
+    fn mark_handled(&mut self, f: &Path) {
+        self.pending.remove(f);
+        self.seen.insert(f.to_path_buf());
+        self.handled_total += 1;
+    }
+}
+
+/// One gated sweep over `dir`: quiescence check, cache gate, submission
+/// with retry, journal append, cursor advance/eviction, and size-triggered
+/// journal compaction. Returns `false` when an injected crash killed the
+/// scanning thread mid-sweep.
+///
+/// Shared by the single-directory [`Listener`] and the service's sharded
+/// listener. `state` must not be swept concurrently by another thread
+/// (other threads may read its counters through the mutex).
+pub(crate) fn sweep_dir<F>(
+    dir: &Path,
+    cfg: &ListenerConfig,
+    state: &Mutex<ScanState>,
+    journal: Option<&Journal>,
+    on_file: &mut F,
+    report: &mut ListenerReport,
+) -> bool
+where
+    F: FnMut(&Path) -> Result<(), SubmitError>,
+{
+    let files = matching_files(dir, cfg);
+    // Cursor guard: the invariant is "every present matching file `<=
+    // cursor` is handled". If the below-cursor count drifted from the one
+    // recorded when the cursor advanced, a file appeared below the cursor
+    // (out-of-order arrival) — rebuild the seen set from the journal and
+    // fall back to per-file probing for this sweep.
+    let mut start = 0usize;
+    {
+        let mut st = state.lock();
+        if let Some(cursor) = st.cursor.clone() {
+            let below = files.partition_point(|f| f.as_path() <= cursor.as_path());
+            if below == st.below {
+                start = below;
+            } else if let Some(j) = journal {
+                match j.load() {
+                    Ok(entries) => {
+                        telemetry::count!("listener", "cursor_rebuilds", 1);
+                        st.seen
+                            .extend(entries.into_iter().filter(|p| p.parent() == Some(dir)));
+                        st.cursor = None;
+                        st.below = 0;
+                    }
+                    Err(_) => {
+                        // The durable copy is unreadable right now; keep
+                        // trusting the cursor — skipping is the safe side
+                        // for exactly-once (the newcomer waits for a sweep
+                        // where the journal reads back).
+                        start = below;
+                    }
+                }
+            }
+        }
+    }
+    for f in &files[start..] {
+        if state.lock().is_handled(f) {
+            continue;
+        }
+        if cfg.require_quiescence {
+            let Ok(meta) = std::fs::metadata(f) else {
+                continue; // raced with a writer's rename/delete
+            };
+            let size = meta.len();
+            let mut st = state.lock();
+            if st.pending.get(f) != Some(&size) {
+                // First sighting, or still growing: wait for a poll where
+                // the size holds steady.
+                st.pending.insert(f.clone(), size);
+                continue;
+            }
+        }
+        // Cache gate: a verified artifact for this exact file means the
+        // submission would recompute something that already exists. Record
+        // the file as handled — journal included, so a restart doesn't
+        // resubmit it either — without running a job. Checked only after
+        // quiescence: a half-written file's digest matches nothing anyway,
+        // but there is no point hashing a moving target.
+        if let Some(gate) = &cfg.cache_gate {
+            if (gate.0)(f) {
+                telemetry::count!("listener", "cache_skipped", 1);
+                if let Some(j) = journal {
+                    if !journal_append(f, cfg, report, j) {
+                        return false; // crashed mid-append
+                    }
+                }
+                report.cache_skipped.push(f.clone());
+                state.lock().mark_handled(f);
+                continue;
+            }
+        }
+        if !submit_one(f, cfg, on_file, report, journal) {
+            return false; // crashed mid-submit
+        }
+        if report.submitted.last().map(PathBuf::as_path) == Some(f.as_path()) {
+            state.lock().mark_handled(f);
+        }
+    }
+    // Advance the cursor over the (possibly longer) contiguous handled
+    // prefix and evict what it now covers. Journal-gated: evicting without
+    // a durable copy would turn a cursor rebuild into double submission.
+    if journal.is_some() {
+        let mut st = state.lock();
+        let mut idx =
+            files.partition_point(|f| st.cursor.as_deref().is_some_and(|c| f.as_path() <= c));
+        while idx < files.len() && st.is_handled(&files[idx]) {
+            idx += 1;
+        }
+        if idx > 0 && (st.below != idx || st.cursor.is_none()) {
+            let cursor = files[idx - 1].clone();
+            let tail = st.seen.split_off(&cursor);
+            st.seen = tail;
+            st.seen.remove(&cursor);
+            st.cursor = Some(cursor);
+            st.below = idx;
+        }
+    }
+    // Size-triggered journal compaction, reusing the torn-append-healing
+    // tmp+rename discipline (see [`Journal::rewrite`]): entries whose
+    // output file vanished are dead weight a resident process would carry
+    // forever. The `listener.compact` fault site lets the chaos harness
+    // crash the worst window (survivors staged, rename not yet issued).
+    if let (Some(j), Some(threshold)) = (journal, cfg.journal_compact_bytes) {
+        // Consult the fault site only when a compaction is actually due, so
+        // recorded hit counts track real compactions, not every sweep.
+        if j.size_bytes().map(|s| s > threshold).unwrap_or(false) {
+            match cfg.fault("listener.compact") {
+                Some(FaultKind::Crash) => {
+                    telemetry::instant!("faults", "listener.compact", 1);
+                    if let Ok(live) = j.load() {
+                        let kept = live.into_iter().filter(|p| p.exists()).collect();
+                        let _ = j.stage(&kept);
+                    }
+                    return false; // died between staging and publish
+                }
+                Some(FaultKind::Stall(d)) => {
+                    telemetry::instant!("faults", "listener.compact", 2);
+                    std::thread::sleep(d);
+                }
+                Some(FaultKind::Transient) => {
+                    // Compaction is pure maintenance: skip this round, the
+                    // next sweep retries.
+                    telemetry::instant!("faults", "listener.compact", 0);
+                    return true;
+                }
+                None => {}
+            }
+            if let Ok(Some(_dropped)) = j.compact_if_larger(threshold, |p| p.exists()) {
+                telemetry::count!("listener", "journal_compactions", 1);
+                report.compactions += 1;
+            }
+        }
+    }
+    true
+}
+
 impl Listener {
     /// Start watching `dir`; `on_file` runs once per newly appeared matching
     /// file (the "generate batch script and submit" step). Infallible
@@ -220,74 +457,19 @@ impl Listener {
         F: FnMut(&Path) -> Result<(), SubmitError> + Send + 'static,
     {
         let stop = Arc::new(AtomicBool::new(false));
-        let seen: Arc<Mutex<BTreeSet<PathBuf>>> = Arc::new(Mutex::new(BTreeSet::new()));
+        let state = Arc::new(Mutex::new(ScanState::new()));
         // Crash recovery: files a previous listener run already handled are
         // seen from the start and never resubmitted.
         let journal = cfg.journal.clone().map(Journal::new);
         if let Some(j) = &journal {
             let recovered = j.load().expect("listener journal unreadable");
             telemetry::count!("listener", "journal_recovered", recovered.len());
-            seen.lock().extend(recovered);
+            state.lock().recover(recovered);
         }
         let stop2 = Arc::clone(&stop);
-        let seen2 = Arc::clone(&seen);
+        let state2 = Arc::clone(&state);
         let handle = std::thread::spawn(move || {
             let mut report = ListenerReport::default();
-            // Size at the previous poll for files still being written.
-            let mut pending: HashMap<PathBuf, u64> = HashMap::new();
-            // One gated sweep over the directory; returns false when an
-            // injected crash killed the listener mid-sweep.
-            let sweep = |on_file: &mut F,
-                         report: &mut ListenerReport,
-                         pending: &mut HashMap<PathBuf, u64>|
-             -> bool {
-                for f in matching_files(&dir, &cfg) {
-                    if seen2.lock().contains(&f) {
-                        continue;
-                    }
-                    if cfg.require_quiescence {
-                        let Ok(meta) = std::fs::metadata(&f) else {
-                            continue; // raced with a writer's rename/delete
-                        };
-                        let size = meta.len();
-                        if pending.get(&f) != Some(&size) {
-                            // First sighting, or still growing: wait for a
-                            // poll where the size holds steady.
-                            pending.insert(f.clone(), size);
-                            continue;
-                        }
-                    }
-                    // Cache gate: a verified artifact for this exact file
-                    // means the submission would recompute something that
-                    // already exists. Record the file as handled — journal
-                    // included, so a restart doesn't resubmit it either —
-                    // without running a job. Checked only after quiescence:
-                    // a half-written file's digest matches nothing anyway,
-                    // but there is no point hashing a moving target.
-                    if let Some(gate) = &cfg.cache_gate {
-                        if (gate.0)(&f) {
-                            telemetry::count!("listener", "cache_skipped", 1);
-                            if let Some(j) = &journal {
-                                if !journal_append(&f, &cfg, report, j) {
-                                    return false; // crashed mid-append
-                                }
-                            }
-                            report.cache_skipped.push(f.clone());
-                            pending.remove(&f);
-                            seen2.lock().insert(f.clone());
-                            continue;
-                        }
-                    }
-                    if !submit_one(&f, &cfg, on_file, report, journal.as_ref()) {
-                        return false; // crashed mid-submit
-                    }
-                    if report.submitted.last() == Some(&f) {
-                        pending.remove(&f);
-                        seen2.lock().insert(f.clone());
-                    }
-                }
-                true
-            };
             loop {
                 if stop2.load(Ordering::Acquire) {
                     // Final sweeps "to catch the last output data" — under
@@ -297,13 +479,20 @@ impl Listener {
                     // period runs out.
                     let deadline = Instant::now() + cfg.stop_grace;
                     loop {
-                        if !sweep(&mut on_file, &mut report, &mut pending) {
+                        if !sweep_dir(
+                            &dir,
+                            &cfg,
+                            &state2,
+                            journal.as_ref(),
+                            &mut on_file,
+                            &mut report,
+                        ) {
                             report.crashed = true;
                             return report;
                         }
                         let all_handled = {
-                            let seen = seen2.lock();
-                            matching_files(&dir, &cfg).iter().all(|f| seen.contains(f))
+                            let st = state2.lock();
+                            matching_files(&dir, &cfg).iter().all(|f| st.is_handled(f))
                         };
                         if all_handled || Instant::now() >= deadline {
                             break;
@@ -333,7 +522,14 @@ impl Listener {
                         telemetry::instant!("faults", "listener.scan", 0);
                     }
                     None => {
-                        if !sweep(&mut on_file, &mut report, &mut pending) {
+                        if !sweep_dir(
+                            &dir,
+                            &cfg,
+                            &state2,
+                            journal.as_ref(),
+                            &mut on_file,
+                            &mut report,
+                        ) {
                             report.crashed = true;
                             return report;
                         }
@@ -351,16 +547,34 @@ impl Listener {
             }
             report
         });
-        Listener { stop, handle, seen }
+        Listener {
+            stop,
+            handle,
+            state,
+        }
     }
 
     /// Number of files handled so far (journal-recovered files included).
     pub fn handled(&self) -> usize {
-        self.seen.lock().len()
+        self.state.lock().handled_total()
+    }
+
+    /// Entries currently resident in the in-memory seen set. With a journal
+    /// configured this is bounded by the *unhandled tail* of the directory —
+    /// the cursor evicts handled-and-journaled entries — not by the total
+    /// number of files ever handled. Exposed for diagnostics and the
+    /// backlog regression tests.
+    pub fn seen_len(&self) -> usize {
+        self.state.lock().seen_len()
     }
 
     /// Signal the end of the main application and wait for the final sweep;
     /// returns every file submitted, in submission order.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use stop_report(): stop() discards the crash flag, cache skips, \
+                and retry/compaction accounting the report carries"
+    )]
     pub fn stop(self) -> Vec<PathBuf> {
         self.stop_report().submitted
     }
@@ -379,7 +593,7 @@ impl Listener {
 /// Success is visible to the caller as `report.submitted.last() == Some(f)`;
 /// a file whose attempts are exhausted is simply not appended (a later poll
 /// retries it from scratch).
-fn submit_one<F>(
+pub(crate) fn submit_one<F>(
     f: &Path,
     cfg: &ListenerConfig,
     on_file: &mut F,
@@ -429,7 +643,7 @@ where
 
 /// Append a handled file to the journal, retrying transient failures.
 /// Returns `false` when an injected `Crash` fault fired.
-fn journal_append(
+pub(crate) fn journal_append(
     f: &Path,
     cfg: &ListenerConfig,
     report: &mut ListenerReport,
@@ -499,7 +713,7 @@ mod tests {
         // Non-matching files are ignored.
         std::fs::write(dir.join("checkpoint.bin"), b"x").unwrap();
         std::fs::write(dir.join("l2_partial.tmp"), b"x").unwrap();
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 3);
         assert_eq!(count.load(Ordering::SeqCst), 3);
         std::fs::remove_dir_all(&dir).ok();
@@ -520,7 +734,7 @@ mod tests {
         );
         std::thread::sleep(Duration::from_millis(30));
         std::fs::write(dir.join("last_step.hcio"), b"data").unwrap();
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 1, "final sweep must catch the last output");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -545,7 +759,7 @@ mod tests {
         // Let it poll the same file many times.
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(listener.handled(), 1);
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 1);
         assert_eq!(count.load(Ordering::SeqCst), 1);
         std::fs::remove_dir_all(&dir).ok();
@@ -589,7 +803,7 @@ mod tests {
         // Writer done: two quiet polls later the job fires, exactly once.
         std::thread::sleep(Duration::from_millis(200));
         assert_eq!(listener.handled(), 1, "quiescent file must be submitted");
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 1, "exactly one (late) submission");
         assert_eq!(
             sizes.lock().as_slice(),
@@ -612,7 +826,7 @@ mod tests {
         );
         std::thread::sleep(Duration::from_millis(100));
         // Even the final sweep must not pick up the temporary.
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 1);
         assert!(files[0].ends_with("a.out"));
         std::fs::remove_dir_all(&dir).ok();
@@ -636,7 +850,7 @@ mod tests {
         std::fs::rename(dir.join("out.hcio.tmp"), dir.join("out.hcio")).unwrap();
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(listener.handled(), 1);
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         assert_eq!(files.len(), 1);
         assert!(files[0].ends_with("out.hcio"));
         std::fs::remove_dir_all(&dir).ok();
@@ -647,7 +861,7 @@ mod tests {
         let dir = std::env::temp_dir().join("listener_test_never_exists_xyz");
         let listener = Listener::spawn(dir, ListenerConfig::default(), |_| {});
         std::thread::sleep(Duration::from_millis(30));
-        assert!(listener.stop().is_empty());
+        assert!(listener.stop_report().submitted.is_empty());
     }
 
     #[test]
@@ -684,7 +898,7 @@ mod tests {
             }
         });
         std::thread::sleep(Duration::from_millis(20));
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         writer.join().unwrap();
         assert_eq!(files.len(), 1, "the late file must still be caught");
         assert_eq!(
@@ -723,7 +937,7 @@ mod tests {
         });
         std::thread::sleep(Duration::from_millis(20));
         let t0 = Instant::now();
-        let files = listener.stop();
+        let files = listener.stop_report().submitted;
         let took = t0.elapsed();
         stop_flag.store(true, Ordering::Release);
         writer.join().unwrap();
@@ -921,6 +1135,244 @@ mod tests {
             "recovered file is not resubmitted"
         );
         assert_eq!(count.load(Ordering::SeqCst), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_stop_delegates_to_stop_report() {
+        // The divergent stop() path is gone: it is now a thin (deprecated)
+        // wrapper over stop_report(), so both APIs observe the same run.
+        let dir = tmpdir("stopdelegate");
+        std::fs::write(dir.join("a.hcio"), b"x").unwrap();
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                ..Default::default()
+            },
+            |_| {},
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        let files = listener.stop();
+        assert_eq!(files.len(), 1);
+        assert!(files[0].ends_with("a.hcio"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Satellite regression: a 10k-file backlog recovered from the journal
+    /// must not be re-probed file-by-file on every poll. The cursor covers
+    /// the handled prefix, the seen set is evicted down to the unhandled
+    /// tail, and a genuinely new file is still handled exactly once — even
+    /// one that sorts *below* the cursor (out-of-order arrival).
+    #[test]
+    fn ten_k_backlog_scans_stay_o_new_files() {
+        let dir = tmpdir("backlog10k");
+        let journal_path = dir.join("shard.journal");
+        // Pre-populate the backlog and its journal directly (journaling 10k
+        // entries through append() would fsync 10k times).
+        let mut journal_text = String::from("hacc-listener-journal v1\n");
+        for i in 0..10_000 {
+            let p = dir.join(format!("m_{i:05}.hcio"));
+            std::fs::write(&p, b"handled long ago").unwrap();
+            journal_text.push_str(&p.to_string_lossy());
+            journal_text.push('\n');
+        }
+        std::fs::write(&journal_path, journal_text).unwrap();
+
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        // Sweeps over 10k files take a while in debug builds: wait on the
+        // observable counters instead of fixed sleeps.
+        let wait_for = |cond: &dyn Fn() -> bool| {
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !cond() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+        wait_for(&|| listener.handled() == 10_000 && listener.seen_len() < 16);
+        assert_eq!(listener.handled(), 10_000);
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            0,
+            "backlog is never resubmitted"
+        );
+        assert!(
+            listener.seen_len() < 16,
+            "handled-and-journaled backlog must be evicted from the seen \
+             set, got {} resident entries",
+            listener.seen_len()
+        );
+
+        // A new file above the cursor: handled exactly once, then evicted.
+        std::fs::write(dir.join("m_10000.hcio"), b"new").unwrap();
+        wait_for(&|| listener.handled() == 10_001);
+        assert_eq!(listener.handled(), 10_001);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+
+        // A file sorting below the cursor breaks the prefix invariant; the
+        // guard detects the count drift, rebuilds from the journal, and the
+        // newcomer is handled exactly once.
+        std::fs::write(dir.join("a_straggler.hcio"), b"late").unwrap();
+        wait_for(&|| listener.handled() == 10_002 && listener.seen_len() < 16);
+        assert_eq!(listener.handled(), 10_002);
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+        assert!(
+            listener.seen_len() < 16,
+            "seen set must shrink back after the rebuild, got {}",
+            listener.seen_len()
+        );
+
+        let report = listener.stop_report();
+        assert_eq!(report.submitted.len(), 2);
+        assert!(!report.crashed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_compaction_drops_swept_outputs_and_survives_restart() {
+        let dir = tmpdir("compactlive");
+        let journal_path = dir.join("listener.journal");
+        let count = Arc::new(AtomicUsize::new(0));
+        let spawn = |threshold: Option<u64>, c: Arc<AtomicUsize>| {
+            Listener::spawn(
+                dir.clone(),
+                ListenerConfig {
+                    poll_interval: Duration::from_millis(5),
+                    suffix: ".hcio".into(),
+                    journal: Some(journal_path.clone()),
+                    journal_compact_bytes: threshold,
+                    ..Default::default()
+                },
+                move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                },
+            )
+        };
+        // Handle 20 files without compaction.
+        for i in 0..20 {
+            std::fs::write(dir.join(format!("l2_{i:02}.hcio")), b"data").unwrap();
+        }
+        let listener = spawn(None, Arc::clone(&count));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(!listener.stop_report().crashed);
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        let full_size = Journal::new(journal_path.clone()).size_bytes().unwrap();
+
+        // Archive 15 outputs (a real service sweeps drops to tape), then
+        // restart with a tight compaction threshold: the journal must shed
+        // the dead entries while keeping every live one.
+        for i in 0..15 {
+            std::fs::remove_file(dir.join(format!("l2_{i:02}.hcio"))).unwrap();
+        }
+        let listener = spawn(Some(full_size / 2), Arc::clone(&count));
+        std::thread::sleep(Duration::from_millis(120));
+        let report = listener.stop_report();
+        assert!(report.compactions >= 1, "size trigger must have fired");
+        assert_eq!(count.load(Ordering::SeqCst), 20, "no resubmissions");
+        let j = Journal::new(journal_path.clone());
+        assert!(j.size_bytes().unwrap() < full_size);
+        let live = j.load().unwrap();
+        assert_eq!(live.len(), 5, "exactly the live entries survive");
+        for i in 15..20 {
+            assert!(live.contains(&dir.join(format!("l2_{i:02}.hcio"))));
+        }
+
+        // And a third incarnation over the compacted journal still treats
+        // the survivors as handled.
+        let listener = spawn(None, Arc::clone(&count));
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(listener.stop_report().submitted.is_empty());
+        assert_eq!(count.load(Ordering::SeqCst), 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_during_compaction_recovers_without_losing_entries() {
+        let dir = tmpdir("compactcrash");
+        let journal_path = dir.join("listener.journal");
+        for i in 0..10 {
+            std::fs::write(dir.join(format!("l2_{i}.hcio")), b"data").unwrap();
+        }
+        let count = Arc::new(AtomicUsize::new(0));
+
+        // Incarnation 1: crash at the first compaction attempt — in the
+        // worst window, after staging the survivors but before the rename.
+        let plan = faults::FaultPlan::new(11)
+            .with_site(faults::SiteSpec::crash_at("listener.compact", 0))
+            .build();
+        let c2 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                journal_compact_bytes: Some(64),
+                injector: Some(plan),
+                ..Default::default()
+            },
+            move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        let report1 = listener.stop_report();
+        assert!(
+            report1.crashed,
+            "the compaction crash must kill the listener"
+        );
+        let handled_before = count.load(Ordering::SeqCst);
+        assert!(handled_before > 0);
+        let j = Journal::new(journal_path.clone());
+        assert!(
+            j.staging_path().exists(),
+            "crash must strand the staged tmp, not a half-rewritten journal"
+        );
+        assert_eq!(
+            j.load().unwrap().len(),
+            handled_before,
+            "the live journal must be byte-untouched by the aborted compaction"
+        );
+
+        // Incarnation 2 (no faults): nothing is resubmitted, the remaining
+        // files are handled, and a clean compaction consumes the stale tmp.
+        let c3 = Arc::clone(&count);
+        let listener = Listener::spawn(
+            dir.clone(),
+            ListenerConfig {
+                poll_interval: Duration::from_millis(5),
+                suffix: ".hcio".into(),
+                journal: Some(journal_path.clone()),
+                journal_compact_bytes: Some(64),
+                ..Default::default()
+            },
+            move |_| {
+                c3.fetch_add(1, Ordering::SeqCst);
+            },
+        );
+        std::thread::sleep(Duration::from_millis(150));
+        let report2 = listener.stop_report();
+        assert!(!report2.crashed);
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            10,
+            "every file analyzed exactly once across the crash"
+        );
+        assert_eq!(j.load().unwrap().len(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

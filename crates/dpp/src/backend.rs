@@ -102,6 +102,18 @@ impl Threaded {
     pub fn pool(&self) -> &ThreadPool {
         &self.pool
     }
+
+    /// A backend sharing this one's worker threads whose
+    /// [`pool_stats`](Backend::pool_stats) report only work dispatched
+    /// through the returned handle (see [`ThreadPool::scoped`]). Give each
+    /// concurrent campaign its own scoped backend and `delta_since` on its
+    /// snapshots attributes dispatches per campaign instead of smearing one
+    /// shared pool's totals across everybody.
+    pub fn scoped(&self) -> Threaded {
+        Threaded {
+            pool: self.pool.scoped(),
+        }
+    }
 }
 
 impl Backend for Threaded {
@@ -118,7 +130,9 @@ impl Backend for Threaded {
     }
 
     fn pool_stats(&self) -> Option<PoolStats> {
-        Some(self.pool.stats())
+        // A scoped backend reports its private counters so callers'
+        // delta-based attribution is isolated from the pool's other users.
+        self.pool.scope_stats().or_else(|| Some(self.pool.stats()))
     }
 }
 
@@ -491,6 +505,28 @@ mod tests {
         dynamic.dispatch(1000, 10, &|_| {});
         static_.dispatch(1000, 10, &|_| {});
         assert_eq!(pool.stats().dispatches, 2, "both dispatches hit one pool");
+    }
+
+    #[test]
+    fn scoped_backends_isolate_pool_stat_deltas() {
+        let shared = Threaded::new(4);
+        let campaign_a = shared.scoped();
+        let campaign_b = shared.scoped();
+
+        let a0 = campaign_a.pool_stats().unwrap();
+        let b0 = campaign_b.pool_stats().unwrap();
+        campaign_a.dispatch(4096, 32, &|_| {}); // 128 chunks
+        campaign_b.dispatch(1024, 32, &|_| {}); // 32 chunks
+
+        let da = campaign_a.pool_stats().unwrap().delta_since(&a0);
+        let db = campaign_b.pool_stats().unwrap().delta_since(&b0);
+        assert_eq!(da.dispatches, 1, "campaign A must not see B's dispatch");
+        assert_eq!(da.chunks_executed(), 128);
+        assert_eq!(db.dispatches, 1, "campaign B must not see A's dispatch");
+        assert_eq!(db.chunks_executed(), 32);
+
+        // The unscoped base backend still reports the shared totals.
+        assert_eq!(shared.pool_stats().unwrap().dispatches, 2);
     }
 
     #[test]

@@ -62,6 +62,10 @@ struct Job {
     panicked: AtomicBool,
     /// Payload of the first panic, re-raised by the caller.
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Handle-local counters of the dispatching handle, when it is a
+    /// [`ThreadPool::scoped`] view; chunk work is attributed here *in
+    /// addition to* the pool-shared cells.
+    scope: Option<Arc<StatCells>>,
 }
 
 // SAFETY: `f` points at a `Sync` closure; the raw pointer is only shared for
@@ -251,6 +255,14 @@ fn run_job(job: &Job, shared: &Shared, is_worker: bool) {
         &shared.stats.chunks_by_caller
     };
     cell.fetch_add(executed, Ordering::Relaxed);
+    if let Some(scope) = &job.scope {
+        let cell = if is_worker {
+            &scope.chunks_by_workers
+        } else {
+            &scope.chunks_by_caller
+        };
+        cell.fetch_add(executed, Ordering::Relaxed);
+    }
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -271,6 +283,9 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         shared.stats.worker_wakeups.fetch_add(1, Ordering::Relaxed);
+        if let Some(scope) = &job.scope {
+            scope.worker_wakeups.fetch_add(1, Ordering::Relaxed);
+        }
         run_job(&job, &shared, true);
     }
 }
@@ -307,6 +322,9 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
 #[derive(Clone)]
 pub struct ThreadPool {
     inner: Arc<PoolInner>,
+    /// Handle-local counters, present on [`ThreadPool::scoped`] views.
+    /// Clones of a scoped handle share the same scope cells.
+    scope: Option<Arc<StatCells>>,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -314,6 +332,7 @@ impl std::fmt::Debug for ThreadPool {
         f.debug_struct("ThreadPool")
             .field("workers", &self.inner.workers)
             .field("id", &self.inner.shared.id)
+            .field("scoped", &self.scope.is_some())
             .finish()
     }
 }
@@ -354,6 +373,7 @@ impl ThreadPool {
                 submit: Mutex::new(()),
                 handles: Mutex::new(handles),
             }),
+            scope: None,
         }
     }
 
@@ -371,6 +391,10 @@ impl ThreadPool {
     }
 
     /// Snapshot of the pool's activity counters.
+    ///
+    /// These cells are shared by **every** handle cloned from this pool, so
+    /// two concurrent users each see the other's dispatches in a delta. Use
+    /// [`scoped`](Self::scoped) handles when per-user attribution matters.
     pub fn stats(&self) -> PoolStats {
         self.inner.shared.stats.snapshot()
     }
@@ -378,6 +402,32 @@ impl ThreadPool {
     /// Zero all activity counters.
     pub fn reset_stats(&self) {
         self.inner.shared.stats.reset();
+    }
+
+    /// A handle sharing this pool's worker threads but carrying its own
+    /// private activity counters: work dispatched *through the returned
+    /// handle* (and only that work) is additionally attributed to
+    /// [`scope_stats`](Self::scope_stats). The pool-shared [`stats`](Self::stats)
+    /// still see everything, so the global counters stay the sum over scopes.
+    ///
+    /// This is what lets several concurrent campaigns share one pool without
+    /// mis-attributing each other's dispatch deltas.
+    pub fn scoped(&self) -> ThreadPool {
+        ThreadPool {
+            inner: Arc::clone(&self.inner),
+            scope: Some(Arc::new(StatCells::default())),
+        }
+    }
+
+    /// Snapshot of this handle's private counters, or `None` for an
+    /// unscoped handle.
+    pub fn scope_stats(&self) -> Option<PoolStats> {
+        self.scope.as_ref().map(|s| s.snapshot())
+    }
+
+    /// Whether this handle was created with [`scoped`](Self::scoped).
+    pub fn is_scoped(&self) -> bool {
+        self.scope.is_some()
     }
 
     /// Run `f` over every chunk of `0..n`, where each chunk holds at least
@@ -404,16 +454,17 @@ impl ThreadPool {
                 let hi = (lo + grain).min(n);
                 f(lo..hi);
             }
-            let stats = &shared.stats;
             let nanos = t0.elapsed().as_nanos() as u64;
-            stats.dispatches.fetch_add(1, Ordering::Relaxed);
-            stats.serial_dispatches.fetch_add(1, Ordering::Relaxed);
-            stats
-                .chunks_by_caller
-                .fetch_add(chunks as u64, Ordering::Relaxed);
-            stats
-                .total_dispatch_nanos
-                .fetch_add(nanos, Ordering::Relaxed);
+            for stats in std::iter::once(&shared.stats).chain(self.scope.as_deref()) {
+                stats.dispatches.fetch_add(1, Ordering::Relaxed);
+                stats.serial_dispatches.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .chunks_by_caller
+                    .fetch_add(chunks as u64, Ordering::Relaxed);
+                stats
+                    .total_dispatch_nanos
+                    .fetch_add(nanos, Ordering::Relaxed);
+            }
             telemetry::count!("dpp", "dispatches", 1);
             telemetry::count!("dpp", "dispatch_nanos", nanos);
             return;
@@ -436,6 +487,7 @@ impl ThreadPool {
             completed: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
             panic_payload: Mutex::new(None),
+            scope: self.scope.clone(),
         });
 
         {
@@ -462,12 +514,13 @@ impl ThreadPool {
             st.job = None;
         }
 
-        let stats = &shared.stats;
         let nanos = t0.elapsed().as_nanos() as u64;
-        stats.dispatches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .total_dispatch_nanos
-            .fetch_add(nanos, Ordering::Relaxed);
+        for stats in std::iter::once(&shared.stats).chain(self.scope.as_deref()) {
+            stats.dispatches.fetch_add(1, Ordering::Relaxed);
+            stats
+                .total_dispatch_nanos
+                .fetch_add(nanos, Ordering::Relaxed);
+        }
         telemetry::count!("dpp", "dispatches", 1);
         telemetry::count!("dpp", "dispatch_nanos", nanos);
 
@@ -494,6 +547,9 @@ impl ThreadPool {
             .stats
             .tasks_executed
             .fetch_add(n as u64, Ordering::Relaxed);
+        if let Some(scope) = &self.scope {
+            scope.tasks_executed.fetch_add(n as u64, Ordering::Relaxed);
+        }
         if self.inner.workers == 1 || n == 1 {
             for t in tasks {
                 t();
@@ -733,6 +789,75 @@ mod tests {
         let pool = ThreadPool::new(8);
         pool.dispatch(100, 1, &|_| {});
         drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn scoped_handles_attribute_only_their_own_dispatches() {
+        let pool = ThreadPool::new(4);
+        assert!(!pool.is_scoped());
+        assert_eq!(pool.scope_stats(), None);
+
+        let a = pool.scoped();
+        let b = pool.scoped();
+        assert!(a.is_scoped());
+
+        a.dispatch(1024, 8, &|_| {}); // 128 chunks, parallel path
+        a.dispatch(1, 8, &|_| {}); // serial fast path
+        b.dispatch(512, 8, &|_| {}); // 64 chunks
+
+        let sa = a.scope_stats().unwrap();
+        let sb = b.scope_stats().unwrap();
+        assert_eq!(sa.dispatches, 2, "scope A sees only its own dispatches");
+        assert_eq!(sa.serial_dispatches, 1);
+        assert_eq!(sa.chunks_executed(), 128 + 1);
+        assert_eq!(sb.dispatches, 1, "scope B is not polluted by scope A");
+        assert_eq!(sb.chunks_executed(), 64);
+
+        // The pool-shared counters remain the sum over every handle.
+        let total = pool.stats();
+        assert_eq!(total.dispatches, 3);
+        assert_eq!(total.chunks_executed(), 128 + 1 + 64);
+    }
+
+    #[test]
+    fn concurrent_scoped_handles_stay_isolated() {
+        let pool = ThreadPool::new(4);
+        let mut joins = Vec::new();
+        for k in 0..3u64 {
+            let handle = pool.scoped();
+            joins.push(std::thread::spawn(move || {
+                let rounds = 10 * (k + 1);
+                for _ in 0..rounds {
+                    handle.dispatch(256, 16, &|_| {});
+                }
+                (handle, rounds)
+            }));
+        }
+        let mut total_dispatches = 0;
+        for j in joins {
+            let (handle, rounds) = j.join().unwrap();
+            let s = handle.scope_stats().unwrap();
+            assert_eq!(
+                s.dispatches, rounds,
+                "each scope counts exactly its own dispatches under contention"
+            );
+            assert_eq!(s.chunks_executed(), rounds * 16);
+            total_dispatches += rounds;
+        }
+        assert_eq!(pool.stats().dispatches, total_dispatches);
+    }
+
+    #[test]
+    fn scoped_run_tasks_counts_into_the_scope() {
+        let pool = ThreadPool::new(2);
+        let scoped = pool.scoped();
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..5)
+            .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send>)
+            .collect();
+        scoped.run_tasks(tasks);
+        assert_eq!(scoped.scope_stats().unwrap().tasks_executed, 5);
+        assert_eq!(pool.stats().tasks_executed, 5);
+        assert_eq!(pool.scope_stats(), None, "base handle stays unscoped");
     }
 
     #[test]

@@ -127,6 +127,20 @@ impl SiteSpec {
     }
 }
 
+/// The canonical site name for a per-campaign fault point inside the
+/// workflow service: `service.c<campaign>.<op>` (e.g. `service.c3.emit`).
+///
+/// Keeping the campaign index *inside* the site name gives each campaign an
+/// independent hit counter and RNG stream, so a crash schedule aimed at one
+/// campaign's third analysis cannot drift when a neighbor campaign runs more
+/// or fewer operations. Target a single campaign with the exact name, or
+/// every campaign at once with the prefix pattern `service.c` + `*` —
+/// site-name matching is string-based, so [`SiteSpec`] patterns compose with
+/// these names unchanged.
+pub fn campaign_site(campaign: u64, op: &str) -> String {
+    format!("service.c{campaign}.{op}")
+}
+
 /// A seed plus the sites to perturb. Build with [`FaultPlan::new`] and
 /// [`FaultPlan::with_site`], then compile into a [`FaultInjector`].
 #[derive(Debug, Clone)]
@@ -464,6 +478,36 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn campaign_sites_keep_independent_hit_counters() {
+        assert_eq!(campaign_site(3, "emit"), "service.c3.emit");
+
+        // A crash aimed at campaign 1's second emit must not be consumed by
+        // campaign 0 hammering its own site, and must not fire for others.
+        let inj = FaultPlan::new(11)
+            .with_site(SiteSpec::crash_at(campaign_site(1, "emit"), 1))
+            .build();
+        for _ in 0..10 {
+            assert_eq!(inj.check(&campaign_site(0, "emit")), None);
+        }
+        assert_eq!(inj.check(&campaign_site(1, "emit")), None, "hit 0 clean");
+        assert_eq!(
+            inj.check(&campaign_site(1, "emit")),
+            Some(FaultKind::Crash),
+            "hit 1 crashes regardless of neighbor traffic"
+        );
+        assert_eq!(inj.check(&campaign_site(2, "emit")), None);
+
+        // A prefix pattern covers every campaign's instance of an op family.
+        let all = FaultPlan::new(12)
+            .with_site(SiteSpec::transient("service.c*", 1.0))
+            .build();
+        assert_eq!(
+            all.check(&campaign_site(7, "analysis")),
+            Some(FaultKind::Transient)
+        );
     }
 
     #[test]

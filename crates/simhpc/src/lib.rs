@@ -29,4 +29,6 @@ pub use machine::{
     moonlight, rhea, titan, titan_with_burst_buffer, BurstBufferSpec, FileSystemSpec,
     InterconnectSpec, MachineSpec,
 };
-pub use scheduler::{BatchSimulator, QueueDiscipline, QueuePolicy, SCHEDULER_FAULT_SITE};
+pub use scheduler::{
+    AdmissionError, BatchSimulator, QueueDiscipline, QueuePolicy, SCHEDULER_FAULT_SITE,
+};

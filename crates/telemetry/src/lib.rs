@@ -106,6 +106,11 @@ pub struct Event {
     pub ts: u64,
     /// Ring-buffer lane (≈ thread) that recorded the event.
     pub lane: u64,
+    /// Caller-scoped dimension active when the event was recorded (see
+    /// [`with_dim`]); `0` means unscoped. The workflow service tags every
+    /// event with the campaign id this way, so one trace can be sliced
+    /// per campaign without widening the `&'static str` name space.
+    pub dim: u64,
     /// Payload.
     pub kind: EventKind,
 }
@@ -316,6 +321,42 @@ pub fn is_armed() -> bool {
 /// this to warn that a requested trace will come out empty.
 pub const COMPILED_WITH_RECORDING: bool = cfg!(feature = "recording");
 
+// -------------------------------------------------------- event dimension
+
+thread_local! {
+    /// The dimension stamped onto every event this thread records (0 = none).
+    static CURRENT_DIM: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The dimension currently stamped onto this thread's events (0 = none).
+pub fn current_dim() -> u64 {
+    CURRENT_DIM.with(|d| d.get())
+}
+
+/// RAII guard restoring the previous event dimension on drop.
+pub struct DimGuard {
+    prev: u64,
+}
+
+impl Drop for DimGuard {
+    fn drop(&mut self) {
+        CURRENT_DIM.with(|d| d.set(self.prev));
+    }
+}
+
+/// Stamp every event recorded by this thread with `dim` until the returned
+/// guard drops (guards nest; the previous dimension is restored).
+///
+/// Layer and name stay `&'static str`, so a long-lived service multiplexing
+/// many campaigns cannot mint per-campaign names; instead it wraps each
+/// campaign's work in `with_dim(campaign_id)` and slices the finished trace
+/// with [`Trace::counters_by_dim`]. Dimension `0` is reserved for unscoped
+/// events.
+pub fn with_dim(dim: u64) -> DimGuard {
+    let prev = CURRENT_DIM.with(|d| d.replace(dim));
+    DimGuard { prev }
+}
+
 // ------------------------------------------------------- thread-local lane
 
 struct ThreadCtx {
@@ -414,6 +455,7 @@ impl Drop for SpanHandle {
                     name: active.name,
                     ts: rec.now(),
                     lane: ctx.lane.id,
+                    dim: current_dim(),
                     kind: EventKind::SpanEnd { id: active.id },
                 },
                 &rec.sink,
@@ -438,6 +480,7 @@ pub fn enter_span(layer: &'static str, name: &'static str, arg: u64) -> SpanHand
                 name,
                 ts: rec.now(),
                 lane: ctx.lane.id,
+                dim: current_dim(),
                 kind: EventKind::SpanBegin { id, parent, arg },
             },
             &rec.sink,
@@ -464,6 +507,7 @@ pub fn add_count(layer: &'static str, name: &'static str, delta: u64) {
                 name,
                 ts: rec.now(),
                 lane: ctx.lane.id,
+                dim: current_dim(),
                 kind: EventKind::Count { delta },
             },
             &rec.sink,
@@ -483,6 +527,7 @@ pub fn observe(layer: &'static str, name: &'static str, value: u64) {
                 name,
                 ts: rec.now(),
                 lane: ctx.lane.id,
+                dim: current_dim(),
                 kind: EventKind::Observe { value },
             },
             &rec.sink,
@@ -506,6 +551,7 @@ pub fn instant(layer: &'static str, name: &'static str, arg: u64) {
                 name,
                 ts,
                 lane: ctx.lane.id,
+                dim: current_dim(),
                 kind: EventKind::SpanBegin { id, parent, arg },
             },
             &rec.sink,
@@ -516,6 +562,7 @@ pub fn instant(layer: &'static str, name: &'static str, arg: u64) {
                 name,
                 ts,
                 lane: ctx.lane.id,
+                dim: current_dim(),
                 kind: EventKind::SpanEnd { id },
             },
             &rec.sink,
@@ -805,6 +852,20 @@ impl Trace {
         out
     }
 
+    /// Counter totals keyed by `(layer, name, dim)` — the per-campaign view
+    /// of [`counters`](Self::counters). Events recorded outside any
+    /// [`with_dim`] scope land under dim `0`; summing a counter across all
+    /// dims reproduces the undimensioned total exactly.
+    pub fn counters_by_dim(&self) -> BTreeMap<(&'static str, &'static str, u64), u64> {
+        let mut out = BTreeMap::new();
+        for ev in &self.events {
+            if let EventKind::Count { delta } = ev.kind {
+                *out.entry((ev.layer, ev.name, ev.dim)).or_insert(0u64) += delta;
+            }
+        }
+        out
+    }
+
     /// Histograms keyed by `(layer, name)`.
     pub fn histograms(&self) -> BTreeMap<(&'static str, &'static str), Histogram> {
         let mut out: BTreeMap<_, Histogram> = BTreeMap::new();
@@ -1025,6 +1086,44 @@ mod tests {
     }
 
     #[test]
+    fn dim_scopes_slice_counters_per_campaign() {
+        let _serial = INSTALL_LOCK.lock();
+        let guard = install(Arc::new(Recorder::new(Clock::Wall)));
+        assert_eq!(current_dim(), 0);
+        add_count("service", "files", 1); // unscoped → dim 0
+        {
+            let _c1 = with_dim(1);
+            assert_eq!(current_dim(), 1);
+            add_count("service", "files", 10);
+            {
+                // Nested scopes shadow and then restore the outer dim.
+                let _c2 = with_dim(2);
+                add_count("service", "files", 100);
+            }
+            assert_eq!(current_dim(), 1);
+            add_count("service", "files", 10);
+        }
+        assert_eq!(current_dim(), 0, "guard drop restores the previous dim");
+
+        // Dims are thread-local: a worker thread scopes independently.
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _c3 = with_dim(3);
+                add_count("service", "files", 1000);
+            });
+        });
+
+        let trace = guard.finish();
+        let by_dim = trace.counters_by_dim();
+        assert_eq!(by_dim[&("service", "files", 0)], 1);
+        assert_eq!(by_dim[&("service", "files", 1)], 20);
+        assert_eq!(by_dim[&("service", "files", 2)], 100);
+        assert_eq!(by_dim[&("service", "files", 3)], 1000);
+        // The undimensioned view is exactly the sum over dims.
+        assert_eq!(trace.counters()[&("service", "files")], 1121);
+    }
+
+    #[test]
     fn ring_overflow_loses_nothing_across_threads() {
         let _serial = INSTALL_LOCK.lock();
         let guard = install(Arc::new(Recorder::new(Clock::Wall)));
@@ -1170,6 +1269,7 @@ mod tests {
                     name: "dispatches",
                     ts: 0,
                     lane: 0,
+                    dim: 0,
                     kind: EventKind::Count { delta: 7 },
                 },
                 Event {
@@ -1177,6 +1277,7 @@ mod tests {
                     name: "queue_wait",
                     ts: 0,
                     lane: 0,
+                    dim: 0,
                     kind: EventKind::Observe { value: 100 },
                 },
             ],

@@ -1,0 +1,133 @@
+//! Multi-campaign service demo: one long-lived [`WorkflowService`] drives
+//! many concurrent campaigns over a shared thread pool, a sharded
+//! work-stealing listener, one artifact cache, and one simulated batch
+//! queue. Every campaign's recovered catalog must be byte-identical to its
+//! solo (serial, single-campaign) run, admission saturation must surface as
+//! explicit backpressure rather than a panic or a silent drop, and the
+//! assertions panic (nonzero exit) on any violation, so CI runs this
+//! example as the service-mode check.
+//!
+//! ```text
+//! cargo run --release --example service_demo
+//! ```
+
+use hacc_core::service::{
+    reference_catalog, CampaignSpec, CampaignStatus, ServiceConfig, ServiceError, WorkflowService,
+};
+use std::time::Duration;
+
+fn main() {
+    let root = std::env::temp_dir().join("hacc_service_demo");
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Ten campaigns through an eight-slot batch queue: the first eight are
+    // admitted immediately, the last two must bounce with `Saturated` and
+    // get in once completions free admission slots.
+    let specs: Vec<CampaignSpec> = (0..10)
+        .map(|k| CampaignSpec::new(format!("survey-{k:02}"), 4200 + k as u64, 2 + k % 3))
+        .collect();
+
+    let cfg = ServiceConfig {
+        shards: 4,
+        pool_workers: 4,
+        max_pending_jobs: 8,
+        poll_interval: Duration::from_millis(2),
+        ..ServiceConfig::new(root)
+    };
+    let svc = WorkflowService::start(cfg).expect("start service");
+
+    let mut ids = Vec::new();
+    let mut deferred = Vec::new();
+    for spec in &specs {
+        match svc.submit_campaign(spec.clone()) {
+            Ok(id) => {
+                println!("admitted  {:>10}  as {id}", spec.name);
+                ids.push((spec.clone(), id));
+            }
+            Err(ServiceError::Saturated { pending, limit }) => {
+                println!(
+                    "deferred  {:>10}  (queue saturated: {pending}/{limit})",
+                    spec.name
+                );
+                deferred.push(spec.clone());
+            }
+            Err(other) => panic!("unexpected submission error: {other}"),
+        }
+    }
+    assert!(
+        !deferred.is_empty(),
+        "ten campaigns through an eight-slot queue must saturate"
+    );
+    assert!(
+        ids.len() >= 8,
+        "expected at least eight concurrently admitted campaigns, got {}",
+        ids.len()
+    );
+
+    // Backpressure is recoverable: wait for admitted campaigns to finish,
+    // then resubmit the deferred ones until each gets a slot.
+    svc.wait_all();
+    for spec in deferred {
+        loop {
+            match svc.submit_campaign(spec.clone()) {
+                Ok(id) => {
+                    println!("admitted  {:>10}  as {id} (after drain)", spec.name);
+                    ids.push((spec.clone(), id));
+                    break;
+                }
+                Err(ServiceError::Saturated { .. }) => std::thread::sleep(Duration::from_millis(2)),
+                Err(other) => panic!("unexpected resubmission error: {other}"),
+            }
+        }
+    }
+    svc.wait_all();
+    let report = svc.shutdown();
+    assert!(!report.crashed, "fault-free demo must not crash");
+
+    println!(
+        "\n{} campaigns over {} scans, {} cross-shard steals, {} batch jobs",
+        report.campaigns.len(),
+        report.scans,
+        report.steals,
+        report.job_records.len()
+    );
+
+    for (spec, id) in &ids {
+        let rep = &report.campaigns[&id.0];
+        assert_eq!(
+            rep.status,
+            CampaignStatus::Completed,
+            "campaign {} did not complete",
+            spec.name
+        );
+        let catalog = rep.catalog.as_deref().expect("completed ⇒ catalog");
+        let solo = reference_catalog(spec);
+        assert_eq!(
+            catalog,
+            &solo[..],
+            "campaign {} drifted from its solo catalog",
+            spec.name
+        );
+        for (file, count) in &rep.executions {
+            assert_eq!(
+                *count, 1,
+                "campaign {} analyzed {file} {count} times",
+                spec.name
+            );
+        }
+        assert!(
+            rep.pool.dispatches > 0,
+            "campaign {} never dispatched through the shared pool",
+            spec.name
+        );
+        println!(
+            "  {id}  {:>10}  steps={} catalog={} B (byte-identical to solo run) pool dispatches={}",
+            spec.name,
+            spec.steps,
+            catalog.len(),
+            rep.pool.dispatches
+        );
+    }
+    assert_eq!(report.campaigns.len(), specs.len());
+    println!("\nservice demo OK: every campaign matches its solo run, saturation was backpressure");
+}

@@ -33,6 +33,15 @@ trace-demo:
 cache-demo:
     cargo run --release --example cache_demo
 
+# Multi-campaign service: ten campaigns through an eight-slot batch queue
+# must saturate with backpressure, recover, and match their solo catalogs.
+service-demo:
+    cargo run --release --example service_demo
+
+# The multi-campaign chaos + crash-schedule suite (CI sweeps CHAOS_SEED 1-3).
+service:
+    cargo test -q --release --test service
+
 # Fast conformance suite: differential backends, physics oracles, bounded
 # crash-schedule exploration, listener regressions, golden fixtures.
 conformance:

@@ -1,0 +1,304 @@
+//! Multi-campaign service suite: concurrent campaigns over shared
+//! shards/pool/cache must behave exactly like solo runs — byte-identical
+//! catalogs, exactly-once analysis per campaign, zero cross-campaign bleed —
+//! under fault-free, transient-storm, crash-restart, and exhaustive
+//! crash-schedule conditions.
+//!
+//! The seed comes from `CHAOS_SEED` (default 1), so CI can sweep seeds:
+//!
+//! ```text
+//! CHAOS_SEED=3 cargo test --release --test service
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use conformance::multi::MultiConfig;
+use faults::{FaultPlan, SiteSpec};
+use hacc_core::service::{
+    reference_catalog, CampaignSpec, CampaignStatus, ServiceConfig, ServiceError, WorkflowService,
+};
+use parking_lot::Mutex;
+
+/// Seed for every plan in this file; override with `CHAOS_SEED=<n>`.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The exploration test installs the process-global injector; every other
+/// test in this binary could consume its armed faults through the global
+/// fallback, so all of them serialize on this lock.
+static GLOBAL_INJECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hacc_service_suite")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn quick_cfg(root: PathBuf) -> ServiceConfig {
+    ServiceConfig {
+        poll_interval: Duration::from_millis(2),
+        shards: 3,
+        ..ServiceConfig::new(root)
+    }
+}
+
+fn step_file_name(step: usize) -> String {
+    format!("l2_{step:04}.hcio")
+}
+
+/// Fault-free: many concurrent campaigns, every catalog byte-identical to
+/// its solo run, exactly-once per campaign, and zero bleed (distinct seeds
+/// give distinct catalogs; an identical-seed pair gives identical ones).
+#[test]
+fn concurrent_campaigns_match_their_solo_runs() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let svc = WorkflowService::start(quick_cfg(scratch("fault-free"))).unwrap();
+    let mut specs: Vec<CampaignSpec> = (0..5)
+        .map(|k| CampaignSpec::new(format!("ff{k}"), 500 + k as u64, 2 + k % 3))
+        .collect();
+    // A twin of ff0 under a different name: same seed and steps, so its
+    // catalog must be byte-identical to ff0's — campaign isolation is by
+    // namespace, not by accident of differing inputs.
+    specs.push(CampaignSpec::new("ff0-twin", 500, 2));
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit_campaign(s.clone()).unwrap())
+        .collect();
+    svc.wait_all();
+    let report = svc.shutdown();
+    assert!(!report.crashed);
+    for (spec, id) in specs.iter().zip(&ids) {
+        let rep = &report.campaigns[&id.0];
+        assert_eq!(rep.status, CampaignStatus::Completed, "{}", spec.name);
+        assert_eq!(
+            rep.catalog.as_deref(),
+            Some(&reference_catalog(spec)[..]),
+            "campaign {} drifted from its solo catalog",
+            spec.name
+        );
+        for s in 0..spec.steps {
+            assert_eq!(
+                rep.executions.get(&step_file_name(s)),
+                Some(&1),
+                "campaign {} step {s}: {:?}",
+                spec.name,
+                rep.executions
+            );
+        }
+    }
+    let cat = |i: usize| report.campaigns[&ids[i].0].catalog.clone().unwrap();
+    assert_ne!(cat(0), cat(1), "distinct seeds must give distinct catalogs");
+    assert_eq!(cat(0), cat(5), "same spec under another name is byte-equal");
+    assert_eq!(report.job_records.len(), specs.len());
+}
+
+/// A seeded storm of transient faults across every campaign's emit and
+/// analysis sites plus the shared submission path: retries absorb all of
+/// it, and every campaign still lands its solo catalog exactly once.
+#[test]
+fn transient_storm_is_absorbed_per_campaign() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = quick_cfg(scratch("storm"));
+    cfg.injector = Some(
+        FaultPlan::new(chaos_seed())
+            .with_site(SiteSpec::transient("service.c*", 0.3).with_max_faults(12))
+            .with_site(SiteSpec::transient("listener.submit", 0.2).with_max_faults(6))
+            .build(),
+    );
+    let svc = WorkflowService::start(cfg).unwrap();
+    let specs: Vec<CampaignSpec> = (0..4)
+        .map(|k| CampaignSpec::new(format!("st{k}"), 700 + k as u64, 2))
+        .collect();
+    let ids: Vec<_> = specs
+        .iter()
+        .map(|s| svc.submit_campaign(s.clone()).unwrap())
+        .collect();
+    svc.wait_all();
+    let report = svc.shutdown();
+    assert!(
+        !report.crashed,
+        "transients must never kill the incarnation"
+    );
+    for (spec, id) in specs.iter().zip(&ids) {
+        let rep = &report.campaigns[&id.0];
+        assert_eq!(rep.status, CampaignStatus::Completed, "{}", spec.name);
+        assert_eq!(
+            rep.catalog.as_deref(),
+            Some(&reference_catalog(spec)[..]),
+            "campaign {} drifted under the storm",
+            spec.name
+        );
+        for s in 0..spec.steps {
+            assert_eq!(
+                rep.executions.get(&step_file_name(s)),
+                Some(&1),
+                "campaign {} step {s}: {:?}",
+                spec.name,
+                rep.executions
+            );
+        }
+    }
+}
+
+/// A seed-chosen crash at one campaign's emit or analysis site kills the
+/// whole incarnation; restarted services over the same root recover every
+/// campaign — not just the crashed one — with exactly-once totals.
+#[test]
+fn seeded_crash_restart_recovers_every_campaign() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let seed = chaos_seed();
+    let root = scratch("crash");
+    let specs: Vec<CampaignSpec> = (0..3)
+        .map(|k| CampaignSpec::new(format!("cr{k}"), 900 + k as u64, 2))
+        .collect();
+    // The seed picks the victim campaign and the crashed operation; the
+    // injector persists across incarnations so the crash fires exactly once.
+    let victim = 1 + (seed % specs.len() as u64);
+    let op = if (seed >> 8).is_multiple_of(2) {
+        "emit"
+    } else {
+        "analysis"
+    };
+    let site = faults::campaign_site(victim, op);
+    let injector = FaultPlan::new(seed)
+        .with_site(SiteSpec::crash_at(&site, 0))
+        .build();
+
+    let mut executions: BTreeMap<(String, String), u64> = BTreeMap::new();
+    let mut catalogs: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+    let mut incarnations = 0;
+    while incarnations < 5 && catalogs.len() < specs.len() {
+        incarnations += 1;
+        let mut cfg = quick_cfg(root.clone());
+        cfg.root = root.clone(); // keep journals + cache across incarnations
+        cfg.injector = Some(Arc::clone(&injector));
+        let svc = WorkflowService::start(cfg).unwrap();
+        let ids: Vec<_> = specs
+            .iter()
+            .filter_map(|s| svc.submit_campaign(s.clone()).ok())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let settled = ids.iter().all(|id| {
+                svc.status(*id)
+                    .map(|s| s != CampaignStatus::Running)
+                    .unwrap_or(true)
+            });
+            if settled || svc.crashed() || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let report = svc.shutdown();
+        for rep in report.campaigns.values() {
+            for (file, n) in &rep.executions {
+                *executions
+                    .entry((rep.name.clone(), file.clone()))
+                    .or_insert(0) += n;
+            }
+            if rep.status == CampaignStatus::Completed {
+                catalogs.insert(rep.name.clone(), rep.catalog.clone().unwrap());
+            }
+        }
+    }
+    assert!(
+        incarnations >= 2,
+        "the crash at {site} must have killed incarnation 1"
+    );
+    for spec in &specs {
+        assert_eq!(
+            catalogs.get(&spec.name).map(|c| &c[..]),
+            Some(&reference_catalog(spec)[..]),
+            "campaign {} recovered catalog drifted",
+            spec.name
+        );
+        for s in 0..spec.steps {
+            assert_eq!(
+                executions.get(&(spec.name.clone(), step_file_name(s))),
+                Some(&1),
+                "campaign {} step {s} not exactly-once",
+                spec.name
+            );
+        }
+    }
+    assert!(
+        injector
+            .site_stats()
+            .get(site.as_str())
+            .is_some_and(|&(_, f)| f > 0),
+        "armed crash at {site} never fired"
+    );
+}
+
+/// Saturation is backpressure, not a panic or a silent drop: the bounded
+/// batch queue rejects with [`ServiceError::Saturated`], and completions
+/// free admission slots.
+#[test]
+fn saturation_backpressure_and_release() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = quick_cfg(scratch("saturation"));
+    cfg.max_pending_jobs = 3;
+    let svc = WorkflowService::start(cfg).unwrap();
+    let ids: Vec<_> = (0..3)
+        .map(|k| {
+            svc.submit_campaign(CampaignSpec::new(format!("sat{k}"), 40 + k as u64, 2))
+                .unwrap()
+        })
+        .collect();
+    match svc.submit_campaign(CampaignSpec::new("overflow", 99, 2)) {
+        Err(ServiceError::Saturated {
+            pending: 3,
+            limit: 3,
+        }) => {}
+        other => panic!("expected Saturated{{3,3}}, got {other:?}"),
+    }
+    for id in &ids {
+        assert_eq!(svc.wait(*id).unwrap(), CampaignStatus::Completed);
+    }
+    let late = svc
+        .submit_campaign(CampaignSpec::new("overflow", 99, 2))
+        .expect("completions free admission slots");
+    assert_eq!(svc.wait(late).unwrap(), CampaignStatus::Completed);
+    assert!(!svc.shutdown().crashed);
+}
+
+/// The exhaustive multi-campaign crash-schedule sweep: every fault site the
+/// service reaches (per-campaign emit/analysis, the shared listener sites,
+/// journal compaction, the artifact cache) is crashed in turn, and every
+/// schedule must recover each campaign's exact solo catalog with
+/// exactly-once analysis and zero cross-campaign bleed.
+#[test]
+fn multi_campaign_crash_schedules_all_recover() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let cfg = MultiConfig::new(scratch("explore"));
+    let report = conformance::explore_multi(&cfg);
+    report.assert_exhaustive(&cfg);
+    // Shared-infrastructure sites must be part of the explored surface —
+    // the sweep is only meaningful if crashes hit the shared pieces too.
+    let explored = report.sites_explored();
+    for site in [
+        "listener.scan",
+        "listener.submit",
+        "listener.journal",
+        "cache.read",
+    ] {
+        assert!(
+            explored.contains(site),
+            "shared site `{site}` missing from the explored surface: {explored:?}"
+        );
+    }
+    assert!(
+        report.schedules.len() >= 8,
+        "suspiciously small schedule sweep: {:?}",
+        report.sites_enumerated
+    );
+}
