@@ -175,6 +175,22 @@ pub struct ListenerReport {
     pub compactions: u64,
 }
 
+impl ListenerReport {
+    /// Fold another report's accounting into this one. The service's shard
+    /// workers sweep into a fresh per-sweep report and absorb it into the
+    /// campaign's cumulative one afterwards, so no lock is held across a
+    /// sweep (holding the report lock while the sweep takes the scan lock
+    /// would invert the order a concurrent snapshot takes them in).
+    pub fn absorb(&mut self, other: ListenerReport) {
+        self.submitted.extend(other.submitted);
+        self.crashed |= other.crashed;
+        self.submit_retries += other.submit_retries;
+        self.journal_failures += other.journal_failures;
+        self.cache_skipped.extend(other.cache_skipped);
+        self.compactions += other.compactions;
+    }
+}
+
 /// A running listener thread.
 pub struct Listener {
     stop: Arc<AtomicBool>,
@@ -223,8 +239,9 @@ pub(crate) fn matching_files(dir: &Path, cfg: &ListenerConfig) -> Vec<PathBuf> {
 /// handled. Eviction is enabled only when a journal is configured: the
 /// journal is the durable copy that rebuilds the seen set if the cursor's
 /// invariant ever breaks (a file appearing *below* the cursor, detected by
-/// comparing the below-cursor count against the one recorded when the
-/// cursor advanced).
+/// comparing a fingerprint of the below-cursor name listing against the
+/// one recorded when the cursor advanced — a bare count would miss a
+/// deletion and an out-of-order arrival cancelling each other out).
 pub(crate) struct ScanState {
     /// Handled files not (yet) covered by the cursor.
     seen: BTreeSet<PathBuf>,
@@ -235,6 +252,8 @@ pub(crate) struct ScanState {
     cursor: Option<PathBuf>,
     /// How many matching files were `<= cursor` when it last advanced.
     below: usize,
+    /// [`names_fingerprint`] of those below-cursor names at that advance.
+    below_fp: u64,
     /// Total files handled (journal-recovered included) — the counter
     /// behind [`Listener::handled`], kept separately because eviction makes
     /// `seen.len()` an undercount.
@@ -248,6 +267,7 @@ impl ScanState {
             pending: HashMap::new(),
             cursor: None,
             below: 0,
+            below_fp: 0,
             handled_total: 0,
         }
     }
@@ -281,6 +301,21 @@ impl ScanState {
     }
 }
 
+/// Order-sensitive fingerprint of a sorted name listing, used to detect any
+/// change to the below-cursor prefix — including a deletion and an
+/// out-of-order arrival that leave the *count* unchanged. In-memory only
+/// (recomputed per process), so per-process determinism is all that is
+/// required. Hashing the prefix is O(below) per sweep, the same order as
+/// the directory listing that produced `files` in the first place.
+fn names_fingerprint(files: &[PathBuf]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for f in files {
+        f.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// One gated sweep over `dir`: quiescence check, cache gate, submission
 /// with retry, journal append, cursor advance/eviction, and size-triggered
 /// journal compaction. Returns `false` when an injected crash killed the
@@ -302,16 +337,22 @@ where
 {
     let files = matching_files(dir, cfg);
     // Cursor guard: the invariant is "every present matching file `<=
-    // cursor` is handled". If the below-cursor count drifted from the one
-    // recorded when the cursor advanced, a file appeared below the cursor
-    // (out-of-order arrival) — rebuild the seen set from the journal and
-    // fall back to per-file probing for this sweep.
+    // cursor` is handled". If the below-cursor name listing drifted from
+    // the one recorded when the cursor advanced — detected by fingerprint,
+    // not count, so a deletion and an out-of-order arrival cannot cancel
+    // each other out — a file appeared below the cursor: rebuild the seen
+    // set from the journal and fall back to per-file probing for this sweep.
     let mut start = 0usize;
+    // Set when drift was detected but the journal could not be read back:
+    // the cursor baseline must not be re-recorded from the drifted listing,
+    // or the next sweep would see a clean match and skip the newcomer
+    // forever.
+    let mut cursor_suspect = false;
     {
         let mut st = state.lock();
         if let Some(cursor) = st.cursor.clone() {
             let below = files.partition_point(|f| f.as_path() <= cursor.as_path());
-            if below == st.below {
+            if below == st.below && names_fingerprint(&files[..below]) == st.below_fp {
                 start = below;
             } else if let Some(j) = journal {
                 match j.load() {
@@ -321,6 +362,7 @@ where
                             .extend(entries.into_iter().filter(|p| p.parent() == Some(dir)));
                         st.cursor = None;
                         st.below = 0;
+                        st.below_fp = 0;
                     }
                     Err(_) => {
                         // The durable copy is unreadable right now; keep
@@ -328,6 +370,7 @@ where
                         // for exactly-once (the newcomer waits for a sweep
                         // where the journal reads back).
                         start = below;
+                        cursor_suspect = true;
                     }
                 }
             }
@@ -379,7 +422,9 @@ where
     // Advance the cursor over the (possibly longer) contiguous handled
     // prefix and evict what it now covers. Journal-gated: evicting without
     // a durable copy would turn a cursor rebuild into double submission.
-    if journal.is_some() {
+    // Suspect-gated: while a detected drift awaits its journal rebuild, the
+    // stale baseline is kept so the next sweep re-detects it.
+    if journal.is_some() && !cursor_suspect {
         let mut st = state.lock();
         let mut idx =
             files.partition_point(|f| st.cursor.as_deref().is_some_and(|c| f.as_path() <= c));
@@ -393,6 +438,7 @@ where
             st.seen.remove(&cursor);
             st.cursor = Some(cursor);
             st.below = idx;
+            st.below_fp = names_fingerprint(&files[..idx]);
         }
     }
     // Size-triggered journal compaction, reusing the torn-append-healing
@@ -1239,6 +1285,61 @@ mod tests {
         let report = listener.stop_report();
         assert_eq!(report.submitted.len(), 2);
         assert!(!report.crashed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Review regression: the cursor guard must key on the *identity* of
+    /// the below-cursor listing, not its count. If an already-handled file
+    /// below the cursor is deleted (e.g. swept to tape) and a new file
+    /// arrives below the cursor in the same window, the counts cancel; a
+    /// count-based guard would report the newcomer handled and silently
+    /// never submit it.
+    #[test]
+    fn cursor_guard_detects_cancelling_delete_and_add() {
+        let dir = tmpdir("cursorcancel");
+        let journal_path = dir.join("j.journal");
+        let j = Journal::new(journal_path);
+        let cfg = ListenerConfig {
+            suffix: ".hcio".into(),
+            ..Default::default()
+        };
+        // Five handled, journaled files.
+        for i in 0..5 {
+            let p = dir.join(format!("m_{i:02}.hcio"));
+            std::fs::write(&p, b"handled").unwrap();
+            j.append(&p).unwrap();
+        }
+        let state = Mutex::new(ScanState::new());
+        state.lock().recover(j.load().unwrap());
+        let count = std::cell::Cell::new(0usize);
+        let mut report = ListenerReport::default();
+        let mut on_file = |_: &Path| {
+            count.set(count.get() + 1);
+            Ok(())
+        };
+        // Sweep 1 establishes the cursor over the handled prefix.
+        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert!(state.lock().cursor.is_some(), "cursor must be active");
+        assert_eq!(state.lock().seen_len(), 0, "prefix fully evicted");
+
+        // An external sweep deletes one handled file while a straggler
+        // lands below the cursor: the below-cursor count is unchanged (5).
+        std::fs::remove_file(dir.join("m_03.hcio")).unwrap();
+        std::fs::write(dir.join("m_01a.hcio"), b"late").unwrap();
+
+        // Sweep 2 detects the fingerprint drift, rebuilds from the journal,
+        // and starts the newcomer's quiescence window; sweep 3 submits it.
+        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert_eq!(count.get(), 1, "the straggler must be submitted exactly once");
+        assert_eq!(report.submitted.len(), 1);
+        assert!(report.submitted[0].ends_with("m_01a.hcio"));
+
+        // Steady state again: further sweeps submit nothing and the seen
+        // set shrinks back under the re-advanced cursor.
+        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert_eq!(count.get(), 1);
+        assert_eq!(state.lock().handled_total(), 6);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,11 +22,19 @@
 //!   ([`crate::listener`]: quiescence, cache gate, retry, journal append,
 //!   cursor eviction, size-triggered compaction) — the sharding changes
 //!   who scans, not how.
-//! * **Admission control** — a submission passes through the `simhpc`
-//!   batch queue via [`simhpc::BatchSimulator::try_submit`] with a bounded
-//!   pending limit; when the queue (or the active-campaign bound) fills,
+//! * **Admission control** — every admitted campaign enqueues one batch
+//!   job and holds one admission slot until it completes or is detached;
+//!   when the slots (or the active-campaign bound) fill,
 //!   [`ServiceError::Saturated`] is returned as explicit backpressure
-//!   instead of panicking or silently dropping the campaign.
+//!   instead of panicking or silently dropping the campaign. Slot
+//!   occupancy is tracked by the service itself — not derived from the
+//!   simulator's job list, whose clock only advances when the cost model
+//!   is drained at shutdown — so completing or detaching one campaign
+//!   frees exactly its own slot and the bound keeps biting for the rest
+//!   of the service's life. A detached campaign's job is withdrawn from
+//!   the simulator ([`simhpc::BatchSimulator::cancel`]); a completed
+//!   campaign's job stays queued and is drained into
+//!   [`ServiceReport::job_records`] at shutdown.
 //! * **Namespace isolation** — every campaign's cache keys are scoped by a
 //!   fingerprint of its spec ([`Fingerprint::scoped`]), so two campaigns
 //!   can never alias each other's artifacts, while a re-submitted (or solo)
@@ -53,7 +61,7 @@ use nbody::Particle;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use simhpc::{titan, BatchSimulator, JobRecord, JobRequest, MachineSpec, QueuePolicy};
+use simhpc::{titan, BatchSimulator, JobId, JobRecord, JobRequest, MachineSpec, QueuePolicy};
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -201,8 +209,10 @@ pub struct ServiceConfig {
     /// Bound on concurrently `Running` campaigns; admission beyond it
     /// returns [`ServiceError::Saturated`].
     pub max_active: usize,
-    /// Bound on pending batch jobs, enforced through
-    /// [`simhpc::BatchSimulator::try_submit`].
+    /// Bound on admission slots: each campaign holds one from submission
+    /// until it completes or is detached (its batch job occupies the queue
+    /// for exactly that window). Submissions beyond it return
+    /// [`ServiceError::Saturated`].
     pub max_pending_jobs: usize,
     /// Scan cadence per campaign (and the emitters' inter-step pacing).
     pub poll_interval: Duration,
@@ -297,6 +307,9 @@ struct CampaignState {
     dir: PathBuf,
     /// Owning shard: its journal records this campaign's handled files.
     shard: usize,
+    /// The campaign's batch job in the simulator; cancelled if the campaign
+    /// is detached while still running.
+    job: JobId,
     /// Listener configuration (per-campaign cache gate baked in).
     lcfg: ListenerConfig,
     scan: Mutex<ScanState>,
@@ -314,19 +327,28 @@ struct CampaignState {
 }
 
 impl CampaignState {
+    /// Snapshot the campaign. Each lock is taken in its own statement so
+    /// the guard drops before the next acquisition — built as struct-literal
+    /// temporaries the guards would all live to the end of the expression,
+    /// and holding `scan` while taking `lreport` inverts the order a shard
+    /// worker mid-sweep uses, deadlocking a concurrent `report`/`detach`.
     fn report(&self, died: bool) -> CampaignReport {
         let status = match *self.status.lock() {
             CampaignStatus::Running if died => CampaignStatus::Failed,
             s => s,
         };
+        let catalog = self.catalog.lock().clone();
+        let executions = self.executions.lock().clone();
+        let handled = self.scan.lock().handled_total();
+        let listener = self.lreport.lock().clone();
         CampaignReport {
             id: CampaignId(self.id),
             name: self.spec.name.clone(),
             status,
-            catalog: self.catalog.lock().clone(),
-            executions: self.executions.lock().clone(),
-            handled: self.scan.lock().handled_total(),
-            listener: self.lreport.lock().clone(),
+            catalog,
+            executions,
+            handled,
+            listener,
             pool: self.backend.pool_stats().unwrap_or_default(),
             assembly_misses: self.assembly_misses.load(Ordering::Relaxed),
         }
@@ -346,6 +368,15 @@ struct Inner {
     base: Threaded,
     stop: AtomicBool,
     died: AtomicBool,
+    /// Admission slots currently held: one per campaign from submission
+    /// until completion or detach. The authoritative occupancy behind
+    /// [`ServiceConfig::max_pending_jobs`] — the simulator's own pending
+    /// count cannot serve here because its clock stands still until the
+    /// cost model is drained at shutdown. Incremented under the registry
+    /// lock at submission; decremented under the owning campaign's status
+    /// lock at release, so a reader that observes `Completed`/`Detached`
+    /// through that lock also observes the freed slot.
+    jobs_pending: AtomicU64,
     next_id: AtomicU64,
     steals: AtomicU64,
     scans: AtomicU64,
@@ -381,6 +412,7 @@ impl WorkflowService {
             base,
             stop: AtomicBool::new(false),
             died: AtomicBool::new(false),
+            jobs_pending: AtomicU64::new(0),
             next_id: AtomicU64::new(1),
             steals: AtomicU64::new(0),
             scans: AtomicU64::new(0),
@@ -399,9 +431,11 @@ impl WorkflowService {
     }
 
     /// Admit a campaign: admission control first (active bound, then the
-    /// batch queue), then registration, journal recovery, and the emitter
-    /// spawn. On [`ServiceError::Saturated`] nothing was registered — back
-    /// off and resubmit.
+    /// batch-queue slots), then filesystem setup and journal recovery, and
+    /// only then the batch-job enqueue, registration, and the emitter
+    /// spawn — so no error path leaves a job queued without a registered
+    /// campaign behind it. On [`ServiceError::Saturated`] nothing was
+    /// registered — back off and resubmit.
     pub fn submit_campaign(&self, spec: CampaignSpec) -> Result<CampaignId, ServiceError> {
         let inner = &self.inner;
         if inner.stop.load(Ordering::SeqCst) || inner.died.load(Ordering::SeqCst) {
@@ -422,19 +456,30 @@ impl WorkflowService {
                 limit: inner.cfg.max_active,
             });
         }
-        {
-            let mut sim = inner.sim.lock();
-            let now = sim.now();
-            let req = JobRequest::new(spec.name.clone(), spec.nodes, spec.job_runtime, now);
-            sim.try_submit(req, inner.cfg.max_pending_jobs)
-                .map_err(|e| ServiceError::Saturated {
-                    pending: e.pending,
-                    limit: e.limit,
-                })?;
+        let held = inner.jobs_pending.load(Ordering::SeqCst) as usize;
+        if held >= inner.cfg.max_pending_jobs {
+            telemetry::count!("service", "admission_rejections", 1);
+            return Err(ServiceError::Saturated {
+                pending: held,
+                limit: inner.cfg.max_pending_jobs,
+            });
         }
-        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        // Filesystem setup before the enqueue: failing here must not
+        // consume a batch-queue slot.
         let dir = inner.cfg.root.join(&spec.name).join("drop");
         std::fs::create_dir_all(&dir).map_err(|e| ServiceError::Io(e.to_string()))?;
+        let job = {
+            let mut sim = inner.sim.lock();
+            let now = sim.now();
+            sim.submit(JobRequest::new(
+                spec.name.clone(),
+                spec.nodes,
+                spec.job_runtime,
+                now,
+            ))
+        };
+        inner.jobs_pending.fetch_add(1, Ordering::SeqCst);
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
 
         // Crash recovery: collect this campaign's handled files from *every*
         // shard journal, not just the owning one — robust to a shard-count
@@ -469,6 +514,7 @@ impl WorkflowService {
             spec,
             dir,
             shard,
+            job,
             lcfg,
             scan: Mutex::new(scan),
             lreport: Mutex::new(ListenerReport::default()),
@@ -537,11 +583,17 @@ impl WorkflowService {
         }
     }
 
-    /// Snapshot one campaign's report without detaching it.
+    /// Snapshot one campaign's report without detaching it. The registry
+    /// lock is released before the snapshot so a slow snapshot (it waits on
+    /// the campaign's sweep-side locks) never stalls submissions or the
+    /// shard workers.
     pub fn report(&self, id: CampaignId) -> Result<CampaignReport, ServiceError> {
-        let registry = self.inner.registry.lock();
-        let c = registry
+        let c = self
+            .inner
+            .registry
+            .lock()
             .get(&id.0)
+            .cloned()
             .ok_or(ServiceError::UnknownCampaign(id))?;
         Ok(c.report(self.inner.died.load(Ordering::SeqCst)))
     }
@@ -552,9 +604,10 @@ impl WorkflowService {
     }
 
     /// Detach a campaign: remove it from the registry, stop its emitter,
-    /// drop its queued scan work, and compact its entries out of the owning
-    /// shard journal — all without touching any other campaign. Returns the
-    /// campaign's final report.
+    /// drop its queued scan work, release its admission slot, withdraw its
+    /// batch job from the simulator, and compact its entries out of the
+    /// owning shard journal — all without touching any other campaign.
+    /// Returns the campaign's final report.
     ///
     /// A worker may be mid-sweep on the campaign when it is detached; that
     /// sweep finishes (its journal appends are compacted away here or by the
@@ -572,11 +625,23 @@ impl WorkflowService {
             let _ = h.join();
         }
         self.inner.queue.lock().retain(|t| t.campaign != id.0);
-        {
+        // The Running→Detached transition decides slot ownership exactly
+        // once: a finalize racing with this detach releases the slot on
+        // whichever side wins the status lock, never both. A campaign that
+        // already completed released its slot then; its finished job stays
+        // in the simulator so shutdown still drains its record.
+        let was_running = {
             let mut st = c.status.lock();
             if *st == CampaignStatus::Running {
+                self.inner.jobs_pending.fetch_sub(1, Ordering::SeqCst);
                 *st = CampaignStatus::Detached;
+                true
+            } else {
+                false
             }
+        };
+        if was_running {
+            self.inner.sim.lock().cancel(c.job);
         }
         let j = &self.inner.journals[c.shard];
         if let Ok(entries) = j.load() {
@@ -719,15 +784,15 @@ fn shard_worker(inner: Arc<Inner>, me: usize) {
 fn run_sweep(inner: &Inner, c: &CampaignState) -> bool {
     let journal = &inner.journals[c.shard];
     let mut on_file = |p: &Path| analyze_file(inner, c, p);
-    let mut report = c.lreport.lock();
-    sweep_dir(
-        &c.dir,
-        &c.lcfg,
-        &c.scan,
-        Some(journal),
-        &mut on_file,
-        &mut report,
-    )
+    // Sweep into a per-sweep delta and absorb it afterwards: holding
+    // `lreport` across the sweep (which locks `scan` repeatedly) would pin
+    // the lreport→scan order for the whole sweep, deadlocking against any
+    // concurrent snapshot that touches the same pair — and would stall
+    // `report()` callers for a full sweep besides.
+    let mut delta = ListenerReport::default();
+    let ok = sweep_dir(&c.dir, &c.lcfg, &c.scan, Some(journal), &mut on_file, &mut delta);
+    c.lreport.lock().absorb(delta);
+    ok
 }
 
 /// The analysis job for one drop: parse, per-block MBP centers through the
@@ -772,15 +837,25 @@ fn analyze_file(inner: &Inner, c: &CampaignState, path: &Path) -> Result<(), Sub
 }
 
 /// Campaign completion: assemble the catalog from the cache (deterministic
-/// recompute on any degraded entry), mark it completed, and drain the batch
-/// simulator — completed allocations release their admission slots.
+/// recompute on any degraded entry), mark it completed, and release *its*
+/// admission slot — only its own. Draining the whole simulator here would
+/// retire every other still-running campaign's job with it, and
+/// `max_pending_jobs` would stop bounding anything after the first
+/// completion. The job's record is drained at shutdown instead.
 fn finalize(inner: &Inner, c: &CampaignState) {
     let (catalog, misses) = assemble(inner, c);
     c.assembly_misses.store(misses, Ordering::Relaxed);
     *c.catalog.lock() = Some(catalog);
-    *c.status.lock() = CampaignStatus::Completed;
-    let records = inner.sim.lock().run_to_completion();
-    inner.drained.lock().extend(records);
+    // Slot release and the Running→Completed transition happen under the
+    // status lock: a waiter that observes `Completed` (same lock) can rely
+    // on the freed slot, and a concurrent detach cannot double-release.
+    {
+        let mut st = c.status.lock();
+        if *st == CampaignStatus::Running {
+            inner.jobs_pending.fetch_sub(1, Ordering::SeqCst);
+            *st = CampaignStatus::Completed;
+        }
+    }
     telemetry::count!("service", "campaigns_completed", 1);
 }
 
@@ -1091,6 +1166,98 @@ mod tests {
         svc.submit_campaign(CampaignSpec::new("s2", 3, 2))
             .expect("admission slot freed by completion");
         svc.wait_all();
+        let report = svc.shutdown();
+        assert!(!report.crashed);
+    }
+
+    /// Review regression: `report()` (a documented while-running API) and
+    /// `detach()` must never deadlock against a shard worker mid-sweep.
+    /// The old code held the `scan` guard while taking `lreport` inside a
+    /// struct-literal snapshot — the inverse of the sweep's order — so
+    /// hammering snapshots while campaigns run would wedge the service.
+    #[test]
+    fn snapshots_while_sweeping_never_deadlock() {
+        let svc = WorkflowService::start(quick_cfg(scratch("snap-hammer"))).unwrap();
+        let spec = CampaignSpec::new("busy", 77, 25);
+        let id = svc.submit_campaign(spec.clone()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let rep = svc.report(id).expect("campaign is registered");
+            let _ = svc.status(id).unwrap();
+            if rep.status == CampaignStatus::Completed {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "campaign never completed — snapshot/sweep deadlock?"
+            );
+        }
+        let rep = svc.detach(id).unwrap();
+        assert_eq!(rep.status, CampaignStatus::Completed);
+        assert_eq!(rep.catalog.as_deref(), Some(&reference_catalog(&spec)[..]));
+        svc.shutdown();
+    }
+
+    /// Review regression: detaching a campaign must free its admission
+    /// slot (and withdraw its batch job), or a saturated service could
+    /// never shed load by detaching.
+    #[test]
+    fn detach_releases_the_admission_slot_and_cancels_the_job() {
+        let mut cfg = quick_cfg(scratch("detach-slot"));
+        cfg.max_pending_jobs = 1;
+        let svc = WorkflowService::start(cfg).unwrap();
+        let hog = svc
+            .submit_campaign(CampaignSpec::new("hog", 1, 200))
+            .unwrap();
+        match svc.submit_campaign(CampaignSpec::new("next", 2, 2)) {
+            Err(ServiceError::Saturated {
+                pending: 1,
+                limit: 1,
+            }) => {}
+            other => panic!("expected Saturated{{1,1}}, got {other:?}"),
+        }
+        svc.detach(hog).unwrap();
+        let next = svc
+            .submit_campaign(CampaignSpec::new("next", 2, 2))
+            .expect("detach must free the admission slot");
+        assert_eq!(svc.wait(next).unwrap(), CampaignStatus::Completed);
+        let report = svc.shutdown();
+        assert!(!report.crashed);
+        // The hog's cancelled job never produces a record; `next`'s does.
+        assert_eq!(report.job_records.len(), 1);
+        assert_eq!(report.job_records[0].name, "next");
+    }
+
+    /// Review regression: one campaign completing must release only its
+    /// own slot. The old finalize drained the whole simulator, so after
+    /// the first completion `max_pending_jobs` stopped bounding anything.
+    #[test]
+    fn backpressure_still_binds_after_a_completion() {
+        let mut cfg = quick_cfg(scratch("post-completion-bound"));
+        cfg.max_pending_jobs = 2;
+        let svc = WorkflowService::start(cfg).unwrap();
+        let long = svc
+            .submit_campaign(CampaignSpec::new("long", 1, 200))
+            .unwrap();
+        let short = svc
+            .submit_campaign(CampaignSpec::new("short", 2, 2))
+            .unwrap();
+        assert_eq!(svc.wait(short).unwrap(), CampaignStatus::Completed);
+        // One slot freed by the completion; `long` still holds the other.
+        let filler = svc
+            .submit_campaign(CampaignSpec::new("filler", 3, 2))
+            .expect("the completed campaign's slot is free");
+        match svc.submit_campaign(CampaignSpec::new("overflow", 4, 2)) {
+            Err(ServiceError::Saturated {
+                pending: 2,
+                limit: 2,
+            }) => {}
+            other => panic!(
+                "backpressure must persist after a completion, got {other:?}"
+            ),
+        }
+        let _ = svc.wait(filler);
+        svc.detach(long).unwrap();
         let report = svc.shutdown();
         assert!(!report.crashed);
     }

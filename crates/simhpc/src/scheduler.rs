@@ -275,6 +275,42 @@ impl BatchSimulator {
         Ok(self.submit(req))
     }
 
+    /// Withdraw a job that has not yet finished: a queued job is removed
+    /// from the queue, a running job is killed and its nodes freed. Either
+    /// way the job is recorded as [`JobState::Cancelled`] in
+    /// [`job_outcomes`](Self::job_outcomes) and produces no [`JobRecord`].
+    /// Returns `false` when no queued or running job has this id (already
+    /// finished, exhausted, or never submitted).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        if let Some(i) = self.queue.iter().position(|q| q.id == id) {
+            let q = self.queue.remove(i);
+            telemetry::count!("simhpc", "jobs_cancelled", 1);
+            self.outcomes.push(JobOutcome {
+                id: q.id,
+                name: q.req.name,
+                attempts: q.failures,
+                state: JobState::Cancelled,
+                wasted_seconds: q.wasted,
+            });
+            return true;
+        }
+        if let Some(i) = self.running.iter().position(|r| r.id == id) {
+            let r = self.running.swap_remove(i);
+            self.free_nodes += r.req.nodes;
+            telemetry::count!("simhpc", "jobs_cancelled", 1);
+            self.outcomes.push(JobOutcome {
+                id: r.id,
+                name: r.req.name,
+                attempts: r.attempt,
+                state: JobState::Cancelled,
+                // The aborted attempt's node-hold time produced no output.
+                wasted_seconds: r.wasted + (self.clock - r.start).max(0.0),
+            });
+            return true;
+        }
+        false
+    }
+
     fn running_small_jobs(&self) -> usize {
         self.running
             .iter()
@@ -582,6 +618,37 @@ mod tests {
         assert_eq!(sim.pending(), 0);
         sim.try_submit(JobRequest::new("c", 8, 10.0, sim.now()), 2)
             .unwrap();
+    }
+
+    #[test]
+    fn cancelled_queued_job_frees_its_admission_slot() {
+        let mut sim = BatchSimulator::new(tiny_machine(8), QueuePolicy::ideal());
+        let a = sim
+            .try_submit(JobRequest::new("a", 8, 50.0, 0.0), 2)
+            .unwrap();
+        let _b = sim
+            .try_submit(JobRequest::new("b", 8, 10.0, 0.0), 2)
+            .unwrap();
+        assert_eq!(sim.pending(), 2);
+        assert!(sim.cancel(a), "queued job must be cancellable");
+        assert_eq!(sim.pending(), 1, "cancellation releases the slot");
+        sim.try_submit(JobRequest::new("c", 8, 10.0, 0.0), 2)
+            .expect("slot freed by cancellation");
+        assert!(!sim.cancel(a), "a cancelled id cancels only once");
+
+        let recs = sim.run_to_completion();
+        assert!(
+            recs.iter().all(|r| r.name != "a"),
+            "a cancelled job must not produce a completion record"
+        );
+        assert_eq!(recs.len(), 2);
+        let out = sim
+            .job_outcomes()
+            .iter()
+            .find(|o| o.name == "a")
+            .expect("cancellation is recorded in outcomes");
+        assert_eq!(out.state, JobState::Cancelled);
+        assert_eq!(out.wasted_seconds, 0.0, "never started, nothing burnt");
     }
 
     #[test]
