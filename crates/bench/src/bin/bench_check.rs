@@ -1,0 +1,143 @@
+//! CI gate for the committed kernel-bench trajectory.
+//!
+//! ```text
+//! bench_check <trajectory.json> [--baseline <baseline.json>]
+//! ```
+//!
+//! Validates that the JSON parses, carries the `bench-kernels-v1` schema,
+//! and covers every rewritten kernel (`cic`, `fof`, `mbp`, `radix`,
+//! `histogram`) with finite positive timings. With `--baseline`, also fails
+//! if any kernel's speedup regressed by more than 25% relative to the
+//! baseline's speedup — a machine-independent ratio, so a quick-mode CI run
+//! can be gated against the committed full-mode `BENCH_kernels.json`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use telemetry::json::{self, Value};
+
+/// Kernels the trajectory must cover.
+const REQUIRED: [&str; 5] = ["cic", "fof", "mbp", "radix", "histogram"];
+
+/// Maximum tolerated relative speedup regression vs the baseline.
+const MAX_REGRESSION: f64 = 0.25;
+
+struct Kernel {
+    before_ms: f64,
+    after_ms: f64,
+    speedup: f64,
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, Kernel>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let root = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    match root.get("schema").and_then(Value::as_str) {
+        Some("bench-kernels-v1") => {}
+        other => return Err(format!("{path}: unexpected schema {other:?}")),
+    }
+    let kernels = root
+        .get("kernels")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing `kernels` array"))?;
+    let mut out = BTreeMap::new();
+    for k in kernels {
+        let name = k
+            .get("kernel")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{path}: kernel entry without a name"))?;
+        let field = |f: &str| -> Result<f64, String> {
+            k.get(f)
+                .and_then(Value::as_f64)
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or_else(|| format!("{path}: kernel `{name}` has invalid `{f}`"))
+        };
+        out.insert(
+            name.to_string(),
+            Kernel {
+                before_ms: field("before_ms")?,
+                after_ms: field("after_ms")?,
+                speedup: field("speedup")?,
+            },
+        );
+    }
+    for required in REQUIRED {
+        if !out.contains_key(required) {
+            return Err(format!(
+                "{path}: kernel `{required}` missing from trajectory"
+            ));
+        }
+    }
+    // The pool ladder must be present and non-empty: it is the committed
+    // measurement justifying `dpp::SMALL_N_THRESHOLD`.
+    let ladder = root
+        .get("pool_small_n")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("{path}: missing `pool_small_n` ladder"))?;
+    if ladder.is_empty() {
+        return Err(format!("{path}: empty `pool_small_n` ladder"));
+    }
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, baseline) = match args.as_slice() {
+        [p] => (p.clone(), None),
+        [p, flag, b] if flag == "--baseline" => (p.clone(), Some(b.clone())),
+        _ => {
+            return Err("usage: bench_check <trajectory.json> [--baseline <baseline.json>]".into())
+        }
+    };
+    let fresh = load(&path)?;
+    for (name, k) in &fresh {
+        let consistent = (k.before_ms / k.after_ms / k.speedup - 1.0).abs() < 0.05;
+        if !consistent {
+            return Err(format!(
+                "{path}: kernel `{name}` speedup {:.3} inconsistent with \
+                 before/after = {:.3}",
+                k.speedup,
+                k.before_ms / k.after_ms
+            ));
+        }
+        println!(
+            "{name}: before={:.3}ms after={:.3}ms speedup={:.2}x",
+            k.before_ms, k.after_ms, k.speedup
+        );
+    }
+    if let Some(bpath) = baseline {
+        let base = load(&bpath)?;
+        for (name, b) in &base {
+            let Some(f) = fresh.get(name) else {
+                return Err(format!("kernel `{name}` in baseline but not in {path}"));
+            };
+            let ratio = f.speedup / b.speedup;
+            if ratio < 1.0 - MAX_REGRESSION {
+                return Err(format!(
+                    "kernel `{name}` regressed: speedup {:.2}x vs baseline {:.2}x \
+                     ({:.0}% of baseline, limit {:.0}%)",
+                    f.speedup,
+                    b.speedup,
+                    ratio * 100.0,
+                    (1.0 - MAX_REGRESSION) * 100.0
+                ));
+            }
+            println!(
+                "{name}: speedup {:.2}x vs baseline {:.2}x — ok",
+                f.speedup, b.speedup
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => {
+            println!("bench_check: trajectory ok");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -30,7 +30,7 @@
 
 use crate::inputs;
 use dpp::{ops, Backend, Serial, StaticThreaded, ThreadPool, Threaded};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// How strictly two float results must agree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +85,9 @@ pub struct DiffReport {
     pub backends: Vec<String>,
     /// Total number of (op, case, backend) comparisons performed.
     pub checks: usize,
+    /// Comparisons per op family — the layout differential's per-kernel
+    /// coverage floor reads this.
+    pub checks_by_op: BTreeMap<&'static str, usize>,
     /// Every observed mismatch.
     pub disagreements: Vec<Disagreement>,
 }
@@ -134,11 +137,11 @@ impl DiffReport {
         assert!(self.disagreements.is_empty(), "{}", self.render());
     }
 
-    fn op(&mut self, name: &'static str) {
+    pub(crate) fn op(&mut self, name: &'static str) {
         self.ops_covered.insert(name);
     }
 
-    fn check_f64_slice(
+    pub(crate) fn check_f64_slice(
         &mut self,
         mode: Cmp,
         op: &'static str,
@@ -148,6 +151,7 @@ impl DiffReport {
         got: &[f64],
     ) {
         self.checks += 1;
+        *self.checks_by_op.entry(op).or_default() += 1;
         if expect.len() != got.len() {
             self.disagreements.push(Disagreement {
                 op,
@@ -174,7 +178,7 @@ impl DiffReport {
         }
     }
 
-    fn check_f64_scalar(
+    pub(crate) fn check_f64_scalar(
         &mut self,
         mode: Cmp,
         op: &'static str,
@@ -186,7 +190,7 @@ impl DiffReport {
         self.check_f64_slice(mode, op, case, backend, &[expect], &[got]);
     }
 
-    fn check_eq<T: PartialEq + std::fmt::Debug>(
+    pub(crate) fn check_eq<T: PartialEq + std::fmt::Debug>(
         &mut self,
         op: &'static str,
         case: &str,
@@ -195,6 +199,7 @@ impl DiffReport {
         got: &T,
     ) {
         self.checks += 1;
+        *self.checks_by_op.entry(op).or_default() += 1;
         if expect != got {
             let mut detail = format!("reference {expect:?} vs {got:?}");
             if detail.len() > 300 {
@@ -212,12 +217,12 @@ impl DiffReport {
 }
 
 /// Is this backend allowed tolerance-level float-reduction agreement?
-fn reassociates_reductions(backend_name: &str) -> bool {
+pub(crate) fn reassociates_reductions(backend_name: &str) -> bool {
     backend_name.starts_with("static")
 }
 
 /// The backend roster compared against `Serial`.
-fn roster() -> Vec<(String, Box<dyn Backend>)> {
+pub(crate) fn roster() -> Vec<(String, Box<dyn Backend>)> {
     let shared = ThreadPool::new(3);
     vec![
         (

@@ -206,6 +206,129 @@ pub fn keyed_cases() -> Vec<(Case<u32>, Vec<f64>)> {
     out
 }
 
+/// Adversarial particle corpus for the layout differential: the SoA kernel
+/// rewrites (CIC deposit, MBP potential) must agree bit-for-bit with the
+/// row-layout references over exactly these shapes — non-finite positions
+/// (NaN with either sign bit, ±inf), signed zeros, `f32` denormals, and
+/// lengths straddling the dispatch grain and the small-n pool threshold.
+pub fn particle_cases() -> Vec<Case<nbody::particle::Particle>> {
+    use nbody::particle::Particle;
+    let mut rng = StdRng::seed_from_u64(0x5EED_9A27);
+    let uniform = |rng: &mut StdRng, n: usize, tag0: u64| -> Vec<Particle> {
+        (0..n)
+            .map(|i| {
+                Particle::at_rest(
+                    [
+                        rng.gen_range(0.0f32..32.0),
+                        rng.gen_range(0.0f32..32.0),
+                        rng.gen_range(0.0f32..32.0),
+                    ],
+                    rng.gen_range(0.5f32..2.0),
+                    tag0 + i as u64,
+                )
+            })
+            .collect()
+    };
+
+    let mut cases = vec![
+        Case::new("empty", vec![]),
+        Case::new("single", vec![Particle::at_rest([1.0, 2.0, 3.0], 1.5, 7)]),
+        Case::new(
+            "specials",
+            vec![
+                Particle::at_rest([f32::NAN, 1.0, 2.0], 1.0, 0),
+                Particle::at_rest([-f32::NAN, 3.0, 4.0], 1.0, 1),
+                Particle::at_rest([f32::INFINITY, 5.0, 6.0], 1.0, 2),
+                Particle::at_rest([7.0, f32::NEG_INFINITY, 8.0], 1.0, 3),
+                Particle::at_rest([-0.0, 0.0, -0.0], 1.0, 4),
+                Particle::at_rest([f32::from_bits(1), f32::MIN_POSITIVE / 2.0, 9.0], 1.0, 5),
+                Particle::at_rest([10.0, 11.0, 12.0], f32::NAN, 6),
+                Particle::at_rest([13.0, 14.0, 15.0], -0.0, 7),
+                Particle::at_rest([16.0, 17.0, 18.0], f32::from_bits(1), 8),
+                Particle::at_rest([19.0, 20.0, 21.0], 2.0, u64::MAX),
+            ],
+        ),
+        Case::new("coincident", vec![Particle::at_rest([4.0; 3], 1.0, 9); 257]),
+    ];
+
+    // Grain-boundary and small-n-threshold-straddling lengths: 1023/1024/
+    // 1025 run the inline fast path, 4097 crosses into the pooled path.
+    let (a, b, c, d) = (
+        uniform(&mut rng, BOUNDARY_LENGTHS[0], 1000),
+        uniform(&mut rng, BOUNDARY_LENGTHS[1], 2000),
+        uniform(&mut rng, BOUNDARY_LENGTHS[2], 4000),
+        uniform(&mut rng, BOUNDARY_LENGTHS[3], 8000),
+    );
+    cases.push(Case::new("grain_minus_one", a));
+    cases.push(Case::new("grain_exact", b));
+    cases.push(Case::new("grain_plus_one", c));
+    let mut multi = d;
+    // Salt the big case with specials so the pooled path sees them too.
+    for i in (0..multi.len()).step_by(129) {
+        multi[i].pos[i % 3] = if i % 258 == 0 { f32::NAN } else { -f32::NAN };
+    }
+    cases.push(Case::new("multi_chunk_nan_salted", multi));
+    cases
+}
+
+/// Finite coordinate corpus for the column-layout FOF / k-d tree
+/// differential. Finite only: the tree's median comparator totally orders
+/// real values but panics on NaN by contract; NaN handling for the column
+/// kernels is exercised by [`particle_cases`] through CIC and MBP instead.
+/// Includes signed zeros, denormal spreads, clustered blobs, and
+/// grain-boundary lengths.
+pub fn coord_cases() -> Vec<Case<[f64; 3]>> {
+    let mut rng = StdRng::seed_from_u64(0x5EED_C00D);
+    let mut cases = vec![
+        Case::new("empty", vec![]),
+        Case::new("single", vec![[0.5, 0.25, 0.125]]),
+        Case::new(
+            "signed_zero_denormals",
+            vec![
+                [0.0, -0.0, 0.0],
+                [-0.0, 0.0, -0.0],
+                [f64::from_bits(1), -f64::from_bits(3), f64::MIN_POSITIVE],
+                [0.1, 0.1, 0.1],
+                [-0.1, -0.1, -0.1],
+            ],
+        ),
+        Case::new("coincident", vec![[2.0, 3.0, 4.0]; 100]),
+    ];
+    // Three well-separated blobs plus uniform background: multiple groups
+    // at moderate linking lengths.
+    let mut blobs = Vec::new();
+    for (cx, cy, cz) in [(1.0, 1.0, 1.0), (5.0, 5.0, 5.0), (1.0, 6.0, 2.0)] {
+        for _ in 0..400 {
+            blobs.push([
+                cx + rng.gen_range(-0.3..0.3),
+                cy + rng.gen_range(-0.3..0.3),
+                cz + rng.gen_range(-0.3..0.3),
+            ]);
+        }
+    }
+    for _ in 0..200 {
+        blobs.push([
+            rng.gen_range(0.0..8.0),
+            rng.gen_range(0.0..8.0),
+            rng.gen_range(0.0..8.0),
+        ]);
+    }
+    cases.push(Case::new("three_blobs", blobs));
+    cases.push(Case::new(
+        "grain_straddle",
+        (0..BOUNDARY_LENGTHS[2])
+            .map(|_| {
+                [
+                    rng.gen_range(0.0..8.0),
+                    rng.gen_range(0.0..8.0),
+                    rng.gen_range(0.0..8.0),
+                ]
+            })
+            .collect(),
+    ));
+    cases
+}
+
 /// Deterministic gather/scatter index sets for a source of length `n`:
 /// identity, reversal, broadcast-of-one, and a seeded permutation.
 pub fn index_cases(n: usize) -> Vec<Case<usize>> {

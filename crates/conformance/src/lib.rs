@@ -17,6 +17,10 @@
 //!   Serial, Threaded (fresh, single-worker, and pool-shared), and
 //!   StaticThreaded backends and checks **byte agreement** under the
 //!   documented total-order semantics, reporting every disagreement.
+//! * [`layout`] — the SoA/column kernel differential: every kernel
+//!   rewritten for the packed layout (CIC deposit, FOF, MBP, radix,
+//!   histogram) against its retained row-layout reference, bit-for-bit,
+//!   on every backend.
 //! * [`oracles`] — metamorphic physics oracles: FOF catalog invariance
 //!   under particle permutation, periodic translation, and 1/2/4/8-rank
 //!   domain splits; MBP brute ≡ A*; FFT Parseval and impulse identities;
@@ -41,6 +45,7 @@ pub mod differential;
 pub mod explorer;
 pub mod golden;
 pub mod inputs;
+pub mod layout;
 pub mod multi;
 pub mod oracles;
 pub mod strategies;
@@ -48,4 +53,5 @@ pub mod strategies;
 pub use differential::{assert_dpp_conformance, run_dpp_differential, DiffReport, Disagreement};
 pub use explorer::{explore, ExplorationReport, ExplorerConfig, ScheduleOutcome};
 pub use golden::{compare_or_bless, GoldenOutcome};
+pub use layout::{assert_layout_conformance, run_layout_differential, REQUIRED_KERNELS};
 pub use multi::{explore_multi, multi_reference, MultiConfig, MultiReport, MultiScheduleOutcome};

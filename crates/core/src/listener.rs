@@ -1318,7 +1318,14 @@ mod tests {
             Ok(())
         };
         // Sweep 1 establishes the cursor over the handled prefix.
-        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert!(sweep_dir(
+            &dir,
+            &cfg,
+            &state,
+            Some(&j),
+            &mut on_file,
+            &mut report
+        ));
         assert!(state.lock().cursor.is_some(), "cursor must be active");
         assert_eq!(state.lock().seen_len(), 0, "prefix fully evicted");
 
@@ -1329,15 +1336,40 @@ mod tests {
 
         // Sweep 2 detects the fingerprint drift, rebuilds from the journal,
         // and starts the newcomer's quiescence window; sweep 3 submits it.
-        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
-        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
-        assert_eq!(count.get(), 1, "the straggler must be submitted exactly once");
+        assert!(sweep_dir(
+            &dir,
+            &cfg,
+            &state,
+            Some(&j),
+            &mut on_file,
+            &mut report
+        ));
+        assert!(sweep_dir(
+            &dir,
+            &cfg,
+            &state,
+            Some(&j),
+            &mut on_file,
+            &mut report
+        ));
+        assert_eq!(
+            count.get(),
+            1,
+            "the straggler must be submitted exactly once"
+        );
         assert_eq!(report.submitted.len(), 1);
         assert!(report.submitted[0].ends_with("m_01a.hcio"));
 
         // Steady state again: further sweeps submit nothing and the seen
         // set shrinks back under the re-advanced cursor.
-        assert!(sweep_dir(&dir, &cfg, &state, Some(&j), &mut on_file, &mut report));
+        assert!(sweep_dir(
+            &dir,
+            &cfg,
+            &state,
+            Some(&j),
+            &mut on_file,
+            &mut report
+        ));
         assert_eq!(count.get(), 1);
         assert_eq!(state.lock().handled_total(), 6);
         std::fs::remove_dir_all(&dir).ok();

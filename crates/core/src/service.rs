@@ -790,7 +790,14 @@ fn run_sweep(inner: &Inner, c: &CampaignState) -> bool {
     // concurrent snapshot that touches the same pair — and would stall
     // `report()` callers for a full sweep besides.
     let mut delta = ListenerReport::default();
-    let ok = sweep_dir(&c.dir, &c.lcfg, &c.scan, Some(journal), &mut on_file, &mut delta);
+    let ok = sweep_dir(
+        &c.dir,
+        &c.lcfg,
+        &c.scan,
+        Some(journal),
+        &mut on_file,
+        &mut delta,
+    );
     c.lreport.lock().absorb(delta);
     ok
 }
@@ -1252,9 +1259,7 @@ mod tests {
                 pending: 2,
                 limit: 2,
             }) => {}
-            other => panic!(
-                "backpressure must persist after a completion, got {other:?}"
-            ),
+            other => panic!("backpressure must persist after a completion, got {other:?}"),
         }
         let _ = svc.wait(filler);
         svc.detach(long).unwrap();

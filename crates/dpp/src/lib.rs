@@ -39,4 +39,4 @@ pub use backend::{
     par_chunks_mut, par_for_each_mut, par_init, AnyBackend, Backend, SendPtr, Serial,
     StaticThreaded, Threaded, DEFAULT_GRAIN,
 };
-pub use pool::{PoolStats, ThreadPool};
+pub use pool::{PoolStats, ThreadPool, SMALL_N_THRESHOLD};

@@ -82,14 +82,28 @@ struct State {
     shutdown: bool,
 }
 
+/// Below this `n`, a dispatch that would otherwise go to the workers runs
+/// inline on the caller instead: waking the pool costs ~2.5 µs (see the
+/// `dispatch_overhead` bench), which at the ~1–2 ns/element of a typical map
+/// kernel is only amortized once a dispatch carries a few thousand elements.
+/// Measured on the small-n ladder in `BENCH_kernels.json` ("pool_small_n"):
+/// pooled dispatch at n = 1024–2048 is 2–6× slower than the inline loop,
+/// and the two cross over shortly above 2048.
+pub const SMALL_N_THRESHOLD: usize = 2048;
+
 /// Monotonic counters describing pool activity (see [`ThreadPool::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Total `dispatch` calls, including serial fast-path ones.
     pub dispatches: u64,
-    /// Dispatches executed inline on the caller (1 worker, 1 chunk, or a
-    /// reentrant dispatch from within a chunk body).
+    /// Dispatches executed inline on the caller (1 worker, 1 chunk, a
+    /// reentrant dispatch from within a chunk body, or a small-`n`
+    /// dispatch under [`SMALL_N_THRESHOLD`]).
     pub serial_dispatches: u64,
+    /// The subset of `serial_dispatches` that ran inline *because* `n` was
+    /// at or under [`SMALL_N_THRESHOLD`] (they would have gone to the
+    /// workers otherwise). These never wake the pool.
+    pub small_n_dispatches: u64,
     /// Chunks claimed and executed by parked worker threads.
     pub chunks_by_workers: u64,
     /// Chunks claimed and executed by the dispatching thread itself.
@@ -106,6 +120,12 @@ impl PoolStats {
     /// Total chunks executed across all dispatches.
     pub fn chunks_executed(&self) -> u64 {
         self.chunks_by_workers + self.chunks_by_caller
+    }
+
+    /// The `n` at or below which dispatches skip the pool
+    /// ([`SMALL_N_THRESHOLD`], exposed here for instrumentation readers).
+    pub const fn small_n_threshold() -> usize {
+        SMALL_N_THRESHOLD
     }
 
     /// Mean wall time per dispatch in nanoseconds (0 if none ran).
@@ -126,6 +146,9 @@ impl PoolStats {
             serial_dispatches: self
                 .serial_dispatches
                 .saturating_sub(earlier.serial_dispatches),
+            small_n_dispatches: self
+                .small_n_dispatches
+                .saturating_sub(earlier.small_n_dispatches),
             chunks_by_workers: self
                 .chunks_by_workers
                 .saturating_sub(earlier.chunks_by_workers),
@@ -145,6 +168,7 @@ impl PoolStats {
 struct StatCells {
     dispatches: AtomicU64,
     serial_dispatches: AtomicU64,
+    small_n_dispatches: AtomicU64,
     chunks_by_workers: AtomicU64,
     chunks_by_caller: AtomicU64,
     worker_wakeups: AtomicU64,
@@ -157,6 +181,7 @@ impl StatCells {
         PoolStats {
             dispatches: self.dispatches.load(Ordering::Relaxed),
             serial_dispatches: self.serial_dispatches.load(Ordering::Relaxed),
+            small_n_dispatches: self.small_n_dispatches.load(Ordering::Relaxed),
             chunks_by_workers: self.chunks_by_workers.load(Ordering::Relaxed),
             chunks_by_caller: self.chunks_by_caller.load(Ordering::Relaxed),
             worker_wakeups: self.worker_wakeups.load(Ordering::Relaxed),
@@ -168,6 +193,7 @@ impl StatCells {
     fn reset(&self) {
         self.dispatches.store(0, Ordering::Relaxed);
         self.serial_dispatches.store(0, Ordering::Relaxed);
+        self.small_n_dispatches.store(0, Ordering::Relaxed);
         self.chunks_by_workers.store(0, Ordering::Relaxed);
         self.chunks_by_caller.store(0, Ordering::Relaxed);
         self.worker_wakeups.store(0, Ordering::Relaxed);
@@ -470,6 +496,43 @@ impl ThreadPool {
             return;
         }
 
+        if n <= SMALL_N_THRESHOLD {
+            // Small-n fast path: the work is too small to amortize waking
+            // the workers, so run the same chunk decomposition inline on the
+            // caller without touching the pool. Panic semantics match the
+            // parallel path exactly — every chunk runs, the first panic is
+            // captured and re-raised with the worker prefix — so results
+            // and failure modes are indistinguishable from a pooled run.
+            let mut payload: Option<Box<dyn Any + Send>> = None;
+            for c in 0..chunks {
+                let lo = c * grain;
+                let hi = (lo + grain).min(n);
+                if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(lo..hi))) {
+                    if payload.is_none() {
+                        payload = Some(p);
+                    }
+                }
+            }
+            let nanos = t0.elapsed().as_nanos() as u64;
+            for stats in std::iter::once(&shared.stats).chain(self.scope.as_deref()) {
+                stats.dispatches.fetch_add(1, Ordering::Relaxed);
+                stats.serial_dispatches.fetch_add(1, Ordering::Relaxed);
+                stats.small_n_dispatches.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .chunks_by_caller
+                    .fetch_add(chunks as u64, Ordering::Relaxed);
+                stats
+                    .total_dispatch_nanos
+                    .fetch_add(nanos, Ordering::Relaxed);
+            }
+            telemetry::count!("dpp", "dispatches", 1);
+            telemetry::count!("dpp", "dispatch_nanos", nanos);
+            if payload.is_some() {
+                resume_chunk_panic(payload);
+            }
+            return;
+        }
+
         // One dispatch in flight at a time; callers on other threads queue.
         let _submit = self.inner.submit.lock().unwrap_or_else(|p| p.into_inner());
 
@@ -679,6 +742,18 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn parallel_dispatch_propagates_panics() {
+        // Above the small-n threshold, so the panic crosses the pool.
+        let pool = ThreadPool::new(2);
+        pool.dispatch(10_000, 16, &|r| {
+            if r.start == 5_696 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
     fn pool_survives_a_panicked_dispatch() {
         let pool = ThreadPool::new(4);
         let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -689,37 +764,39 @@ mod tests {
             });
         }));
         assert!(caught.is_err());
-        // The workers must still be alive and correct afterwards.
+        // The workers must still be alive and correct afterwards (n above
+        // the small-n threshold so the pool really runs).
         let sum = AtomicU64::new(0);
-        pool.dispatch(1000, 16, &|r| {
+        pool.dispatch(10_000, 16, &|r| {
             sum.fetch_add(r.len() as u64, Ordering::Relaxed);
         });
-        assert_eq!(sum.load(Ordering::Relaxed), 1000);
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000);
     }
 
     #[test]
     fn repeated_dispatches_reuse_the_same_workers() {
         let pool = ThreadPool::new(4);
         let sum = AtomicU64::new(0);
-        for _ in 0..2_000 {
-            pool.dispatch(256, 16, &|r| {
+        for _ in 0..500 {
+            pool.dispatch(4096, 256, &|r| {
                 sum.fetch_add(r.len() as u64, Ordering::Relaxed);
             });
         }
-        assert_eq!(sum.load(Ordering::Relaxed), 2_000 * 256);
+        assert_eq!(sum.load(Ordering::Relaxed), 500 * 4096);
         let stats = pool.stats();
-        assert_eq!(stats.dispatches, 2_000);
-        assert_eq!(stats.chunks_executed(), 2_000 * 16);
+        assert_eq!(stats.dispatches, 500);
+        assert_eq!(stats.chunks_executed(), 500 * 16);
+        assert_eq!(stats.small_n_dispatches, 0, "4096 is above the threshold");
     }
 
     #[test]
     fn nested_dispatch_on_same_pool_runs_inline() {
         let pool = ThreadPool::new(4);
-        let outer_n = 64;
+        let outer_n = 4096; // above the threshold: chunks run on workers
         let inner_n = 32;
         let count = AtomicU64::new(0);
         let p2 = pool.clone();
-        pool.dispatch(outer_n, 4, &|r| {
+        pool.dispatch(outer_n, 256, &|r| {
             for _ in r {
                 p2.dispatch(inner_n, 8, &|ir| {
                     count.fetch_add(ir.len() as u64, Ordering::Relaxed);
@@ -731,6 +808,44 @@ mod tests {
             (outer_n * inner_n) as u64,
             "every nested dispatch must fully execute"
         );
+    }
+
+    #[test]
+    fn small_n_dispatch_skips_the_pool() {
+        let pool = ThreadPool::new(4);
+        let before = pool.stats();
+        let seen: parking_lot::Mutex<Vec<Range<usize>>> = parking_lot::Mutex::new(Vec::new());
+        pool.dispatch(SMALL_N_THRESHOLD, 64, &|r| seen.lock().push(r));
+        let d = pool.stats().delta_since(&before);
+        assert_eq!(d.dispatches, 1);
+        assert_eq!(d.small_n_dispatches, 1);
+        assert_eq!(d.serial_dispatches, 1);
+        assert_eq!(d.worker_wakeups, 0, "the pool must not be woken");
+        assert_eq!(d.chunks_by_workers, 0, "no chunk may run on a worker");
+        assert_eq!(d.chunks_by_caller, (SMALL_N_THRESHOLD / 64) as u64);
+        // The chunk decomposition is exactly the pooled grid, in order.
+        let got = seen.into_inner();
+        let expect: Vec<Range<usize>> = (0..SMALL_N_THRESHOLD)
+            .step_by(64)
+            .map(|lo| lo..(lo + 64).min(SMALL_N_THRESHOLD))
+            .collect();
+        assert_eq!(got, expect);
+
+        // One element past the threshold the parallel path is taken again
+        // (no serial or small-n counter moves; chunk attribution may land on
+        // the caller or the workers depending on who claims first).
+        let before = pool.stats();
+        pool.dispatch(SMALL_N_THRESHOLD + 1, 64, &|_| {});
+        let d = pool.stats().delta_since(&before);
+        assert_eq!(d.dispatches, 1);
+        assert_eq!(d.small_n_dispatches, 0);
+        assert_eq!(d.serial_dispatches, 0);
+    }
+
+    #[test]
+    fn small_n_threshold_is_exposed() {
+        assert_eq!(PoolStats::small_n_threshold(), SMALL_N_THRESHOLD);
+        const { assert!(SMALL_N_THRESHOLD >= 1024, "threshold covers tiny kernels") };
     }
 
     #[test]
@@ -759,12 +874,14 @@ mod tests {
     fn stats_reflect_activity_and_reset() {
         let pool = ThreadPool::new(4);
         assert_eq!(pool.stats(), PoolStats::default());
-        pool.dispatch(1024, 8, &|_| {});
+        pool.dispatch(4096, 32, &|_| {}); // above threshold → parallel path
+        pool.dispatch(1024, 8, &|_| {}); // under threshold → small-n inline
         pool.dispatch(1, 8, &|_| {}); // single chunk → serial fast path
         let s = pool.stats();
-        assert_eq!(s.dispatches, 2);
-        assert_eq!(s.serial_dispatches, 1);
-        assert_eq!(s.chunks_executed(), 128 + 1);
+        assert_eq!(s.dispatches, 3);
+        assert_eq!(s.serial_dispatches, 2);
+        assert_eq!(s.small_n_dispatches, 1);
+        assert_eq!(s.chunks_executed(), 128 + 128 + 1);
         assert!(s.total_dispatch_nanos > 0);
         assert!(s.mean_dispatch_nanos() > 0.0);
         pool.reset_stats();
@@ -801,21 +918,24 @@ mod tests {
         let b = pool.scoped();
         assert!(a.is_scoped());
 
-        a.dispatch(1024, 8, &|_| {}); // 128 chunks, parallel path
+        a.dispatch(4096, 32, &|_| {}); // 128 chunks, parallel path
         a.dispatch(1, 8, &|_| {}); // serial fast path
-        b.dispatch(512, 8, &|_| {}); // 64 chunks
+        b.dispatch(512, 8, &|_| {}); // 64 chunks, small-n inline
 
         let sa = a.scope_stats().unwrap();
         let sb = b.scope_stats().unwrap();
         assert_eq!(sa.dispatches, 2, "scope A sees only its own dispatches");
         assert_eq!(sa.serial_dispatches, 1);
+        assert_eq!(sa.small_n_dispatches, 0);
         assert_eq!(sa.chunks_executed(), 128 + 1);
         assert_eq!(sb.dispatches, 1, "scope B is not polluted by scope A");
+        assert_eq!(sb.small_n_dispatches, 1);
         assert_eq!(sb.chunks_executed(), 64);
 
         // The pool-shared counters remain the sum over every handle.
         let total = pool.stats();
         assert_eq!(total.dispatches, 3);
+        assert_eq!(total.small_n_dispatches, 1);
         assert_eq!(total.chunks_executed(), 128 + 1 + 64);
     }
 

@@ -10,7 +10,8 @@
 //!   single-domain catalogs and as an independent cross-check.
 //! * [`fof_brute`] — O(n²) oracle for tests.
 
-use crate::kdtree::KdTree;
+use crate::columns::Coords;
+use crate::kdtree::{KdTree, LEAF_SIZE};
 use crate::unionfind::UnionFind;
 
 #[inline]
@@ -105,6 +106,120 @@ fn connect(tree: &KdTree, pos: &[[f64; 3]], a: usize, b: usize, link: f64, uf: &
         (Some((l, r)), None) => {
             connect(tree, pos, l, b, link, uf);
             connect(tree, pos, r, b, link, uf);
+        }
+    }
+}
+
+/// Column-layout k-d tree FOF over packed coordinates. Identical labels to
+/// [`fof_kdtree`] on the row equivalent of `coords` (same tree, same
+/// traversal, same union sequence).
+///
+/// Leaves are gathered once into contiguous stack lanes (bounded by
+/// [`LEAF_SIZE`]) so the O(k²) pair loops run over packed `f64` arrays the
+/// compiler can vectorize, instead of chasing the tree's index indirection
+/// per pair. The distance expression and pair visit order match the row
+/// engine exactly, so the resulting partition — and the label numbering by
+/// first appearance — is identical.
+pub fn fof_kdtree_cols(coords: &Coords, link: f64) -> Vec<u32> {
+    let n = coords.len();
+    let mut uf = UnionFind::new(n);
+    if n > 0 {
+        let tree = KdTree::build_cols(coords, None);
+        process_cols(&tree, coords, tree.root(), link, &mut uf);
+    }
+    uf.labels().0
+}
+
+/// A leaf's coordinates gathered into contiguous lanes.
+struct LeafLanes {
+    x: [f64; LEAF_SIZE],
+    y: [f64; LEAF_SIZE],
+    z: [f64; LEAF_SIZE],
+    len: usize,
+}
+
+impl LeafLanes {
+    fn gather(coords: &Coords, idx: &[u32]) -> Self {
+        debug_assert!(idx.len() <= LEAF_SIZE);
+        let (xs, ys, zs) = (coords.xs(), coords.ys(), coords.zs());
+        let mut lanes = LeafLanes {
+            x: [0.0; LEAF_SIZE],
+            y: [0.0; LEAF_SIZE],
+            z: [0.0; LEAF_SIZE],
+            len: idx.len(),
+        };
+        for (k, &i) in idx.iter().enumerate() {
+            let i = i as usize;
+            lanes.x[k] = xs[i];
+            lanes.y[k] = ys[i];
+            lanes.z[k] = zs[i];
+        }
+        lanes
+    }
+
+    #[inline]
+    fn dist2(&self, a: usize, other: &LeafLanes, b: usize) -> f64 {
+        (self.x[a] - other.x[b]).powi(2)
+            + (self.y[a] - other.y[b]).powi(2)
+            + (self.z[a] - other.z[b]).powi(2)
+    }
+}
+
+fn process_cols(tree: &KdTree, coords: &Coords, id: usize, link: f64, uf: &mut UnionFind) {
+    let node = tree.node(id);
+    match node.children {
+        None => {
+            let idx = tree.indices(node);
+            let lanes = LeafLanes::gather(coords, idx);
+            let b2 = link * link;
+            for a in 0..lanes.len {
+                for b in (a + 1)..lanes.len {
+                    if lanes.dist2(a, &lanes, b) <= b2 {
+                        uf.union(idx[a] as usize, idx[b] as usize);
+                    }
+                }
+            }
+        }
+        Some((l, r)) => {
+            process_cols(tree, coords, l, link, uf);
+            process_cols(tree, coords, r, link, uf);
+            connect_cols(tree, coords, l, r, link, uf);
+        }
+    }
+}
+
+fn connect_cols(tree: &KdTree, coords: &Coords, a: usize, b: usize, link: f64, uf: &mut UnionFind) {
+    let na = tree.node(a);
+    let nb = tree.node(b);
+    if na.bbox.min_dist2_box(&nb.bbox) > link * link {
+        return;
+    }
+    match (na.children, nb.children) {
+        (None, None) => {
+            let b2 = link * link;
+            let ia = tree.indices(na);
+            let ib = tree.indices(nb);
+            let la = LeafLanes::gather(coords, ia);
+            let lb = LeafLanes::gather(coords, ib);
+            for i in 0..la.len {
+                for j in 0..lb.len {
+                    if la.dist2(i, &lb, j) <= b2 {
+                        uf.union(ia[i] as usize, ib[j] as usize);
+                    }
+                }
+            }
+        }
+        (Some((l, r)), _) if na.end - na.start >= nb.end - nb.start => {
+            connect_cols(tree, coords, l, b, link, uf);
+            connect_cols(tree, coords, r, b, link, uf);
+        }
+        (_, Some((l, r))) => {
+            connect_cols(tree, coords, a, l, link, uf);
+            connect_cols(tree, coords, a, r, link, uf);
+        }
+        (Some((l, r)), None) => {
+            connect_cols(tree, coords, l, b, link, uf);
+            connect_cols(tree, coords, r, b, link, uf);
         }
     }
 }
@@ -254,6 +369,27 @@ mod tests {
         let labels = fof_kdtree(&pos, 0.8);
         let groups = members_by_group(&labels);
         assert_eq!(groups.len(), 100);
+    }
+
+    #[test]
+    fn cols_engine_labels_identical_to_rows() {
+        let mut pos = blob([5.0, 5.0, 5.0], 400, 3.0, 11);
+        pos.extend(blob([9.0, 6.0, 5.0], 300, 2.5, 12));
+        pos.extend(blob([25.0, 25.0, 25.0], 200, 4.0, 13));
+        let cols = Coords::from_rows(&pos);
+        for link in [0.3, 0.7, 1.5] {
+            assert_eq!(
+                fof_kdtree(&pos, link),
+                fof_kdtree_cols(&cols, link),
+                "link={link}"
+            );
+        }
+        // Degenerate inputs agree too.
+        assert!(fof_kdtree_cols(&Coords::new(), 1.0).is_empty());
+        assert_eq!(
+            fof_kdtree_cols(&Coords::from_rows(&[[0.0; 3]]), 1.0),
+            vec![0]
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod catalog;
+pub mod columns;
 pub mod fof;
 pub mod kdtree;
 pub mod massfn;
@@ -32,10 +33,14 @@ pub mod tracking;
 pub mod unionfind;
 
 pub use catalog::{unwrap_positions, Halo, HaloCatalog};
-pub use fof::{fof_brute, fof_grid, fof_kdtree, members_by_group};
+pub use columns::Coords;
+pub use fof::{fof_brute, fof_grid, fof_kdtree, fof_kdtree_cols, members_by_group};
 pub use kdtree::{Aabb, KdTree};
 pub use massfn::{fit_power_law, FittedMassFunction, MassFunction};
-pub use mbp::{center_time_titan_gpu, mbp_astar, mbp_brute, potential_of, MbpResult};
+pub use mbp::{
+    center_time_titan_gpu, mbp_astar, mbp_brute, mbp_brute_cols, potential_at, potential_of,
+    MbpResult,
+};
 pub use parallel::{fof_and_centers_timed, parallel_fof, FofConfig, RankTiming};
 pub use properties::{halo_properties, HaloProperties};
 pub use so::{so_mass, SoResult};

@@ -11,6 +11,7 @@
 //!   potential bounds from a k-d tree let it find the minimum without
 //!   evaluating every particle exactly.
 
+use crate::columns::Coords;
 use crate::kdtree::KdTree;
 use dpp::{ops, Backend};
 use nbody::particle::Particle;
@@ -41,17 +42,107 @@ pub fn potential_of(particles: &[Particle], i: usize, softening: f64) -> f64 {
     acc
 }
 
-/// Data-parallel brute-force MBP: all potentials, then argmin.
-pub fn mbp_brute(backend: &dyn Backend, particles: &[Particle], softening: f64) -> MbpResult {
-    assert!(!particles.is_empty(), "cannot center an empty halo");
-    let idx: Vec<usize> = (0..particles.len()).collect();
-    let potentials = ops::map(backend, &idx, |&i| potential_of(particles, i, softening));
+/// Lanes per block in the column potential sweep. Sixteen f64 values span
+/// two cache lines and give the out-of-order core four 4-wide AVX2 strips
+/// (or two AVX-512 strips) of independent sqrt/divide work to pipeline.
+const MBP_LANES: usize = 16;
+
+/// Exact potential of point `i` over packed coordinate columns, blocked in
+/// [`MBP_LANES`]-wide strips. Bit-identical to [`potential_of`] on the
+/// particle equivalent.
+///
+/// Each strip computes its distances, softened inverses, and mass weights
+/// into a stack lane array — a branch-light loop the compiler can vectorize
+/// (sqrt and divide are the dominant cost and both have packed forms) — and
+/// then folds the lanes into the accumulator serially in index order.
+/// **Summation order is fixed**: contributions are subtracted in ascending
+/// `j` exactly like the scalar reference; only the expensive per-pair math
+/// is reassociated into lanes, never the reduction. The self term is
+/// excluded by a select (`j == i` contributes a literal `0.0`, and
+/// `acc - 0.0` is an IEEE-754 identity for every value including −0.0 and
+/// NaN), not by a mask multiply, which would turn NaN positions into
+/// poisoned lanes.
+pub fn potential_at(coords: &Coords, masses: &[f64], i: usize, softening: f64) -> f64 {
+    let (xs, ys, zs) = (coords.xs(), coords.ys(), coords.zs());
+    let n = xs.len();
+    debug_assert_eq!(masses.len(), n);
+    let (xi, yi, zi) = (xs[i], ys[i], zs[i]);
+    let mut acc = 0.0;
+    let mut lane = [0.0f64; MBP_LANES];
+    let full = n - n % MBP_LANES;
+    let mut j0 = 0;
+    // Full strips run over fixed-size array windows: the constant trip count
+    // and pre-checked bounds are what let the sqrt/div lanes become packed
+    // instructions instead of eight guarded scalar ops.
+    while j0 < full {
+        let xw: &[f64; MBP_LANES] = xs[j0..j0 + MBP_LANES].try_into().unwrap();
+        let yw: &[f64; MBP_LANES] = ys[j0..j0 + MBP_LANES].try_into().unwrap();
+        let zw: &[f64; MBP_LANES] = zs[j0..j0 + MBP_LANES].try_into().unwrap();
+        let mw: &[f64; MBP_LANES] = masses[j0..j0 + MBP_LANES].try_into().unwrap();
+        for k in 0..MBP_LANES {
+            let dx = xw[k] - xi;
+            let dy = yw[k] - yi;
+            let dz = zw[k] - zi;
+            let d = (dx * dx + dy * dy + dz * dz).sqrt();
+            lane[k] = mw[k] / (d + softening);
+        }
+        // The self term appears in exactly one strip; zero it after the
+        // branch-free lane fill so the hot loop stays select-free.
+        if j0 <= i && i < j0 + MBP_LANES {
+            lane[i - j0] = 0.0;
+        }
+        for &t in &lane {
+            acc -= t;
+        }
+        j0 += MBP_LANES;
+    }
+    for j in full..n {
+        let dx = xs[j] - xi;
+        let dy = ys[j] - yi;
+        let dz = zs[j] - zi;
+        let d = (dx * dx + dy * dy + dz * dz).sqrt();
+        let t = if j == i {
+            0.0
+        } else {
+            masses[j] / (d + softening)
+        };
+        acc -= t;
+    }
+    acc
+}
+
+/// Data-parallel brute-force MBP over packed columns: all potentials via the
+/// blocked sweep, then argmin.
+pub fn mbp_brute_cols(
+    backend: &dyn Backend,
+    coords: &Coords,
+    masses: &[f64],
+    softening: f64,
+) -> MbpResult {
+    assert!(!coords.is_empty(), "cannot center an empty halo");
+    assert_eq!(masses.len(), coords.len(), "one mass per position");
+    let idx: Vec<usize> = (0..coords.len()).collect();
+    let potentials = ops::map(backend, &idx, |&i| {
+        potential_at(coords, masses, i, softening)
+    });
     let index = ops::argmin_by(backend, &potentials, |&p| p).expect("non-empty");
     MbpResult {
         index,
         potential: potentials[index],
-        exact_evaluations: particles.len(),
+        exact_evaluations: coords.len(),
     }
+}
+
+/// Data-parallel brute-force MBP: all potentials, then argmin.
+///
+/// Converts to packed columns once and runs [`mbp_brute_cols`]; the result
+/// is bit-identical to mapping [`potential_of`] over the AoS slice (the
+/// conformance suite holds both paths to that).
+pub fn mbp_brute(backend: &dyn Backend, particles: &[Particle], softening: f64) -> MbpResult {
+    assert!(!particles.is_empty(), "cannot center an empty halo");
+    let coords = Coords::from_particles(particles);
+    let masses: Vec<f64> = particles.iter().map(|p| p.mass as f64).collect();
+    mbp_brute_cols(backend, &coords, &masses, softening)
 }
 
 /// Serial A*-style MBP with tree-based optimistic bounds.
@@ -211,6 +302,59 @@ mod tests {
         let b = mbp_brute(&t, &parts, 1e-3);
         assert_eq!(a.index, b.index);
         assert_eq!(a.potential, b.potential);
+    }
+
+    #[test]
+    fn blocked_kernel_is_byte_identical_to_scalar() {
+        // Lengths straddle the lane width so partial tail strips are hit.
+        for n in [1usize, 7, 8, 9, 63, 64, 65, 300] {
+            let parts = blob(n, 3);
+            let coords = Coords::from_particles(&parts);
+            let masses: Vec<f64> = parts.iter().map(|p| p.mass as f64).collect();
+            for i in [0, n / 2, n - 1] {
+                let a = potential_of(&parts, i, 1e-3);
+                let b = potential_at(&coords, &masses, i, 1e-3);
+                assert_eq!(a.to_bits(), b.to_bits(), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernel_handles_nan_positions_identically() {
+        let mut parts = blob(40, 4);
+        parts[3].pos[0] = f32::NAN;
+        parts[17].pos[1] = -f32::NAN;
+        parts[25].pos[2] = f32::INFINITY;
+        parts[31].pos[0] = -0.0;
+        let coords = Coords::from_particles(&parts);
+        let masses: Vec<f64> = parts.iter().map(|p| p.mass as f64).collect();
+        for i in 0..parts.len() {
+            let a = potential_of(&parts, i, 1e-3);
+            let b = potential_at(&coords, &masses, i, 1e-3);
+            assert_eq!(a.to_bits(), b.to_bits(), "i={i}");
+        }
+        // A lone particle with a NaN position must yield exactly 0.0 (the
+        // self term is excluded by select, not a mask multiply).
+        let lone = vec![Particle::at_rest([f32::NAN, 0.0, 0.0], 1.0, 0)];
+        let c = Coords::from_particles(&lone);
+        assert_eq!(
+            potential_at(&c, &[1.0], 0, 1e-3).to_bits(),
+            0.0f64.to_bits()
+        );
+    }
+
+    #[test]
+    fn brute_matches_scalar_reference_map() {
+        let parts = blob(500, 6);
+        let t = Threaded::new(4);
+        let r = mbp_brute(&t, &parts, 1e-3);
+        let reference: Vec<f64> = (0..parts.len())
+            .map(|i| potential_of(&parts, i, 1e-3))
+            .collect();
+        assert_eq!(r.potential.to_bits(), reference[r.index].to_bits());
+        for (i, &p) in reference.iter().enumerate() {
+            assert!(p >= r.potential || i == r.index);
+        }
     }
 
     #[test]

@@ -9,7 +9,8 @@
 //! particle), so the union over ranks is an exact, duplicate-free catalog.
 
 use crate::catalog::{Halo, HaloCatalog};
-use crate::fof::{fof_kdtree, members_by_group};
+use crate::columns::Coords;
+use crate::fof::{fof_kdtree_cols, members_by_group};
 use comm::{exchange_overload, CartDecomp, Communicator};
 use nbody::particle::Particle;
 
@@ -105,8 +106,8 @@ pub fn parallel_fof(
     }
 
     // Serial FOF on the extended patch (non-periodic: the shell covers the
-    // seams).
-    let labels = fof_kdtree(&positions, cfg.link_length);
+    // seams). The column engine yields labels identical to `fof_kdtree`.
+    let labels = fof_kdtree_cols(&Coords::from_rows(&positions), cfg.link_length);
     let groups = members_by_group(&labels);
 
     let mut catalog = HaloCatalog::new();

@@ -1,11 +1,12 @@
 //! Property tests for the halo analysis algorithms.
 
 use halo::{
-    fof_brute, fof_kdtree, mbp_astar, mbp_brute, members_by_group, potential_of, so_mass, KdTree,
-    MassFunction,
+    fof_brute, fof_kdtree, fof_kdtree_cols, mbp_astar, mbp_brute, members_by_group, potential_of,
+    so_mass, Coords, KdTree, MassFunction,
 };
 use nbody::particle::Particle;
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 /// Random particle cloud strategy: n points in a box of the given side.
 fn cloud(n: std::ops::Range<usize>, side: f64) -> impl Strategy<Value = Vec<[f64; 3]>> {
@@ -68,6 +69,62 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn fof_and_mbp_permutation_invariant_in_either_layout(
+        positions in cloud(2..120, 10.0), seed in any::<u64>()
+    ) {
+        let n = positions.len();
+        // Deterministic Fisher–Yates permutation from the seed.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let j = (state >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let permuted: Vec<[f64; 3]> = perm.iter().map(|&k| positions[k]).collect();
+        let link = 0.9;
+
+        // Row and column engines yield *identical* labels on the same
+        // input, before and after permutation.
+        let rows = fof_kdtree(&positions, link);
+        let cols = fof_kdtree_cols(&Coords::from_rows(&positions), link);
+        prop_assert_eq!(&rows, &cols);
+        let rows_p = fof_kdtree(&permuted, link);
+        let cols_p = fof_kdtree_cols(&Coords::from_rows(&permuted), link);
+        prop_assert_eq!(&rows_p, &cols_p);
+
+        // The catalog (the partition into groups, named by original
+        // particle identity) is invariant under the permutation.
+        let partition = |labels: &[u32], back: Option<&[usize]>| -> BTreeSet<Vec<usize>> {
+            members_by_group(labels)
+                .into_iter()
+                .map(|g| {
+                    let mut members: Vec<usize> = g
+                        .into_iter()
+                        .map(|i| back.map_or(i as usize, |p| p[i as usize]))
+                        .collect();
+                    members.sort_unstable();
+                    members
+                })
+                .collect()
+        };
+        prop_assert_eq!(partition(&rows, None), partition(&rows_p, Some(&perm)));
+
+        // The MBP center (by particle identity) is invariant under the
+        // permutation in both layouts; only the argmin's tie-break and the
+        // summation association may move, and random clouds have no ties.
+        let parts = particles_from(&positions);
+        let parts_p: Vec<Particle> = perm.iter().map(|&k| parts[k]).collect();
+        let base = mbp_brute(&dpp::Serial, &parts, 1e-3);
+        let permd = mbp_brute(&dpp::Serial, &parts_p, 1e-3);
+        prop_assert_eq!(parts[base.index].tag, parts_p[permd.index].tag);
+        prop_assert!((base.potential - permd.potential).abs()
+            <= 1e-9 * base.potential.abs().max(1.0));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! interpolation. All mesh quantities live in *grid units* (cell = 1).
 
 use crate::particle::Particle;
+use crate::soa::ParticleSoA;
 use dpp::Backend;
 use fft::{freq_index, Complex, Fft3d, Grid3};
 use parking_lot::Mutex;
@@ -12,6 +13,21 @@ pub fn to_grid_units(pos: f32, box_size: f64, ng: usize) -> f64 {
     let u = pos as f64 / box_size * ng as f64;
     // Wrap defensively: positions should already be in [0, box_size).
     u.rem_euclid(ng as f64)
+}
+
+/// Bit-identical form of [`to_grid_units`]' wrap for an already-scaled grid
+/// coordinate: `fmod(u, ngf) == u` exactly whenever `0 ≤ u < ngf` (including
+/// −0.0 and denormals), and NaN fails the range test into the slow path, so
+/// both branches return the same bits as an unconditional `rem_euclid` for
+/// every possible input. The SoA deposit uses this to keep the `fmod`
+/// libcall off its hot path.
+#[inline]
+fn wrap_grid(u: f64, ngf: f64) -> f64 {
+    if (0.0..ngf).contains(&u) {
+        u
+    } else {
+        u.rem_euclid(ngf)
+    }
 }
 
 /// Cloud-in-cell deposit of particle mass onto an `ng³` mesh. Returns the
@@ -61,6 +77,184 @@ pub fn cic_deposit(
         }
     }
     let total: f64 = particles.iter().map(|p| p.mass as f64).sum();
+    let mean = total / ncell as f64;
+    if mean > 0.0 {
+        for v in &mut rho {
+            *v = *v / mean - 1.0;
+        }
+    }
+    Grid3::from_vec([ng, ng, ng], rho)
+}
+
+/// Particles per block in the two-phase SoA deposit. Sized so the per-block
+/// scratch (seven 8-byte lanes) stays within a fraction of L1.
+const CIC_BLOCK: usize = 64;
+
+/// Cache-blocked cloud-in-cell deposit over the SoA layout. Byte-identical
+/// to [`cic_deposit`] on the converted particle set.
+///
+/// The kernel is restructured, not renumbered: each chunk walks its
+/// particles in blocks of [`CIC_BLOCK`]. Phase one sweeps the packed
+/// position/mass columns in three vectorizable passes: (a) the pure
+/// `pos / box · ng` arithmetic over fixed-size column windows, (b) a
+/// block-level range check that only falls back to the scalar `rem_euclid`
+/// wrap when some lane is out of `[0, ng)` (bit-identical either way — see
+/// [`wrap_grid`]), and (c) truncation to cell indices plus fractional
+/// offsets. Indices truncate through `i32` (`u as i32` equals `u as usize`
+/// for every wrapped value including NaN→0, and ng is asserted to fit), so
+/// the cast vectorizes on plain SSE2 where a 64-bit cast would not. Phase
+/// two scatters the eight corner contributions per particle with
+/// straight-line adds in the same `(dx, dy, dz)` order and the same
+/// `((m·wx)·wy)·wz` association as the AoS kernel, replacing the 24 integer
+/// modulos per particle with three compare-and-wrap increments. Chunk
+/// partials are merged in chunk order exactly as in [`cic_deposit`], so the
+/// result is bit-equal across layouts and backends — the layout conformance
+/// suite enforces this over the adversarial corpus.
+pub fn cic_deposit_soa(
+    backend: &dyn Backend,
+    particles: &ParticleSoA,
+    ng: usize,
+    box_size: f64,
+) -> Grid3<f64> {
+    let ncell = ng * ng * ng;
+    assert!(ng <= i32::MAX as usize, "mesh size must fit i32 indices");
+    let (px, py, pz) = (particles.pos_x(), particles.pos_y(), particles.pos_z());
+    let masses = particles.mass();
+    let partials: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+    let grain = (particles.len() / backend.concurrency().max(1)).max(4096);
+    backend.dispatch(particles.len(), grain, &|r| {
+        let start = r.start;
+        let ngf = ng as f64;
+        let mut local = vec![0.0f64; ncell];
+        // Per-block scratch lanes (stack-resident).
+        let mut ux = [0.0f64; CIC_BLOCK];
+        let mut uy = [0.0f64; CIC_BLOCK];
+        let mut uz = [0.0f64; CIC_BLOCK];
+        let mut ix = [0i32; CIC_BLOCK];
+        let mut iy = [0i32; CIC_BLOCK];
+        let mut iz = [0i32; CIC_BLOCK];
+        let mut fx = [0.0f64; CIC_BLOCK];
+        let mut fy = [0.0f64; CIC_BLOCK];
+        let mut fz = [0.0f64; CIC_BLOCK];
+        let mut mm = [0.0f64; CIC_BLOCK];
+        let mut base = r.start;
+        while base + CIC_BLOCK <= r.end {
+            let pxw: &[f32; CIC_BLOCK] = px[base..base + CIC_BLOCK].try_into().unwrap();
+            let pyw: &[f32; CIC_BLOCK] = py[base..base + CIC_BLOCK].try_into().unwrap();
+            let pzw: &[f32; CIC_BLOCK] = pz[base..base + CIC_BLOCK].try_into().unwrap();
+            let mw: &[f32; CIC_BLOCK] = masses[base..base + CIC_BLOCK].try_into().unwrap();
+            // Phase 1a: scale to grid units (convert/divide/multiply lanes).
+            for k in 0..CIC_BLOCK {
+                ux[k] = pxw[k] as f64 / box_size * ngf;
+                uy[k] = pyw[k] as f64 / box_size * ngf;
+                uz[k] = pzw[k] as f64 / box_size * ngf;
+                mm[k] = mw[k] as f64;
+            }
+            // Phase 1b: the periodic wrap. In-range lanes pass through
+            // unchanged (exactly what `rem_euclid` would return), so the
+            // whole block is checked with vector compares and the `fmod`
+            // fix-up only runs for out-of-box or non-finite positions.
+            let mut in_range = true;
+            for k in 0..CIC_BLOCK {
+                in_range &= (ux[k] >= 0.0)
+                    & (ux[k] < ngf)
+                    & (uy[k] >= 0.0)
+                    & (uy[k] < ngf)
+                    & (uz[k] >= 0.0)
+                    & (uz[k] < ngf);
+            }
+            if !in_range {
+                for k in 0..CIC_BLOCK {
+                    ux[k] = wrap_grid(ux[k], ngf);
+                    uy[k] = wrap_grid(uy[k], ngf);
+                    uz[k] = wrap_grid(uz[k], ngf);
+                }
+            }
+            // Phase 1c: cell indices and fractional offsets. Every lane is
+            // now in `[0, ng)` or NaN (→ 0 under Rust's saturating cast), so
+            // the AoS kernel's `% ng` after the cast is the identity.
+            for k in 0..CIC_BLOCK {
+                ix[k] = ux[k] as i32;
+                iy[k] = uy[k] as i32;
+                iz[k] = uz[k] as i32;
+                fx[k] = ux[k] - ix[k] as f64;
+                fy[k] = uy[k] - iy[k] as f64;
+                fz[k] = uz[k] - iz[k] as f64;
+            }
+            // Phase 2: scatter eight corners per particle. Same visit order
+            // and product association as the AoS kernel; the `% ng` wraps
+            // become compare-and-reset since the base cell is already < ng.
+            for k in 0..CIC_BLOCK {
+                let (x0, y0, z0) = (ix[k] as usize, iy[k] as usize, iz[k] as usize);
+                let x1 = if x0 + 1 == ng { 0 } else { x0 + 1 };
+                let y1 = if y0 + 1 == ng { 0 } else { y0 + 1 };
+                let z1 = if z0 + 1 == ng { 0 } else { z0 + 1 };
+                let (dx, dy, dz) = (fx[k], fy[k], fz[k]);
+                let m = mm[k];
+                let mwx0 = m * (1.0 - dx);
+                let mwx1 = m * dx;
+                let a00 = mwx0 * (1.0 - dy);
+                let a01 = mwx0 * dy;
+                let a10 = mwx1 * (1.0 - dy);
+                let a11 = mwx1 * dy;
+                let (wz0, wz1) = (1.0 - dz, dz);
+                let b00 = (x0 * ng + y0) * ng;
+                let b01 = (x0 * ng + y1) * ng;
+                let b10 = (x1 * ng + y0) * ng;
+                let b11 = (x1 * ng + y1) * ng;
+                local[b00 + z0] += a00 * wz0;
+                local[b00 + z1] += a00 * wz1;
+                local[b01 + z0] += a01 * wz0;
+                local[b01 + z1] += a01 * wz1;
+                local[b10 + z0] += a10 * wz0;
+                local[b10 + z1] += a10 * wz1;
+                local[b11 + z0] += a11 * wz0;
+                local[b11 + z1] += a11 * wz1;
+            }
+            base += CIC_BLOCK;
+        }
+        // Tail (< CIC_BLOCK particles): same math per particle, scalar.
+        for j in base..r.end {
+            let u0 = wrap_grid(px[j] as f64 / box_size * ngf, ngf);
+            let u1 = wrap_grid(py[j] as f64 / box_size * ngf, ngf);
+            let u2 = wrap_grid(pz[j] as f64 / box_size * ngf, ngf);
+            let (x0, y0, z0) = (u0 as usize, u1 as usize, u2 as usize);
+            let x1 = if x0 + 1 == ng { 0 } else { x0 + 1 };
+            let y1 = if y0 + 1 == ng { 0 } else { y0 + 1 };
+            let z1 = if z0 + 1 == ng { 0 } else { z0 + 1 };
+            let (dx, dy, dz) = (u0 - x0 as f64, u1 - y0 as f64, u2 - z0 as f64);
+            let m = masses[j] as f64;
+            let mwx0 = m * (1.0 - dx);
+            let mwx1 = m * dx;
+            let a00 = mwx0 * (1.0 - dy);
+            let a01 = mwx0 * dy;
+            let a10 = mwx1 * (1.0 - dy);
+            let a11 = mwx1 * dy;
+            let (wz0, wz1) = (1.0 - dz, dz);
+            let b00 = (x0 * ng + y0) * ng;
+            let b01 = (x0 * ng + y1) * ng;
+            let b10 = (x1 * ng + y0) * ng;
+            let b11 = (x1 * ng + y1) * ng;
+            local[b00 + z0] += a00 * wz0;
+            local[b00 + z1] += a00 * wz1;
+            local[b01 + z0] += a01 * wz0;
+            local[b01 + z1] += a01 * wz1;
+            local[b10 + z0] += a10 * wz0;
+            local[b10 + z1] += a10 * wz1;
+            local[b11 + z0] += a11 * wz0;
+            local[b11 + z1] += a11 * wz1;
+        }
+        partials.lock().push((start, local));
+    });
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|(s, _)| *s);
+    let mut rho = vec![0.0f64; ncell];
+    for (_, local) in partials {
+        for (gv, lv) in rho.iter_mut().zip(&local) {
+            *gv += lv;
+        }
+    }
+    let total: f64 = masses.iter().map(|&m| m as f64).sum();
     let mean = total / ncell as f64;
     if mean > 0.0 {
         for v in &mut rho {
@@ -227,6 +421,48 @@ mod tests {
         let b = cic_deposit(&t, &parts, 16, 32.0);
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
             assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn soa_deposit_is_byte_identical_to_aos() {
+        let t = Threaded::new(4);
+        let parts: Vec<Particle> = (0..5000)
+            .map(|i| {
+                let f = i as f32;
+                Particle::at_rest(
+                    [(f * 0.37) % 32.0, (f * 0.71) % 32.0, (f * 0.13) % 32.0],
+                    1.0 + (i % 7) as f32 * 0.25,
+                    i,
+                )
+            })
+            .collect();
+        let soa = ParticleSoA::from_aos(&parts);
+        for backend in [&Serial as &dyn Backend, &t] {
+            let a = cic_deposit(backend, &parts, 16, 32.0);
+            let b = cic_deposit_soa(backend, &soa, 16, 32.0);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn soa_deposit_handles_non_finite_positions_identically() {
+        // NaN (both sign bits), infinities, and signed zeros must flow
+        // through the SoA fast path exactly as through the AoS kernel.
+        let parts = vec![
+            Particle::at_rest([f32::NAN, 1.0, 2.0], 1.0, 0),
+            Particle::at_rest([-f32::NAN, -0.0, 0.0], 1.0, 1),
+            Particle::at_rest([f32::INFINITY, 3.0, 1.0], 1.0, 2),
+            Particle::at_rest([f32::NEG_INFINITY, 0.5, 7.9], 1.0, 3),
+            Particle::at_rest([1.25, 2.5, 3.75], 2.0, 4),
+        ];
+        let soa = ParticleSoA::from_aos(&parts);
+        let a = cic_deposit(&Serial, &parts, 4, 8.0);
+        let b = cic_deposit_soa(&Serial, &soa, 4, 8.0);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -23,6 +23,13 @@ bench-dispatch:
 bench-paper:
     cargo bench -p bench --bench paper_tables
 
+# Re-measure the SoA/column kernel trajectory and rewrite the committed
+# BENCH_kernels.json, then validate it with the CI gate. (The bench harness
+# runs from the crate directory, hence the absolute path.)
+bench-kernels:
+    BENCH_KERNELS_JSON=$(pwd)/BENCH_kernels.json cargo bench -p bench --bench kernels
+    cargo run --release -p bench --bin bench_check -- BENCH_kernels.json
+
 # Run the workflow comparison with telemetry armed and export a Chrome
 # trace (load trace.json in Perfetto / chrome://tracing).
 trace-demo:

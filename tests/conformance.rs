@@ -84,6 +84,33 @@ fn dpp_differential_backends_agree() {
     );
 }
 
+/// Every kernel rewritten for the SoA/column layout (CIC deposit, FOF,
+/// MBP, radix, histogram) against its retained row-layout reference,
+/// bit-for-bit, on every backend, over the adversarial particle/coordinate
+/// corpus — NaN of either sign, ±inf, signed zeros, denormals, and
+/// grain-boundary lengths included.
+#[test]
+fn layout_rewrites_agree_with_row_references() {
+    let report = conformance::assert_layout_conformance();
+    for kernel in conformance::REQUIRED_KERNELS {
+        let checks = report.checks_by_op.get(kernel).copied().unwrap_or(0);
+        assert!(
+            checks > 0,
+            "layout differential ran zero checks for kernel `{kernel}`"
+        );
+    }
+    assert!(
+        report.checks > 400,
+        "layout corpus collapsed to {} checks",
+        report.checks
+    );
+    assert!(
+        report.backends.len() >= 5,
+        "expected the full backend roster, got {:?}",
+        report.backends
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic physics oracles
 // ---------------------------------------------------------------------------
