@@ -1,0 +1,181 @@
+//! Byte-reproducible sweep exports: JSON, CSV, and a fixed-precision summary
+//! table (the golden-fixture format).
+//!
+//! All floating-point output goes through Rust's shortest-round-trip
+//! formatter (`{:?}`) or fixed precision, with every collection iterated in
+//! canonical order — two sweeps from the same base seed serialize to
+//! byte-identical artifacts.
+
+use crate::run::METRIC_NAMES;
+use crate::sweep::SweepResult;
+use std::fmt::Write as _;
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        // Out-of-band values would break JSON; the runner never produces
+        // them (asserted in tests), but keep the export total.
+        "null".to_string()
+    }
+}
+
+/// Render the sweep as a deterministic JSON document: configuration, metric
+/// names, and per-scenario raw runs plus summaries.
+pub fn to_json(result: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"base_seed\": {},", result.base_seed);
+    let _ = writeln!(out, "  \"n_seeds\": {},", result.n_seeds);
+    let _ = writeln!(out, "  \"total_runs\": {},", result.total_runs());
+    let metrics: Vec<String> = METRIC_NAMES.iter().map(|m| format!("\"{m}\"")).collect();
+    let _ = writeln!(out, "  \"metrics\": [{}],", metrics.join(", "));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in result.scenarios.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", s.id);
+        out.push_str("      \"runs\": [\n");
+        for (j, r) in s.runs.iter().enumerate() {
+            let vals: Vec<String> = r.values().iter().map(|&v| json_f64(v)).collect();
+            let comma = if j + 1 < s.runs.len() { "," } else { "" };
+            let _ = writeln!(out, "        [{}]{}", vals.join(", "), comma);
+        }
+        out.push_str("      ],\n");
+        out.push_str("      \"summary\": {\n");
+        for (m, (name, sum)) in METRIC_NAMES.iter().zip(&s.summaries).enumerate() {
+            let comma = if m + 1 < METRIC_NAMES.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        \"{name}\": {{\"mean\": {}, \"sd\": {}, \"ci95\": {}}}{comma}",
+                json_f64(sum.mean),
+                json_f64(sum.sd),
+                json_f64(sum.ci95),
+            );
+        }
+        out.push_str("      }\n");
+        let comma = if i + 1 < result.scenarios.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Render the per-scenario aggregates as a wide CSV: one row per scenario,
+/// `mean` and `ci95` columns per metric.
+pub fn to_csv(result: &SweepResult) -> String {
+    let mut out = String::from("scenario,n");
+    for m in METRIC_NAMES {
+        let _ = write!(out, ",{m}_mean,{m}_ci95");
+    }
+    out.push('\n');
+    for s in &result.scenarios {
+        let _ = write!(out, "{},{}", s.id, s.runs.len());
+        for sum in &s.summaries {
+            let _ = write!(out, ",{},{}", json_f64(sum.mean), json_f64(sum.ci95));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the human-facing (and golden-fixture) summary table: fixed
+/// precision, one row per scenario, the headline metrics with ±95% CI.
+pub fn summary_table(result: &SweepResult) -> String {
+    let id_width = result
+        .scenarios
+        .iter()
+        .map(|s| s.id.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: base_seed={} seeds={} scenarios={} runs={}",
+        result.base_seed,
+        result.n_seeds,
+        result.scenarios.len(),
+        result.total_runs()
+    );
+    let _ = writeln!(
+        out,
+        "{:<id_width$}  {:>22}  {:>22}  {:>12}  {:>12}",
+        "scenario", "makespan_s (±ci95)", "result_s (±ci95)", "util", "core-hours"
+    );
+    for s in &result.scenarios {
+        let mk = s.summary("makespan_seconds").expect("metric");
+        let rs = s.summary("mean_result_seconds").expect("metric");
+        let ut = s.summary("utilization").expect("metric");
+        let ch = s.summary("analysis_core_hours").expect("metric");
+        let _ = writeln!(
+            out,
+            "{:<id_width$}  {:>13.1} ±{:>7.1}  {:>13.1} ±{:>7.1}  {:>12.4}  {:>12.2}",
+            s.id, mk.mean, mk.ci95, rs.mean, rs.ci95, ut.mean, ch.mean
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{
+        AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, SchedulerKind, Strategy,
+    };
+    use crate::sweep::{run_sweep, SweepConfig};
+
+    fn tiny_result() -> SweepResult {
+        run_sweep(&SweepConfig {
+            base_seed: 3,
+            n_seeds: 2,
+            grammar: Grammar::new().with_block(
+                AxisSet::full()
+                    .machines([MachineKind::Titan])
+                    .loads([LoadRegime::Light])
+                    .strategies([Strategy::InSitu, Strategy::OffLine])
+                    .faults([FaultPlanKind::None])
+                    .schedulers([SchedulerKind::Fcfs]),
+            ),
+        })
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = tiny_result();
+        let b = tiny_result();
+        assert_eq!(to_json(&a), to_json(&b));
+        assert_eq!(to_csv(&a), to_csv(&b));
+        assert_eq!(summary_table(&a), summary_table(&b));
+    }
+
+    #[test]
+    fn json_has_every_scenario_and_metric() {
+        let j = to_json(&tiny_result());
+        assert!(j.contains("\"titan/light/in-situ/none/fcfs\""));
+        assert!(j.contains("\"titan/light/off-line/none/fcfs\""));
+        for m in METRIC_NAMES {
+            assert!(j.contains(&format!("\"{m}\"")), "missing {m}");
+        }
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let c = to_csv(&tiny_result());
+        let mut lines = c.lines();
+        let header_cols = lines.next().unwrap().split(',').count();
+        assert_eq!(header_cols, 2 + 2 * METRIC_NAMES.len());
+        for line in lines {
+            assert_eq!(line.split(',').count(), header_cols, "{line}");
+        }
+    }
+
+    #[test]
+    fn table_lists_each_scenario_once() {
+        let t = summary_table(&tiny_result());
+        assert_eq!(t.matches("titan/light/in-situ/none/fcfs").count(), 1, "{t}");
+    }
+}

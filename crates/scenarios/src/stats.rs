@@ -1,0 +1,73 @@
+//! Deterministic mean / confidence-interval aggregation.
+//!
+//! Summation order is fixed (sample order), so the same samples always
+//! produce bit-identical summaries — the property the byte-reproducible
+//! sweep exports rest on.
+
+/// Mean, sample standard deviation, and 95% confidence half-width of a
+/// sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 when n < 2).
+    pub sd: f64,
+    /// 95% CI half-width under the normal approximation: `1.96·sd/√n`.
+    pub ci95: f64,
+}
+
+/// Summarize `samples` in their given order.
+pub fn summarize(samples: &[f64]) -> Summary {
+    let n = samples.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            sd: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return Summary {
+            n,
+            mean,
+            sd: 0.0,
+            ci95: 0.0,
+        };
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+    let sd = var.sqrt();
+    Summary {
+        n,
+        mean,
+        sd,
+        ci95: 1.96 * sd / (n as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_samples() {
+        let s = summarize(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample sd of this classic set is ~2.138.
+        assert!((s.sd - 2.138089935).abs() < 1e-6);
+        assert!((s.ci95 - 1.96 * s.sd / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(summarize(&[]).n, 0);
+        let one = summarize(&[3.5]);
+        assert_eq!((one.mean, one.sd, one.ci95), (3.5, 0.0, 0.0));
+        let same = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(same.sd, 0.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the scenario grammar and the sweep statistics:
+//! expansion is duplicate-free and declaration-order-independent, canonical
+//! IDs round-trip, and the CI aggregator matches a brute-force reference.
+
+use proptest::prelude::*;
+use scenarios::Strategy as Workflow;
+use scenarios::{
+    summarize, AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, Pattern, Scenario,
+    SchedulerKind,
+};
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0..MachineKind::ALL.len(),
+        0..LoadRegime::ALL.len(),
+        0..Workflow::ALL.len(),
+        0..FaultPlanKind::ALL.len(),
+        0..SchedulerKind::ALL.len(),
+    )
+        .prop_map(|(m, l, st, f, sc)| Scenario {
+            machine: MachineKind::ALL[m],
+            load: LoadRegime::ALL[l],
+            strategy: Workflow::ALL[st],
+            faults: FaultPlanKind::ALL[f],
+            scheduler: SchedulerKind::ALL[sc],
+        })
+}
+
+/// A non-empty multiset of axis values picked by index — duplicates allowed
+/// on purpose: declaring a value twice must not change the expansion.
+fn arb_indices(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..n, 1..=n + 1)
+}
+
+fn arb_axis_set() -> impl Strategy<Value = AxisSet> {
+    (
+        arb_indices(MachineKind::ALL.len()),
+        arb_indices(LoadRegime::ALL.len()),
+        arb_indices(Workflow::ALL.len()),
+        arb_indices(FaultPlanKind::ALL.len()),
+        arb_indices(SchedulerKind::ALL.len()),
+    )
+        .prop_map(|(m, l, st, f, sc)| {
+            AxisSet::full()
+                .machines(m.into_iter().map(|i| MachineKind::ALL[i]))
+                .loads(l.into_iter().map(|i| LoadRegime::ALL[i]))
+                .strategies(st.into_iter().map(|i| Workflow::ALL[i]))
+                .faults(f.into_iter().map(|i| FaultPlanKind::ALL[i]))
+                .schedulers(sc.into_iter().map(|i| SchedulerKind::ALL[i]))
+        })
+}
+
+fn arb_exclude() -> impl Strategy<Value = Pattern> {
+    (
+        prop_oneof![
+            Just(None),
+            (0..MachineKind::ALL.len()).prop_map(|i| Some(MachineKind::ALL[i]))
+        ],
+        prop_oneof![
+            Just(None),
+            (0..Workflow::ALL.len()).prop_map(|i| Some(Workflow::ALL[i]))
+        ],
+        prop_oneof![
+            Just(None),
+            (0..SchedulerKind::ALL.len()).prop_map(|i| Some(SchedulerKind::ALL[i]))
+        ],
+    )
+        .prop_map(|(machine, strategy, scheduler)| Pattern {
+            machine,
+            strategy,
+            scheduler,
+            ..Pattern::default()
+        })
+}
+
+fn build(blocks: &[AxisSet], excludes: &[Pattern]) -> Grammar {
+    let mut g = Grammar::new();
+    for b in blocks {
+        g = g.with_block(b.clone());
+    }
+    for e in excludes {
+        g = g.without(*e);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scenario_ids_round_trip(s in arb_scenario()) {
+        let id = s.id();
+        let parsed: Scenario = id.parse().unwrap();
+        prop_assert_eq!(parsed, s);
+        prop_assert_eq!(parsed.id(), id);
+    }
+
+    #[test]
+    fn pattern_display_round_trips(p in arb_exclude()) {
+        let text = p.to_string();
+        let parsed: Pattern = text.parse().unwrap();
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn expansion_is_duplicate_free_and_sorted(
+        blocks in proptest::collection::vec(arb_axis_set(), 1..4),
+        excludes in proptest::collection::vec(arb_exclude(), 0..3),
+    ) {
+        let scenarios = build(&blocks, &excludes).expand();
+        let ids: Vec<String> = scenarios.iter().map(|s| s.id()).collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(&ids, &sorted, "expansion must be sorted and duplicate-free");
+        for s in &scenarios {
+            prop_assert!(
+                !excludes.iter().any(|p| p.matches(s)),
+                "{} survived an exclude",
+                s.id()
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_ignores_declaration_order(
+        blocks in proptest::collection::vec(arb_axis_set(), 1..4),
+        excludes in proptest::collection::vec(arb_exclude(), 0..3),
+        rotate in 0usize..4,
+    ) {
+        let forward = build(&blocks, &excludes).expand();
+
+        // Same sets, shuffled declarations: reversed and rotated.
+        let mut shuffled = blocks.clone();
+        shuffled.reverse();
+        let r = rotate % shuffled.len().max(1);
+        shuffled.rotate_left(r);
+        let mut excl = excludes.clone();
+        excl.reverse();
+        let backward = build(&shuffled, &excl).expand();
+
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn summarize_matches_brute_force(
+        samples in proptest::collection::vec(-1e6f64..1e6, 2..40),
+    ) {
+        let s = summarize(&samples);
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+        let sd = var.sqrt();
+        let ci95 = 1.96 * sd / n.sqrt();
+
+        let tol = 1e-9 * (1.0 + mean.abs() + sd);
+        prop_assert_eq!(s.n, samples.len());
+        prop_assert!((s.mean - mean).abs() < tol, "mean {} vs {}", s.mean, mean);
+        prop_assert!((s.sd - sd).abs() < tol, "sd {} vs {}", s.sd, sd);
+        prop_assert!((s.ci95 - ci95).abs() < tol, "ci95 {} vs {}", s.ci95, ci95);
+    }
+}

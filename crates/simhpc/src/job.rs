@@ -4,6 +4,35 @@
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct JobId(pub u64);
 
+/// Quality-of-service class of a job — the priority tier the
+/// [`QueueDiscipline::PriorityQos`](crate::QueueDiscipline) discipline
+/// orders by. The ordering derives `Bronze < Silver < Gold`.
+///
+/// Disciplines that do not use priorities ignore the class entirely, so a
+/// request keeps behaving identically under FCFS/backfill policies
+/// whatever its class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum QosClass {
+    /// Lowest tier: scavenger/background work.
+    Bronze,
+    /// Default tier for unremarkable jobs.
+    #[default]
+    Silver,
+    /// Highest tier: deadline-critical work.
+    Gold,
+}
+
+impl QosClass {
+    /// Numeric priority (higher runs first under priority disciplines).
+    pub fn priority(self) -> u8 {
+        match self {
+            QosClass::Bronze => 0,
+            QosClass::Silver => 1,
+            QosClass::Gold => 2,
+        }
+    }
+}
+
 /// A job submitted to the batch system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobRequest {
@@ -15,17 +44,36 @@ pub struct JobRequest {
     pub runtime: f64,
     /// Simulation time at which the job enters the queue.
     pub submit_time: f64,
+    /// Quality-of-service class (only the priority disciplines look at it).
+    pub qos: QosClass,
+    /// Fair-share accounting group (user/project id; only the fair-share
+    /// discipline looks at it).
+    pub group: u64,
 }
 
 impl JobRequest {
-    /// Convenience constructor.
+    /// Convenience constructor: a [`QosClass::Silver`] job in group 0.
     pub fn new(name: impl Into<String>, nodes: usize, runtime: f64, submit_time: f64) -> Self {
         JobRequest {
             name: name.into(),
             nodes,
             runtime,
             submit_time,
+            qos: QosClass::default(),
+            group: 0,
         }
+    }
+
+    /// Set the QoS class (builder style).
+    pub fn with_qos(mut self, qos: QosClass) -> Self {
+        self.qos = qos;
+        self
+    }
+
+    /// Set the fair-share group (builder style).
+    pub fn with_group(mut self, group: u64) -> Self {
+        self.group = group;
+        self
     }
 }
 

@@ -22,13 +22,15 @@
 
 pub mod job;
 pub mod machine;
+pub mod metrics;
 pub mod scheduler;
 
-pub use job::{JobId, JobOutcome, JobRecord, JobRequest, JobState};
+pub use job::{JobId, JobOutcome, JobRecord, JobRequest, JobState, QosClass};
 pub use machine::{
     moonlight, rhea, titan, titan_with_burst_buffer, BurstBufferSpec, FileSystemSpec,
     InterconnectSpec, MachineSpec,
 };
+pub use metrics::QueueMetrics;
 pub use scheduler::{
     AdmissionError, BatchSimulator, QueueDiscipline, QueuePolicy, SCHEDULER_FAULT_SITE,
 };

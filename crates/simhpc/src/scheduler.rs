@@ -8,7 +8,9 @@
 
 use crate::job::{JobId, JobOutcome, JobRecord, JobRequest, JobState};
 use crate::machine::MachineSpec;
+use crate::metrics::QueueMetrics;
 use faults::{BackoffPolicy, FaultInjector, FaultKind};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Fault site consulted once per job-completion event when an injector is
@@ -33,6 +35,22 @@ pub enum QueueDiscipline {
     /// available at the time were generally inadequate" remark (Ref. [31])
     /// is about.
     FcfsBackfill,
+    /// Conservative backfill: *every* blocked job gets a reservation in an
+    /// availability profile, in FCFS order. A candidate starts early only if
+    /// it fits in a hole without delaying any reservation ahead of it. More
+    /// predictable than EASY (each job's start time can only improve), and
+    /// sometimes more permissive: a candidate overlapping the head's window
+    /// may still start if the profile shows the nodes are genuinely spare.
+    ConservativeBackfill,
+    /// Priority scheduling over [`QosClass`](crate::job::QosClass): Gold
+    /// before Silver before Bronze, FCFS within a class, with an EASY-style
+    /// reservation protecting the highest-priority blocked job.
+    PriorityQos,
+    /// Fair-share: jobs are ordered by their group's accumulated node-seconds
+    /// (lightest user first; FCFS within a group's position), with an
+    /// EASY-style head reservation. Usage is charged for every node-hold —
+    /// completed, failed, or cancelled attempts alike.
+    FairShare,
 }
 
 /// Facility queue policy.
@@ -85,6 +103,39 @@ impl QueuePolicy {
             max_running_small_jobs: None,
             base_wait: 0.0,
             wait_exponent: 1.0,
+        }
+    }
+
+    /// EASY backfilling with no small-job cap or synthetic waits — the
+    /// resource-driven baseline the scheduler zoo compares against.
+    pub fn easy() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::FcfsBackfill,
+            ..Self::ideal()
+        }
+    }
+
+    /// Conservative backfilling (per-job reservations), no synthetic waits.
+    pub fn conservative() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::ConservativeBackfill,
+            ..Self::ideal()
+        }
+    }
+
+    /// Priority/QoS classes with an EASY-style head reservation.
+    pub fn priority_qos() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::PriorityQos,
+            ..Self::ideal()
+        }
+    }
+
+    /// Fair-share over per-group accumulated usage.
+    pub fn fair_share() -> Self {
+        QueuePolicy {
+            discipline: QueueDiscipline::FairShare,
+            ..Self::ideal()
         }
     }
 
@@ -165,12 +216,17 @@ pub struct BatchSimulator {
     outcomes: Vec<JobOutcome>,
     faults: Option<Arc<FaultInjector>>,
     backoff: BackoffPolicy,
+    /// Accumulated node-seconds per fair-share group (charged for every
+    /// node-hold: completed, failed, and cancelled attempts).
+    usage: BTreeMap<u64, f64>,
+    metrics: QueueMetrics,
 }
 
 impl BatchSimulator {
     /// New simulator at time zero with all nodes free.
     pub fn new(machine: MachineSpec, policy: QueuePolicy) -> Self {
         let free_nodes = machine.total_nodes;
+        let metrics = QueueMetrics::new(free_nodes);
         BatchSimulator {
             machine,
             policy,
@@ -183,6 +239,8 @@ impl BatchSimulator {
             outcomes: Vec::new(),
             faults: None,
             backoff: BackoffPolicy::default(),
+            usage: BTreeMap::new(),
+            metrics,
         }
     }
 
@@ -208,6 +266,29 @@ impl BatchSimulator {
     /// The machine being simulated.
     pub fn machine(&self) -> &MachineSpec {
         &self.machine
+    }
+
+    /// Aggregated queue metrics so far (waits, utilization inputs, terminal
+    /// counts). Monotone over the simulator's lifetime.
+    pub fn queue_metrics(&self) -> &QueueMetrics {
+        &self.metrics
+    }
+
+    /// Node-seconds charged to each fair-share group so far (every discipline
+    /// accounts usage; only [`QueueDiscipline::FairShare`] orders by it).
+    pub fn group_usage(&self) -> &BTreeMap<u64, f64> {
+        &self.usage
+    }
+
+    /// Charge a node-hold to its group and the busy-time accumulators.
+    fn charge_hold(&mut self, group: u64, nodes: usize, seconds: f64, productive: bool) {
+        let node_seconds = nodes as f64 * seconds.max(0.0);
+        *self.usage.entry(group).or_insert(0.0) += node_seconds;
+        self.metrics.busy_node_seconds += node_seconds;
+        if !productive {
+            self.metrics.wasted_node_seconds += node_seconds;
+        }
+        self.metrics.makespan_seconds = self.metrics.makespan_seconds.max(self.clock);
     }
 
     /// Current simulation time.
@@ -285,6 +366,7 @@ impl BatchSimulator {
         if let Some(i) = self.queue.iter().position(|q| q.id == id) {
             let q = self.queue.remove(i);
             telemetry::count!("simhpc", "jobs_cancelled", 1);
+            self.metrics.cancelled += 1;
             self.outcomes.push(JobOutcome {
                 id: q.id,
                 name: q.req.name,
@@ -298,6 +380,8 @@ impl BatchSimulator {
             let r = self.running.swap_remove(i);
             self.free_nodes += r.req.nodes;
             telemetry::count!("simhpc", "jobs_cancelled", 1);
+            self.metrics.cancelled += 1;
+            self.charge_hold(r.req.group, r.req.nodes, self.clock - r.start, false);
             self.outcomes.push(JobOutcome {
                 id: r.id,
                 name: r.req.name,
@@ -341,22 +425,36 @@ impl BatchSimulator {
     /// Start every eligible queued job the discipline allows.
     fn try_start_jobs(&mut self) {
         // Order candidates by the queue discipline.
-        self.queue.sort_by(|a, b| match self.policy.discipline {
-            QueueDiscipline::Fcfs | QueueDiscipline::FcfsStrict | QueueDiscipline::FcfsBackfill => {
-                a.req
-                    .submit_time
-                    .partial_cmp(&b.req.submit_time)
-                    .unwrap()
-                    .then(a.id.cmp(&b.id))
+        let discipline = self.policy.discipline;
+        let usage = &self.usage;
+        let fcfs = |a: &QueuedJob, b: &QueuedJob| {
+            a.req
+                .submit_time
+                .total_cmp(&b.req.submit_time)
+                .then(a.id.cmp(&b.id))
+        };
+        self.queue.sort_by(|a, b| match discipline {
+            QueueDiscipline::Fcfs
+            | QueueDiscipline::FcfsStrict
+            | QueueDiscipline::FcfsBackfill
+            | QueueDiscipline::ConservativeBackfill => fcfs(a, b),
+            QueueDiscipline::LargestFirst => b.req.nodes.cmp(&a.req.nodes).then(fcfs(a, b)),
+            QueueDiscipline::PriorityQos => b
+                .req
+                .qos
+                .priority()
+                .cmp(&a.req.qos.priority())
+                .then(fcfs(a, b)),
+            QueueDiscipline::FairShare => {
+                let ua = usage.get(&a.req.group).copied().unwrap_or(0.0);
+                let ub = usage.get(&b.req.group).copied().unwrap_or(0.0);
+                ua.total_cmp(&ub).then(fcfs(a, b))
             }
-            QueueDiscipline::LargestFirst => b.req.nodes.cmp(&a.req.nodes).then(
-                a.req
-                    .submit_time
-                    .partial_cmp(&b.req.submit_time)
-                    .unwrap()
-                    .then(a.id.cmp(&b.id)),
-            ),
         });
+        if discipline == QueueDiscipline::ConservativeBackfill {
+            self.try_start_conservative();
+            return;
+        }
         loop {
             let mut started_any = false;
             // Reservation held by the first blocked eligible job (strict /
@@ -379,7 +477,12 @@ impl BatchSimulator {
                 let fits = q.req.nodes <= self.free_nodes && small_cap_ok;
                 let honors_reservation = match (self.policy.discipline, reservation) {
                     (_, None) => true,
-                    (QueueDiscipline::FcfsBackfill, Some(t)) => self.clock + q.req.runtime <= t,
+                    (
+                        QueueDiscipline::FcfsBackfill
+                        | QueueDiscipline::PriorityQos
+                        | QueueDiscipline::FairShare,
+                        Some(t),
+                    ) => self.clock + q.req.runtime <= t,
                     (QueueDiscipline::FcfsStrict, Some(_)) => false,
                     // Greedy disciplines never hold reservations.
                     _ => true,
@@ -402,7 +505,10 @@ impl BatchSimulator {
                     && reservation.is_none()
                     && matches!(
                         self.policy.discipline,
-                        QueueDiscipline::FcfsStrict | QueueDiscipline::FcfsBackfill
+                        QueueDiscipline::FcfsStrict
+                            | QueueDiscipline::FcfsBackfill
+                            | QueueDiscipline::PriorityQos
+                            | QueueDiscipline::FairShare
                     )
                 {
                     reservation = Some(self.reservation_time(q.req.nodes));
@@ -411,6 +517,69 @@ impl BatchSimulator {
             }
             if !started_any {
                 break;
+            }
+        }
+    }
+
+    /// Conservative backfilling: walk the FCFS-sorted queue once, giving
+    /// every blocked job a reservation in an availability profile. A job
+    /// starts now only if holding its nodes for its whole runtime delays no
+    /// reservation granted earlier in this pass.
+    ///
+    /// The profile is a list of `(time, node_delta)` events relative to the
+    /// *current* free-node count: running jobs release nodes (`+`) at their
+    /// end; reservations hold (`-`) and release (`+`) theirs. Reservations
+    /// are recomputed from scratch at every scheduling event, so an early
+    /// completion can only move starts earlier — the conservative guarantee.
+    fn try_start_conservative(&mut self) {
+        let mut events: Vec<(f64, i64)> = self
+            .running
+            .iter()
+            .map(|r| (r.end, r.req.nodes as i64))
+            .collect();
+        let mut i = 0;
+        while i < self.queue.len() {
+            if self.queue[i].eligible_time > self.clock {
+                i += 1;
+                continue;
+            }
+            let nodes = self.queue[i].req.nodes;
+            let runtime = self.queue[i].req.runtime;
+            let is_small = nodes < self.policy.small_job_threshold;
+            let small_cap_ok = !is_small
+                || self
+                    .policy
+                    .max_running_small_jobs
+                    .map(|cap| self.running_small_jobs() < cap)
+                    .unwrap_or(true);
+            let start = earliest_start(
+                &events,
+                self.free_nodes as i64,
+                self.clock,
+                nodes as i64,
+                runtime,
+            );
+            if start <= self.clock + 1e-9 && small_cap_ok {
+                let q = self.queue.remove(i);
+                self.free_nodes -= q.req.nodes;
+                events.push((self.clock + q.req.runtime, q.req.nodes as i64));
+                self.running.push(RunningJob {
+                    id: q.id,
+                    start: self.clock,
+                    end: self.clock + q.req.runtime,
+                    attempt: q.failures + 1,
+                    wasted: q.wasted,
+                    req: q.req,
+                });
+                // Same index now holds the next candidate.
+            } else {
+                // Blocked (on nodes or the small-job cap): reserve its window
+                // so no later candidate may delay it. Cap-blocked jobs are
+                // held from `now` — the cap clearing is not in the profile.
+                let t = start.max(self.clock);
+                events.push((t, -(nodes as i64)));
+                events.push((t + runtime, nodes as i64));
+                i += 1;
             }
         }
     }
@@ -482,9 +651,12 @@ impl BatchSimulator {
                         // report the job exhausted.
                         let r = self.running.swap_remove(j);
                         self.free_nodes += r.req.nodes;
+                        self.metrics.failed_attempts += 1;
+                        self.charge_hold(r.req.group, r.req.nodes, self.clock - r.start, false);
                         let wasted = r.wasted + r.req.runtime;
                         if r.attempt >= self.backoff.max_attempts {
                             telemetry::count!("simhpc", "jobs_exhausted", 1);
+                            self.metrics.exhausted += 1;
                             self.outcomes.push(JobOutcome {
                                 id: r.id,
                                 name: r.req.name,
@@ -514,6 +686,12 @@ impl BatchSimulator {
                             "queue_wait_seconds",
                             (r.start - r.req.submit_time).max(0.0)
                         );
+                        self.metrics.completed += 1;
+                        self.charge_hold(r.req.group, r.req.nodes, r.end - r.start, true);
+                        let wait = (r.start - r.req.submit_time).max(0.0);
+                        self.metrics.wait_histogram.record(wait.round() as u64);
+                        self.metrics.total_wait_seconds += wait;
+                        self.metrics.max_wait_seconds = self.metrics.max_wait_seconds.max(wait);
                         self.outcomes.push(JobOutcome {
                             id: r.id,
                             name: r.req.name.clone(),
@@ -548,6 +726,56 @@ impl BatchSimulator {
         });
         out
     }
+}
+
+/// Earliest time ≥ `clock` at which `nodes` nodes stay free for `runtime`
+/// seconds, given an availability profile of `(time, node_delta)` events
+/// applied on top of `free_now`. Candidate starts are `clock` and every
+/// event time; the interval after the last event is a fully-released
+/// machine, so a feasible start always exists for a validly-sized job.
+fn earliest_start(
+    events: &[(f64, i64)],
+    free_now: i64,
+    clock: f64,
+    nodes: i64,
+    runtime: f64,
+) -> f64 {
+    let feasible = |t0: f64| -> bool {
+        let mut free: i64 = free_now
+            + events
+                .iter()
+                .filter(|e| e.0 <= t0 + 1e-9)
+                .map(|e| e.1)
+                .sum::<i64>();
+        if free < nodes {
+            return false;
+        }
+        let mut inside: Vec<(f64, i64)> = events
+            .iter()
+            .filter(|e| e.0 > t0 + 1e-9 && e.0 < t0 + runtime - 1e-9)
+            .copied()
+            .collect();
+        inside.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (_, delta) in inside {
+            free += delta;
+            if free < nodes {
+                return false;
+            }
+        }
+        true
+    };
+    if feasible(clock) {
+        return clock;
+    }
+    let mut times: Vec<f64> = events.iter().map(|e| e.0).filter(|&t| t > clock).collect();
+    times.sort_by(f64::total_cmp);
+    times.dedup();
+    for &t in &times {
+        if feasible(t) {
+            return t;
+        }
+    }
+    unreachable!("availability profile nets out to a free machine after its last event")
 }
 
 #[cfg(test)]
@@ -1010,5 +1238,258 @@ mod backfill_tests {
         let recs = sim.run_to_completion();
         // `wide` needs every node: reservation at t=20 when both a and b end.
         assert_eq!(start_of(&recs, "wide"), 20.0);
+    }
+}
+
+#[cfg(test)]
+mod zoo_tests {
+    use super::*;
+    use crate::job::QosClass;
+    use crate::machine::titan;
+    use faults::{FaultPlan, SiteSpec};
+
+    fn machine(nodes: usize) -> crate::machine::MachineSpec {
+        let mut m = titan();
+        m.total_nodes = nodes;
+        m
+    }
+
+    fn start_of(recs: &[JobRecord], name: &str) -> f64 {
+        recs.iter().find(|r| r.name == name).unwrap().start_time
+    }
+
+    // ---------------------------------------------------- conservative
+
+    #[test]
+    fn conservative_matches_easy_on_the_simple_backfill_workload() {
+        // Single blocked job: EASY and conservative coincide.
+        for policy in [QueuePolicy::easy(), QueuePolicy::conservative()] {
+            let mut sim = BatchSimulator::new(machine(10), policy);
+            sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+            sim.submit(JobRequest::new("head", 8, 50.0, 1.0));
+            sim.submit(JobRequest::new("shorty", 2, 10.0, 2.0));
+            let recs = sim.run_to_completion();
+            assert_eq!(start_of(&recs, "shorty"), 2.0);
+            assert_eq!(start_of(&recs, "head"), 100.0);
+        }
+    }
+
+    #[test]
+    fn conservative_profile_admits_jobs_easy_refuses() {
+        // 10 nodes: a 6-node occupier until t=100, a 6-node head reserved at
+        // t=100, and a 4-node candidate running 200 s. EASY refuses the
+        // candidate (it outlives the head's reservation); the conservative
+        // profile sees that the head reuses the *occupier's* nodes, so the
+        // candidate's 4 nodes are spare the whole time.
+        let submit = |sim: &mut BatchSimulator| {
+            sim.submit(JobRequest::new("occupier", 6, 100.0, 0.0));
+            sim.submit(JobRequest::new("head", 6, 100.0, 1.0));
+            sim.submit(JobRequest::new("candidate", 4, 200.0, 2.0));
+        };
+        let mut easy = BatchSimulator::new(machine(10), QueuePolicy::easy());
+        submit(&mut easy);
+        let recs = easy.run_to_completion();
+        assert_eq!(start_of(&recs, "head"), 100.0);
+        assert!(start_of(&recs, "candidate") >= 100.0, "EASY must refuse");
+
+        let mut cons = BatchSimulator::new(machine(10), QueuePolicy::conservative());
+        submit(&mut cons);
+        let recs = cons.run_to_completion();
+        assert_eq!(start_of(&recs, "candidate"), 2.0, "profile shows a hole");
+        assert_eq!(start_of(&recs, "head"), 100.0, "head still undelayed");
+    }
+
+    #[test]
+    fn conservative_backfill_never_delays_an_earlier_job() {
+        // A later shorty that would outlive the head's window must wait.
+        let mut sim = BatchSimulator::new(machine(10), QueuePolicy::conservative());
+        sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+        sim.submit(JobRequest::new("head", 10, 50.0, 1.0));
+        sim.submit(JobRequest::new("shorty", 2, 500.0, 2.0));
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "head"), 100.0);
+        assert!(
+            start_of(&recs, "shorty") >= 150.0,
+            "after the head's window"
+        );
+    }
+
+    #[test]
+    fn conservative_honors_the_small_job_cap() {
+        let mut policy = QueuePolicy::conservative();
+        policy.small_job_threshold = 125;
+        policy.max_running_small_jobs = Some(2);
+        let mut sim = BatchSimulator::new(machine(1000), policy);
+        for i in 0..4 {
+            sim.submit(JobRequest::new(format!("small{i}"), 4, 100.0, 0.0));
+        }
+        let recs = sim.run_to_completion();
+        let mut ends: Vec<f64> = recs.iter().map(|r| r.end_time).collect();
+        ends.sort_by(f64::total_cmp);
+        assert_eq!(ends, vec![100.0, 100.0, 200.0, 200.0]);
+    }
+
+    // ----------------------------------------------------- priority/qos
+
+    #[test]
+    fn gold_jobs_preempt_queue_order() {
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::priority_qos());
+        sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+        sim.submit(JobRequest::new("bronze", 8, 10.0, 1.0).with_qos(QosClass::Bronze));
+        sim.submit(JobRequest::new("silver", 8, 10.0, 2.0).with_qos(QosClass::Silver));
+        sim.submit(JobRequest::new("gold", 8, 10.0, 3.0).with_qos(QosClass::Gold));
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "gold"), 100.0);
+        assert_eq!(start_of(&recs, "silver"), 110.0);
+        assert_eq!(start_of(&recs, "bronze"), 120.0);
+    }
+
+    #[test]
+    fn priority_reservation_protects_the_gold_head() {
+        // Gold head blocked; a bronze shorty that would outlive its
+        // reservation must not jump in front.
+        let mut sim = BatchSimulator::new(machine(10), QueuePolicy::priority_qos());
+        sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+        sim.submit(JobRequest::new("gold", 10, 50.0, 1.0).with_qos(QosClass::Gold));
+        sim.submit(JobRequest::new("bronze", 2, 500.0, 2.0).with_qos(QosClass::Bronze));
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "gold"), 100.0, "gold must not be delayed");
+        assert!(start_of(&recs, "bronze") >= 100.0);
+        // A bronze shorty that fits under the reservation may still backfill.
+        let mut sim = BatchSimulator::new(machine(10), QueuePolicy::priority_qos());
+        sim.submit(JobRequest::new("occupier", 8, 100.0, 0.0));
+        sim.submit(JobRequest::new("gold", 10, 50.0, 1.0).with_qos(QosClass::Gold));
+        sim.submit(JobRequest::new("bronze", 2, 10.0, 2.0).with_qos(QosClass::Bronze));
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "bronze"), 2.0);
+    }
+
+    // ------------------------------------------------------- fair-share
+
+    #[test]
+    fn fair_share_favors_the_lightest_group() {
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::fair_share());
+        // Group 1 burns usage first.
+        sim.submit(JobRequest::new("g1-history", 8, 1000.0, 0.0).with_group(1));
+        sim.run_to_completion();
+        assert!(sim.group_usage()[&1] > 0.0);
+        // Same instant, same shape: the unused group goes first despite a
+        // later submit time.
+        let now = sim.now();
+        sim.submit(JobRequest::new("g1-next", 8, 10.0, now).with_group(1));
+        sim.submit(JobRequest::new("g2-first", 8, 10.0, now).with_group(2));
+        let recs = sim.run_to_completion();
+        assert_eq!(start_of(&recs, "g2-first"), now);
+        assert_eq!(start_of(&recs, "g1-next"), now + 10.0);
+    }
+
+    #[test]
+    fn fair_share_charges_failed_and_cancelled_attempts() {
+        let inj = FaultPlan::new(9)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 1.0).with_max_faults(1))
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::fair_share());
+        sim.inject_faults(inj, BackoffPolicy::default());
+        sim.submit(JobRequest::new("flaky", 4, 100.0, 0.0).with_group(7));
+        sim.run_to_completion();
+        // One failed attempt + one success: 2 × 4 × 100 node-seconds.
+        assert!((sim.group_usage()[&7] - 800.0).abs() < 1e-6);
+    }
+
+    // ---------------------------------------------------------- metrics
+
+    #[test]
+    fn queue_metrics_track_waits_and_utilization() {
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.submit(JobRequest::new("a", 8, 50.0, 0.0));
+        sim.submit(JobRequest::new("b", 8, 10.0, 0.0));
+        sim.run_to_completion();
+        let m = sim.queue_metrics();
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.cancelled, 0);
+        assert_eq!(m.failed_attempts, 0);
+        assert_eq!(m.total_wait_seconds, 50.0, "b waited for a");
+        assert_eq!(m.max_wait_seconds, 50.0);
+        assert_eq!(m.mean_wait_seconds(), 25.0);
+        assert_eq!(m.wait_histogram.count(), 2);
+        assert_eq!(m.makespan_seconds, 60.0);
+        // 8 nodes busy the whole 60 s.
+        assert!((m.busy_node_seconds - 480.0).abs() < 1e-9);
+        assert!((m.utilization() - 1.0).abs() < 1e-9);
+        assert_eq!(m.wasted_node_seconds, 0.0);
+    }
+
+    #[test]
+    fn queue_metrics_count_failures_and_cancellations() {
+        let inj = FaultPlan::new(2)
+            .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, 1.0))
+            .build();
+        let mut sim = BatchSimulator::new(machine(8), QueuePolicy::ideal());
+        sim.inject_faults(
+            inj,
+            BackoffPolicy {
+                base_seconds: 10.0,
+                factor: 2.0,
+                max_delay_seconds: 60.0,
+                max_attempts: 3,
+            },
+        );
+        sim.submit(JobRequest::new("doomed", 4, 50.0, 0.0));
+        sim.run_to_completion();
+        let m = sim.queue_metrics();
+        assert_eq!(m.completed, 0);
+        assert_eq!(m.exhausted, 1);
+        assert_eq!(m.failed_attempts, 3);
+        assert!((m.wasted_node_seconds - 3.0 * 4.0 * 50.0).abs() < 1e-9);
+        assert_eq!(m.busy_node_seconds, m.wasted_node_seconds);
+
+        // A cancelled queued job counts without burning node time.
+        let id = sim.submit(JobRequest::new("late", 4, 50.0, sim.now() + 100.0));
+        assert!(sim.cancel(id));
+        assert_eq!(sim.queue_metrics().cancelled, 1);
+        assert!((sim.queue_metrics().wasted_node_seconds - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_disciplines_complete_a_mixed_workload() {
+        // Every zoo member must drain the same workload with full accounting.
+        for discipline in [
+            QueueDiscipline::Fcfs,
+            QueueDiscipline::LargestFirst,
+            QueueDiscipline::FcfsStrict,
+            QueueDiscipline::FcfsBackfill,
+            QueueDiscipline::ConservativeBackfill,
+            QueueDiscipline::PriorityQos,
+            QueueDiscipline::FairShare,
+        ] {
+            let mut policy = QueuePolicy::ideal();
+            policy.discipline = discipline;
+            let mut sim = BatchSimulator::new(machine(16), policy);
+            for i in 0..20u64 {
+                let qos = match i % 3 {
+                    0 => QosClass::Bronze,
+                    1 => QosClass::Silver,
+                    _ => QosClass::Gold,
+                };
+                sim.submit(
+                    JobRequest::new(
+                        format!("j{i}"),
+                        1 + (i as usize * 5) % 16,
+                        10.0 + i as f64,
+                        i as f64,
+                    )
+                    .with_qos(qos)
+                    .with_group(i % 4),
+                );
+            }
+            let recs = sim.run_to_completion();
+            assert_eq!(recs.len(), 20, "{discipline:?} lost jobs");
+            assert_eq!(sim.queue_metrics().completed, 20);
+            let usage: f64 = sim.group_usage().values().sum();
+            assert!(
+                (usage - sim.queue_metrics().busy_node_seconds).abs() < 1e-6,
+                "{discipline:?}: group usage must equal busy node-seconds"
+            );
+        }
     }
 }

@@ -4,16 +4,25 @@
 use faults::{BackoffPolicy, FaultPlan, SiteSpec};
 use proptest::prelude::*;
 use simhpc::{
-    machine, BatchSimulator, JobRequest, JobState, QueueDiscipline, QueuePolicy,
+    machine, BatchSimulator, JobRequest, JobState, QosClass, QueueDiscipline, QueuePolicy,
     SCHEDULER_FAULT_SITE,
 };
 
+fn arb_discipline() -> impl Strategy<Value = QueueDiscipline> {
+    prop_oneof![
+        Just(QueueDiscipline::Fcfs),
+        Just(QueueDiscipline::LargestFirst),
+        Just(QueueDiscipline::FcfsStrict),
+        Just(QueueDiscipline::FcfsBackfill),
+        Just(QueueDiscipline::ConservativeBackfill),
+        Just(QueueDiscipline::PriorityQos),
+        Just(QueueDiscipline::FairShare),
+    ]
+}
+
 fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
     (
-        prop_oneof![
-            Just(QueueDiscipline::Fcfs),
-            Just(QueueDiscipline::LargestFirst)
-        ],
+        arb_discipline(),
         0usize..200,
         prop_oneof![Just(None), (1usize..4).prop_map(Some)],
         0.0f64..1000.0,
@@ -30,17 +39,32 @@ fn arb_policy() -> impl Strategy<Value = QueuePolicy> {
 }
 
 fn arb_jobs(max_nodes: usize) -> impl Strategy<Value = Vec<JobRequest>> {
-    proptest::collection::vec((1usize..=max_nodes, 1.0f64..500.0, 0.0f64..2000.0), 1..40).prop_map(
-        |specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (nodes, runtime, submit))| {
-                    JobRequest::new(format!("job{i}"), nodes, runtime, submit)
-                })
-                .collect()
-        },
+    proptest::collection::vec(
+        (
+            1usize..=max_nodes,
+            1.0f64..500.0,
+            0.0f64..2000.0,
+            0u8..3,
+            0u64..5,
+        ),
+        1..40,
     )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, runtime, submit, qos, group))| {
+                let qos = match qos {
+                    0 => QosClass::Bronze,
+                    1 => QosClass::Silver,
+                    _ => QosClass::Gold,
+                };
+                JobRequest::new(format!("job{i}"), nodes, runtime, submit)
+                    .with_qos(qos)
+                    .with_group(group)
+            })
+            .collect()
+    })
 }
 
 proptest! {
@@ -104,11 +128,23 @@ proptest! {
                 prop_assert!(small_running <= cap, "small-job cap violated at t={t}");
             }
         }
+
+        // 6. Queue metrics agree with the records: every completion counted,
+        //    busy node-seconds = Σ nodes × runtime, fair-share usage balances.
+        let m = sim.queue_metrics();
+        prop_assert_eq!(m.completed as usize, n_jobs);
+        prop_assert_eq!(m.wait_histogram.count() as usize, n_jobs);
+        let expect_busy: f64 = jobs.iter().map(|j| j.nodes as f64 * j.runtime).sum();
+        prop_assert!((m.busy_node_seconds - expect_busy).abs() < 1e-6 * expect_busy.max(1.0));
+        let usage_total: f64 = sim.group_usage().values().sum();
+        prop_assert!((usage_total - m.busy_node_seconds).abs() < 1e-6 * expect_busy.max(1.0));
+        prop_assert_eq!(m.wasted_node_seconds, 0.0);
     }
 
     #[test]
     fn scheduler_requeue_invariants(
         jobs in arb_jobs(64),
+        discipline in arb_discipline(),
         fault_seed in any::<u64>(),
         fault_prob in 0.0f64..0.9,
         max_attempts in 1u32..6,
@@ -119,7 +155,9 @@ proptest! {
         let injector = FaultPlan::new(fault_seed)
             .with_site(SiteSpec::transient(SCHEDULER_FAULT_SITE, fault_prob))
             .build();
-        let mut sim = BatchSimulator::new(m, QueuePolicy::ideal());
+        let mut policy = QueuePolicy::ideal();
+        policy.discipline = discipline;
+        let mut sim = BatchSimulator::new(m, policy);
         sim.inject_faults(std::sync::Arc::clone(&injector), BackoffPolicy {
             base_seconds: base_backoff,
             factor: 2.0,

@@ -1,0 +1,59 @@
+//! A small grammar-driven sweep: the five workflow strategies under two
+//! queue disciplines — the paper's Titan policy against EASY backfilling —
+//! with transient faults on, 10 seeds each, means ± 95% CIs.
+//!
+//! ```text
+//! cargo run --release --example sweep_demo
+//! ```
+//!
+//! The full harness (smoke and full grammars, JSON/CSV artifacts) lives in
+//! the `sweep` binary: `cargo run --release -p scenarios --bin sweep`.
+
+use scenarios::{
+    export, run_sweep, AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, SchedulerKind,
+    SweepConfig,
+};
+
+fn main() {
+    let grammar = Grammar::new().with_block(
+        AxisSet::full()
+            .machines([MachineKind::Titan])
+            .loads([LoadRegime::Light])
+            .faults([FaultPlanKind::Transient])
+            .schedulers([SchedulerKind::TitanPolicy, SchedulerKind::Easy]),
+    );
+    let config = SweepConfig {
+        base_seed: 1,
+        n_seeds: 10,
+        grammar,
+    };
+    let result = run_sweep(&config);
+    print!("{}", export::summary_table(&result));
+
+    // The paper's point, statistically: co-scheduling reaches results
+    // sooner than queue-after-the-run, and the Titan policy's two-small-jobs
+    // cap is what makes analysis jobs crawl.
+    let pick = |id: &str| {
+        result
+            .scenarios
+            .iter()
+            .find(|s| s.id == id)
+            .and_then(|s| s.summary("mean_result_seconds"))
+            .expect("swept scenario")
+            .mean
+    };
+    let cosched = pick("titan/light/co-scheduled/transient/easy");
+    let simple = pick("titan/light/simple/transient/easy");
+    let titan_q = pick("titan/light/simple/transient/titan-policy");
+    println!();
+    println!(
+        "mean time-to-science under EASY: co-scheduled {cosched:.0} s vs simple {simple:.0} s \
+         ({:.0}% sooner)",
+        (1.0 - cosched / simple) * 100.0
+    );
+    println!(
+        "the same simple workflow under the Titan policy waits {titan_q:.0} s \
+         ({:.1}x the EASY queue)",
+        titan_q / simple
+    );
+}

@@ -16,8 +16,8 @@
 
 use dpp::Threaded;
 use hacc_core::experiments::{format_table3, table3_4};
-use hacc_core::{format_table4, RunnerConfig, TestBed, TitanFrame};
-use nbody::SimConfig;
+use hacc_core::{format_table4, TestBed, TitanFrame};
+use scenarios::Scenario;
 
 fn main() {
     let trace_out = {
@@ -37,22 +37,16 @@ fn main() {
     let backend = Threaded::with_available_parallelism();
 
     // ---------------- measured (real execution) ----------------
-    let cfg = RunnerConfig {
-        sim: SimConfig {
-            np: 32,
-            ng: 32,
-            nsteps: 30,
-            seed: 77,
-            ..SimConfig::default()
-        },
-        nranks: 8,
-        post_ranks: 2,
-        threshold: 200,
-        min_size: 40,
-        workdir: std::env::temp_dir().join("hacc_workflow_compare"),
-        ..Default::default()
-    };
+    // The setup is named by the scenario grammar: the medium load regime is
+    // the historical workflow_compare configuration (32³ particles, 30
+    // steps, 8 ranks). Swap the ID to resize the whole experiment.
+    let scenario: Scenario = "titan/medium/co-scheduled/none/titan-policy"
+        .parse()
+        .expect("valid scenario id");
+    let mut cfg = scenario.load.runner_config(77);
+    cfg.workdir = std::env::temp_dir().join("hacc_workflow_compare");
     println!("== measured: real execution of the three workflows ==");
+    println!("scenario: {scenario}");
     let bed = TestBed::create(cfg, &backend);
     println!(
         "simulation: {:.2} s ({} particles)",

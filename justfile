@@ -60,7 +60,18 @@ conformance:
 conformance-exhaustive:
     CONFORMANCE_EXHAUSTIVE=1 cargo test -q --release --test conformance
 
+# The smoke scenario sweep: 50 scenarios × 25 seeds on the virtual clock,
+# artifacts (JSON/CSV/summary) under target/sweep.
+sweep:
+    cargo run --release -p scenarios --bin sweep -- --smoke
+
+# The full grammar (540 scenarios: every machine × load × strategy × fault
+# plan × scheduler, minus the excluded combinations).
+sweep-full:
+    cargo run --release -p scenarios --bin sweep -- --full --out target/sweep-full
+
 # Regenerate the golden fixtures under tests/goldens/ after an intentional
 # behaviour change (the only sanctioned way to update them).
 bless:
     BLESS=1 cargo test -q --release --test conformance golden
+    BLESS=1 cargo test -q --release --test sweep
