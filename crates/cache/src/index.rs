@@ -135,6 +135,37 @@ impl Index {
         self.append_line(&format!("del {key}"))
     }
 
+    /// Current size of the log file in bytes (0 when it does not exist
+    /// yet). Drives threshold-triggered compaction.
+    pub fn size_bytes(&self) -> io::Result<u64> {
+        match std::fs::metadata(&self.path) {
+            Ok(m) => Ok(m.len()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically replace the log with exactly `entries` (in the given
+    /// order, which becomes the replay/recency order): the compacted file
+    /// is staged beside the log, synced, then renamed over it, so a crash
+    /// at any point leaves either the old log or the new one — never a
+    /// mixture. Superseded `put`s and all `del`s vanish.
+    pub fn rewrite(&self, entries: &[IndexEntry]) -> io::Result<()> {
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            let mut buf = String::with_capacity(64 * (entries.len() + 1));
+            buf.push_str(INDEX_HEADER);
+            buf.push('\n');
+            for e in entries {
+                buf.push_str(&format!("put {} {} {}\n", e.key, e.digest, e.len));
+            }
+            f.write_all(buf.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)
+    }
+
     /// One write call per record keeps a torn append detectable as a
     /// missing trailing newline; a pre-existing torn fragment is sealed
     /// first so it cannot merge with this record.
@@ -226,6 +257,37 @@ mod tests {
         let c = entry(b"c");
         idx.append_put(&c).unwrap();
         assert_eq!(idx.load().unwrap(), vec![a, c]);
+    }
+
+    #[test]
+    fn rewrite_compacts_and_preserves_replay_order() {
+        let idx = Index::new(tmpfile("rewrite.idx"));
+        let _ = std::fs::remove_file(idx.path());
+        let (a, b, c) = (entry(b"a"), entry(b"b"), entry(b"c"));
+        // A churny history: re-puts and dels that compaction should erase.
+        for _ in 0..8 {
+            idx.append_put(&a).unwrap();
+            idx.append_put(&b).unwrap();
+            idx.append_del(b.key).unwrap();
+        }
+        idx.append_put(&c).unwrap();
+        let before = idx.size_bytes().unwrap();
+        let live = idx.load().unwrap();
+        idx.rewrite(&live).unwrap();
+        assert!(idx.size_bytes().unwrap() < before, "compaction shrinks");
+        assert_eq!(idx.load().unwrap(), live, "replay order preserved");
+        // The compacted log is still a valid append target.
+        idx.append_put(&b).unwrap();
+        assert_eq!(idx.load().unwrap(), [live.as_slice(), &[b]].concat());
+    }
+
+    #[test]
+    fn size_bytes_of_missing_log_is_zero() {
+        let idx = Index::new(tmpfile("size_missing.idx"));
+        let _ = std::fs::remove_file(idx.path());
+        assert_eq!(idx.size_bytes().unwrap(), 0);
+        idx.append_put(&entry(b"a")).unwrap();
+        assert!(idx.size_bytes().unwrap() > INDEX_HEADER.len() as u64);
     }
 
     #[test]

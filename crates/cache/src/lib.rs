@@ -17,18 +17,37 @@
 //! * [`ArtifactCache`] — the store: objects at `objects/<digest>` written
 //!   tmp+rename and deduplicated by digest; a `put`/`del` index log that
 //!   survives crash/restart with the same torn-append-healing discipline as
-//!   `core::journal`; verify-on-lookup so a poisoned or torn entry degrades
-//!   to a recompute, never a wrong catalog; LRU byte-budget eviction; fault
-//!   sites `cache.read` / `cache.verify` for the chaos harness; and a
-//!   seventh telemetry layer (`cache`) with hit/miss/evict counters and a
-//!   verify-time histogram.
+//!   `core::journal` and self-compacts once it bloats past a threshold;
+//!   verify-on-lookup so a poisoned or torn entry degrades to a recompute,
+//!   never a wrong catalog; LRU byte-budget eviction driven by an ordered
+//!   recency structure (an eviction storm is O(k log n)); a metadata-level
+//!   [`ArtifactCache::contains_verified`] resubmission gate; fault sites
+//!   `cache.read` / `cache.verify` for the chaos harness; and a telemetry
+//!   layer (`cache`) with hit/miss/evict counters and a verify-time
+//!   histogram.
+//! * [`ShardRouter`] / [`DistributedStore`] — the scale-out layer: the same
+//!   content-addressed semantics sharded across simulated nodes by
+//!   rendezvous hashing, with R-way replication, remote-fetch costs charged
+//!   through a [`RemoteFetchModel`] (numbers drawn from `simhpc`'s machine
+//!   model by the workflow glue), node kill/revive/wipe for failure drills,
+//!   a [`heal`](DistributedStore::heal) pass restoring full replication,
+//!   and fault sites [`SITE_REPLICATE`] / [`SITE_FETCH_REMOTE`] so the
+//!   crash-schedule explorer can prove that the death of any single
+//!   replica-holding node leaves every artifact reachable.
 
 #![warn(missing_docs)]
 
 mod digest;
 mod index;
+mod router;
+mod shard;
 mod store;
 
 pub use digest::{digest_bytes, CacheKey, Digest, Fingerprint, FingerprintBuilder, Hasher};
 pub use index::{Index, IndexEntry, INDEX_HEADER};
+pub use router::ShardRouter;
+pub use shard::{
+    DistStats, DistributedConfig, DistributedStore, MaintenanceHandle, RemoteFetchModel,
+    SITE_FETCH_REMOTE, SITE_REPLICATE,
+};
 pub use store::{ArtifactCache, CacheStats};

@@ -1,0 +1,146 @@
+//! Digest-routed placement: rendezvous (highest-random-weight) hashing of
+//! cache keys onto simulated nodes.
+//!
+//! Every node is scored per key with the crate's own 128-bit hash; the
+//! replicas live on the R highest-scoring nodes. The scheme needs no
+//! central directory, every participant computes the same placement from
+//! the key alone, and adding or removing a node only moves the ~1/n of
+//! keys whose top-R set actually changed — there is no wholesale reshuffle
+//! the way `key % n` would force.
+
+use crate::digest::{CacheKey, Hasher};
+
+/// Deterministic placement of keys across `nodes` simulated nodes with
+/// `replicas`-way redundancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    nodes: usize,
+    replicas: usize,
+}
+
+impl ShardRouter {
+    /// A router over `nodes` nodes keeping `replicas` copies of every
+    /// artifact. `replicas` is clamped to `[1, nodes]`.
+    ///
+    /// # Panics
+    /// If `nodes == 0`.
+    pub fn new(nodes: usize, replicas: usize) -> ShardRouter {
+        assert!(nodes > 0, "a store needs at least one node");
+        ShardRouter {
+            nodes,
+            replicas: replicas.clamp(1, nodes),
+        }
+    }
+
+    /// Number of nodes in the ring.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Copies kept per artifact.
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// The rendezvous score of `key` on `node` — the shared coin every
+    /// participant flips identically.
+    fn score(key: CacheKey, node: usize) -> u128 {
+        let mut h = Hasher::new();
+        h.update(&key.0 .0.to_le_bytes());
+        h.update(&(node as u64).to_le_bytes());
+        h.finish().0
+    }
+
+    /// The replica set for `key`, highest score first. `placement[0]` is
+    /// the primary (the artifact's home node); the rest are replicas in
+    /// preference order. All entries are distinct.
+    pub fn placement(&self, key: CacheKey) -> Vec<usize> {
+        let mut scored: Vec<(u128, usize)> =
+            (0..self.nodes).map(|n| (Self::score(key, n), n)).collect();
+        scored.sort_unstable_by(|a, b| b.cmp(a));
+        scored.truncate(self.replicas);
+        scored.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// The primary (home) node for `key`.
+    pub fn primary(&self, key: CacheKey) -> usize {
+        (0..self.nodes)
+            .max_by_key(|&n| Self::score(key, n))
+            .expect("nodes > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digest::{digest_bytes, FingerprintBuilder};
+
+    fn key(i: u32) -> CacheKey {
+        let fp = FingerprintBuilder::new().push_u64(42).finish();
+        CacheKey::compose("route", digest_bytes(&i.to_le_bytes()), fp)
+    }
+
+    #[test]
+    fn placement_is_deterministic_distinct_and_r_wide() {
+        let r = ShardRouter::new(5, 3);
+        for i in 0..200 {
+            let p = r.placement(key(i));
+            assert_eq!(p, r.placement(key(i)));
+            assert_eq!(p.len(), 3);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct nodes");
+            assert_eq!(p[0], r.primary(key(i)));
+            assert!(p.iter().all(|&n| n < 5));
+        }
+    }
+
+    #[test]
+    fn replicas_clamp_to_node_count() {
+        let r = ShardRouter::new(2, 9);
+        assert_eq!(r.replicas(), 2);
+        assert_eq!(r.placement(key(7)).len(), 2);
+        assert_eq!(ShardRouter::new(4, 0).replicas(), 1);
+    }
+
+    #[test]
+    fn load_spreads_across_nodes() {
+        let r = ShardRouter::new(8, 1);
+        let mut counts = [0usize; 8];
+        let n = 4000;
+        for i in 0..n {
+            counts[r.primary(key(i))] += 1;
+        }
+        let expect = n as usize / 8;
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "node {node} holds {c} of {n} keys — badly skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_a_fraction_of_keys() {
+        // Rendezvous hashing's selling point: going 7 → 8 nodes should
+        // re-home roughly 1/8 of the keys, nowhere near all of them.
+        let before = ShardRouter::new(7, 1);
+        let after = ShardRouter::new(8, 1);
+        let n = 4000;
+        let moved = (0..n)
+            .filter(|&i| before.primary(key(i)) != after.primary(key(i)))
+            .count();
+        assert!(moved > 0, "a new node must take some keys");
+        assert!(
+            moved < n as usize / 4,
+            "{moved}/{n} keys moved — minimal-reshuffle property lost"
+        );
+        // And keys that moved, moved *to* the new node.
+        for i in 0..n {
+            if before.primary(key(i)) != after.primary(key(i)) {
+                assert_eq!(after.primary(key(i)), 7);
+            }
+        }
+    }
+}

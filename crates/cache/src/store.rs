@@ -14,7 +14,7 @@
 use crate::digest::{digest_bytes, CacheKey, Digest};
 use crate::index::{Index, IndexEntry};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -35,6 +35,9 @@ pub struct CacheStats {
     /// Lookups whose payload failed digest verification (a subset of
     /// `misses`); the offending entry is dropped.
     pub verify_failures: u64,
+    /// Times the index log was rewritten by threshold-triggered or explicit
+    /// compaction.
+    pub compactions: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -51,8 +54,23 @@ struct State {
     /// Object refcounts by digest: an object file is deleted only when no
     /// live entry references it.
     refs: BTreeMap<u128, u64>,
+    /// Mirror of `entries` ordered by recency: `(seq, key)` pairs, least
+    /// recent first. Keeps a burst of k evictions at O(k log n) instead of
+    /// the old full-scan-per-victim O(k·n).
+    recency: BTreeSet<(u64, u128)>,
     total_bytes: u64,
     next_seq: u64,
+}
+
+impl State {
+    /// Move `key` to the most-recent position under a fresh `seq`.
+    fn touch(&mut self, key: CacheKey, seq: u64) {
+        if let Some(e) = self.entries.get_mut(&key.0 .0) {
+            self.recency.remove(&(e.seq, key.0 .0));
+            e.seq = seq;
+            self.recency.insert((seq, key.0 .0));
+        }
+    }
 }
 
 /// A content-addressed artifact cache rooted at one directory.
@@ -65,6 +83,9 @@ struct State {
 pub struct ArtifactCache {
     dir: PathBuf,
     byte_budget: Option<u64>,
+    /// Rewrite the index log once it grows past this many bytes (checked
+    /// after each insert, amortised so churny workloads pay O(1) per op).
+    index_compact_bytes: Option<u64>,
     index: Index,
     state: Mutex<State>,
     hits: AtomicU64,
@@ -72,6 +93,11 @@ pub struct ArtifactCache {
     inserts: AtomicU64,
     evictions: AtomicU64,
     verify_failures: AtomicU64,
+    compactions: AtomicU64,
+    /// Test-only: stall injected into the out-of-lock object write, to
+    /// prove large payload staging cannot block concurrent lookups.
+    #[cfg(test)]
+    write_stall_ms: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -98,14 +124,17 @@ impl ArtifactCache {
                 },
             ) {
                 state.total_bytes -= old.len;
+                state.recency.remove(&(old.seq, entry.key.0 .0));
                 Self::deref_locked(&mut state, old.digest);
             }
+            state.recency.insert((seq, entry.key.0 .0));
             state.total_bytes += entry.len;
             *state.refs.entry(entry.digest.0).or_insert(0) += 1;
         }
         Ok(ArtifactCache {
             dir,
             byte_budget,
+            index_compact_bytes: None,
             index,
             state: Mutex::new(state),
             hits: AtomicU64::new(0),
@@ -113,7 +142,19 @@ impl ArtifactCache {
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
+            compactions: AtomicU64::new(0),
+            #[cfg(test)]
+            write_stall_ms: AtomicU64::new(0),
         })
+    }
+
+    /// Enable amortised ("background") index compaction: after an insert,
+    /// if the append-only log exceeds `bytes`, it is rewritten down to the
+    /// live entries. `del`s and superseded `put`s from eviction churn stop
+    /// accumulating forever.
+    pub fn with_index_compact_bytes(mut self, bytes: u64) -> ArtifactCache {
+        self.index_compact_bytes = Some(bytes);
+        self
     }
 
     /// The cache root directory.
@@ -129,6 +170,7 @@ impl ArtifactCache {
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -155,47 +197,75 @@ impl ArtifactCache {
     /// is written tmp+rename before the index record is appended, so a
     /// crash between the two leaves an orphaned (harmless) object, never a
     /// dangling index entry.
+    ///
+    /// Object-file I/O is staged **outside** the state lock: a concurrent
+    /// lookup of another key never waits behind a large payload write. The
+    /// lock is taken briefly twice — once to reserve the object's refcount
+    /// (so eviction cannot delete the file mid-stage), once to commit the
+    /// entry and append the (tiny) index record.
     pub fn insert(&self, key: CacheKey, payload: &[u8]) -> io::Result<Digest> {
         let _span = telemetry::span!("cache", "insert", payload.len());
         let digest = digest_bytes(payload);
-        let mut state = self.state.lock();
-        state.next_seq += 1;
-        let seq = state.next_seq;
-        if let Some(existing) = state.entries.get_mut(&key.0 .0) {
-            if existing.digest == digest {
-                // Idempotent re-insert: just refresh recency.
-                existing.seq = seq;
-                self.inserts.fetch_add(1, Ordering::Relaxed);
-                return Ok(digest);
+        let len = payload.len() as u64;
+        // Phase 1 — reserve. The pre-incremented refcount is the pin that
+        // keeps a concurrent eviction of some other key sharing this digest
+        // from unlinking the object file while we stage it.
+        let (seq, need_write) = {
+            let mut state = self.state.lock();
+            state.next_seq += 1;
+            let seq = state.next_seq;
+            if let Some(existing) = state.entries.get(&key.0 .0).copied() {
+                if existing.digest == digest {
+                    // Idempotent re-insert: just refresh recency.
+                    state.touch(key, seq);
+                    self.inserts.fetch_add(1, Ordering::Relaxed);
+                    return Ok(digest);
+                }
+            }
+            let refs = state.refs.entry(digest.0).or_insert(0);
+            let need_write = *refs == 0;
+            *refs += 1;
+            (seq, need_write)
+        };
+        // Phase 2 — stage the object with no lock held.
+        if need_write {
+            let path = self.object_path(digest);
+            if !path.exists() {
+                #[cfg(test)]
+                {
+                    let ms = self.write_stall_ms.load(Ordering::Relaxed);
+                    if ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                }
+                let tmp = self.dir.join("objects").join(format!("{digest}.tmp{seq}"));
+                let staged =
+                    std::fs::write(&tmp, payload).and_then(|()| std::fs::rename(&tmp, &path));
+                if let Err(e) = staged {
+                    let mut state = self.state.lock();
+                    Self::deref_locked(&mut state, digest);
+                    return Err(e);
+                }
             }
         }
-        let path = self.object_path(digest);
-        if state.refs.get(&digest.0).copied().unwrap_or(0) == 0 && !path.exists() {
-            let tmp = self.dir.join("objects").join(format!("{digest}.tmp{seq}"));
-            std::fs::write(&tmp, payload)?;
-            std::fs::rename(&tmp, &path)?;
+        // Phase 3 — commit: index record then the in-memory entry. The
+        // reservation from phase 1 becomes the entry's reference.
+        let mut state = self.state.lock();
+        let entry = IndexEntry { key, digest, len };
+        if let Err(e) = self.index.append_put(&entry) {
+            self.drop_object_ref(&mut state, digest);
+            return Err(e);
         }
-        let entry = IndexEntry {
-            key,
-            digest,
-            len: payload.len() as u64,
-        };
-        self.index.append_put(&entry)?;
-        if let Some(old) = state.entries.insert(
-            key.0 .0,
-            Entry {
-                digest,
-                len: entry.len,
-                seq,
-            },
-        ) {
+        if let Some(old) = state.entries.insert(key.0 .0, Entry { digest, len, seq }) {
             state.total_bytes -= old.len;
+            state.recency.remove(&(old.seq, key.0 .0));
             self.drop_object_ref(&mut state, old.digest);
         }
-        state.total_bytes += entry.len;
-        *state.refs.entry(digest.0).or_insert(0) += 1;
+        state.recency.insert((seq, key.0 .0));
+        state.total_bytes += len;
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.evict_over_budget(&mut state, Some(key));
+        self.maybe_compact(&mut state);
         Ok(digest)
     }
 
@@ -251,19 +321,61 @@ impl ArtifactCache {
         }
         state.next_seq += 1;
         let seq = state.next_seq;
-        if let Some(e) = state.entries.get_mut(&key.0 .0) {
-            e.seq = seq;
-        }
+        state.touch(key, seq);
         self.hits.fetch_add(1, Ordering::Relaxed);
         telemetry::count!("cache", "hits", 1);
         Some(payload)
     }
 
-    /// True when `key` resolves to a payload that passes verification right
-    /// now. Equivalent to `lookup(key).is_some()` (and counted the same
-    /// way) — the listener's resubmission gate.
+    /// True when `key` very likely resolves to a valid payload — the
+    /// listener's resubmission gate.
+    ///
+    /// Fast path: a metadata-level check only (live index entry + object
+    /// file `stat` whose length matches the recorded length). No payload is
+    /// read or re-hashed, so once the store is sharded the gate costs a
+    /// stat, not a remote fetch. Anything suspect — missing file, length
+    /// mismatch — falls back to the full verifying [`lookup`], which drops
+    /// poisoned entries exactly as before.
+    ///
+    /// Accounting: a fast-path pass counts one `hit` (and refreshes LRU
+    /// recency), a fall-back counts whatever `lookup` counts — so
+    /// hit+miss totals remain one-per-call, same as the old
+    /// `lookup().is_some()` implementation.
+    ///
+    /// The guarantee is deliberately weaker than `lookup`: a corrupted
+    /// object of *unchanged length* passes the gate. That is safe because
+    /// every consumer that actually reads the payload goes through the
+    /// verifying `lookup`, which degrades such corruption to a miss and a
+    /// recompute — the catalog stays byte-identical either way.
+    ///
+    /// [`lookup`]: ArtifactCache::lookup
     pub fn contains_verified(&self, key: CacheKey) -> bool {
-        self.lookup(key).is_some()
+        let _span = telemetry::span!("cache", "contains");
+        let entry = {
+            let state = self.state.lock();
+            match state.entries.get(&key.0 .0) {
+                Some(e) => *e,
+                None => {
+                    drop(state);
+                    self.miss();
+                    return false;
+                }
+            }
+        };
+        match std::fs::metadata(self.object_path(entry.digest)) {
+            Ok(m) if m.len() == entry.len => {
+                let mut state = self.state.lock();
+                state.next_seq += 1;
+                let seq = state.next_seq;
+                state.touch(key, seq);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                telemetry::count!("cache", "hits", 1);
+                true
+            }
+            // Suspect (unreadable or wrong length): full verify, which
+            // also drops the entry when it is genuinely poisoned.
+            _ => self.lookup(key).is_some(),
+        }
     }
 
     fn miss(&self) -> Option<Vec<u8>> {
@@ -279,6 +391,7 @@ impl ArtifactCache {
     fn remove_entry(&self, state: &mut State, key: CacheKey) {
         if let Some(old) = state.entries.remove(&key.0 .0) {
             state.total_bytes -= old.len;
+            state.recency.remove(&(old.seq, key.0 .0));
             let _ = self.index.append_del(key);
             self.drop_object_ref(state, old.digest);
         }
@@ -306,22 +419,87 @@ impl ArtifactCache {
 
     /// Evict least-recently-used entries until the byte budget is met,
     /// sparing `protect` (the entry just inserted — an insert must be
-    /// readable at least once).
+    /// readable at least once). The `recency` set hands out victims oldest
+    /// first, so an eviction storm of k victims is O(k log n) — the old
+    /// implementation re-scanned every entry per victim, O(k·n).
     fn evict_over_budget(&self, state: &mut State, protect: Option<CacheKey>) {
         let Some(budget) = self.byte_budget else {
             return;
         };
         while state.total_bytes > budget {
+            // At most one (protected) element is ever skipped, so this
+            // `find` inspects one or two entries, never the whole map.
             let victim = state
-                .entries
+                .recency
                 .iter()
-                .filter(|(k, _)| protect.map(|p| p.0 .0 != **k).unwrap_or(true))
-                .min_by_key(|(_, e)| e.seq)
-                .map(|(k, _)| CacheKey(Digest(*k)));
+                .map(|&(_, k)| k)
+                .find(|k| protect.map(|p| p.0 .0 != *k).unwrap_or(true));
             let Some(victim) = victim else { break };
-            self.remove_entry(state, victim);
+            self.remove_entry(state, CacheKey(Digest(victim)));
             self.evictions.fetch_add(1, Ordering::Relaxed);
             telemetry::count!("cache", "evictions", 1);
+        }
+    }
+
+    /// The live entries in recency order (least recent first) — lets a
+    /// sharded wrapper enumerate a node's holdings for re-replication.
+    pub fn live_entries(&self) -> Vec<IndexEntry> {
+        let state = self.state.lock();
+        state
+            .recency
+            .iter()
+            .map(|&(_, k)| {
+                let e = &state.entries[&k];
+                IndexEntry {
+                    key: CacheKey(Digest(k)),
+                    digest: e.digest,
+                    len: e.len,
+                }
+            })
+            .collect()
+    }
+
+    /// Current size of the index log in bytes.
+    pub fn index_bytes(&self) -> u64 {
+        self.index.size_bytes().unwrap_or(0)
+    }
+
+    /// Rewrite the index log down to the live entries (recency order
+    /// preserved), reclaiming space taken by `del`s and superseded `put`s.
+    /// Returns bytes reclaimed. Crash-safe: staged and renamed atomically.
+    pub fn compact_index(&self) -> io::Result<u64> {
+        let mut state = self.state.lock();
+        self.compact_locked(&mut state)
+    }
+
+    fn compact_locked(&self, state: &mut State) -> io::Result<u64> {
+        let before = self.index.size_bytes()?;
+        let entries: Vec<IndexEntry> = state
+            .recency
+            .iter()
+            .map(|&(_, k)| {
+                let e = &state.entries[&k];
+                IndexEntry {
+                    key: CacheKey(Digest(k)),
+                    digest: e.digest,
+                    len: e.len,
+                }
+            })
+            .collect();
+        self.index.rewrite(&entries)?;
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+        telemetry::count!("cache", "compactions", 1);
+        let after = self.index.size_bytes()?;
+        Ok(before.saturating_sub(after))
+    }
+
+    /// Threshold-triggered compaction after an insert; failures are
+    /// swallowed (the append-only log is still valid, just long).
+    fn maybe_compact(&self, state: &mut State) {
+        if let Some(limit) = self.index_compact_bytes {
+            if self.index.size_bytes().unwrap_or(0) > limit {
+                let _ = self.compact_locked(state);
+            }
         }
     }
 }
@@ -461,6 +639,162 @@ mod tests {
         drop(c);
         let c = ArtifactCache::open(dir, None).unwrap();
         assert_eq!(c.lookup(key("a")).as_deref(), Some(&b"newer"[..]));
+    }
+
+    #[test]
+    fn large_insert_does_not_block_concurrent_lookup() {
+        // Regression: `insert` used to hold the state mutex across the
+        // object-file write, so a lookup of a *different* key stalled
+        // behind a large payload. Now the write is staged outside the
+        // lock: with a 1.5 s stall injected into the write path, a
+        // concurrent lookup must still return in a fraction of that.
+        let c = std::sync::Arc::new(ArtifactCache::open(tmpdir("nonblocking"), None).unwrap());
+        c.insert(key("fast"), b"small payload").unwrap();
+        c.write_stall_ms.store(1500, Ordering::Relaxed);
+        let writer = {
+            let c = std::sync::Arc::clone(&c);
+            std::thread::spawn(move || c.insert(key("big"), b"pretend this is huge").unwrap())
+        };
+        // Give the writer time to take and release the reservation lock
+        // and enter the stalled write.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let t0 = Instant::now();
+        assert_eq!(
+            c.lookup(key("fast")).as_deref(),
+            Some(&b"small payload"[..])
+        );
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_millis(700),
+            "lookup stalled {elapsed:?} behind a concurrent object write"
+        );
+        writer.join().unwrap();
+        c.write_stall_ms.store(0, Ordering::Relaxed);
+        assert_eq!(
+            c.lookup(key("big")).as_deref(),
+            Some(&b"pretend this is huge"[..])
+        );
+    }
+
+    #[test]
+    fn eviction_storm_over_10k_entries_is_fast_and_correct() {
+        // Regression: eviction re-scanned all entries per victim (O(n²)).
+        // Fill 10k entries, then shrink the working set against a budget
+        // that forces ~90% of them out in one storm. With the ordered
+        // recency structure this is well under a second even on a loaded
+        // CI box; the old quadratic scan took tens of seconds.
+        let n: usize = 10_000;
+        let payload = [7u8; 32];
+        let budget = (payload.len() * n) as u64; // roomy: no eviction yet
+        let c = ArtifactCache::open(tmpdir("storm"), Some(budget)).unwrap();
+        for i in 0..n {
+            c.insert(key(&format!("k{i}")), &payload).unwrap();
+        }
+        assert_eq!(c.len(), n);
+        assert_eq!(c.stats().evictions, 0);
+        // Touch the last 1000 so they are the most recent, then insert one
+        // oversized payload that blows ~90% of the budget.
+        for i in n - 1000..n {
+            assert!(c.lookup(key(&format!("k{i}"))).is_some());
+        }
+        let big = vec![1u8; (budget as usize * 9) / 10];
+        let t0 = Instant::now();
+        c.insert(key("big"), &big).unwrap();
+        let elapsed = t0.elapsed();
+        let s = c.stats();
+        assert!(s.evictions > 8_000, "storm evicted {}", s.evictions);
+        assert!(c.total_bytes() <= budget);
+        // The most-recently-touched survivors are evicted last: everything
+        // still live besides `big` must come from the touched tail.
+        assert!(c.lookup(key("big")).is_some());
+        assert!(c.lookup(key("k0")).is_none(), "oldest entry must be gone");
+        assert!(
+            elapsed < std::time::Duration::from_secs(5),
+            "eviction storm took {elapsed:?} — recency ordering regressed?"
+        );
+    }
+
+    #[test]
+    fn contains_verified_is_metadata_level_with_lookup_fallback() {
+        let dir = tmpdir("contains");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        let d = c.insert(key("a"), b"ten bytes!").unwrap();
+        // Fast path: counts exactly one hit per call, like lookup did.
+        assert!(c.contains_verified(key("a")));
+        assert_eq!(c.stats().hits, 1);
+        // Same-length corruption passes the gate (documented weaker
+        // guarantee — proof the payload was not re-hashed) ...
+        std::fs::write(dir.join("objects").join(d.to_string()), b"ten bytez!").unwrap();
+        assert!(c.contains_verified(key("a")));
+        // ... but the verifying lookup still catches it and recovers.
+        assert_eq!(c.lookup(key("a")), None);
+        assert_eq!(c.stats().verify_failures, 1);
+        // Length mismatch is suspect: falls back to full verify → miss,
+        // entry dropped. Absent key is a plain miss.
+        let d2 = c.insert(key("b"), b"other bytes").unwrap();
+        std::fs::write(dir.join("objects").join(d2.to_string()), b"short").unwrap();
+        let misses_before = c.stats().misses;
+        assert!(!c.contains_verified(key("b")));
+        assert!(!c.contains_verified(key("never-inserted")));
+        assert_eq!(c.stats().misses, misses_before + 2, "one count per call");
+        assert_eq!(c.len(), 0, "suspect entry dropped by the fallback");
+    }
+
+    #[test]
+    fn contains_verified_refreshes_lru_recency() {
+        let c = ArtifactCache::open(tmpdir("contains_lru"), Some(10)).unwrap();
+        c.insert(key("a"), b"aaaa").unwrap();
+        c.insert(key("b"), b"bbbb").unwrap();
+        // Gate-check a: b becomes the LRU victim.
+        assert!(c.contains_verified(key("a")));
+        c.insert(key("c"), b"cccc").unwrap();
+        assert!(c.lookup(key("a")).is_some());
+        assert!(c.lookup(key("b")).is_none(), "b was least recent");
+    }
+
+    #[test]
+    fn threshold_compaction_shrinks_index_and_survives_reopen() {
+        let dir = tmpdir("compact");
+        let c = ArtifactCache::open(&dir, Some(64))
+            .unwrap()
+            .with_index_compact_bytes(2_000);
+        // Churn: overwrites and evictions bloat the append-only log until
+        // the threshold trips.
+        for round in 0..200u32 {
+            for k in 0..8u32 {
+                c.insert(key(&format!("k{k}")), format!("r{round}").as_bytes())
+                    .unwrap();
+            }
+        }
+        let s = c.stats();
+        assert!(s.compactions > 0, "threshold never tripped");
+        assert!(
+            c.index_bytes() < 4_000,
+            "index stayed bloated: {} bytes",
+            c.index_bytes()
+        );
+        let live = c.live_entries();
+        drop(c);
+        let c = ArtifactCache::open(&dir, Some(64)).unwrap();
+        assert_eq!(c.live_entries(), live, "compacted log replays identically");
+        for e in live {
+            assert!(c.lookup(e.key).is_some());
+        }
+    }
+
+    #[test]
+    fn explicit_compaction_reclaims_del_records() {
+        let dir = tmpdir("compact_explicit");
+        let c = ArtifactCache::open(&dir, None).unwrap();
+        for i in 0..50u32 {
+            c.insert(key("churn"), format!("payload {i}").as_bytes())
+                .unwrap();
+        }
+        let before = c.index_bytes();
+        let reclaimed = c.compact_index().unwrap();
+        assert!(reclaimed > 0);
+        assert_eq!(c.index_bytes(), before - reclaimed);
+        assert_eq!(c.lookup(key("churn")).as_deref(), Some(&b"payload 49"[..]));
     }
 
     #[test]

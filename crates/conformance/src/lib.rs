@@ -38,6 +38,11 @@
 //!   service**: K concurrent campaigns on shared shards/pool/cache, with
 //!   per-campaign exactly-once, byte-identical recovered catalogs, and
 //!   zero cross-campaign bleed asserted for every schedule.
+//! * [`store`] — the distributed artifact store's own sweep: whole-file
+//!   vs streamed baselines against the solo oracle, crash schedules over
+//!   the `cache.replicate` / `cache.fetch.remote` sites, and a node-death
+//!   sweep proving that killing any single replica-holding node leaves a
+//!   warm re-run with zero recomputes and byte-identical catalogs.
 
 #![warn(missing_docs)]
 
@@ -48,6 +53,7 @@ pub mod inputs;
 pub mod layout;
 pub mod multi;
 pub mod oracles;
+pub mod store;
 pub mod strategies;
 
 pub use differential::{assert_dpp_conformance, run_dpp_differential, DiffReport, Disagreement};
@@ -55,3 +61,6 @@ pub use explorer::{explore, ExplorationReport, ExplorerConfig, ScheduleOutcome};
 pub use golden::{compare_or_bless, GoldenOutcome};
 pub use layout::{assert_layout_conformance, run_layout_differential, REQUIRED_KERNELS};
 pub use multi::{explore_multi, multi_reference, MultiConfig, MultiReport, MultiScheduleOutcome};
+pub use store::{
+    explore_store, store_baseline, KillNodeOutcome, StoreConfig, StoreReport, StoreScheduleOutcome,
+};

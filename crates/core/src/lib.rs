@@ -18,6 +18,10 @@
 //! * [`service`] — the long-lived multi-campaign service: many concurrent
 //!   campaigns over one shared `dpp` pool and one `simhpc` batch queue,
 //!   with a sharded, work-stealing listener and admission backpressure.
+//! * [`stream`] — the streaming in-transit edge: a pub/sub [`StreamHub`]
+//!   over which the emitter announces Level-2 chunks it has published into
+//!   the distributed artifact store, so analysis ranks ingest chunks as
+//!   they are produced instead of waiting for whole files.
 //! * [`experiments`] — one driver per table/figure of the evaluation
 //!   (Table 1–4, Figures 3–4, the §4.1 Q Continuum projection, the §4.2
 //!   subhalo imbalance).
@@ -35,6 +39,7 @@ pub mod model;
 pub mod report;
 pub mod runner;
 pub mod service;
+pub mod stream;
 
 pub use autosplit::{choose_split, plan_coschedule, CoSchedulePlan, SplitDecision};
 pub use cost::{format_table4, JobCost, PhaseSeconds, WorkflowCost};
@@ -50,3 +55,4 @@ pub use service::{
     CampaignId, CampaignReport, CampaignSpec, CampaignStatus, ServiceConfig, ServiceError,
     ServiceReport, WorkflowService,
 };
+pub use stream::{ChunkRef, StreamHub};

@@ -294,7 +294,7 @@ impl ScanState {
         self.cursor.as_deref().is_some_and(|c| f <= c) || self.seen.contains(f)
     }
 
-    fn mark_handled(&mut self, f: &Path) {
+    pub(crate) fn mark_handled(&mut self, f: &Path) {
         self.pending.remove(f);
         self.seen.insert(f.to_path_buf());
         self.handled_total += 1;

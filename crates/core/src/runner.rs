@@ -590,6 +590,126 @@ impl TestBed {
         }
     }
 
+    /// Strategy 3 (in-transit, **streamed** variation): like
+    /// [`TestBed::run_combined_intransit`], but the Level-2 container is
+    /// split into per-block chunks that travel through a small replicated
+    /// [`cache::DistributedStore`] (3 nodes, 2 replicas, under the workdir)
+    /// instead of being handed over whole: the emitter side publishes each
+    /// chunk as produced, the analysis side fetches the set back (replica
+    /// routing applies — one node is killed between publish and fetch to
+    /// prove the chunks stay reachable) and reassembles the container
+    /// byte-exactly. Because the chunk protocol is lossless, the reassembled
+    /// digest equals the whole-container digest and the memoized center set
+    /// is shared with the simple and plain in-transit variations.
+    pub fn run_combined_intransit_streamed(&self, backend: &dyn Backend) -> WorkflowRun {
+        use cache::{DistributedConfig, DistributedStore};
+        use cosmotools::{assemble_chunks, chunk_container};
+
+        let _span = telemetry::span!("runner", "combined_intransit_streamed");
+        let pool0 = backend.pool_stats().unwrap_or_default();
+        let per_rank = self.distributed();
+        let t0 = Instant::now();
+        let (catalogs, timings) = self.analyze(&per_rank, self.cfg.threshold, backend);
+        let analysis_insitu = t0.elapsed().as_secs_f64();
+        let small_centers = collect_centers(&catalogs);
+
+        let t_d = Instant::now();
+        let mut large = HaloCatalog::new();
+        for cat in catalogs {
+            let (_, l) = cat.split_by_size(self.cfg.threshold);
+            large.merge(l);
+        }
+        let container = write_level2_container(&large, self.meta.clone());
+
+        // Emitter side: publish the chunk set into a replicated store.
+        let store_dir = self.cfg.workdir.join("stream_store");
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let store = DistributedStore::open(
+            &store_dir,
+            DistributedConfig {
+                nodes: 3,
+                replicas: 2,
+                ..DistributedConfig::default()
+            },
+        )
+        .expect("open stream store");
+        let fp = self.cfg.fingerprint();
+        let chunks = chunk_container(&container);
+        let keys: Vec<CacheKey> = chunks
+            .iter()
+            .map(|chunk| {
+                let key = CacheKey::compose("l2chunk", cache::digest_bytes(chunk), fp);
+                store.insert(key, chunk).expect("publish chunk");
+                key
+            })
+            .collect();
+        // A replica-holding node dies between publish and ingest; every
+        // chunk must still be reachable through its surviving replica.
+        store.kill_node(0);
+        let fetched: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|&k| store.lookup(k).expect("chunk lost with one dead node"))
+            .collect();
+        let container = assemble_chunks(&fetched).expect("reassemble streamed Level 2");
+        let redistribute_s = t_d.elapsed().as_secs_f64();
+
+        // Identical bytes ⇒ identical digest ⇒ the memoized center set is
+        // shared with the simple / in-transit variations.
+        let mut analysis_post = 0.0;
+        let mut cache_hits = 0;
+        let mut cache_misses = 0;
+        let mut saved_analysis_seconds = 0.0;
+        let key = self
+            .cfg
+            .cache_key("l2_centers", cosmotools::container_digest(&container));
+        let cached = self.cfg.cache.as_deref().and_then(|c| memo_lookup(c, key));
+        let large_centers = match cached {
+            Some((saved, centers)) => {
+                cache_hits = 1;
+                saved_analysis_seconds = saved;
+                centers
+            }
+            None => {
+                let t1 = Instant::now();
+                let centers = centers_over_ranks(
+                    &container,
+                    self.cfg.post_ranks,
+                    self.cfg.softening,
+                    backend,
+                );
+                analysis_post = t1.elapsed().as_secs_f64();
+                if let Some(c) = &self.cfg.cache {
+                    cache_misses = 1;
+                    c.insert(key, &encode_memo(analysis_post, &centers))
+                        .expect("cache insert");
+                }
+                centers
+            }
+        };
+
+        let centers = merge_center_sets(small_centers, large_centers);
+        let (pool_dispatches, dispatch_overhead_seconds) = pool_delta(backend, pool0);
+        WorkflowRun {
+            strategy: "combined (in-transit, streamed)".into(),
+            phases: PhaseSeconds {
+                sim: self.sim_seconds,
+                redistribute: redistribute_s,
+                analysis: analysis_insitu + analysis_post,
+                ..Default::default()
+            },
+            centers,
+            rank_timings: timings,
+            overlapped_jobs: 0,
+            degraded_steps: 0,
+            insitu_retries: 0,
+            pool_dispatches,
+            dispatch_overhead_seconds,
+            cache_hits,
+            cache_misses,
+            saved_analysis_seconds,
+        }
+    }
+
     /// Strategy 3 (co-scheduled variation): the simulation re-runs with an
     /// in-situ hook that emits a Level 2 file every `emit_every` steps; a
     /// listener submits a real analysis job (thread) per file while the
@@ -1150,6 +1270,31 @@ mod tests {
         // No file I/O phases at all.
         assert_eq!(transit.phases.read, 0.0);
         assert_eq!(transit.phases.write, 0.0);
+    }
+
+    #[test]
+    fn streamed_intransit_matches_simple_and_shares_the_memo() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("intransit_stream");
+        let cache_dir = cfg.workdir.join("artifact_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        let bed = TestBed::create(cfg, &backend);
+        let simple = bed.run_combined_simple(&backend);
+        assert_eq!((simple.cache_hits, simple.cache_misses), (0, 1));
+        // The streamed variation reassembles byte-identical Level 2, so it
+        // reuses the simple variation's memoized center set — despite the
+        // chunks having crossed a replicated store with one node killed.
+        let streamed = bed.run_combined_intransit_streamed(&backend);
+        assert_same_centers(&simple.centers, &streamed.centers);
+        assert_eq!(
+            (streamed.cache_hits, streamed.cache_misses),
+            (1, 0),
+            "streamed in-transit must share the whole-container artifact"
+        );
+        // No Level-2 file I/O phases.
+        assert_eq!(streamed.phases.read, 0.0);
+        assert_eq!(streamed.phases.write, 0.0);
     }
 
     #[test]

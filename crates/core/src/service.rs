@@ -50,10 +50,18 @@
 
 use crate::journal::Journal;
 use crate::listener::{
-    sweep_dir, CacheGate, ListenerConfig, ListenerReport, ScanState, SubmitError,
+    journal_append, submit_one, sweep_dir, CacheGate, ListenerConfig, ListenerReport, ScanState,
+    SubmitError,
 };
-use cache::{ArtifactCache, CacheKey, Digest, Fingerprint, FingerprintBuilder};
-use cosmotools::{encode_centers, write_container, CenterRecord, Container, SnapshotMeta};
+use crate::stream::{ChunkRef, StreamHub};
+use cache::{
+    CacheKey, Digest, DistributedConfig, DistributedStore, Fingerprint, FingerprintBuilder,
+    RemoteFetchModel,
+};
+use cosmotools::{
+    assemble_chunks, chunk_container, encode_centers, write_container, CenterRecord, Container,
+    SnapshotMeta,
+};
 use dpp::{Backend, PoolStats, Threaded};
 use faults::{FaultInjector, FaultKind};
 use halo::mbp_brute;
@@ -102,10 +110,20 @@ pub struct CampaignSpec {
     pub nodes: usize,
     /// Requested runtime (seconds) of the campaign's batch allocation.
     pub job_runtime: f64,
+    /// Streaming in-transit mode: the emitter publishes halo-particle
+    /// chunks into the distributed store as they are produced (announced on
+    /// the service's [`StreamHub`]) instead of staging whole `l2_*.hcio`
+    /// files, and the analysis side ingests chunk sets instead of scanning
+    /// the drop directory. Deliberately **not** part of
+    /// [`CampaignSpec::namespace`]: the chunk protocol is byte-lossless, so
+    /// a streamed and a whole-file run of the same spec produce identical
+    /// drop bytes, share their analysis artifacts, and assemble
+    /// byte-identical catalogs.
+    pub stream: bool,
 }
 
 impl CampaignSpec {
-    /// A spec with default batch shape (4 nodes, 600 s).
+    /// A spec with default batch shape (4 nodes, 600 s), whole-file mode.
     pub fn new(name: impl Into<String>, seed: u64, steps: usize) -> CampaignSpec {
         CampaignSpec {
             name: name.into(),
@@ -113,6 +131,15 @@ impl CampaignSpec {
             steps,
             nodes: 4,
             job_runtime: 600.0,
+            stream: false,
+        }
+    }
+
+    /// Like [`CampaignSpec::new`], but in streaming in-transit mode.
+    pub fn streamed(name: impl Into<String>, seed: u64, steps: usize) -> CampaignSpec {
+        CampaignSpec {
+            stream: true,
+            ..CampaignSpec::new(name, seed, steps)
         }
     }
 
@@ -138,6 +165,22 @@ impl CampaignSpec {
     /// Cache key of the analysis product for an input with this digest.
     pub fn product_key(&self, input: Digest) -> CacheKey {
         CacheKey::compose("centers", input, self.product_fingerprint())
+    }
+
+    /// Store key of one streamed Level-2 chunk. Content-addressed by the
+    /// chunk bytes and scoped by `(step, index)` within the campaign
+    /// namespace, so a restarted emitter re-inserting the same chunk dedups
+    /// instead of duplicating.
+    pub fn chunk_key(&self, step: u64, index: u32, chunk: &[u8]) -> CacheKey {
+        let mut fp = FingerprintBuilder::new();
+        fp.push_str("l2-chunk")
+            .push_u64(step)
+            .push_u64(index as u64);
+        CacheKey::compose(
+            "l2chunk",
+            cache::digest_bytes(chunk),
+            fp.finish().scoped(self.namespace()),
+        )
     }
 }
 
@@ -219,6 +262,13 @@ pub struct ServiceConfig {
     /// Per-shard journal compaction threshold (see
     /// [`ListenerConfig::journal_compact_bytes`]).
     pub journal_compact_bytes: Option<u64>,
+    /// Simulated nodes of the distributed artifact store under
+    /// `<root>/cache`. Clamped to at least 1.
+    pub store_nodes: usize,
+    /// Replicas kept per artifact (clamped to `[1, store_nodes]`); with 2+
+    /// the death of any single replica-holding node leaves every artifact
+    /// reachable.
+    pub store_replicas: usize,
     /// Fault injector consulted at the `service.*` / `listener.*` sites;
     /// `None` falls back to the globally installed injector.
     pub injector: Option<Arc<FaultInjector>>,
@@ -230,7 +280,8 @@ pub struct ServiceConfig {
 
 impl ServiceConfig {
     /// Defaults: 2 shards, 4 pool workers, 64 active campaigns, 64 pending
-    /// jobs, 4 ms polls, no compaction, Titan with an ideal queue.
+    /// jobs, 4 ms polls, no compaction, a 2-node/2-replica store, Titan
+    /// with an ideal queue.
     pub fn new(root: impl Into<PathBuf>) -> ServiceConfig {
         ServiceConfig {
             root: root.into(),
@@ -240,6 +291,8 @@ impl ServiceConfig {
             max_pending_jobs: 64,
             poll_interval: Duration::from_millis(4),
             journal_compact_bytes: None,
+            store_nodes: 2,
+            store_replicas: 2,
             injector: None,
             machine: titan(),
             queue_policy: QueuePolicy::ideal(),
@@ -324,6 +377,11 @@ struct CampaignState {
     /// Set by detach/shutdown; the emitter thread checks it.
     cancel: AtomicBool,
     emitter: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Streaming mode: the campaign's read position in its hub topic.
+    stream_cursor: Mutex<usize>,
+    /// Streaming mode: announced-but-not-yet-ingested chunks, keyed
+    /// `step → index → ref`. A step leaves this map only once handled.
+    pending_chunks: Mutex<BTreeMap<u64, BTreeMap<u32, ChunkRef>>>,
 }
 
 impl CampaignState {
@@ -358,7 +416,9 @@ impl CampaignState {
 /// Shared service state.
 struct Inner {
     cfg: ServiceConfig,
-    cache: Arc<ArtifactCache>,
+    store: Arc<DistributedStore>,
+    /// Pub/sub edge for streaming campaigns (topic = campaign id).
+    hub: StreamHub,
     sim: Mutex<BatchSimulator>,
     registry: Mutex<BTreeMap<u64, Arc<CampaignState>>>,
     queue: Mutex<Vec<ScanTask>>,
@@ -390,12 +450,21 @@ pub struct WorkflowService {
 }
 
 impl WorkflowService {
-    /// Start the service: open the shared artifact cache under
-    /// `<root>/cache`, create one journal per shard, and spawn the shard
+    /// Start the service: open the sharded, replicated artifact store under
+    /// `<root>/cache` (remote-fetch costs drawn from the machine model's
+    /// interconnect), create one journal per shard, and spawn the shard
     /// workers. No campaigns run until submitted.
     pub fn start(cfg: ServiceConfig) -> std::io::Result<WorkflowService> {
         std::fs::create_dir_all(&cfg.root)?;
-        let cache = Arc::new(ArtifactCache::open(cfg.root.join("cache"), None)?);
+        let store = Arc::new(DistributedStore::open(
+            cfg.root.join("cache"),
+            DistributedConfig {
+                nodes: cfg.store_nodes.max(1),
+                replicas: cfg.store_replicas,
+                fetch: RemoteFetchModel::new(cfg.machine.net.latency, cfg.machine.net.per_node_bw),
+                ..DistributedConfig::default()
+            },
+        )?);
         let shards = cfg.shards.max(1);
         let journals: Vec<Journal> = (0..shards)
             .map(|k| Journal::new(cfg.root.join(format!("shard{k}.journal"))))
@@ -404,7 +473,8 @@ impl WorkflowService {
         let sim = BatchSimulator::new(cfg.machine.clone(), cfg.queue_policy.clone());
         let inner = Arc::new(Inner {
             cfg,
-            cache,
+            store,
+            hub: StreamHub::new(),
             sim: Mutex::new(sim),
             registry: Mutex::new(BTreeMap::new()),
             queue: Mutex::new(Vec::new()),
@@ -495,7 +565,7 @@ impl WorkflowService {
         scan.recover(recovered);
 
         let product_fp = spec.product_fingerprint();
-        let gate_cache = Arc::clone(&inner.cache);
+        let gate_cache = Arc::clone(&inner.store);
         let lcfg = ListenerConfig {
             poll_interval: inner.cfg.poll_interval,
             prefix: "l2_".into(),
@@ -525,6 +595,8 @@ impl WorkflowService {
             backend: inner.base.scoped(),
             cancel: AtomicBool::new(false),
             emitter: Mutex::new(None),
+            stream_cursor: Mutex::new(0),
+            pending_chunks: Mutex::new(BTreeMap::new()),
         });
         registry.insert(id, Arc::clone(&state));
         drop(registry);
@@ -625,6 +697,7 @@ impl WorkflowService {
             let _ = h.join();
         }
         self.inner.queue.lock().retain(|t| t.campaign != id.0);
+        self.inner.hub.drop_topic(id.0);
         // The Running→Detached transition decides slot ownership exactly
         // once: a finalize racing with this detach releases the slot on
         // whichever side wins the status lock, never both. A campaign that
@@ -759,7 +832,11 @@ fn shard_worker(inner: Arc<Inner>, me: usize) {
             None => {}
         }
         if !crashed && !skip {
-            crashed = !run_sweep(&inner, &c);
+            crashed = if c.spec.stream {
+                !stream_sweep(&inner, &c)
+            } else {
+                !run_sweep(&inner, &c)
+            };
         }
         if crashed {
             inner.died.store(true, Ordering::SeqCst);
@@ -802,11 +879,31 @@ fn run_sweep(inner: &Inner, c: &CampaignState) -> bool {
     ok
 }
 
-/// The analysis job for one drop: parse, per-block MBP centers through the
-/// campaign's scoped backend, memoize under the campaign's namespaced key,
-/// count the completed execution. Consults the per-campaign
-/// `service.c<id>.analysis` fault site.
+/// The analysis job for one whole-file drop: read it back and hand the
+/// bytes to the shared [`analyze_bytes`].
 fn analyze_file(inner: &Inner, c: &CampaignState, path: &Path) -> Result<(), SubmitError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| SubmitError(format!("read {}: {e}", path.display())))?;
+    let stem = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    analyze_bytes(inner, c, &bytes, &stem)
+}
+
+/// The analysis job proper, shared by the whole-file and streaming paths:
+/// parse, per-block MBP centers through the campaign's scoped backend,
+/// memoize under the campaign's namespaced key in the distributed store,
+/// count the completed execution. Consults the per-campaign
+/// `service.c<id>.analysis` fault site. `exec_name` keys the execution
+/// counter (the drop file name in both modes, so exactly-once accounting is
+/// mode-independent).
+fn analyze_bytes(
+    inner: &Inner,
+    c: &CampaignState,
+    bytes: &[u8],
+    exec_name: &str,
+) -> Result<(), SubmitError> {
     if inner.died.load(Ordering::SeqCst) {
         return Err(SubmitError("service incarnation is down".into()));
     }
@@ -824,21 +921,18 @@ fn analyze_file(inner: &Inner, c: &CampaignState, path: &Path) -> Result<(), Sub
         }
         None => {}
     }
-    let bytes =
-        std::fs::read(path).map_err(|e| SubmitError(format!("read {}: {e}", path.display())))?;
-    let digest = cache::digest_bytes(&bytes);
-    let container = cosmotools::read_container(&bytes)
-        .map_err(|e| SubmitError(format!("parse {}: {e:?}", path.display())))?;
+    let digest = cache::digest_bytes(bytes);
+    let container = cosmotools::read_container(bytes)
+        .map_err(|e| SubmitError(format!("parse {exec_name}: {e:?}")))?;
     let payload = encode_centers(&container_centers(&container, &c.backend));
     inner
-        .cache
+        .store
         .insert(c.spec.product_key(digest), &payload)
         .map_err(|e| SubmitError(format!("cache insert: {e}")))?;
-    let stem = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_default();
-    *c.executions.lock().entry(stem).or_insert(0) += 1;
+    *c.executions
+        .lock()
+        .entry(exec_name.to_string())
+        .or_insert(0) += 1;
     telemetry::count!("service", "analyses", 1);
     Ok(())
 }
@@ -863,6 +957,7 @@ fn finalize(inner: &Inner, c: &CampaignState) {
             *st = CampaignStatus::Completed;
         }
     }
+    inner.hub.drop_topic(c.id);
     telemetry::count!("service", "campaigns_completed", 1);
 }
 
@@ -877,12 +972,12 @@ fn assemble(inner: &Inner, c: &CampaignState) -> (Vec<u8>, u64) {
         let container = step_container(c.spec.seed, step);
         let bytes = write_container(&container);
         let key = c.spec.product_key(cache::digest_bytes(&bytes));
-        let payload = match inner.cache.lookup(key) {
+        let payload = match inner.store.lookup(key) {
             Some(p) => p,
             None => {
                 misses += 1;
                 let p = encode_centers(&container_centers(&container, &c.backend));
-                let _ = inner.cache.insert(key, &p);
+                let _ = inner.store.insert(key, &p);
                 p
             }
         };
@@ -900,6 +995,10 @@ fn assemble(inner: &Inner, c: &CampaignState) -> (Vec<u8>, u64) {
 /// incarnation resumes.
 fn run_emitter(inner: Arc<Inner>, c: Arc<CampaignState>) {
     let _dim = telemetry::with_dim(c.id);
+    if c.spec.stream {
+        stream_emitter(&inner, &c);
+        return;
+    }
     let site = faults::campaign_site(c.id, "emit");
     for step in 0..c.spec.steps {
         let path = c.dir.join(step_file_name(step));
@@ -942,6 +1041,170 @@ fn run_emitter(inner: Arc<Inner>, c: Arc<CampaignState>) {
         }
         std::thread::sleep(inner.cfg.poll_interval);
     }
+}
+
+/// The streaming emitter: per step, split the deterministic Level-2
+/// container into its chunk set, publish every chunk into the distributed
+/// store, and announce it on the campaign's hub topic. The per-campaign
+/// `service.c<id>.emit` fault site is polled once per chunk — a Transient
+/// retries the chunk, a Crash kills the incarnation mid-step (some chunks
+/// durable, the set incomplete), which is exactly the torn state the
+/// analysis side must tolerate. A restarted incarnation re-runs all steps:
+/// inserts dedup by content and re-announcements of handled steps are
+/// filtered by the scan state, so resumption is idempotent.
+fn stream_emitter(inner: &Inner, c: &CampaignState) {
+    let site = faults::campaign_site(c.id, "emit");
+    for step in 0..c.spec.steps {
+        let container = step_container(c.spec.seed, step);
+        let chunks = chunk_container(&container);
+        let total = if container.blocks.is_empty() {
+            0
+        } else {
+            chunks.len() as u32
+        };
+        for (index, chunk) in chunks.iter().enumerate() {
+            loop {
+                if inner.stop.load(Ordering::SeqCst)
+                    || inner.died.load(Ordering::SeqCst)
+                    || c.cancel.load(Ordering::SeqCst)
+                {
+                    return;
+                }
+                match c.lcfg.fault(&site) {
+                    Some(FaultKind::Crash) => {
+                        telemetry::instant!("faults", "service.emit", 1);
+                        inner.died.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    Some(FaultKind::Stall(d)) => std::thread::sleep(d),
+                    Some(FaultKind::Transient) => {
+                        telemetry::instant!("faults", "service.emit", 0);
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    None => {}
+                }
+                let key = c.spec.chunk_key(step as u64, index as u32, chunk);
+                if inner.store.insert(key, chunk).is_err() {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                inner.hub.publish(
+                    c.id,
+                    ChunkRef {
+                        step: step as u64,
+                        index: index as u32,
+                        total,
+                        key,
+                        len: chunk.len() as u64,
+                    },
+                );
+                telemetry::count!("service", "chunks_published", 1);
+                break;
+            }
+        }
+        std::thread::sleep(inner.cfg.poll_interval);
+    }
+}
+
+/// One streaming-ingest pass for a campaign: drain the hub topic, fold the
+/// announcements into the pending-chunk map, and for every step whose chunk
+/// set is complete fetch the payloads back out of the store (replica
+/// routing and remote-fetch costs apply), reassemble the container
+/// byte-exactly, and run it through the same gate/submit/journal discipline
+/// as the whole-file sweep — keyed by the *virtual* drop path
+/// `<drop>/l2_NNNN.hcio`, so journals, recovery, and execution accounting
+/// are mode-independent. Returns `false` when an injected crash killed the
+/// pass.
+fn stream_sweep(inner: &Inner, c: &CampaignState) -> bool {
+    {
+        let mut cursor = c.stream_cursor.lock();
+        let (batch, next) = inner.hub.drain_from(c.id, *cursor);
+        *cursor = next;
+        if !batch.is_empty() {
+            let mut pending = c.pending_chunks.lock();
+            for r in batch {
+                pending.entry(r.step).or_default().insert(r.index, r);
+            }
+        }
+    }
+    // Steps whose chunk set is complete (`total == 0` is the block-less
+    // sentinel: one chunk is the whole set).
+    let ready: Vec<(u64, Vec<ChunkRef>)> = c
+        .pending_chunks
+        .lock()
+        .iter()
+        .filter(|(_, chunks)| {
+            chunks
+                .values()
+                .next()
+                .is_some_and(|r| chunks.len() >= r.total.max(1) as usize)
+        })
+        .map(|(step, chunks)| (*step, chunks.values().copied().collect()))
+        .collect();
+    let journal = &inner.journals[c.shard];
+    let mut delta = ListenerReport::default();
+    let mut ok = true;
+    for (step, refs) in ready {
+        let virt = c.dir.join(step_file_name(step as usize));
+        if c.scan.lock().is_handled(&virt) {
+            // Handled by a previous incarnation (journal-recovered) or a
+            // duplicate announcement; drop the buffered chunks.
+            c.pending_chunks.lock().remove(&step);
+            continue;
+        }
+        let mut encoded: Vec<Vec<u8>> = Vec::with_capacity(refs.len());
+        let mut missing = false;
+        for r in &refs {
+            match inner.store.lookup(r.key) {
+                Some(b) => encoded.push(b),
+                None => {
+                    missing = true;
+                    break;
+                }
+            }
+        }
+        let container = if missing {
+            None
+        } else {
+            assemble_chunks(&encoded).ok()
+        };
+        let Some(container) = container else {
+            // A chunk is unreachable right now (replicas down, or a torn
+            // set from a crashed emitter). Leave the step pending: heal or
+            // the restarted emitter's re-publish makes a later pass whole.
+            telemetry::count!("service", "stream_stalls", 1);
+            continue;
+        };
+        let bytes = write_container(&container);
+        let digest = cache::digest_bytes(&bytes);
+        // Same cache gate as the whole-file path: a verified product for
+        // these exact bytes means the step is already analyzed — record it
+        // handled (journal included) without running a job.
+        if inner.store.contains_verified(c.spec.product_key(digest)) {
+            telemetry::count!("listener", "cache_skipped", 1);
+            if !journal_append(&virt, &c.lcfg, &mut delta, journal) {
+                ok = false; // crashed mid-append
+                break;
+            }
+            delta.cache_skipped.push(virt.clone());
+            c.scan.lock().mark_handled(&virt);
+            c.pending_chunks.lock().remove(&step);
+            continue;
+        }
+        let exec_name = step_file_name(step as usize);
+        let mut on_file = |_: &Path| analyze_bytes(inner, c, &bytes, &exec_name);
+        if !submit_one(&virt, &c.lcfg, &mut on_file, &mut delta, Some(journal)) {
+            ok = false; // crashed mid-submit
+            break;
+        }
+        if delta.submitted.last().map(PathBuf::as_path) == Some(virt.as_path()) {
+            c.scan.lock().mark_handled(&virt);
+            c.pending_chunks.lock().remove(&step);
+        }
+    }
+    c.lreport.lock().absorb(delta);
+    ok
 }
 
 /// Drop file name for one step.
@@ -1024,6 +1287,17 @@ pub fn reference_catalog(spec: &CampaignSpec) -> Vec<u8> {
         catalog.extend_from_slice(&payload);
     }
     catalog
+}
+
+/// The store node holding the *primary* copy of `spec`'s step-`step`
+/// analysis product under a `nodes`-node store. Placement is a pure
+/// function of the key, so tests and explorers can pick a node whose
+/// death provably forces a remote (fail-over) fetch rather than wiping a
+/// node at random and hoping something lived there.
+pub fn product_primary_node(spec: &CampaignSpec, step: usize, nodes: usize) -> usize {
+    let bytes = write_container(&step_container(spec.seed, step));
+    let key = spec.product_key(cache::digest_bytes(&bytes));
+    cache::ShardRouter::new(nodes, 1).primary(key)
 }
 
 #[cfg(test)]
@@ -1424,6 +1698,115 @@ mod tests {
         assert!(
             fired.get("service.c1.emit").is_some_and(|&(_, f)| f > 0),
             "armed crash never fired: {fired:?}"
+        );
+    }
+
+    #[test]
+    fn streaming_campaign_matches_the_solo_catalog() {
+        let svc = WorkflowService::start(quick_cfg(scratch("stream"))).unwrap();
+        let spec = CampaignSpec::streamed("streamy", 91, 4);
+        let id = svc.submit_campaign(spec.clone()).unwrap();
+        assert_eq!(svc.wait(id).unwrap(), CampaignStatus::Completed);
+        let rep = svc.report(id).unwrap();
+        assert_eq!(
+            rep.catalog.as_deref(),
+            Some(&reference_catalog(&spec)[..]),
+            "streamed catalog must be byte-identical to the whole-file oracle"
+        );
+        assert_eq!(rep.assembly_misses, 0, "products must come from the store");
+        assert!(
+            (0..spec.steps).all(|s| rep.executions.get(&step_file_name(s)) == Some(&1)),
+            "each streamed step analyzed exactly once: {:?}",
+            rep.executions
+        );
+        let report = svc.shutdown();
+        assert!(!report.crashed);
+    }
+
+    #[test]
+    fn streamed_and_wholefile_campaigns_share_artifacts() {
+        // Whole-file run first; then a *streamed* run of the same
+        // (name, seed, steps) over the same root. The chunk protocol is
+        // byte-lossless and the stream flag is outside the namespace, so
+        // every streamed step must hit the cache gate: zero analyses, all
+        // steps cache-skipped, identical catalog.
+        let root = scratch("stream-shared");
+        let spec = CampaignSpec::new("xmodal", 55, 3);
+        let svc = WorkflowService::start(quick_cfg(root.clone())).unwrap();
+        let id = svc.submit_campaign(spec.clone()).unwrap();
+        assert_eq!(svc.wait(id).unwrap(), CampaignStatus::Completed);
+        let first = svc.report(id).unwrap();
+        svc.shutdown();
+
+        // Wipe the shard journals (but not the store): the streamed re-run
+        // must be satisfied by the cache *gate*, not by journal recovery.
+        for k in 0..2 {
+            let _ = std::fs::remove_file(root.join(format!("shard{k}.journal")));
+        }
+        let svc = WorkflowService::start(quick_cfg(root)).unwrap();
+        let streamed = CampaignSpec {
+            stream: true,
+            ..spec.clone()
+        };
+        let id = svc.submit_campaign(streamed).unwrap();
+        assert_eq!(svc.wait(id).unwrap(), CampaignStatus::Completed);
+        let second = svc.report(id).unwrap();
+        svc.shutdown();
+
+        assert_eq!(first.catalog, second.catalog, "cross-mode catalogs differ");
+        assert!(
+            second.executions.is_empty(),
+            "warm streamed re-run must recompute nothing: {:?}",
+            second.executions
+        );
+        assert_eq!(
+            second.listener.cache_skipped.len(),
+            spec.steps,
+            "every streamed step must be satisfied by the surviving artifacts"
+        );
+    }
+
+    #[test]
+    fn streaming_survives_the_death_of_one_replica_holding_node() {
+        // 3-node store, 2 replicas. Run a streamed campaign to completion,
+        // kill+wipe one store node, and re-run the same spec streamed in a
+        // fresh service over the same root: every artifact must still be
+        // reachable through the surviving replicas — zero recomputes and a
+        // byte-identical catalog.
+        let root = scratch("stream-kill");
+        let spec = CampaignSpec::streamed("killable", 77, 3);
+        let mut cfg = quick_cfg(root.clone());
+        cfg.store_nodes = 3;
+        cfg.store_replicas = 2;
+        let svc = WorkflowService::start(cfg).unwrap();
+        let id = svc.submit_campaign(spec.clone()).unwrap();
+        assert_eq!(svc.wait(id).unwrap(), CampaignStatus::Completed);
+        let cold = svc.report(id).unwrap();
+        svc.shutdown();
+
+        // Simulate losing node 1's disk entirely between incarnations.
+        let node_dir = root.join("cache").join("node1");
+        assert!(node_dir.is_dir(), "store must shard per node");
+        std::fs::remove_dir_all(&node_dir).unwrap();
+
+        let mut cfg = quick_cfg(root);
+        cfg.store_nodes = 3;
+        cfg.store_replicas = 2;
+        let svc = WorkflowService::start(cfg).unwrap();
+        let id = svc.submit_campaign(spec.clone()).unwrap();
+        assert_eq!(svc.wait(id).unwrap(), CampaignStatus::Completed);
+        let warm = svc.report(id).unwrap();
+        svc.shutdown();
+
+        assert_eq!(
+            cold.catalog, warm.catalog,
+            "catalog drifted after node loss"
+        );
+        assert_eq!(warm.catalog.as_deref(), Some(&reference_catalog(&spec)[..]));
+        assert!(
+            warm.executions.is_empty(),
+            "replicas must cover the lost node — zero recomputes, got {:?}",
+            warm.executions
         );
     }
 

@@ -1,0 +1,159 @@
+//! In-transit streaming: the pub/sub edge between a running simulation and
+//! the analysis ranks.
+//!
+//! The whole-file Level-2 path writes `l2_NNNN.hcio` to a shared directory
+//! and lets the listener discover it by scanning. The streaming path skips
+//! the filesystem hand-off entirely: the emitter chunks each step's halo
+//! particle container ([`cosmotools::genio::chunk_container`]), publishes
+//! every chunk into the distributed artifact store as it is produced, and
+//! announces it on a [`StreamHub`] topic. Analysis ranks drain the topic
+//! with a cursor, fetch chunk payloads back out of the store (paying the
+//! modeled remote-fetch cost when a chunk's replicas live on another node),
+//! and reassemble the exact container bytes — the chunk protocol is
+//! byte-lossless, so digests, cache keys, and final catalogs are identical
+//! to the whole-file run.
+//!
+//! The hub itself is deliberately tiny: an in-memory multi-topic bulletin
+//! board. Durability lives in the store (chunks are content-addressed
+//! artifacts); the hub only carries *announcements*, so a restarted emitter
+//! republishing the same [`ChunkRef`]s is harmless — consumers key pending
+//! work by `(step, index)` and re-announcement of an already-assembled step
+//! is filtered by the listener's handled-set.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use cache::CacheKey;
+
+/// An announcement that one chunk of a step's Level-2 container is now
+/// available in the artifact store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Simulation step the chunk belongs to.
+    pub step: u64,
+    /// Chunk index within the step, `0..total`.
+    pub index: u32,
+    /// Total chunks in the step (`0` for the block-less sentinel chunk).
+    pub total: u32,
+    /// Store key the chunk payload was inserted under.
+    pub key: CacheKey,
+    /// Encoded chunk length in bytes (for transfer accounting).
+    pub len: u64,
+}
+
+/// A multi-topic in-memory pub/sub board. Topics are campaign ids; each
+/// topic is an append-only list of [`ChunkRef`]s that consumers drain with
+/// an explicit cursor, so many analysis shards can read the same topic
+/// without coordination.
+#[derive(Debug, Default)]
+pub struct StreamHub {
+    topics: Mutex<BTreeMap<u64, Vec<ChunkRef>>>,
+}
+
+impl StreamHub {
+    /// An empty hub.
+    pub fn new() -> StreamHub {
+        StreamHub::default()
+    }
+
+    /// Publish a chunk announcement on `topic`.
+    pub fn publish(&self, topic: u64, chunk: ChunkRef) {
+        let mut topics = self.topics.lock().expect("hub poisoned");
+        topics.entry(topic).or_default().push(chunk);
+    }
+
+    /// Everything published on `topic` at or after `cursor`, plus the new
+    /// cursor to pass next time. A topic that does not exist yet drains
+    /// empty at cursor 0 — publish order and drain order are independent.
+    pub fn drain_from(&self, topic: u64, cursor: usize) -> (Vec<ChunkRef>, usize) {
+        let topics = self.topics.lock().expect("hub poisoned");
+        match topics.get(&topic) {
+            Some(log) if cursor < log.len() => (log[cursor..].to_vec(), log.len()),
+            Some(log) => (Vec::new(), log.len()),
+            None => (Vec::new(), cursor),
+        }
+    }
+
+    /// Number of announcements ever published on `topic`.
+    pub fn published(&self, topic: u64) -> usize {
+        let topics = self.topics.lock().expect("hub poisoned");
+        topics.get(&topic).map_or(0, Vec::len)
+    }
+
+    /// Drop a finished campaign's topic. Late publishes recreate it; late
+    /// drains see an empty topic and keep their cursor.
+    pub fn drop_topic(&self, topic: u64) {
+        let mut topics = self.topics.lock().expect("hub poisoned");
+        topics.remove(&topic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache::{digest_bytes, FingerprintBuilder};
+
+    fn chunk(step: u64, index: u32, total: u32) -> ChunkRef {
+        let fp = FingerprintBuilder::new().push_u64(step).finish();
+        ChunkRef {
+            step,
+            index,
+            total,
+            key: CacheKey::compose("l2chunk", digest_bytes(&[index as u8]), fp),
+            len: 100,
+        }
+    }
+
+    #[test]
+    fn drain_with_cursor_sees_each_announcement_exactly_once() {
+        let hub = StreamHub::new();
+        hub.publish(1, chunk(0, 0, 2));
+        hub.publish(1, chunk(0, 1, 2));
+        let (batch, cur) = hub.drain_from(1, 0);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cur, 2);
+        let (batch, cur) = hub.drain_from(1, cur);
+        assert!(batch.is_empty());
+        assert_eq!(cur, 2);
+        hub.publish(1, chunk(1, 0, 1));
+        let (batch, cur) = hub.drain_from(1, cur);
+        assert_eq!(batch, vec![chunk(1, 0, 1)]);
+        assert_eq!(cur, 3);
+    }
+
+    #[test]
+    fn topics_are_independent_and_unknown_topics_drain_empty() {
+        let hub = StreamHub::new();
+        hub.publish(7, chunk(0, 0, 1));
+        let (batch, cur) = hub.drain_from(8, 0);
+        assert!(batch.is_empty());
+        assert_eq!(cur, 0);
+        let (batch, _) = hub.drain_from(7, 0);
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn two_consumers_drain_the_same_topic_independently() {
+        let hub = StreamHub::new();
+        for i in 0..5 {
+            hub.publish(3, chunk(i, 0, 1));
+        }
+        let (a, _) = hub.drain_from(3, 0);
+        let (b, _) = hub.drain_from(3, 2);
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&a[2..], &b[..]);
+    }
+
+    #[test]
+    fn drop_topic_resets_the_log_but_not_foreign_cursors() {
+        let hub = StreamHub::new();
+        hub.publish(2, chunk(0, 0, 1));
+        assert_eq!(hub.published(2), 1);
+        hub.drop_topic(2);
+        assert_eq!(hub.published(2), 0);
+        let (batch, cur) = hub.drain_from(2, 5);
+        assert!(batch.is_empty());
+        assert_eq!(cur, 5, "a dropped topic leaves a stale cursor alone");
+    }
+}

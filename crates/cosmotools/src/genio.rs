@@ -29,6 +29,16 @@ pub enum GenioError {
         /// Index of the corrupt block.
         block: usize,
     },
+    /// Chunks being assembled disagree on metadata or total, carry a
+    /// duplicate index, or an index out of range.
+    ChunkMismatch,
+    /// A chunk set is missing pieces (`have` of `want` arrived).
+    ChunkSetIncomplete {
+        /// Distinct chunks present.
+        have: usize,
+        /// Chunks the set declares.
+        want: usize,
+    },
 }
 
 impl std::fmt::Display for GenioError {
@@ -39,6 +49,10 @@ impl std::fmt::Display for GenioError {
             GenioError::Truncated => write!(f, "container truncated"),
             GenioError::ChecksumMismatch { block } => {
                 write!(f, "checksum mismatch in block {block}")
+            }
+            GenioError::ChunkMismatch => write!(f, "chunks from different snapshots or duplicated"),
+            GenioError::ChunkSetIncomplete { have, want } => {
+                write!(f, "chunk set incomplete: {have} of {want}")
             }
         }
     }
@@ -242,6 +256,178 @@ pub fn read_file(path: &std::path::Path) -> std::io::Result<Result<Container, Ge
     Ok(read_container(&std::fs::read(path)?))
 }
 
+// ---------------------------------------------------------------------------
+// Streaming chunks: the in-transit wire format.
+//
+// The streaming Level-2 path ships a snapshot one *block* at a time instead
+// of rendezvousing on the whole container: chunk i carries block i plus
+// enough header (snapshot metadata, index, declared total) for the ingest
+// edge to know when a step's set is complete. [`assemble_chunks`] then
+// rebuilds a [`Container`] **equal to the original**, so
+// `write_container(assemble(chunks)) == write_container(original)` — the
+// streamed and whole-file paths serialize to identical bytes, identical
+// digests, identical cache keys, and therefore byte-identical catalogs.
+// ---------------------------------------------------------------------------
+
+/// Chunk magic (distinct from the container's, so a chunk fed to
+/// [`read_container`] is rejected instead of misparsed).
+pub const CHUNK_MAGIC: &[u8; 4] = b"HCCK";
+
+/// Decoded header of one streamed chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkHeader {
+    /// Snapshot metadata (identical across a step's chunk set).
+    pub meta: SnapshotMeta,
+    /// This chunk's block index, `0..total`.
+    pub index: u32,
+    /// Number of chunks (= blocks) in the step's set. `0` is the sentinel
+    /// for a block-less container: the set is one empty chunk.
+    pub total: u32,
+}
+
+/// Encode block `index` of `total` as one self-verifying chunk.
+pub fn encode_chunk(meta: &SnapshotMeta, index: u32, total: u32, block: &[Particle]) -> Bytes {
+    let mut body = BytesMut::with_capacity(block.len() * RECORD_BYTES);
+    for p in block {
+        put_particle(&mut body, p);
+    }
+    let body = body.freeze();
+    let mut buf = BytesMut::with_capacity(44 + body.len());
+    buf.put_slice(CHUNK_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(meta.step);
+    buf.put_f64_le(meta.redshift);
+    buf.put_f64_le(meta.box_size);
+    buf.put_u32_le(index);
+    buf.put_u32_le(total);
+    buf.put_u64_le(block.len() as u64);
+    buf.put_u32_le(crc32(&body));
+    buf.put_slice(&body);
+    buf.freeze()
+}
+
+/// Decode and verify one chunk.
+pub fn decode_chunk(data: &[u8]) -> Result<(ChunkHeader, Vec<Particle>), GenioError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != CHUNK_MAGIC {
+        return Err(GenioError::BadMagic);
+    }
+    if buf.remaining() < 4 {
+        return Err(GenioError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(GenioError::UnsupportedVersion(version));
+    }
+    if buf.remaining() < 8 + 8 + 8 + 4 + 4 + 8 + 4 {
+        return Err(GenioError::Truncated);
+    }
+    let meta = SnapshotMeta {
+        step: buf.get_u64_le(),
+        redshift: buf.get_f64_le(),
+        box_size: buf.get_f64_le(),
+    };
+    let index = buf.get_u32_le();
+    let total = buf.get_u32_le();
+    let n = buf.get_u64_le() as usize;
+    let crc_expect = buf.get_u32_le();
+    let nbytes = n * RECORD_BYTES;
+    if buf.remaining() < nbytes {
+        return Err(GenioError::Truncated);
+    }
+    let mut body = buf.copy_to_bytes(nbytes);
+    if crc32(&body) != crc_expect {
+        return Err(GenioError::ChecksumMismatch {
+            block: index as usize,
+        });
+    }
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        parts.push(get_particle(&mut body));
+    }
+    Ok((ChunkHeader { meta, index, total }, parts))
+}
+
+/// Split a container into its chunk set, one chunk per block (a block-less
+/// container becomes a single `total = 0` sentinel carrying just the meta).
+pub fn chunk_container(c: &Container) -> Vec<Bytes> {
+    if c.blocks.is_empty() {
+        return vec![encode_chunk(&c.meta, 0, 0, &[])];
+    }
+    let total = c.blocks.len() as u32;
+    c.blocks
+        .iter()
+        .enumerate()
+        .map(|(i, block)| encode_chunk(&c.meta, i as u32, total, block))
+        .collect()
+}
+
+/// Rebuild a container from a step's chunk set, in any arrival order.
+///
+/// Verifies every chunk (CRC), that all chunks agree on metadata and
+/// declared total, that each index `0..total` is present exactly once, and
+/// returns a container equal to the one [`chunk_container`] split — so the
+/// serialized bytes (and every digest derived from them) are identical to
+/// the whole-file path.
+pub fn assemble_chunks(chunks: &[impl AsRef<[u8]>]) -> Result<Container, GenioError> {
+    if chunks.is_empty() {
+        return Err(GenioError::ChunkSetIncomplete { have: 0, want: 1 });
+    }
+    let mut meta: Option<SnapshotMeta> = None;
+    let mut total: Option<u32> = None;
+    let mut blocks: Vec<Option<Vec<Particle>>> = Vec::new();
+    for raw in chunks {
+        let (header, parts) = decode_chunk(raw.as_ref())?;
+        match (&meta, &total) {
+            (None, None) => {
+                meta = Some(header.meta.clone());
+                total = Some(header.total);
+                blocks.resize(header.total.max(1) as usize, None);
+            }
+            (Some(m), Some(t)) => {
+                if *m != header.meta || *t != header.total {
+                    return Err(GenioError::ChunkMismatch);
+                }
+            }
+            _ => unreachable!("meta and total are set together"),
+        }
+        let want = total.expect("set above");
+        if header.total == 0 {
+            // Sentinel for a block-less container; only index 0 is legal.
+            if header.index != 0 || !parts.is_empty() {
+                return Err(GenioError::ChunkMismatch);
+            }
+        } else if header.index >= want {
+            return Err(GenioError::ChunkMismatch);
+        }
+        let slot = &mut blocks[header.index as usize];
+        if slot.is_some() {
+            return Err(GenioError::ChunkMismatch);
+        }
+        *slot = Some(parts);
+    }
+    let want = if total.expect("nonempty set") == 0 {
+        1
+    } else {
+        total.expect("nonempty set") as usize
+    };
+    let have = blocks.iter().filter(|b| b.is_some()).count();
+    if have < want {
+        return Err(GenioError::ChunkSetIncomplete { have, want });
+    }
+    let meta = meta.expect("nonempty set");
+    if total == Some(0) {
+        return Ok(Container {
+            meta,
+            blocks: Vec::new(),
+        });
+    }
+    Ok(Container {
+        meta,
+        blocks: blocks.into_iter().map(|b| b.expect("checked")).collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +549,91 @@ mod tests {
         let back = read_file(&path).unwrap().unwrap();
         assert_eq!(back, c);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_roundtrip_is_byte_identical_to_whole_file() {
+        // The streaming in-transit guarantee: chunk → reassemble →
+        // serialize produces the *same bytes* as serializing the original,
+        // so digests, cache keys, and catalogs cannot diverge between the
+        // streamed and whole-file paths.
+        for (nblocks, per_block) in [(1, 7), (3, 20), (5, 1), (2, 0)] {
+            let c = sample(nblocks, per_block);
+            let chunks = chunk_container(&c);
+            assert_eq!(chunks.len(), nblocks);
+            let back = assemble_chunks(&chunks).unwrap();
+            assert_eq!(back, c);
+            assert_eq!(write_container(&back), write_container(&c));
+        }
+    }
+
+    #[test]
+    fn chunks_assemble_in_any_arrival_order() {
+        let c = sample(4, 12);
+        let mut chunks = chunk_container(&c);
+        chunks.reverse();
+        chunks.swap(0, 2);
+        assert_eq!(assemble_chunks(&chunks).unwrap(), c);
+    }
+
+    #[test]
+    fn blockless_container_streams_as_a_sentinel_chunk() {
+        let c = Container {
+            meta: SnapshotMeta {
+                step: 7,
+                redshift: 3.0,
+                box_size: 64.0,
+            },
+            blocks: vec![],
+        };
+        let chunks = chunk_container(&c);
+        assert_eq!(chunks.len(), 1);
+        let back = assemble_chunks(&chunks).unwrap();
+        assert_eq!(back, c);
+        assert_eq!(write_container(&back), write_container(&c));
+    }
+
+    #[test]
+    fn incomplete_duplicate_and_mixed_chunk_sets_are_rejected() {
+        let c = sample(3, 5);
+        let chunks = chunk_container(&c);
+        assert_eq!(
+            assemble_chunks(&chunks[..2]),
+            Err(GenioError::ChunkSetIncomplete { have: 2, want: 3 })
+        );
+        let dup = vec![chunks[0].clone(), chunks[0].clone(), chunks[1].clone()];
+        assert_eq!(assemble_chunks(&dup), Err(GenioError::ChunkMismatch));
+        // A chunk from a different snapshot cannot sneak into the set.
+        let mut other = sample(3, 5);
+        other.meta.step = 999;
+        let alien = chunk_container(&other);
+        let mixed = vec![chunks[0].clone(), alien[1].clone(), chunks[2].clone()];
+        assert_eq!(assemble_chunks(&mixed), Err(GenioError::ChunkMismatch));
+        let empty: Vec<Bytes> = vec![];
+        assert!(assemble_chunks(&empty).is_err());
+    }
+
+    #[test]
+    fn chunk_corruption_and_truncation_are_detected() {
+        let c = sample(2, 9);
+        let chunks = chunk_container(&c);
+        let mut corrupt = chunks[1].to_vec();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        assert_eq!(
+            decode_chunk(&corrupt),
+            Err(GenioError::ChecksumMismatch { block: 1 })
+        );
+        assert_eq!(
+            decode_chunk(&chunks[0][..chunks[0].len() - 4]),
+            Err(GenioError::Truncated)
+        );
+        // Container and chunk magics are mutually exclusive.
+        assert_eq!(read_container(&chunks[0]), Err(GenioError::BadMagic));
+        assert_eq!(
+            decode_chunk(&write_container(&c)),
+            Err(GenioError::BadMagic)
+        );
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub use driver::{
     merge_center_sets, write_level2_container, CenterRecord, CENTER_RECORD_BYTES,
 };
 pub use genio::{
-    container_digest, file_digest, read_container, read_file, write_container, write_file,
-    write_file_digest, Container, GenioError, SnapshotMeta,
+    assemble_chunks, chunk_container, container_digest, decode_chunk, encode_chunk, file_digest,
+    read_container, read_file, write_container, write_file, write_file_digest, ChunkHeader,
+    Container, GenioError, SnapshotMeta, CHUNK_MAGIC,
 };
 pub use insitu::{
     AnalysisContext, ExecutionRecord, InSituAlgorithm, InSituAnalysisManager, Product,

@@ -32,6 +32,14 @@
 //! the global exists for call sites buried inside library internals (the
 //! `comm` send/recv paths) where threading a handle through would distort the
 //! MPI-like API.
+//!
+//! Site names are dotted paths grouped by component — `scheduler.job`,
+//! `listener.{scan,submit,journal,compact}`, `comm.{send,recv}`,
+//! `runner.insitu`, `service.c<id>.{emit,analysis}`, and the artifact
+//! store's `cache.{read,verify,replicate,fetch.remote}` — so a `"cache.*"`
+//! family pattern in one [`SiteSpec`] covers local reads, verification,
+//! replica writes, and remote fetches alike. The full site table (per-kind
+//! semantics at each site) lives in `DESIGN.md` §7.
 
 #![warn(missing_docs)]
 

@@ -79,7 +79,8 @@ axis_enum! {
 }
 
 axis_enum! {
-    /// The five Table 3/4 workflow strategies.
+    /// The five Table 3/4 workflow strategies, plus the streaming
+    /// in-transit variant backed by the distributed artifact store.
     Strategy {
         /// Everything analysed inside the simulation job.
         InSitu => "in-situ",
@@ -89,8 +90,12 @@ axis_enum! {
         Simple => "simple",
         /// Combined, post jobs co-scheduled as snapshots appear.
         CoScheduled => "co-scheduled",
-        /// Combined, Level 2 handed off through the burst-buffer tier.
+        /// Combined, Level 2 handed off through the burst-buffer tier as
+        /// whole files.
         InTransit => "in-transit",
+        /// Combined, Level 2 streamed chunk-by-chunk through the sharded
+        /// artifact store as it is produced.
+        InTransitStream => "in-transit-stream",
     }
 }
 
@@ -403,9 +408,9 @@ impl Grammar {
         by_id.into_values().collect()
     }
 
-    /// The CI smoke grammar: Titan, light load, all five strategies, quiet
+    /// The CI smoke grammar: Titan, light load, all six strategies, quiet
     /// and transient fault plans, the Titan policy plus the four zoo
-    /// disciplines — 50 scenarios.
+    /// disciplines — 60 scenarios.
     pub fn smoke() -> Self {
         Grammar::new().with_block(
             AxisSet::full()
@@ -424,19 +429,25 @@ impl Grammar {
 
     /// The full sweep grammar: Titan and Moonlight across every load,
     /// strategy, fault plan, and scheduler, plus the burst-buffer machine on
-    /// the in-transit strategy, minus in-transit on Moonlight (no
-    /// burst-buffer story there) — 540 scenarios.
+    /// both in-transit strategies (whole-file and streamed), minus both
+    /// in-transit variants on Moonlight (no burst-buffer story there) —
+    /// 648 scenarios.
     pub fn full() -> Self {
         Grammar::new()
             .with_block(AxisSet::full().machines([MachineKind::Titan, MachineKind::Moonlight]))
             .with_block(
                 AxisSet::full()
                     .machines([MachineKind::TitanBb])
-                    .strategies([Strategy::InTransit]),
+                    .strategies([Strategy::InTransit, Strategy::InTransitStream]),
             )
             .without(Pattern {
                 machine: Some(MachineKind::Moonlight),
                 strategy: Some(Strategy::InTransit),
+                ..Pattern::default()
+            })
+            .without(Pattern {
+                machine: Some(MachineKind::Moonlight),
+                strategy: Some(Strategy::InTransitStream),
                 ..Pattern::default()
             })
     }
@@ -482,14 +493,14 @@ mod tests {
     fn excludes_remove_matching_scenarios() {
         let g = Grammar::smoke().without("*/*/*/transient/*".parse().unwrap());
         let scenarios = g.expand();
-        assert_eq!(scenarios.len(), 25);
+        assert_eq!(scenarios.len(), 30);
         assert!(scenarios.iter().all(|s| s.faults == FaultPlanKind::None));
     }
 
     #[test]
     fn smoke_grammar_spans_the_required_space() {
         let scenarios = Grammar::smoke().expand();
-        assert_eq!(scenarios.len(), 50);
+        assert_eq!(scenarios.len(), 60);
         let strategies: std::collections::BTreeSet<_> =
             scenarios.iter().map(|s| s.strategy).collect();
         assert_eq!(strategies.len(), Strategy::ALL.len());
@@ -501,15 +512,17 @@ mod tests {
     #[test]
     fn full_grammar_excludes_moonlight_in_transit() {
         let scenarios = Grammar::full().expand();
-        // 2 machines × full cross (540) + titan-bb/in-transit (54)
-        // − moonlight/in-transit (54).
-        assert_eq!(scenarios.len(), 540);
-        assert!(!scenarios
-            .iter()
-            .any(|s| s.machine == MachineKind::Moonlight && s.strategy == Strategy::InTransit));
-        assert!(scenarios
-            .iter()
-            .any(|s| s.machine == MachineKind::TitanBb && s.strategy == Strategy::InTransit));
+        // 2 machines × full cross (648) + titan-bb × both in-transit
+        // variants (108) − moonlight × both in-transit variants (108).
+        assert_eq!(scenarios.len(), 648);
+        for strat in [Strategy::InTransit, Strategy::InTransitStream] {
+            assert!(!scenarios
+                .iter()
+                .any(|s| s.machine == MachineKind::Moonlight && s.strategy == strat));
+            assert!(scenarios
+                .iter()
+                .any(|s| s.machine == MachineKind::TitanBb && s.strategy == strat));
+        }
     }
 
     #[test]

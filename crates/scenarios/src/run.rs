@@ -131,7 +131,9 @@ fn projected_cost(frame: &TitanFrame, w: &Workload, scenario: &Scenario) -> Work
         Strategy::OffLine => 1,
         Strategy::Simple => 2,
         Strategy::CoScheduled => 3,
-        Strategy::InTransit => 4,
+        // Streaming is a transport change, not a cost-table change: both
+        // in-transit variants share the Table 3/4 projection.
+        Strategy::InTransit | Strategy::InTransitStream => 4,
     };
     let mut cost = all.into_iter().nth(idx).expect("five strategies");
     let target = scenario.machine.spec();
@@ -220,6 +222,19 @@ pub fn execute(scenario: &Scenario, seed: u64) -> RunMetrics {
         Strategy::CoScheduled | Strategy::InTransit => {
             for i in 0..n_snaps {
                 let ready = per_snap_sim * (i as f64 + 1.0);
+                sim.submit(
+                    JobRequest::new(format!("science-post{i}"), post_nodes, per_snap_post, ready)
+                        .with_qos(QosClass::Gold),
+                );
+            }
+        }
+        Strategy::InTransitStream => {
+            // Chunks stream into the store as they are produced, so a post
+            // job is admissible once the bulk of its snapshot's chunks are
+            // published — halfway through the producing step — instead of
+            // waiting for the whole file.
+            for i in 0..n_snaps {
+                let ready = per_snap_sim * (i as f64 + 0.5);
                 sim.submit(
                     JobRequest::new(format!("science-post{i}"), post_nodes, per_snap_post, ready)
                         .with_qos(QosClass::Gold),

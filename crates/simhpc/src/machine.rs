@@ -52,6 +52,17 @@ impl InterconnectSpec {
         }
         self.latency + (bytes / nodes as f64) / self.per_node_bw
     }
+
+    /// Time for one node to pull `bytes` from a peer's local store — a
+    /// point-to-point transfer over a single injection link, the cost the
+    /// sharded artifact store charges per remote replica fetch.
+    pub fn fetch_time(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0);
+        if bytes == 0.0 {
+            return 0.0;
+        }
+        self.latency + bytes / self.per_node_bw
+    }
 }
 
 /// Burst-buffer / NVRAM staging tier (the "separate memory device … shared
@@ -263,6 +274,18 @@ mod tests {
     fn zero_bytes_is_free() {
         assert_eq!(titan().fs.io_time(0.0, 10), 0.0);
         assert_eq!(titan().net.redistribute_time(0.0, 10), 0.0);
+        assert_eq!(titan().net.fetch_time(0.0), 0.0);
+    }
+
+    #[test]
+    fn remote_fetch_is_one_link_not_an_all_to_all() {
+        let t = titan();
+        // A single-link fetch of B bytes costs latency + B/per_node_bw —
+        // the same wire time as redistributing B over one node.
+        let b = 512.0e6;
+        assert_eq!(t.net.fetch_time(b), t.net.redistribute_time(b, 1));
+        // And it is monotone in size.
+        assert!(t.net.fetch_time(2.0 * b) > t.net.fetch_time(b));
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Distributed artifact store demo: a streamed campaign publishes its
+//! Level-2 chunks into the sharded, replicated store; one store node is
+//! then killed for good (directory erased, journals wiped), and a warm
+//! re-run must recompute *nothing* and land a byte-identical catalog —
+//! replication, not luck, keeps every artifact reachable. A second section
+//! drives the store directly under Titan's interconnect model and shows
+//! the remote-fetch cost of failing over after a node death. Assertions
+//! panic (nonzero exit) on any violation, so CI runs this example as the
+//! store-mode check.
+//!
+//! ```text
+//! CHAOS_SEED=3 cargo run --release --example store_demo
+//! ```
+
+use cache::{
+    digest_bytes, CacheKey, DistributedConfig, DistributedStore, FingerprintBuilder,
+    RemoteFetchModel,
+};
+use hacc_core::service::{
+    product_primary_node, reference_catalog, CampaignSpec, CampaignStatus, ServiceConfig,
+    WorkflowService,
+};
+use simhpc::machine;
+use std::time::Duration;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+const NODES: usize = 3;
+const REPLICAS: usize = 2;
+
+fn run_streamed(root: &std::path::Path, spec: &CampaignSpec) -> hacc_core::CampaignReport {
+    let cfg = ServiceConfig {
+        shards: 2,
+        poll_interval: Duration::from_millis(2),
+        store_nodes: NODES,
+        store_replicas: REPLICAS,
+        ..ServiceConfig::new(root)
+    };
+    let svc = WorkflowService::start(cfg).expect("start service");
+    let id = svc.submit_campaign(spec.clone()).expect("submit campaign");
+    svc.wait_all();
+    let mut report = svc.shutdown();
+    assert!(!report.crashed, "fault-free demo must not crash");
+    report.campaigns.remove(&id.0).expect("campaign report")
+}
+
+fn main() {
+    let seed = chaos_seed();
+    let root = std::env::temp_dir().join(format!("hacc_store_demo_{seed}"));
+    let _ = std::fs::remove_dir_all(&root);
+    let spec = CampaignSpec::streamed("survey", 7000 + seed, 4);
+    println!(
+        "streamed campaign `{}` (seed {seed}): {} drops over a {NODES}-node / {REPLICAS}-replica store",
+        spec.name, spec.steps
+    );
+
+    // Cold run: every drop streams chunk-by-chunk into the store and is
+    // analyzed exactly once.
+    let cold = run_streamed(&root, &spec);
+    assert_eq!(cold.status, CampaignStatus::Completed);
+    let cold_catalog = cold.catalog.clone().expect("completed ⇒ catalog");
+    assert_eq!(
+        cold_catalog,
+        reference_catalog(&spec),
+        "streamed catalog drifted from the whole-file solo run"
+    );
+    let cold_analyses: u64 = cold.executions.values().sum();
+    println!(
+        "cold run: catalog={} B (byte-identical to the whole-file path), analyses={cold_analyses}",
+        cold_catalog.len()
+    );
+
+    // The node homing step 0's product dies for good: shard directory
+    // erased, and the listener journals with it, so recovery cannot paper
+    // over a durability hole — the store's replicas must answer.
+    let victim = product_primary_node(&spec, 0, NODES);
+    std::fs::remove_dir_all(root.join("cache").join(format!("node{victim}")))
+        .expect("victim node directory exists");
+    for k in 0..4 {
+        let _ = std::fs::remove_file(root.join(format!("shard{k}.journal")));
+    }
+    println!("killed store node {victim} (directory erased, journals wiped)");
+
+    // Warm re-run: zero recomputes, zero assembly misses, same bytes.
+    let warm = run_streamed(&root, &spec);
+    assert_eq!(warm.status, CampaignStatus::Completed);
+    let warm_analyses: u64 = warm.executions.values().sum();
+    assert_eq!(
+        warm_analyses, 0,
+        "warm re-run recomputed after one node death: {:?}",
+        warm.executions
+    );
+    assert_eq!(warm.assembly_misses, 0, "a product had a single copy");
+    assert_eq!(
+        warm.catalog.as_deref(),
+        Some(&cold_catalog[..]),
+        "catalog bytes changed after a node death"
+    );
+    assert_eq!(
+        warm.listener.cache_skipped.len(),
+        spec.steps,
+        "every drop must be satisfied by the store's gate"
+    );
+    println!(
+        "warm run: recomputed nothing ({} drops gate-skipped), catalog byte-identical",
+        warm.listener.cache_skipped.len()
+    );
+
+    // Direct store section: the same fail-over under Titan's interconnect
+    // model, with the remote-fetch seconds it charges made visible.
+    let titan = machine::titan();
+    let store = DistributedStore::open(
+        root.join("direct_store"),
+        DistributedConfig {
+            nodes: NODES,
+            replicas: REPLICAS,
+            fetch: RemoteFetchModel::new(titan.net.latency, titan.net.per_node_bw),
+            ..DistributedConfig::default()
+        },
+    )
+    .expect("open direct store");
+    let payload = vec![0xA5u8; 1 << 20];
+    let keys: Vec<CacheKey> = (0..8u64)
+        .map(|i| {
+            let mut b = FingerprintBuilder::new();
+            b.push_str("store-demo").push_u64(seed).push_u64(i);
+            let key = CacheKey::compose("demo", digest_bytes(&payload), b.finish());
+            store.insert(key, &payload).expect("insert");
+            key
+        })
+        .collect();
+    store.kill_node(store.router().primary(keys[0]));
+    for &key in &keys {
+        assert!(
+            store.lookup(key).is_some(),
+            "an artifact became unreachable after one node death"
+        );
+    }
+    let stats = store.stats();
+    println!(
+        "direct store after killing one node: {} local hits, {} remote hits, \
+         {} remote bytes, {:.2} s of interconnect time charged ({}:{:.1e} B/s, {:.1}s latency)",
+        stats.local_hits,
+        stats.remote_hits,
+        stats.remote_bytes,
+        store.remote_seconds(),
+        titan.name,
+        titan.net.per_node_bw,
+        titan.net.latency,
+    );
+    assert!(
+        stats.remote_hits > 0,
+        "fail-over reads must have gone remote"
+    );
+    assert!(
+        store.remote_seconds() > 0.0,
+        "remote fetches must cost time"
+    );
+
+    println!("\nstore demo OK: one node death cost remote fetches, never bytes");
+}

@@ -49,6 +49,15 @@ service-demo:
 service:
     cargo test -q --release --test service
 
+# Distributed artifact store: a streamed campaign, one store node killed for
+# good, and a warm re-run that must recompute nothing (byte-compared).
+store-demo:
+    cargo run --release --example store_demo
+
+# The store crash-schedule + node-death suite (CI sweeps CHAOS_SEED 1-3).
+store:
+    cargo test -q --release --test store
+
 # Fast conformance suite: differential backends, physics oracles, bounded
 # crash-schedule exploration, listener regressions, golden fixtures.
 conformance:
@@ -60,12 +69,12 @@ conformance:
 conformance-exhaustive:
     CONFORMANCE_EXHAUSTIVE=1 cargo test -q --release --test conformance
 
-# The smoke scenario sweep: 50 scenarios × 25 seeds on the virtual clock,
+# The smoke scenario sweep: 60 scenarios × 25 seeds on the virtual clock,
 # artifacts (JSON/CSV/summary) under target/sweep.
 sweep:
     cargo run --release -p scenarios --bin sweep -- --smoke
 
-# The full grammar (540 scenarios: every machine × load × strategy × fault
+# The full grammar (648 scenarios: every machine × load × strategy × fault
 # plan × scheduler, minus the excluded combinations).
 sweep-full:
     cargo run --release -p scenarios --bin sweep -- --full --out target/sweep-full

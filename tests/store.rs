@@ -1,0 +1,179 @@
+//! Distributed artifact store suite: the sharded, replicated store and the
+//! streaming Level-2 in-transit path must keep the stack's equivalence
+//! claim — byte-identical catalogs, exactly-once analysis — under replica
+//! faults, remote-fetch faults, and the death of any single store node.
+//!
+//! The seed comes from `CHAOS_SEED` (default 1), so CI can sweep seeds:
+//!
+//! ```text
+//! CHAOS_SEED=3 cargo test --release --test store
+//! ```
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cache::{SITE_FETCH_REMOTE, SITE_REPLICATE};
+use conformance::StoreConfig;
+use faults::{FaultPlan, SiteSpec};
+use hacc_core::service::{
+    reference_catalog, CampaignSpec, CampaignStatus, ServiceConfig, WorkflowService,
+};
+use parking_lot::Mutex;
+
+/// Seed for every plan in this file; override with `CHAOS_SEED=<n>`.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The exploration test installs the process-global injector; every other
+/// test in this binary could consume its armed faults through the global
+/// fallback, so all of them serialize on this lock.
+static GLOBAL_INJECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("hacc_store_suite")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn step_file_name(step: usize) -> String {
+    format!("l2_{step:04}.hcio")
+}
+
+/// The full store exploration: whole-file vs streamed baselines, a crash
+/// schedule on each store fault site, and the node-death sweep over every
+/// store node — 100% coverage of `cache.replicate` / `cache.fetch.remote`
+/// asserted, every schedule byte-identical.
+#[test]
+fn store_crash_schedules_and_node_deaths_all_recover() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = StoreConfig::new(scratch("explore"));
+    cfg.seed = 0xD157 + chaos_seed();
+    let report = conformance::explore_store(&cfg);
+    report.assert_exhaustive(&cfg);
+    assert_eq!(report.schedules.len(), 2, "one schedule per store site");
+    assert_eq!(report.kill_nodes.len(), cfg.nodes);
+    // The fetch schedule is the degraded corner: losing the fail-over
+    // source mid-read may force recompute, but never more than once per
+    // drop and never byte drift (asserted above).
+    for s in &report.schedules {
+        assert!(
+            s.warm_degraded <= cfg.steps as u64 * 2,
+            "schedule {} degraded past the recompute budget: {}",
+            s.site,
+            s.warm_degraded
+        );
+    }
+}
+
+/// A seeded transient-and-stall storm across both store sites: replica
+/// writes get skipped, remote fetches hiccup, and the streamed campaign
+/// still lands its solo catalog exactly once with zero assembly misses —
+/// under-replication degrades durability, never bytes.
+#[test]
+fn store_fault_storm_never_changes_catalog_bytes() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let seed = chaos_seed();
+    let injector = FaultPlan::new(seed)
+        .with_site(SiteSpec::transient(SITE_REPLICATE, 0.4).with_max_faults(16))
+        .with_site(SiteSpec::transient(SITE_FETCH_REMOTE, 0.4).with_max_faults(16))
+        .with_site(
+            SiteSpec::stall(SITE_REPLICATE, 0.2, Duration::from_millis(2)).with_max_faults(8),
+        )
+        .with_recording()
+        .build();
+    let _guard = faults::install(injector);
+    let cfg = ServiceConfig {
+        shards: 1,
+        poll_interval: Duration::from_millis(3),
+        store_nodes: 3,
+        store_replicas: 2,
+        ..ServiceConfig::new(scratch("storm"))
+    };
+    let spec = CampaignSpec::streamed("storm", 4000 + seed, 3);
+    let svc = WorkflowService::start(cfg).unwrap();
+    let id = svc.submit_campaign(spec.clone()).unwrap();
+    svc.wait_all();
+    let report = svc.shutdown();
+    assert!(
+        !report.crashed,
+        "transients must never kill the incarnation"
+    );
+    let rep = &report.campaigns[&id.0];
+    assert_eq!(rep.status, CampaignStatus::Completed);
+    assert_eq!(
+        rep.catalog.as_deref(),
+        Some(&reference_catalog(&spec)[..]),
+        "storm run drifted from the solo catalog"
+    );
+    for s in 0..spec.steps {
+        assert_eq!(
+            rep.executions.get(&step_file_name(s)),
+            Some(&1),
+            "step {s} not exactly-once: {:?}",
+            rep.executions
+        );
+    }
+}
+
+/// Losing one replica-holding node between a cold streamed run and a warm
+/// one costs remote fetches, not recomputes: the warm run re-analyzes
+/// nothing, assembles with zero misses, and lands byte-identical bytes.
+#[test]
+fn one_node_death_costs_fetches_not_recomputes() {
+    let _g = GLOBAL_INJECTOR_LOCK.lock();
+    let injector = FaultPlan::new(chaos_seed()).build();
+    let _guard = faults::install(injector);
+    let root = scratch("node-death");
+    let spec = CampaignSpec::streamed("nd", 5100 + chaos_seed(), 3);
+    let svc_cfg = || ServiceConfig {
+        shards: 1,
+        poll_interval: Duration::from_millis(3),
+        store_nodes: 3,
+        store_replicas: 2,
+        ..ServiceConfig::new(&root)
+    };
+
+    let svc = WorkflowService::start(svc_cfg()).unwrap();
+    let id = svc.submit_campaign(spec.clone()).unwrap();
+    svc.wait_all();
+    let cold = svc.shutdown().campaigns.remove(&id.0).unwrap();
+    assert_eq!(cold.status, CampaignStatus::Completed);
+
+    // The node dies for good: its shard directory is erased, and the shard
+    // journals with it, so recovery cannot paper over a durability hole.
+    let _ = std::fs::remove_dir_all(root.join("cache").join("node1"));
+    for k in 0..4 {
+        let _ = std::fs::remove_file(root.join(format!("shard{k}.journal")));
+    }
+
+    let svc = WorkflowService::start(svc_cfg()).unwrap();
+    let id = svc.submit_campaign(spec.clone()).unwrap();
+    svc.wait_all();
+    let warm = svc.shutdown().campaigns.remove(&id.0).unwrap();
+    assert_eq!(warm.status, CampaignStatus::Completed);
+    assert_eq!(
+        warm.catalog, cold.catalog,
+        "catalog bytes changed after a node death"
+    );
+    assert_eq!(
+        warm.executions.values().sum::<u64>(),
+        0,
+        "warm re-run recomputed after losing one of two replicas: {:?}",
+        warm.executions
+    );
+    assert_eq!(
+        warm.assembly_misses, 0,
+        "warm assembly missed the store — a product had a single copy"
+    );
+    assert_eq!(
+        warm.listener.cache_skipped.len(),
+        spec.steps,
+        "every drop must be satisfied by the store's gate"
+    );
+}
