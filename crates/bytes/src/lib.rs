@@ -16,6 +16,9 @@ pub trait Buf {
     /// Consume and return the next `n` bytes. Panics if `n > remaining()`.
     fn copy_to_bytes(&mut self, n: usize) -> Bytes;
 
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+
     /// Consume a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
 
@@ -33,6 +36,9 @@ pub trait Buf {
 pub trait BufMut {
     /// Append raw bytes.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
 
     /// Append a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
@@ -113,6 +119,10 @@ impl Buf for Bytes {
         Bytes { data, pos: 0 }
     }
 
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
     fn get_u32_le(&mut self) -> u32 {
         u32::from_le_bytes(self.take_array())
     }
@@ -184,6 +194,10 @@ impl AsRef<[u8]> for BytesMut {
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
     }
 
     fn put_u32_le(&mut self, v: u32) {

@@ -38,6 +38,11 @@
 //!   service**: K concurrent campaigns on shared shards/pool/cache, with
 //!   per-campaign exactly-once, byte-identical recovered catalogs, and
 //!   zero cross-campaign bleed asserted for every schedule.
+//! * [`render`] — the in-situ visualization battery: byte-identical frames
+//!   across every backend, permutation / mass-conservation / LOD /
+//!   axis-relabel metamorphic oracles, and a crash-schedule sweep over the
+//!   co-scheduled `render.emit` site proving warm re-runs recompute no
+//!   frames.
 //! * [`store`] — the distributed artifact store's own sweep: whole-file
 //!   vs streamed baselines against the solo oracle, crash schedules over
 //!   the `cache.replicate` / `cache.fetch.remote` sites, and a node-death
@@ -53,6 +58,7 @@ pub mod inputs;
 pub mod layout;
 pub mod multi;
 pub mod oracles;
+pub mod render;
 pub mod store;
 pub mod strategies;
 
@@ -61,6 +67,11 @@ pub use explorer::{explore, ExplorationReport, ExplorerConfig, ScheduleOutcome};
 pub use golden::{compare_or_bless, GoldenOutcome};
 pub use layout::{assert_layout_conformance, run_layout_differential, REQUIRED_KERNELS};
 pub use multi::{explore_multi, multi_reference, MultiConfig, MultiReport, MultiScheduleOutcome};
+pub use render::{
+    assert_render_conformance, catalog_digest_lines, explore_render, frame_catalog,
+    render_reference_catalog, run_render_differential, RenderExplorationReport,
+    RenderExplorerConfig, RenderScheduleOutcome, REQUIRED_RENDER_ORACLES,
+};
 pub use store::{
     explore_store, store_baseline, KillNodeOutcome, StoreConfig, StoreReport, StoreScheduleOutcome,
 };

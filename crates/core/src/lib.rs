@@ -45,11 +45,11 @@ pub use autosplit::{choose_split, plan_coschedule, CoSchedulePlan, SplitDecision
 pub use cost::{format_table4, JobCost, PhaseSeconds, WorkflowCost};
 pub use journal::Journal;
 pub use listener::{Listener, ListenerConfig, ListenerReport, SubmitError};
-pub use model::{qcontinuum_projection, QContinuumSummary, RunSpec, TitanFrame};
+pub use model::{qcontinuum_projection, QContinuumSummary, RenderProfile, RunSpec, TitanFrame};
 pub use report::full_report;
 pub use runner::{
     compare_all, measured_table2, MeasuredEpoch, RunnerConfig, TestBed, WorkflowRun,
-    RUNNER_FAULT_SITE,
+    RENDER_FAULT_SITE, RUNNER_FAULT_SITE,
 };
 pub use service::{
     CampaignId, CampaignReport, CampaignSpec, CampaignStatus, ServiceConfig, ServiceError,

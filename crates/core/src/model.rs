@@ -92,6 +92,47 @@ impl RunSpec {
     }
 }
 
+/// Workload descriptor for the streaming in-situ visualization products:
+/// one `ng × ng` density-projection frame per simulation step, shipped off
+/// the simulation resource over the interconnect. The workload is
+/// bandwidth-bound — the projection rides on a deposit mesh the simulation
+/// maintains anyway, so its cost is the frame stream, priced per frame as a
+/// point-to-point fetch on [`simhpc::InterconnectSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderProfile {
+    /// Image mesh: frames are `ng × ng` 8-bit pixels.
+    pub ng: usize,
+    /// Frames emitted over the campaign (one per simulation step).
+    pub frames: u64,
+}
+
+impl RenderProfile {
+    /// The runner's cadence: every step of an `nsteps` campaign renders one
+    /// frame at the given image mesh.
+    pub fn every_step(ng: usize, nsteps: u64) -> RenderProfile {
+        RenderProfile { ng, frames: nsteps }
+    }
+
+    /// Encoded size of one frame: the HCIM container header plus the PGM
+    /// payload (text header + `ng²` 8-bit pixels).
+    pub fn bytes_per_frame(&self) -> u64 {
+        let pgm_header = format!("P5\n{0} {0}\n255\n", self.ng).len() as u64;
+        cosmotools::IMAGE_HEADER_BYTES + pgm_header + (self.ng * self.ng) as u64
+    }
+
+    /// Total bytes streamed over the campaign.
+    pub fn total_bytes(&self) -> u64 {
+        self.frames * self.bytes_per_frame()
+    }
+
+    /// Wall seconds to stream the frame sequence across `net`: each frame
+    /// travels as one point-to-point fetch (latency + bytes / per-node
+    /// bandwidth), exactly how the sharded store charges replica pulls.
+    pub fn stream_seconds(&self, net: &simhpc::InterconnectSpec) -> f64 {
+        self.frames as f64 * net.fetch_time(self.bytes_per_frame() as f64)
+    }
+}
+
 impl TitanFrame {
     /// FOF identification seconds for `n` particles over `nodes` (balanced —
     /// the paper's Table 2 shows ≤25% find imbalance, negligible next to the
@@ -640,6 +681,32 @@ mod tests {
             overlapped < 0.8 * after,
             "co-scheduled results must arrive substantially sooner on average: \
              {overlapped} vs {after}"
+        );
+    }
+
+    #[test]
+    fn render_stream_is_bandwidth_priced_on_the_interconnect() {
+        let frame = TitanFrame::default();
+        let prof = RenderProfile::every_step(512, 500);
+        // A 512×512 8-bit frame: PGM header + pixels + HCIM header.
+        let per = prof.bytes_per_frame();
+        assert_eq!(
+            per,
+            cosmotools::IMAGE_HEADER_BYTES + "P5\n512 512\n255\n".len() as u64 + 512 * 512
+        );
+        assert_eq!(prof.total_bytes(), 500 * per);
+        // Priced per frame on the machine's interconnect: every frame pays
+        // the link latency plus its wire time.
+        let secs = prof.stream_seconds(&frame.titan.net);
+        assert_eq!(secs, 500.0 * frame.titan.net.fetch_time(per as f64));
+        assert!(secs > 0.0);
+        // Monotone in both frame count and image mesh.
+        assert!(RenderProfile::every_step(512, 1000).stream_seconds(&frame.titan.net) > secs);
+        assert!(RenderProfile::every_step(1024, 500).stream_seconds(&frame.titan.net) > secs);
+        // Zero frames stream for free.
+        assert_eq!(
+            RenderProfile::every_step(512, 0).stream_seconds(&frame.titan.net),
+            0.0
         );
     }
 

@@ -25,6 +25,10 @@ use std::time::Instant;
 /// co-scheduled workflow.
 pub const RUNNER_FAULT_SITE: &str = "runner.insitu";
 
+/// The fault site consulted before each in-situ visualization frame is
+/// rendered and emitted by the co-scheduled workflow.
+pub const RENDER_FAULT_SITE: &str = "render.emit";
+
 /// Configuration of a real workflow comparison run.
 #[derive(Debug, Clone)]
 pub struct RunnerConfig {
@@ -55,6 +59,12 @@ pub struct RunnerConfig {
     /// existing Level 3 products instead of recomputing them. `None`
     /// disables memoization (every run computes from scratch).
     pub cache: Option<Arc<ArtifactCache>>,
+    /// In-situ visualization: when set, the co-scheduled workflow renders a
+    /// density projection frame at *every* simulation step (the render
+    /// workload is bandwidth-bound, not compute-bound) into
+    /// `workdir/coscheduled/render/`. `None` disables rendering entirely —
+    /// zero behavior change for halo-only runs.
+    pub render: Option<cosmotools::RenderParams>,
 }
 
 impl Default for RunnerConfig {
@@ -81,6 +91,7 @@ impl Default for RunnerConfig {
                 max_attempts: 5,
             },
             cache: None,
+            render: None,
         }
     }
 }
@@ -135,6 +146,15 @@ impl RunnerConfig {
             .push_u64(self.min_size as u64)
             .push_u64(self.threshold as u64)
             .push_f64(self.softening);
+        // Render parameters shape the frame artifacts; fold them in only
+        // when rendering is on so halo-only runs keep their historical keys.
+        if let Some(rp) = &self.render {
+            fp.push_str("render-v1")
+                .push_u64(rp.ng as u64)
+                .push_u64(rp.axis.code() as u64)
+                .push_u64(rp.byte_budget)
+                .push_u64(rp.lod_seed);
+        }
         fp.finish()
     }
 
@@ -203,6 +223,16 @@ pub struct WorkflowRun {
     /// computation of each reused artifact cost when it first ran. Reported
     /// to the cost model as saved node-seconds.
     pub saved_analysis_seconds: f64,
+    /// Wall seconds spent rendering and emitting visualization frames
+    /// (zero unless [`RunnerConfig::render`] is set on a co-scheduled run).
+    pub render_seconds: f64,
+    /// Bytes of encoded image frames emitted (HCIM header + PGM payload).
+    pub render_bytes: u64,
+    /// Visualization frames emitted (computed + cache-replayed).
+    pub frames_rendered: u64,
+    /// Frames whose encoded bytes were replayed from the artifact cache
+    /// instead of being re-rendered.
+    pub render_cache_hits: u64,
 }
 
 /// Pool-counter delta for a region of work: dispatches issued and wall
@@ -315,6 +345,10 @@ impl TestBed {
             cache_hits: 0,
             cache_misses: 0,
             saved_analysis_seconds: 0.0,
+            render_seconds: 0.0,
+            render_bytes: 0,
+            frames_rendered: 0,
+            render_cache_hits: 0,
         }
     }
 
@@ -362,6 +396,10 @@ impl TestBed {
                     cache_hits: 1,
                     cache_misses: 0,
                     saved_analysis_seconds: saved,
+                    render_seconds: 0.0,
+                    render_bytes: 0,
+                    frames_rendered: 0,
+                    render_cache_hits: 0,
                 };
             }
         }
@@ -425,6 +463,10 @@ impl TestBed {
             cache_hits: 0,
             cache_misses,
             saved_analysis_seconds: 0.0,
+            render_seconds: 0.0,
+            render_bytes: 0,
+            frames_rendered: 0,
+            render_cache_hits: 0,
         }
     }
 
@@ -506,6 +548,10 @@ impl TestBed {
             cache_hits,
             cache_misses,
             saved_analysis_seconds,
+            render_seconds: 0.0,
+            render_bytes: 0,
+            frames_rendered: 0,
+            render_cache_hits: 0,
         }
     }
 
@@ -587,6 +633,10 @@ impl TestBed {
             cache_hits,
             cache_misses,
             saved_analysis_seconds,
+            render_seconds: 0.0,
+            render_bytes: 0,
+            frames_rendered: 0,
+            render_cache_hits: 0,
         }
     }
 
@@ -707,6 +757,10 @@ impl TestBed {
             cache_hits,
             cache_misses,
             saved_analysis_seconds,
+            render_seconds: 0.0,
+            render_bytes: 0,
+            frames_rendered: 0,
+            render_cache_hits: 0,
         }
     }
 
@@ -727,6 +781,16 @@ impl TestBed {
         let dir = self.cfg.workdir.join("coscheduled");
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).expect("mkdir");
+        // Visualization frames live in a subdirectory with their own suffix,
+        // invisible to the `.hcio` listener sweep.
+        let render_dir = dir.join("render");
+        if self.cfg.render.is_some() {
+            std::fs::create_dir_all(&render_dir).expect("mkdir render");
+        }
+        let mut render_seconds = 0.0f64;
+        let mut render_bytes = 0u64;
+        let mut frames_rendered = 0u64;
+        let mut render_cache_hits = 0u64;
 
         // The analysis-job launcher the listener drives: each file becomes a
         // center-finding job on `post_ranks` ranks.
@@ -804,6 +868,79 @@ impl TestBed {
         let rcfg = &self.cfg;
         sim.run_with_hook(backend, |step, sim| {
             let last = step == sim.total_steps();
+            // In-situ visualization: one frame per step, independent of the
+            // Level-2 emit cadence. A memoized frame's encoded bytes replay
+            // without touching the renderer, so warm re-runs recompute
+            // nothing; rendering precedes the halo stage so an analysis
+            // fault can never drop a frame.
+            if let Some(rp) = rcfg.render {
+                let _render_span = telemetry::span!("render", "emit", step);
+                let t_r = Instant::now();
+                let frame_path = render_dir.join(format!("frame_step{step:04}.hcim"));
+                let key = CacheKey::compose(
+                    "render_frame",
+                    cache::digest_bytes(&(step as u64).to_le_bytes()),
+                    fingerprint,
+                );
+                let cached = rcfg.cache.as_deref().and_then(|c| c.lookup(key));
+                if let Some(bytes) = cached {
+                    std::fs::write(&frame_path, &bytes).expect("write cached frame");
+                    render_cache_hits += 1;
+                    frames_rendered += 1;
+                    render_bytes += bytes.len() as u64;
+                    telemetry::count!("render", "cache_hits", 1);
+                } else {
+                    let mut attempt: u32 = 0;
+                    let render_ok = loop {
+                        match rcfg.fault(RENDER_FAULT_SITE) {
+                            Some(FaultKind::Crash) => {
+                                telemetry::instant!("faults", RENDER_FAULT_SITE, 1);
+                                break false;
+                            }
+                            Some(FaultKind::Stall(d)) => {
+                                telemetry::instant!("faults", RENDER_FAULT_SITE, 2);
+                                std::thread::sleep(d);
+                            }
+                            Some(FaultKind::Transient) => {
+                                telemetry::instant!("faults", RENDER_FAULT_SITE, 0);
+                                attempt += 1;
+                                insitu_retries += 1;
+                                telemetry::count!("runner", "insitu_retries", 1);
+                                if attempt >= rcfg.insitu_retry.max_attempts {
+                                    break false;
+                                }
+                                std::thread::sleep(rcfg.insitu_retry.delay(attempt - 1));
+                                continue;
+                            }
+                            None => {}
+                        }
+                        break true;
+                    };
+                    if render_ok {
+                        let frame = cosmotools::render_frame(
+                            backend,
+                            sim.particles(),
+                            decomp.box_size(),
+                            &rp,
+                            step as u64,
+                        );
+                        let bytes = cosmotools::write_image(&frame);
+                        std::fs::write(&frame_path, bytes.as_ref()).expect("write frame");
+                        if let Some(c) = &rcfg.cache {
+                            c.insert(key, bytes.as_ref()).expect("cache insert");
+                        }
+                        frames_rendered += 1;
+                        render_bytes += bytes.len() as u64;
+                    } else {
+                        // This attempt loses the step's frame; a re-run
+                        // recovers it (every earlier frame replays from the
+                        // cache, and the injector's crash budget is spent).
+                        degraded += 1;
+                        telemetry::count!("runner", "render_failures", 1);
+                    }
+                }
+                render_seconds += t_r.elapsed().as_secs_f64();
+            }
             if !(step % emit_every == 0 || last) {
                 return;
             }
@@ -993,6 +1130,10 @@ impl TestBed {
             cache_hits,
             cache_misses,
             saved_analysis_seconds,
+            render_seconds,
+            render_bytes,
+            frames_rendered,
+            render_cache_hits,
         }
     }
 }
@@ -1402,6 +1543,121 @@ mod tests {
         assert_eq!(run.insitu_retries, 2, "each injected fault costs one retry");
         assert_eq!(run.degraded_steps, 0, "retries absorbed every fault");
         assert_same_centers(&baseline.centers, &run.centers);
+    }
+
+    /// Read every frame file in a co-scheduled run's render directory as
+    /// `(file name, encoded bytes)`, sorted by name.
+    fn frame_catalog(workdir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+        let rdir = workdir.join("coscheduled").join("render");
+        let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(&rdir)
+            .expect("render dir exists")
+            .map(|e| {
+                let p = e.expect("dir entry").path();
+                (
+                    p.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read(&p).expect("read frame"),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn coscheduled_render_emits_every_step_and_replays_warm() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("render_warm");
+        let cache_dir = cfg.workdir.join("artifact_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        cfg.render = Some(cosmotools::RenderParams {
+            ng: 12,
+            ..Default::default()
+        });
+        let bed = TestBed::create(cfg, &backend);
+        let cold = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(
+            cold.frames_rendered, bed.cfg.sim.nsteps as u64,
+            "one frame per simulation step"
+        );
+        assert_eq!(cold.render_cache_hits, 0, "cold run has nothing to replay");
+        assert!(cold.render_bytes > 0);
+        assert!(cold.render_seconds > 0.0);
+        let cold_frames = frame_catalog(&bed.cfg.workdir);
+        assert_eq!(cold_frames.len() as u64, cold.frames_rendered);
+        // Every emitted frame decodes as a valid HCIM image.
+        for (name, bytes) in &cold_frames {
+            let frame = cosmotools::read_image(bytes).expect("valid frame");
+            assert_eq!(frame.width as usize, 12, "frame {name}");
+        }
+        // Warm re-run: every frame replays from the artifact cache, and the
+        // recovered catalog is byte-identical.
+        let warm = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(warm.frames_rendered, cold.frames_rendered);
+        assert_eq!(
+            warm.render_cache_hits, warm.frames_rendered,
+            "warm re-run must recompute no frames"
+        );
+        assert_eq!(frame_catalog(&bed.cfg.workdir), cold_frames);
+        // The render knob leaves the halo pipeline untouched.
+        let baseline = bed.run_combined_simple(&backend);
+        assert_same_centers(&baseline.centers, &warm.centers);
+    }
+
+    #[test]
+    fn render_disabled_runs_exactly_as_before() {
+        let backend = Threaded::new(4);
+        let cfg = tiny_cfg("render_off");
+        let bed = TestBed::create(cfg, &backend);
+        let run = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(run.frames_rendered, 0);
+        assert_eq!(run.render_bytes, 0);
+        assert_eq!(run.render_seconds, 0.0);
+        assert!(!bed.cfg.workdir.join("coscheduled").join("render").exists());
+    }
+
+    #[test]
+    fn render_fingerprints_are_disjoint_per_parameter_set() {
+        let base = tiny_cfg("render_fp");
+        let mut with_render = base.clone();
+        with_render.render = Some(cosmotools::RenderParams::default());
+        let mut other_axis = with_render.clone();
+        other_axis.render = Some(cosmotools::RenderParams {
+            axis: cosmotools::Axis::X,
+            ..cosmotools::RenderParams::default()
+        });
+        assert_ne!(base.fingerprint(), with_render.fingerprint());
+        assert_ne!(with_render.fingerprint(), other_axis.fingerprint());
+    }
+
+    #[test]
+    fn crashed_render_step_loses_one_frame_and_rerun_recovers_it() {
+        let backend = Threaded::new(4);
+        let mut cfg = tiny_cfg("render_crash");
+        let cache_dir = cfg.workdir.join("artifact_cache");
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        cfg.cache = Some(Arc::new(ArtifactCache::open(&cache_dir, None).unwrap()));
+        cfg.render = Some(cosmotools::RenderParams {
+            ng: 12,
+            ..Default::default()
+        });
+        cfg.injector = Some(
+            faults::FaultPlan::new(9)
+                .with_site(faults::SiteSpec::crash_at(RENDER_FAULT_SITE, 3))
+                .build(),
+        );
+        let bed = TestBed::create(cfg, &backend);
+        let crashed = bed.run_combined_coscheduled(&backend, 4);
+        let total = bed.cfg.sim.nsteps as u64;
+        assert_eq!(crashed.frames_rendered, total - 1, "one frame was lost");
+        assert_eq!(crashed.degraded_steps, 1);
+        // The crash budget is spent; the re-run replays every survivor from
+        // the cache and computes only the one missing frame.
+        let recovered = bed.run_combined_coscheduled(&backend, 4);
+        assert_eq!(recovered.frames_rendered, total);
+        assert_eq!(recovered.render_cache_hits, total - 1);
+        assert_eq!(recovered.degraded_steps, 0);
+        assert_eq!(frame_catalog(&bed.cfg.workdir).len() as u64, total);
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub enum GenioError {
         /// Chunks the set declares.
         want: usize,
     },
+    /// An image container's payload or axis code contradicts its header
+    /// (CRC passed, so the writer — not the wire — was wrong).
+    BadImage,
 }
 
 impl std::fmt::Display for GenioError {
@@ -54,6 +57,7 @@ impl std::fmt::Display for GenioError {
             GenioError::ChunkSetIncomplete { have, want } => {
                 write!(f, "chunk set incomplete: {have} of {want}")
             }
+            GenioError::BadImage => write!(f, "image payload contradicts its header"),
         }
     }
 }
@@ -428,6 +432,119 @@ pub fn assemble_chunks(chunks: &[impl AsRef<[u8]>]) -> Result<Container, GenioEr
     })
 }
 
+// ---------------------------------------------------------------------------
+// Image containers: the in-situ visualization wire format.
+//
+// Rendered frames ride the same infrastructure as the Level 1/2 containers —
+// content digests for the artifact cache, CRC verification on read, a magic
+// distinct from both HCIO and HCCK so misrouted bytes are rejected instead of
+// misparsed. The payload is the frame's binary PGM, so the container is
+// directly viewable after stripping the fixed header.
+// ---------------------------------------------------------------------------
+
+/// Image container magic.
+pub const IMAGE_MAGIC: &[u8; 4] = b"HCIM";
+
+/// Fixed size of the HCIM header preceding the PGM payload.
+pub const IMAGE_HEADER_BYTES: u64 = 69;
+
+use crate::render::{decode_pgm, encode_pgm, Axis, ImageFrame};
+
+/// Serialize a rendered frame as an HCIM container.
+pub fn write_image(frame: &ImageFrame) -> Bytes {
+    let payload = encode_pgm(frame.width, frame.height, &frame.pixels);
+    let mut buf = BytesMut::with_capacity(IMAGE_HEADER_BYTES as usize + payload.len());
+    buf.put_slice(IMAGE_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(frame.step);
+    buf.put_u8(frame.axis.code());
+    buf.put_u32_le(frame.width);
+    buf.put_u32_le(frame.height);
+    buf.put_u64_le(frame.selected);
+    buf.put_u64_le(frame.total);
+    buf.put_u64_le(frame.byte_budget);
+    buf.put_u64_le(frame.nonfinite_pixels);
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_u32_le(crc32(&payload));
+    debug_assert_eq!(buf.len() as u64, IMAGE_HEADER_BYTES);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Deserialize and verify an HCIM container.
+pub fn read_image(data: &[u8]) -> Result<ImageFrame, GenioError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != IMAGE_MAGIC {
+        return Err(GenioError::BadMagic);
+    }
+    if buf.remaining() < 4 {
+        return Err(GenioError::Truncated);
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(GenioError::UnsupportedVersion(version));
+    }
+    if buf.remaining() < (IMAGE_HEADER_BYTES as usize - 8) {
+        return Err(GenioError::Truncated);
+    }
+    let step = buf.get_u64_le();
+    let axis_code = buf.get_u8();
+    let width = buf.get_u32_le();
+    let height = buf.get_u32_le();
+    let selected = buf.get_u64_le();
+    let total = buf.get_u64_le();
+    let byte_budget = buf.get_u64_le();
+    let nonfinite_pixels = buf.get_u64_le();
+    let payload_len = buf.get_u64_le() as usize;
+    let crc_expect = buf.get_u32_le();
+    if buf.remaining() < payload_len {
+        return Err(GenioError::Truncated);
+    }
+    let payload = buf.copy_to_bytes(payload_len);
+    if crc32(&payload) != crc_expect {
+        return Err(GenioError::ChecksumMismatch { block: 0 });
+    }
+    let axis = Axis::from_code(axis_code).ok_or(GenioError::BadImage)?;
+    let (w, h, pixels) = decode_pgm(&payload).ok_or(GenioError::BadImage)?;
+    if w != width || h != height {
+        return Err(GenioError::BadImage);
+    }
+    Ok(ImageFrame {
+        step,
+        axis,
+        width,
+        height,
+        pixels,
+        nonfinite_pixels,
+        selected,
+        total,
+        byte_budget,
+    })
+}
+
+/// Content digest of a frame's serialized HCIM form — its artifact-cache
+/// identity (equals [`write_image_file`]'s result without touching disk).
+pub fn image_digest(frame: &ImageFrame) -> cache::Digest {
+    cache::digest_bytes(&write_image(frame))
+}
+
+/// Write a frame to a file and return the content digest of the bytes
+/// written.
+pub fn write_image_file(
+    path: &std::path::Path,
+    frame: &ImageFrame,
+) -> std::io::Result<cache::Digest> {
+    let bytes = write_image(frame);
+    let digest = cache::digest_bytes(&bytes);
+    std::fs::write(path, bytes)?;
+    Ok(digest)
+}
+
+/// Read a frame from a file.
+pub fn read_image_file(path: &std::path::Path) -> std::io::Result<Result<ImageFrame, GenioError>> {
+    Ok(read_image(&std::fs::read(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -634,6 +751,85 @@ mod tests {
             decode_chunk(&write_container(&c)),
             Err(GenioError::BadMagic)
         );
+    }
+
+    fn sample_frame() -> ImageFrame {
+        ImageFrame {
+            step: 12,
+            axis: Axis::Y,
+            width: 4,
+            height: 4,
+            pixels: (0..16).map(|i| (i * 16) as u8).collect(),
+            nonfinite_pixels: 1,
+            selected: 90,
+            total: 120,
+            byte_budget: 90 * 36,
+        }
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_everything() {
+        let frame = sample_frame();
+        let bytes = write_image(&frame);
+        assert_eq!(
+            bytes.len() as u64,
+            IMAGE_HEADER_BYTES + frame.pgm_bytes(),
+            "header size constant must match the writer"
+        );
+        assert_eq!(read_image(&bytes).unwrap(), frame);
+    }
+
+    #[test]
+    fn image_magic_is_disjoint_from_other_containers() {
+        let frame = sample_frame();
+        let bytes = write_image(&frame);
+        assert_eq!(read_container(&bytes), Err(GenioError::BadMagic));
+        assert_eq!(decode_chunk(&bytes), Err(GenioError::BadMagic));
+        assert_eq!(
+            read_image(&write_container(&sample(1, 1))),
+            Err(GenioError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn image_corruption_truncation_and_version_detected() {
+        let bytes = write_image(&sample_frame());
+        let mut corrupt = bytes.to_vec();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert_eq!(
+            read_image(&corrupt),
+            Err(GenioError::ChecksumMismatch { block: 0 })
+        );
+        assert_eq!(
+            read_image(&bytes[..bytes.len() - 3]),
+            Err(GenioError::Truncated)
+        );
+        assert_eq!(read_image(&bytes[..10]), Err(GenioError::Truncated));
+        let mut vers = bytes.to_vec();
+        vers[4] = 77;
+        assert_eq!(read_image(&vers), Err(GenioError::UnsupportedVersion(77)));
+        // A bad axis code survives the CRC (header is not covered) but is
+        // rejected as a writer bug.
+        let mut axis = bytes.to_vec();
+        axis[16] = 9;
+        assert_eq!(read_image(&axis), Err(GenioError::BadImage));
+    }
+
+    #[test]
+    fn image_digest_agrees_between_memory_and_disk() {
+        let dir = std::env::temp_dir().join("hcim_digest_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame.hcim");
+        let frame = sample_frame();
+        let stamped = write_image_file(&path, &frame).unwrap();
+        assert_eq!(stamped, image_digest(&frame));
+        assert_eq!(stamped, file_digest(&path).unwrap());
+        assert_eq!(read_image_file(&path).unwrap().unwrap(), frame);
+        let mut other = frame.clone();
+        other.pixels[3] ^= 0xFF;
+        assert_ne!(stamped, image_digest(&other));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -72,6 +72,13 @@ pub enum Product {
         /// `(halo id, SO mass)` rows.
         masses: Vec<(u64, f64)>,
     },
+    /// A rendered projection image (in-situ visualization).
+    Image {
+        /// Step that produced it.
+        step: usize,
+        /// The frame (pixels + provenance).
+        frame: crate::render::ImageFrame,
+    },
 }
 
 impl Product {
@@ -82,6 +89,7 @@ impl Product {
             Product::Halos { .. } => "halos",
             Product::Subhalos { .. } => "subhalos",
             Product::SoMasses { .. } => "so-masses",
+            Product::Image { .. } => "image",
         }
     }
 
@@ -91,7 +99,8 @@ impl Product {
             Product::PowerSpectrum { step, .. }
             | Product::Halos { step, .. }
             | Product::Subhalos { step, .. }
-            | Product::SoMasses { step, .. } => *step,
+            | Product::SoMasses { step, .. }
+            | Product::Image { step, .. } => *step,
         }
     }
 
@@ -100,7 +109,9 @@ impl Product {
         match self {
             Product::PowerSpectrum { .. } => DataLevel::Level3,
             Product::Halos { .. } => DataLevel::Level2,
-            Product::Subhalos { .. } | Product::SoMasses { .. } => DataLevel::Level3,
+            Product::Subhalos { .. } | Product::SoMasses { .. } | Product::Image { .. } => {
+                DataLevel::Level3
+            }
         }
     }
 
@@ -114,6 +125,8 @@ impl Product {
             }
             Product::Subhalos { counts, .. } => counts.len() as u64 * 16,
             Product::SoMasses { masses, .. } => masses.len() as u64 * 16,
+            // The HCIM container: PGM payload plus the fixed header.
+            Product::Image { frame, .. } => frame.pgm_bytes() + crate::genio::IMAGE_HEADER_BYTES,
         }
     }
 }

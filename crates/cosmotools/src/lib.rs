@@ -20,6 +20,7 @@ pub mod driver;
 pub mod genio;
 pub mod insitu;
 pub mod levels;
+pub mod render;
 
 pub use aggregate::{read_aggregated, read_manifest, write_aggregated, AggregateError, Manifest};
 pub use algorithms::{
@@ -33,10 +34,16 @@ pub use driver::{
 };
 pub use genio::{
     assemble_chunks, chunk_container, container_digest, decode_chunk, encode_chunk, file_digest,
-    read_container, read_file, write_container, write_file, write_file_digest, ChunkHeader,
-    Container, GenioError, SnapshotMeta, CHUNK_MAGIC,
+    image_digest, read_container, read_file, read_image, read_image_file, write_container,
+    write_file, write_file_digest, write_image, write_image_file, ChunkHeader, Container,
+    GenioError, SnapshotMeta, CHUNK_MAGIC, IMAGE_HEADER_BYTES, IMAGE_MAGIC,
 };
 pub use insitu::{
     AnalysisContext, ExecutionRecord, InSituAlgorithm, InSituAnalysisManager, Product,
 };
 pub use levels::{level1_bytes, level2_bytes, level3_center_bytes, DataLevel, SnapshotSizes};
+pub use render::{
+    decode_pgm, encode_pgm, lod_priority, lod_select, project_density, render_frame,
+    render_projection, tone_map, Axis, DensityRenderTask, HaloOverlayRenderTask, ImageFrame,
+    RenderParams, PARTICLE_RENDER_BYTES, RENDER_DEPOSIT_GRAIN,
+};

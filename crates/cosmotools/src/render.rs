@@ -1,0 +1,760 @@
+//! In-situ visualization: streaming density/halo projection rendering.
+//!
+//! ROADMAP item 4 — the bandwidth-bound, every-step workload the paper's
+//! co-scheduled analysis never exercises. Following Woodring et al.'s
+//! ParaView cosmology pipeline, each frame is a 2-D projection of the CIC
+//! density field along a configurable axis, log-stretched to 8-bit grayscale,
+//! with level-of-detail particle subsampling under an explicit per-step byte
+//! budget.
+//!
+//! Every stage is bit-deterministic and backend-independent:
+//!
+//! * [`lod_select`] canonicalizes particle order (a total order over the
+//!   particle *value*, independent of input order) before truncating to the
+//!   budget, so selections are permutation-invariant and prefix-stable under
+//!   shrinking budgets.
+//! * The deposit goes through [`nbody::cic_deposit_soa_det`], whose fixed
+//!   chunking makes the 3-D grid byte-identical across
+//!   Serial/Threaded/StaticThreaded.
+//! * [`project_density`] and [`tone_map`] are sequential scalar loops with a
+//!   documented accumulation order.
+//!
+//! The `conformance::render` battery holds all of this to byte-equality over
+//! the adversarial particle corpus.
+
+use crate::config::{Config, ConfigError};
+use crate::insitu::{AnalysisContext, InSituAlgorithm, Product};
+use dpp::Backend;
+use fft::Grid3;
+use nbody::particle::Particle;
+use nbody::pm::cic_deposit_soa_det;
+use nbody::soa::ParticleSoA;
+
+/// Bytes one particle costs against the render byte budget (the genio
+/// serialized record size, so budgets are phrased in the same units as the
+/// Level 1/2 containers).
+pub const PARTICLE_RENDER_BYTES: u64 = 36;
+
+/// Fixed deposit chunk size for rendering. Passed to
+/// [`cic_deposit_soa_det`]; constant (never derived from the backend) so the
+/// deposit — and therefore every pixel — is byte-identical on every backend.
+pub const RENDER_DEPOSIT_GRAIN: usize = 4096;
+
+/// Projection axis for a rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Project along x: the image is the (y, z) plane.
+    X,
+    /// Project along y: the image is the (x, z) plane.
+    Y,
+    /// Project along z: the image is the (x, y) plane.
+    Z,
+}
+
+impl Axis {
+    /// All axes, in canonical order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Lower-case label (`"x"`, `"y"`, `"z"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+
+    /// Stable wire code (used by the HCIM container and cache keys).
+    pub fn code(self) -> u8 {
+        match self {
+            Axis::X => 0,
+            Axis::Y => 1,
+            Axis::Z => 2,
+        }
+    }
+
+    /// Inverse of [`Axis::code`].
+    pub fn from_code(code: u8) -> Option<Axis> {
+        match code {
+            0 => Some(Axis::X),
+            1 => Some(Axis::Y),
+            2 => Some(Axis::Z),
+            _ => None,
+        }
+    }
+}
+
+impl std::str::FromStr for Axis {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Axis, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "x" => Ok(Axis::X),
+            "y" => Ok(Axis::Y),
+            "z" => Ok(Axis::Z),
+            other => Err(format!("unknown projection axis `{other}`")),
+        }
+    }
+}
+
+impl std::fmt::Display for Axis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Parameters of one rendering configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenderParams {
+    /// Mesh (and image) side length in cells/pixels.
+    pub ng: usize,
+    /// Projection axis.
+    pub axis: Axis,
+    /// Per-frame particle byte budget for level-of-detail subsampling;
+    /// `0` means unlimited (every particle deposits).
+    pub byte_budget: u64,
+    /// Seed of the LOD priority hash (distinct seeds pick distinct — but
+    /// individually stable — particle subsets).
+    pub lod_seed: u64,
+}
+
+impl Default for RenderParams {
+    fn default() -> Self {
+        RenderParams {
+            ng: 64,
+            axis: Axis::Z,
+            byte_budget: 0,
+            lod_seed: 1,
+        }
+    }
+}
+
+/// LOD priority of a particle: a seed-mixed splitmix-style hash of its tag.
+/// Lower priority renders first, so a budget keeps a stable pseudo-random
+/// subset and shrinking the budget only ever *removes* particles (prefix
+/// property).
+pub fn lod_priority(seed: u64, tag: u64) -> u64 {
+    tag.wrapping_add(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(23)
+        .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
+/// Total-order sort key over the particle *value* (priority first, then every
+/// field as raw bits). Because the key ignores input position, any
+/// permutation of the same multiset sorts to the same sequence.
+fn lod_key(seed: u64, p: &Particle) -> (u64, u64, u32, u32, u32, u32, u32, u32, u32) {
+    (
+        lod_priority(seed, p.tag),
+        p.tag,
+        p.pos[0].to_bits(),
+        p.pos[1].to_bits(),
+        p.pos[2].to_bits(),
+        p.mass.to_bits(),
+        p.vel[0].to_bits(),
+        p.vel[1].to_bits(),
+        p.vel[2].to_bits(),
+    )
+}
+
+/// Select the particles a frame may afford: canonical priority order,
+/// truncated to `byte_budget / PARTICLE_RENDER_BYTES` particles
+/// (`byte_budget == 0` keeps everything, still in canonical order).
+///
+/// Deterministic in `(seed, budget)` for a given particle multiset, and
+/// prefix-stable: the selection at a smaller budget is exactly a prefix of
+/// the selection at any larger one.
+pub fn lod_select(particles: &[Particle], seed: u64, byte_budget: u64) -> Vec<Particle> {
+    let mut out = particles.to_vec();
+    out.sort_unstable_by_key(|p| lod_key(seed, p));
+    if byte_budget > 0 {
+        let k = (byte_budget / PARTICLE_RENDER_BYTES) as usize;
+        out.truncate(k);
+    }
+    out
+}
+
+/// Project the overdensity grid to a 2-D density map by summing the cell
+/// densities `1 + δ` along `axis`, in increasing cell-index order (the fixed
+/// association the mass-conservation oracle reproduces exactly).
+///
+/// The output is row-major `ng × ng`: `out[a * ng + b]` where `(a, b)` is
+/// `(y, z)` for [`Axis::X`], `(x, z)` for [`Axis::Y`], `(x, y)` for
+/// [`Axis::Z`].
+pub fn project_density(grid: &Grid3<f64>, axis: Axis) -> Vec<f64> {
+    let ng = grid.dims()[0];
+    let mut out = vec![0.0f64; ng * ng];
+    for a in 0..ng {
+        for b in 0..ng {
+            let mut s = 0.0f64;
+            for k in 0..ng {
+                let v = match axis {
+                    Axis::X => *grid.get(k, a, b),
+                    Axis::Y => *grid.get(a, k, b),
+                    Axis::Z => *grid.get(a, b, k),
+                };
+                s += 1.0 + v;
+            }
+            out[a * ng + b] = s;
+        }
+    }
+    out
+}
+
+/// Log-stretch tone mapping of a projected density map to 8-bit grayscale.
+///
+/// `pixel = round(255 · ln(1 + v) / ln(1 + max))` over the finite values
+/// (`max` is the largest finite non-negative density; negative densities
+/// clamp to 0 before the stretch). Non-finite bins render as 0 and are
+/// counted — never a panic, never a NaN pixel. Monotone: a larger finite
+/// density never produces a smaller pixel.
+pub fn tone_map(projected: &[f64]) -> (Vec<u8>, u64) {
+    let mut max = 0.0f64;
+    for &v in projected {
+        if v.is_finite() && v > max {
+            max = v;
+        }
+    }
+    let denom = (1.0 + max).ln();
+    let mut nonfinite = 0u64;
+    let pixels = projected
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                nonfinite += 1;
+                return 0u8;
+            }
+            let v = v.max(0.0);
+            let t = if denom > 0.0 {
+                (1.0 + v).ln() / denom
+            } else {
+                0.0
+            };
+            (t * 255.0).round() as u8
+        })
+        .collect();
+    (pixels, nonfinite)
+}
+
+/// One rendered frame: the 8-bit projection image plus its provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageFrame {
+    /// Simulation step that produced the frame.
+    pub step: u64,
+    /// Projection axis.
+    pub axis: Axis,
+    /// Image width in pixels.
+    pub width: u32,
+    /// Image height in pixels.
+    pub height: u32,
+    /// Row-major grayscale pixels (`width × height` bytes).
+    pub pixels: Vec<u8>,
+    /// Projected bins that were non-finite and rendered as 0.
+    pub nonfinite_pixels: u64,
+    /// Particles that survived LOD selection.
+    pub selected: u64,
+    /// Particles offered to LOD selection.
+    pub total: u64,
+    /// Byte budget the selection ran under (0 = unlimited).
+    pub byte_budget: u64,
+}
+
+impl ImageFrame {
+    /// Serialized PGM payload size in bytes.
+    pub fn pgm_bytes(&self) -> u64 {
+        encode_pgm(self.width, self.height, &self.pixels).len() as u64
+    }
+}
+
+/// Encode a grayscale image as binary PGM (`P5`), the compact deterministic
+/// payload of the HCIM container: a fixed ASCII header then the raw rows.
+pub fn encode_pgm(width: u32, height: u32, pixels: &[u8]) -> Vec<u8> {
+    assert_eq!(pixels.len(), width as usize * height as usize);
+    let mut out = format!("P5\n{width} {height}\n255\n").into_bytes();
+    out.extend_from_slice(pixels);
+    out
+}
+
+/// Decode a binary PGM produced by [`encode_pgm`]. Returns
+/// `(width, height, pixels)`, or `None` for anything that is not a
+/// bit-exact round-trip of the encoder's format (wrong magic, maxval,
+/// whitespace shape, or pixel count).
+pub fn decode_pgm(data: &[u8]) -> Option<(u32, u32, Vec<u8>)> {
+    let rest = data.strip_prefix(b"P5\n")?;
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let dims = std::str::from_utf8(&rest[..nl]).ok()?;
+    let (w, h) = dims.split_once(' ')?;
+    let width: u32 = w.parse().ok()?;
+    let height: u32 = h.parse().ok()?;
+    let rest = rest[nl + 1..].strip_prefix(b"255\n")?;
+    if rest.len() != width as usize * height as usize {
+        return None;
+    }
+    Some((width, height, rest.to_vec()))
+}
+
+/// Deposit + project one frame's density map. Returns the projected map and
+/// how many particles survived LOD selection.
+pub fn render_projection(
+    backend: &dyn Backend,
+    particles: &[Particle],
+    box_size: f64,
+    params: &RenderParams,
+) -> (Vec<f64>, u64) {
+    let selected = lod_select(particles, params.lod_seed, params.byte_budget);
+    let n_selected = selected.len() as u64;
+    let soa = ParticleSoA::from_aos(&selected);
+    let grid = cic_deposit_soa_det(backend, &soa, params.ng, box_size, RENDER_DEPOSIT_GRAIN);
+    (project_density(&grid, params.axis), n_selected)
+}
+
+/// Render one complete frame: LOD-select, deposit, project, tone-map.
+/// Stamps `render` telemetry (a per-frame span plus `frames` / `bytes` /
+/// `nonfinite_pixels` counters).
+pub fn render_frame(
+    backend: &dyn Backend,
+    particles: &[Particle],
+    box_size: f64,
+    params: &RenderParams,
+    step: u64,
+) -> ImageFrame {
+    let _span = telemetry::span!("render", "frame", step);
+    let (projected, selected) = render_projection(backend, particles, box_size, params);
+    let (pixels, nonfinite) = tone_map(&projected);
+    let frame = ImageFrame {
+        step,
+        axis: params.axis,
+        width: params.ng as u32,
+        height: params.ng as u32,
+        pixels,
+        nonfinite_pixels: nonfinite,
+        selected,
+        total: particles.len() as u64,
+        byte_budget: params.byte_budget,
+    };
+    telemetry::count!("render", "frames", 1);
+    telemetry::count!("render", "bytes", frame.pixels.len() as u64);
+    telemetry::count!("render", "nonfinite_pixels", nonfinite);
+    frame
+}
+
+/// Parse the shared render keys of a config section into `params`/`every`.
+fn configure_render(
+    config: &Config,
+    section: &str,
+    params: &mut RenderParams,
+    every: &mut usize,
+) -> Result<bool, ConfigError> {
+    if !config.has_section(section) {
+        return Ok(false);
+    }
+    let enabled = config.get_bool(section, "enabled").unwrap_or(false);
+    if let Ok(ng) = config.get_usize(section, "ng") {
+        params.ng = ng.max(1);
+    }
+    let axis_str = config.get_or(section, "axis", params.axis.label());
+    params.axis = axis_str.parse().map_err(|_| ConfigError::BadValue {
+        section: section.to_string(),
+        key: "axis".to_string(),
+        value: axis_str.to_string(),
+        wanted: "projection axis (x|y|z)",
+    })?;
+    if let Ok(b) = config.get_usize(section, "byte_budget") {
+        params.byte_budget = b as u64;
+    }
+    if let Ok(s) = config.get_usize(section, "lod_seed") {
+        params.lod_seed = s as u64;
+    }
+    if let Ok(e) = config.get_usize(section, "every") {
+        *every = e.max(1);
+    }
+    Ok(enabled)
+}
+
+/// The density-projection rendering task: one frame of the full particle
+/// distribution per eligible step.
+pub struct DensityRenderTask {
+    enabled: bool,
+    /// Rendering parameters.
+    pub params: RenderParams,
+    /// Run every this many steps (rendering is an every-step workload by
+    /// default — the cost profile the paper's Tables 3/4 never price).
+    pub every: usize,
+}
+
+impl Default for DensityRenderTask {
+    fn default() -> Self {
+        DensityRenderTask {
+            enabled: false,
+            params: RenderParams::default(),
+            every: 1,
+        }
+    }
+}
+
+impl DensityRenderTask {
+    /// New task (disabled unless configured).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InSituAlgorithm for DensityRenderTask {
+    fn name(&self) -> &str {
+        "density-render"
+    }
+
+    fn set_parameters(&mut self, config: &Config) -> Result<(), ConfigError> {
+        self.enabled =
+            configure_render(config, "density-render", &mut self.params, &mut self.every)?;
+        Ok(())
+    }
+
+    fn should_execute(&self, step: usize, total_steps: usize, _z: f64) -> bool {
+        self.enabled && (step.is_multiple_of(self.every) || step == total_steps)
+    }
+
+    fn execute(&mut self, ctx: &AnalysisContext<'_>) -> Vec<Product> {
+        let frame = render_frame(
+            ctx.backend,
+            ctx.particles,
+            ctx.box_size,
+            &self.params,
+            ctx.step as u64,
+        );
+        vec![Product::Image {
+            step: ctx.step,
+            frame,
+        }]
+    }
+}
+
+/// The halo-overlay rendering variant: the base density frame combined with
+/// a projection of only the halo member particles, per-pixel `max` — halos
+/// "light up" over the smooth density background. Runs after the halo finder
+/// in the manager's pipeline (it consumes `ctx.catalog`); with no catalog in
+/// context it degrades to the plain density frame.
+pub struct HaloOverlayRenderTask {
+    enabled: bool,
+    /// Rendering parameters (shared by base and overlay passes).
+    pub params: RenderParams,
+    /// Run every this many steps.
+    pub every: usize,
+}
+
+impl Default for HaloOverlayRenderTask {
+    fn default() -> Self {
+        HaloOverlayRenderTask {
+            enabled: false,
+            params: RenderParams::default(),
+            every: 1,
+        }
+    }
+}
+
+impl HaloOverlayRenderTask {
+    /// New task (disabled unless configured).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl InSituAlgorithm for HaloOverlayRenderTask {
+    fn name(&self) -> &str {
+        "halo-render"
+    }
+
+    fn set_parameters(&mut self, config: &Config) -> Result<(), ConfigError> {
+        self.enabled = configure_render(config, "halo-render", &mut self.params, &mut self.every)?;
+        Ok(())
+    }
+
+    fn should_execute(&self, step: usize, total_steps: usize, _z: f64) -> bool {
+        self.enabled && (step.is_multiple_of(self.every) || step == total_steps)
+    }
+
+    fn execute(&mut self, ctx: &AnalysisContext<'_>) -> Vec<Product> {
+        let mut frame = render_frame(
+            ctx.backend,
+            ctx.particles,
+            ctx.box_size,
+            &self.params,
+            ctx.step as u64,
+        );
+        if let Some(catalog) = ctx.catalog {
+            let members: Vec<Particle> = catalog
+                .halos
+                .iter()
+                .flat_map(|h| h.particles.iter().copied())
+                .collect();
+            if !members.is_empty() {
+                let overlay = render_frame(
+                    ctx.backend,
+                    &members,
+                    ctx.box_size,
+                    &self.params,
+                    ctx.step as u64,
+                );
+                for (p, o) in frame.pixels.iter_mut().zip(&overlay.pixels) {
+                    *p = (*p).max(*o);
+                }
+                frame.nonfinite_pixels += overlay.nonfinite_pixels;
+                frame.selected += overlay.selected;
+                frame.total += overlay.total;
+            }
+        }
+        vec![Product::Image {
+            step: ctx.step,
+            frame,
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::{Serial, StaticThreaded, Threaded};
+    use halo::{Halo, HaloCatalog};
+
+    fn particles(n: u64, box_size: f32) -> Vec<Particle> {
+        (0..n)
+            .map(|t| {
+                let f = t as f32;
+                Particle::at_rest(
+                    [
+                        (f * 0.619) % box_size,
+                        (f * 0.283) % box_size,
+                        (f * 0.997) % box_size,
+                    ],
+                    1.0 + (t % 3) as f32 * 0.5,
+                    t,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn axis_round_trips() {
+        for axis in Axis::ALL {
+            assert_eq!(Axis::from_code(axis.code()), Some(axis));
+            assert_eq!(axis.label().parse::<Axis>().unwrap(), axis);
+        }
+        assert_eq!(Axis::from_code(9), None);
+        assert!("w".parse::<Axis>().is_err());
+        assert_eq!(" Z ".parse::<Axis>().unwrap(), Axis::Z);
+    }
+
+    #[test]
+    fn lod_select_is_prefix_stable() {
+        let parts = particles(500, 16.0);
+        let big = lod_select(&parts, 7, 400 * PARTICLE_RENDER_BYTES);
+        let small = lod_select(&parts, 7, 100 * PARTICLE_RENDER_BYTES);
+        assert_eq!(big.len(), 400);
+        assert_eq!(small.len(), 100);
+        for (a, b) in small.iter().zip(&big) {
+            assert_eq!(a.tag, b.tag);
+        }
+    }
+
+    #[test]
+    fn lod_select_is_permutation_invariant() {
+        let parts = particles(300, 16.0);
+        let mut shuffled = parts.clone();
+        shuffled.reverse();
+        shuffled.swap(10, 200);
+        let a = lod_select(&parts, 3, 50 * PARTICLE_RENDER_BYTES);
+        let b = lod_select(&shuffled, 3, 50 * PARTICLE_RENDER_BYTES);
+        assert_eq!(
+            a.iter().map(|p| p.tag).collect::<Vec<_>>(),
+            b.iter().map(|p| p.tag).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing_and_zero_means_unlimited_is_distinct() {
+        let parts = particles(100, 16.0);
+        // budget 0 = unlimited.
+        assert_eq!(lod_select(&parts, 1, 0).len(), 100);
+        // A budget below one record selects nothing.
+        assert_eq!(lod_select(&parts, 1, PARTICLE_RENDER_BYTES - 1).len(), 0);
+    }
+
+    #[test]
+    fn tone_map_handles_nonfinite_and_is_monotone() {
+        let (px, bad) = tone_map(&[0.0, 1.0, f64::NAN, 10.0, f64::INFINITY, -3.0]);
+        assert_eq!(bad, 2);
+        assert_eq!(px[2], 0);
+        assert_eq!(px[4], 0);
+        assert_eq!(px[5], 0, "negative densities clamp to black");
+        assert!(px[0] <= px[1] && px[1] <= px[3]);
+        assert_eq!(px[3], 255, "max finite value maps to white");
+    }
+
+    #[test]
+    fn tone_map_all_zero_is_black() {
+        let (px, bad) = tone_map(&[0.0; 16]);
+        assert_eq!(bad, 0);
+        assert!(px.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn pgm_round_trips() {
+        let pixels: Vec<u8> = (0..12).map(|i| (i * 21) as u8).collect();
+        let enc = encode_pgm(4, 3, &pixels);
+        let (w, h, back) = decode_pgm(&enc).unwrap();
+        assert_eq!((w, h), (4, 3));
+        assert_eq!(back, pixels);
+        assert!(decode_pgm(b"P6\n1 1\n255\nx").is_none());
+        assert!(decode_pgm(&enc[..enc.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn frames_are_byte_identical_across_backends() {
+        let parts = particles(4097, 32.0);
+        let params = RenderParams {
+            ng: 16,
+            ..Default::default()
+        };
+        let reference = render_frame(&Serial, &parts, 32.0, &params, 5);
+        for backend in [&Threaded::new(4) as &dyn Backend, &StaticThreaded::new(3)] {
+            let got = render_frame(backend, &parts, 32.0, &params, 5);
+            assert_eq!(reference, got, "frame differs on {}", backend.name());
+        }
+    }
+
+    #[test]
+    fn projected_mass_matches_grid_sum() {
+        // Σ over the projection of (1+δ) along any axis touches every cell
+        // exactly once, so per-axis projections sum to the same total.
+        let parts = particles(1000, 32.0);
+        let soa = ParticleSoA::from_aos(&parts);
+        let grid = cic_deposit_soa_det(&Serial, &soa, 8, 32.0, RENDER_DEPOSIT_GRAIN);
+        let totals: Vec<f64> = Axis::ALL
+            .iter()
+            .map(|&a| project_density(&grid, a).iter().sum())
+            .collect();
+        for t in &totals {
+            assert!((t - totals[0]).abs() < 1e-9, "{totals:?}");
+        }
+    }
+
+    #[test]
+    fn density_task_config_schedule_and_products() {
+        let mut task = DensityRenderTask::new();
+        assert!(!task.should_execute(1, 10, 0.0), "disabled by default");
+        let cfg = Config::parse(
+            "[density-render]\nenabled = true\nng = 8\naxis = y\nbyte_budget = 3600\nlod_seed = 9\nevery = 2\n",
+        )
+        .unwrap();
+        task.set_parameters(&cfg).unwrap();
+        assert_eq!(task.params.ng, 8);
+        assert_eq!(task.params.axis, Axis::Y);
+        assert_eq!(task.params.byte_budget, 3600);
+        assert_eq!(task.params.lod_seed, 9);
+        assert!(task.should_execute(2, 10, 0.0));
+        assert!(!task.should_execute(3, 10, 0.0));
+        assert!(task.should_execute(10, 10, 0.0), "final step always runs");
+
+        let parts = particles(500, 16.0);
+        let ctx = AnalysisContext {
+            step: 2,
+            total_steps: 10,
+            redshift: 1.0,
+            particles: &parts,
+            box_size: 16.0,
+            backend: &Serial,
+            catalog: None,
+        };
+        let prods = task.execute(&ctx);
+        assert_eq!(prods.len(), 1);
+        match &prods[0] {
+            Product::Image { step, frame } => {
+                assert_eq!(*step, 2);
+                assert_eq!(frame.axis, Axis::Y);
+                assert_eq!(frame.selected, 100, "3600 B / 36 B per particle");
+                assert_eq!(frame.total, 500);
+                assert_eq!(frame.pixels.len(), 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_axis_in_config_is_an_error() {
+        let mut task = DensityRenderTask::new();
+        let cfg = Config::parse("[density-render]\nenabled = true\naxis = q\n").unwrap();
+        assert!(task.set_parameters(&cfg).is_err());
+    }
+
+    #[test]
+    fn halo_overlay_brightens_pixels_only() {
+        let parts = particles(800, 16.0);
+        let params = RenderParams {
+            ng: 8,
+            ..Default::default()
+        };
+        let base = render_frame(&Serial, &parts, 16.0, &params, 1);
+
+        // A dense clump as the sole halo.
+        let members: Vec<Particle> = (0..200)
+            .map(|t| Particle::at_rest([4.0 + (t % 5) as f32 * 0.1, 4.0, 4.0], 1.0, 10_000 + t))
+            .collect();
+        let mut catalog = HaloCatalog::new();
+        catalog.halos.push(Halo::from_particles(members));
+
+        let mut task = HaloOverlayRenderTask {
+            enabled: true,
+            params,
+            every: 1,
+        };
+        let ctx = AnalysisContext {
+            step: 1,
+            total_steps: 4,
+            redshift: 0.0,
+            particles: &parts,
+            box_size: 16.0,
+            backend: &Serial,
+            catalog: Some(&catalog),
+        };
+        let prods = task.execute(&ctx);
+        match &prods[0] {
+            Product::Image { frame, .. } => {
+                assert_eq!(frame.pixels.len(), base.pixels.len());
+                for (c, b) in frame.pixels.iter().zip(&base.pixels) {
+                    assert!(c >= b, "overlay must never darken a pixel");
+                }
+                assert!(frame.pixels != base.pixels, "overlay must change something");
+                assert_eq!(frame.total, 800 + 200);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn halo_overlay_without_catalog_is_plain_density() {
+        let parts = particles(300, 16.0);
+        let params = RenderParams {
+            ng: 8,
+            ..Default::default()
+        };
+        let mut task = HaloOverlayRenderTask {
+            enabled: true,
+            params,
+            every: 1,
+        };
+        let ctx = AnalysisContext {
+            step: 1,
+            total_steps: 4,
+            redshift: 0.0,
+            particles: &parts,
+            box_size: 16.0,
+            backend: &Serial,
+            catalog: None,
+        };
+        let base = render_frame(&Serial, &parts, 16.0, &params, 1);
+        match &task.execute(&ctx)[0] {
+            Product::Image { frame, .. } => assert_eq!(*frame, base),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

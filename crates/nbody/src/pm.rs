@@ -124,8 +124,31 @@ pub fn cic_deposit_soa(
     let grain = (particles.len() / backend.concurrency().max(1)).max(4096);
     backend.dispatch(particles.len(), grain, &|r| {
         let start = r.start;
-        let ngf = ng as f64;
         let mut local = vec![0.0f64; ncell];
+        deposit_chunk_soa(px, py, pz, masses, r, ng, box_size, &mut local);
+        partials.lock().push((start, local));
+    });
+    merge_and_normalize(partials.into_inner(), masses, ng)
+}
+
+/// Deposit particles `[r.start, r.end)` of the SoA columns into `local`
+/// (length `ng³`, zero-initialized by the caller). This is the exact chunk
+/// body of [`cic_deposit_soa`], factored out so the fixed-chunk deterministic
+/// variant ([`cic_deposit_soa_det`]) runs byte-for-byte the same per-chunk
+/// arithmetic.
+#[allow(clippy::too_many_arguments)]
+fn deposit_chunk_soa(
+    px: &[f32],
+    py: &[f32],
+    pz: &[f32],
+    masses: &[f32],
+    r: std::ops::Range<usize>,
+    ng: usize,
+    box_size: f64,
+    local: &mut [f64],
+) {
+    {
+        let ngf = ng as f64;
         // Per-block scratch lanes (stack-resident).
         let mut ux = [0.0f64; CIC_BLOCK];
         let mut uy = [0.0f64; CIC_BLOCK];
@@ -244,9 +267,18 @@ pub fn cic_deposit_soa(
             local[b11 + z0] += a11 * wz0;
             local[b11 + z1] += a11 * wz1;
         }
-        partials.lock().push((start, local));
-    });
-    let mut partials = partials.into_inner();
+    }
+}
+
+/// Merge per-chunk partial grids in ascending chunk-start order, then convert
+/// mass density to overdensity `δ = ρ/ρ̄ − 1` (identity when total mass is
+/// zero). Shared tail of every deposit variant.
+fn merge_and_normalize(
+    mut partials: Vec<(usize, Vec<f64>)>,
+    masses: &[f32],
+    ng: usize,
+) -> Grid3<f64> {
+    let ncell = ng * ng * ng;
     partials.sort_by_key(|(s, _)| *s);
     let mut rho = vec![0.0f64; ncell];
     for (_, local) in partials {
@@ -262,6 +294,51 @@ pub fn cic_deposit_soa(
         }
     }
     Grid3::from_vec([ng, ng, ng], rho)
+}
+
+/// Backend-independent deterministic variant of [`cic_deposit_soa`].
+///
+/// [`cic_deposit_soa`] sizes its chunks from `backend.concurrency()` (and
+/// `StaticThreaded::dispatch` ignores the grain entirely, pre-partitioning one
+/// block per worker), so the float-addition association of the chunk merge —
+/// and hence the low bits of the result — can differ between backends once an
+/// input spans multiple chunks. This variant partitions the particle range
+/// itself into fixed `grain`-sized chunks and dispatches over *chunk indices*,
+/// so the chunk set, each chunk's sequential arithmetic, and the sorted merge
+/// order are functions of `(n, grain)` only: every backend produces the same
+/// grid down to the last bit. The render pipeline deposits through this entry
+/// point so projected images byte-agree across Serial/Threaded/StaticThreaded
+/// (the `conformance::render` battery enforces it over the adversarial
+/// corpus).
+///
+/// The chunk count is additionally capped at 64 (`grain` is raised to
+/// `n/64` when needed) so partial-grid memory stays bounded on large inputs;
+/// the cap depends only on `n`, never on the backend.
+pub fn cic_deposit_soa_det(
+    backend: &dyn Backend,
+    particles: &ParticleSoA,
+    ng: usize,
+    box_size: f64,
+    grain: usize,
+) -> Grid3<f64> {
+    let ncell = ng * ng * ng;
+    assert!(ng <= i32::MAX as usize, "mesh size must fit i32 indices");
+    let n = particles.len();
+    let (px, py, pz) = (particles.pos_x(), particles.pos_y(), particles.pos_z());
+    let masses = particles.mass();
+    let grain = grain.max(1).max(n / 64);
+    let nchunks = n.div_ceil(grain);
+    let partials: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+    backend.dispatch(nchunks, 1, &|chunks| {
+        for c in chunks {
+            let lo = c * grain;
+            let hi = ((c + 1) * grain).min(n);
+            let mut local = vec![0.0f64; ncell];
+            deposit_chunk_soa(px, py, pz, masses, lo..hi, ng, box_size, &mut local);
+            partials.lock().push((lo, local));
+        }
+    });
+    merge_and_normalize(partials.into_inner(), masses, ng)
 }
 
 /// Solve `∇²φ = (3 Ω/2a) δ` on the periodic mesh and return the acceleration
@@ -464,6 +541,70 @@ mod tests {
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
+    }
+
+    #[test]
+    fn det_deposit_matches_serial_soa_single_chunk() {
+        // With one chunk the det variant is literally the same computation as
+        // the dynamic-grain deposit on Serial.
+        let parts: Vec<Particle> = (0..1000)
+            .map(|i| {
+                let f = i as f32;
+                Particle::at_rest(
+                    [(f * 0.37) % 32.0, (f * 0.71) % 32.0, (f * 0.13) % 32.0],
+                    1.0 + (i % 5) as f32 * 0.5,
+                    i,
+                )
+            })
+            .collect();
+        let soa = ParticleSoA::from_aos(&parts);
+        let a = cic_deposit_soa(&Serial, &soa, 16, 32.0);
+        let b = cic_deposit_soa_det(&Serial, &soa, 16, 32.0, 4096);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn det_deposit_is_byte_identical_across_backends_multi_chunk() {
+        use crate::soa::ParticleSoA;
+        use dpp::StaticThreaded;
+        // 4097 particles with grain 512 → 9 chunks: the case where dynamic
+        // chunking diverges between backends. The det variant must not.
+        let parts: Vec<Particle> = (0..4097)
+            .map(|i| {
+                let f = i as f32;
+                Particle::at_rest(
+                    [(f * 0.619) % 32.0, (f * 0.283) % 32.0, (f * 0.997) % 32.0],
+                    0.5 + (i % 11) as f32 * 0.125,
+                    i,
+                )
+            })
+            .collect();
+        let soa = ParticleSoA::from_aos(&parts);
+        let reference = cic_deposit_soa_det(&Serial, &soa, 16, 32.0, 512);
+        for backend in [
+            &Threaded::new(4) as &dyn Backend,
+            &Threaded::new(1),
+            &StaticThreaded::new(3),
+        ] {
+            let got = cic_deposit_soa_det(backend, &soa, 16, 32.0, 512);
+            for (x, y) in reference.as_slice().iter().zip(got.as_slice()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "det deposit differs on {}",
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn det_deposit_empty_input_is_zero_grid() {
+        let soa = ParticleSoA::new();
+        let g = cic_deposit_soa_det(&Serial, &soa, 4, 8.0, 4096);
+        assert!(g.as_slice().iter().all(|v| *v == 0.0));
     }
 
     #[test]

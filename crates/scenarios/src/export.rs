@@ -125,6 +125,7 @@ mod tests {
     use super::*;
     use crate::grammar::{
         AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, SchedulerKind, Strategy,
+        WorkloadKind,
     };
     use crate::sweep::{run_sweep, SweepConfig};
 
@@ -136,6 +137,7 @@ mod tests {
                 AxisSet::full()
                     .machines([MachineKind::Titan])
                     .loads([LoadRegime::Light])
+                    .workloads([WorkloadKind::Halos])
                     .strategies([Strategy::InSitu, Strategy::OffLine])
                     .faults([FaultPlanKind::None])
                     .schedulers([SchedulerKind::Fcfs]),
@@ -155,8 +157,8 @@ mod tests {
     #[test]
     fn json_has_every_scenario_and_metric() {
         let j = to_json(&tiny_result());
-        assert!(j.contains("\"titan/light/in-situ/none/fcfs\""));
-        assert!(j.contains("\"titan/light/off-line/none/fcfs\""));
+        assert!(j.contains("\"titan/light/halos/in-situ/none/fcfs\""));
+        assert!(j.contains("\"titan/light/halos/off-line/none/fcfs\""));
         for m in METRIC_NAMES {
             assert!(j.contains(&format!("\"{m}\"")), "missing {m}");
         }
@@ -176,6 +178,10 @@ mod tests {
     #[test]
     fn table_lists_each_scenario_once() {
         let t = summary_table(&tiny_result());
-        assert_eq!(t.matches("titan/light/in-situ/none/fcfs").count(), 1, "{t}");
+        assert_eq!(
+            t.matches("titan/light/halos/in-situ/none/fcfs").count(),
+            1,
+            "{t}"
+        );
     }
 }

@@ -1,9 +1,9 @@
 //! The scenario grammar: an enumerable, composable language over the axes
-//! the paper hand-picked — machine × load regime × workflow strategy ×
-//! fault plan × scheduler policy.
+//! the paper hand-picked — machine × load regime × analysis workload ×
+//! workflow strategy × fault plan × scheduler policy.
 //!
-//! Every [`Scenario`] has a stable canonical ID: the five axis tokens joined
-//! with `/`, e.g. `titan/light/co-scheduled/none/easy`. IDs round-trip
+//! Every [`Scenario`] has a stable canonical ID: the six axis tokens joined
+//! with `/`, e.g. `titan/light/halos/co-scheduled/none/easy`. IDs round-trip
 //! through [`std::str::FromStr`], and [`Grammar::expand`] returns scenarios
 //! deduplicated and sorted by ID, so the swept space is identical run to run
 //! whatever order blocks and excludes were declared in.
@@ -79,6 +79,18 @@ axis_enum! {
 }
 
 axis_enum! {
+    /// Which in-situ product family the campaign's analysis produces.
+    WorkloadKind {
+        /// Halo catalogs: FOF identification plus center finding — the
+        /// paper's compute-bound analysis workload.
+        Halos => "halos",
+        /// Streaming visualization: one density-projection frame per
+        /// simulation step — bandwidth-bound, priced on the interconnect.
+        Render => "render",
+    }
+}
+
+axis_enum! {
     /// The five Table 3/4 workflow strategies, plus the streaming
     /// in-transit variant backed by the distributed artifact store.
     Strategy {
@@ -136,6 +148,8 @@ pub struct Scenario {
     pub machine: MachineKind,
     /// Campaign size and background pressure.
     pub load: LoadRegime,
+    /// Analysis product family.
+    pub workload: WorkloadKind,
     /// Workflow strategy.
     pub strategy: Strategy,
     /// Fault environment.
@@ -145,11 +159,11 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Canonical ID: the five axis tokens joined with `/`.
+    /// Canonical ID: the six axis tokens joined with `/`.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/{}/{}",
-            self.machine, self.load, self.strategy, self.faults, self.scheduler
+            "{}/{}/{}/{}/{}/{}",
+            self.machine, self.load, self.workload, self.strategy, self.faults, self.scheduler
         )
     }
 }
@@ -175,12 +189,12 @@ impl fmt::Display for ScenarioParseError {
 
 impl std::error::Error for ScenarioParseError {}
 
-fn five_tokens(s: &str) -> Result<[&str; 5], ScenarioParseError> {
+fn six_tokens(s: &str) -> Result<[&str; 6], ScenarioParseError> {
     let parts: Vec<&str> = s.split('/').collect();
-    match <[&str; 5]>::try_from(parts) {
+    match <[&str; 6]>::try_from(parts) {
         Ok(p) => Ok(p),
         Err(p) => Err(ScenarioParseError {
-            message: format!("`{s}` has {} `/`-separated tokens, expected 5", p.len()),
+            message: format!("`{s}` has {} `/`-separated tokens, expected 6", p.len()),
         }),
     }
 }
@@ -195,10 +209,11 @@ impl FromStr for Scenario {
     type Err = ScenarioParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let [m, l, st, f, sc] = five_tokens(s)?;
+        let [m, l, w, st, f, sc] = six_tokens(s)?;
         Ok(Scenario {
             machine: MachineKind::parse_token(m).ok_or_else(|| bad_token("machine", m))?,
             load: LoadRegime::parse_token(l).ok_or_else(|| bad_token("load", l))?,
+            workload: WorkloadKind::parse_token(w).ok_or_else(|| bad_token("workload", w))?,
             strategy: Strategy::parse_token(st).ok_or_else(|| bad_token("strategy", st))?,
             faults: FaultPlanKind::parse_token(f).ok_or_else(|| bad_token("fault", f))?,
             scheduler: SchedulerKind::parse_token(sc).ok_or_else(|| bad_token("scheduler", sc))?,
@@ -208,13 +223,15 @@ impl FromStr for Scenario {
 
 /// A wildcard-able scenario matcher: each axis is either a fixed value or
 /// `*`. Parse with the same `/`-separated syntax as IDs, e.g.
-/// `titan/*/*/storm/*`.
+/// `titan/*/*/*/storm/*`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Pattern {
     /// `None` matches any machine.
     pub machine: Option<MachineKind>,
     /// `None` matches any load regime.
     pub load: Option<LoadRegime>,
+    /// `None` matches any workload.
+    pub workload: Option<WorkloadKind>,
     /// `None` matches any strategy.
     pub strategy: Option<Strategy>,
     /// `None` matches any fault plan.
@@ -228,6 +245,7 @@ impl Pattern {
     pub fn matches(&self, s: &Scenario) -> bool {
         self.machine.is_none_or(|m| m == s.machine)
             && self.load.is_none_or(|l| l == s.load)
+            && self.workload.is_none_or(|w| w == s.workload)
             && self.strategy.is_none_or(|st| st == s.strategy)
             && self.faults.is_none_or(|f| f == s.faults)
             && self.scheduler.is_none_or(|sc| sc == s.scheduler)
@@ -250,10 +268,11 @@ impl FromStr for Pattern {
     type Err = ScenarioParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let [m, l, st, f, sc] = five_tokens(s)?;
+        let [m, l, w, st, f, sc] = six_tokens(s)?;
         Ok(Pattern {
             machine: parse_axis("machine", m, MachineKind::parse_token)?,
             load: parse_axis("load", l, LoadRegime::parse_token)?,
+            workload: parse_axis("workload", w, WorkloadKind::parse_token)?,
             strategy: parse_axis("strategy", st, Strategy::parse_token)?,
             faults: parse_axis("fault", f, FaultPlanKind::parse_token)?,
             scheduler: parse_axis("scheduler", sc, SchedulerKind::parse_token)?,
@@ -268,9 +287,10 @@ impl fmt::Display for Pattern {
         }
         write!(
             f,
-            "{}/{}/{}/{}/{}",
+            "{}/{}/{}/{}/{}/{}",
             tok(self.machine, MachineKind::token),
             tok(self.load, LoadRegime::token),
+            tok(self.workload, WorkloadKind::token),
             tok(self.strategy, Strategy::token),
             tok(self.faults, FaultPlanKind::token),
             tok(self.scheduler, SchedulerKind::token),
@@ -287,6 +307,8 @@ pub struct AxisSet {
     pub machines: Vec<MachineKind>,
     /// Load regimes in this block.
     pub loads: Vec<LoadRegime>,
+    /// Workloads in this block.
+    pub workloads: Vec<WorkloadKind>,
     /// Strategies in this block.
     pub strategies: Vec<Strategy>,
     /// Fault plans in this block.
@@ -301,10 +323,17 @@ impl AxisSet {
         AxisSet {
             machines: MachineKind::ALL.to_vec(),
             loads: LoadRegime::ALL.to_vec(),
+            workloads: WorkloadKind::ALL.to_vec(),
             strategies: Strategy::ALL.to_vec(),
             faults: FaultPlanKind::ALL.to_vec(),
             schedulers: SchedulerKind::ALL.to_vec(),
         }
+    }
+
+    /// Restrict the workload axis (builder style).
+    pub fn workloads(mut self, v: impl IntoIterator<Item = WorkloadKind>) -> Self {
+        self.workloads = v.into_iter().collect();
+        self
     }
 
     /// Restrict the machine axis (builder style).
@@ -340,14 +369,17 @@ impl AxisSet {
     fn scenarios(&self) -> impl Iterator<Item = Scenario> + '_ {
         self.machines.iter().flat_map(move |&machine| {
             self.loads.iter().flat_map(move |&load| {
-                self.strategies.iter().flat_map(move |&strategy| {
-                    self.faults.iter().flat_map(move |&faults| {
-                        self.schedulers.iter().map(move |&scheduler| Scenario {
-                            machine,
-                            load,
-                            strategy,
-                            faults,
-                            scheduler,
+                self.workloads.iter().flat_map(move |&workload| {
+                    self.strategies.iter().flat_map(move |&strategy| {
+                        self.faults.iter().flat_map(move |&faults| {
+                            self.schedulers.iter().map(move |&scheduler| Scenario {
+                                machine,
+                                load,
+                                workload,
+                                strategy,
+                                faults,
+                                scheduler,
+                            })
                         })
                     })
                 })
@@ -408,9 +440,9 @@ impl Grammar {
         by_id.into_values().collect()
     }
 
-    /// The CI smoke grammar: Titan, light load, all six strategies, quiet
-    /// and transient fault plans, the Titan policy plus the four zoo
-    /// disciplines — 60 scenarios.
+    /// The CI smoke grammar: Titan, light load, both workloads, all six
+    /// strategies, quiet and transient fault plans, the Titan policy plus
+    /// the four zoo disciplines — 120 scenarios.
     pub fn smoke() -> Self {
         Grammar::new().with_block(
             AxisSet::full()
@@ -428,10 +460,10 @@ impl Grammar {
     }
 
     /// The full sweep grammar: Titan and Moonlight across every load,
-    /// strategy, fault plan, and scheduler, plus the burst-buffer machine on
-    /// both in-transit strategies (whole-file and streamed), minus both
-    /// in-transit variants on Moonlight (no burst-buffer story there) —
-    /// 648 scenarios.
+    /// workload, strategy, fault plan, and scheduler, plus the burst-buffer
+    /// machine on both in-transit strategies (whole-file and streamed),
+    /// minus both in-transit variants on Moonlight (no burst-buffer story
+    /// there) — 1296 scenarios.
     pub fn full() -> Self {
         Grammar::new()
             .with_block(AxisSet::full().machines([MachineKind::Titan, MachineKind::Moonlight]))
@@ -471,8 +503,17 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_ids() {
         assert!("titan/light".parse::<Scenario>().is_err());
-        assert!("titan/light/in-situ/none/warp".parse::<Scenario>().is_err());
-        assert!("xyzzy/light/in-situ/none/easy".parse::<Scenario>().is_err());
+        // Five-token IDs from before the workload axis no longer parse.
+        assert!("titan/light/in-situ/none/easy".parse::<Scenario>().is_err());
+        assert!("titan/light/halos/in-situ/none/warp"
+            .parse::<Scenario>()
+            .is_err());
+        assert!("titan/light/teapots/in-situ/none/easy"
+            .parse::<Scenario>()
+            .is_err());
+        assert!("xyzzy/light/halos/in-situ/none/easy"
+            .parse::<Scenario>()
+            .is_err());
     }
 
     #[test]
@@ -480,6 +521,7 @@ mod tests {
         let block = AxisSet::full()
             .machines([MachineKind::Titan])
             .loads([LoadRegime::Light])
+            .workloads([WorkloadKind::Halos])
             .strategies([Strategy::InSitu])
             .faults([FaultPlanKind::None])
             .schedulers([SchedulerKind::Easy]);
@@ -491,19 +533,22 @@ mod tests {
 
     #[test]
     fn excludes_remove_matching_scenarios() {
-        let g = Grammar::smoke().without("*/*/*/transient/*".parse().unwrap());
+        let g = Grammar::smoke().without("*/*/*/*/transient/*".parse().unwrap());
         let scenarios = g.expand();
-        assert_eq!(scenarios.len(), 30);
+        assert_eq!(scenarios.len(), 60);
         assert!(scenarios.iter().all(|s| s.faults == FaultPlanKind::None));
     }
 
     #[test]
     fn smoke_grammar_spans_the_required_space() {
         let scenarios = Grammar::smoke().expand();
-        assert_eq!(scenarios.len(), 60);
+        assert_eq!(scenarios.len(), 120);
         let strategies: std::collections::BTreeSet<_> =
             scenarios.iter().map(|s| s.strategy).collect();
         assert_eq!(strategies.len(), Strategy::ALL.len());
+        let workloads: std::collections::BTreeSet<_> =
+            scenarios.iter().map(|s| s.workload).collect();
+        assert_eq!(workloads.len(), WorkloadKind::ALL.len());
         let schedulers: std::collections::BTreeSet<_> =
             scenarios.iter().map(|s| s.scheduler).collect();
         assert_eq!(schedulers.len(), 5, "titan policy + four zoo disciplines");
@@ -512,9 +557,9 @@ mod tests {
     #[test]
     fn full_grammar_excludes_moonlight_in_transit() {
         let scenarios = Grammar::full().expand();
-        // 2 machines × full cross (648) + titan-bb × both in-transit
-        // variants (108) − moonlight × both in-transit variants (108).
-        assert_eq!(scenarios.len(), 648);
+        // 2 machines × full cross (1296) + titan-bb × both in-transit
+        // variants (216) − moonlight × both in-transit variants (216).
+        assert_eq!(scenarios.len(), 1296);
         for strat in [Strategy::InTransit, Strategy::InTransitStream] {
             assert!(!scenarios
                 .iter()
@@ -527,9 +572,25 @@ mod tests {
 
     #[test]
     fn pattern_round_trips_with_wildcards() {
-        let p: Pattern = "titan/*/co-scheduled/*/fair-share".parse().unwrap();
-        assert_eq!(p.to_string(), "titan/*/co-scheduled/*/fair-share");
-        assert!(p.matches(&"titan/light/co-scheduled/none/fair-share".parse().unwrap()));
-        assert!(!p.matches(&"rhea/light/co-scheduled/none/fair-share".parse().unwrap()));
+        let p: Pattern = "titan/*/*/co-scheduled/*/fair-share".parse().unwrap();
+        assert_eq!(p.to_string(), "titan/*/*/co-scheduled/*/fair-share");
+        assert!(p.matches(
+            &"titan/light/halos/co-scheduled/none/fair-share"
+                .parse()
+                .unwrap()
+        ));
+        assert!(p.matches(
+            &"titan/light/render/co-scheduled/none/fair-share"
+                .parse()
+                .unwrap()
+        ));
+        assert!(!p.matches(
+            &"rhea/light/halos/co-scheduled/none/fair-share"
+                .parse()
+                .unwrap()
+        ));
+        let wp: Pattern = "*/*/render/*/*/*".parse().unwrap();
+        assert!(wp.matches(&"titan/light/render/in-situ/none/easy".parse().unwrap()));
+        assert!(!wp.matches(&"titan/light/halos/in-situ/none/easy".parse().unwrap()));
     }
 }

@@ -4,9 +4,9 @@
 //! this crate replaces them with an enumerable space swept at statistical
 //! scale on the virtual clock:
 //!
-//! * a composable **grammar** over `machine × load × strategy × fault plan ×
-//!   scheduler`, with canonical round-trippable scenario IDs and
-//!   duplicate-free, order-stable expansion ([`grammar`]);
+//! * a composable **grammar** over `machine × load × workload × strategy ×
+//!   fault plan × scheduler`, with canonical round-trippable scenario IDs
+//!   and duplicate-free, order-stable expansion ([`grammar`]);
 //! * a **run executor** that drives each scenario through the Titan-frame
 //!   cost model and the `simhpc` batch simulator ([`run`]);
 //! * a **multi-seed sweep runner** with a deterministic seed ladder and
@@ -39,7 +39,7 @@ pub mod workload;
 
 pub use grammar::{
     AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, Pattern, Scenario,
-    ScenarioParseError, SchedulerKind, Strategy,
+    ScenarioParseError, SchedulerKind, Strategy, WorkloadKind,
 };
 pub use run::{execute, RunMetrics, METRIC_NAMES};
 pub use stats::{summarize, Summary};

@@ -6,11 +6,11 @@
 //! [`simhpc::BatchSimulator`] under the scenario's queue discipline and
 //! fault plan. Everything is deterministic per (scenario, seed).
 
-use crate::grammar::{FaultPlanKind, MachineKind, Scenario, SchedulerKind, Strategy};
+use crate::grammar::{FaultPlanKind, MachineKind, Scenario, SchedulerKind, Strategy, WorkloadKind};
 use crate::workload::{self, Workload};
 use faults::{BackoffPolicy, FaultPlan, SiteSpec};
 use hacc_core::cost::WorkflowCost;
-use hacc_core::model::TitanFrame;
+use hacc_core::model::{RenderProfile, TitanFrame};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simhpc::{
@@ -21,6 +21,14 @@ use simhpc::{
 /// enough for real queue contention, small enough that a 1000-run sweep
 /// stays instant (the same cap `campaign_mean_result_time` uses).
 const NODE_CAP: usize = 2_048;
+
+/// Image edge (pixels) of the per-step density projection when the
+/// scenario's workload is [`WorkloadKind::Render`].
+const RENDER_NG: usize = 512;
+
+/// Simulation steps — and therefore rendered frames — per snapshot under
+/// the render workload.
+const RENDER_STEPS_PER_SNAPSHOT: u64 = 50;
 
 impl MachineKind {
     /// The `simhpc` machine preset, capped at [`NODE_CAP`] nodes.
@@ -123,7 +131,8 @@ impl RunMetrics {
 }
 
 /// Pick the scenario's workflow cost projection, adapting post-processing
-/// kernel time when the analysis runs on a slower (or GPU-less) machine.
+/// kernel time when the analysis runs on a slower (or GPU-less) machine and
+/// adding the per-step frame stream when the workload is visualization.
 fn projected_cost(frame: &TitanFrame, w: &Workload, scenario: &Scenario) -> WorkflowCost {
     let all = frame.workflow_costs_all(&w.spec);
     let idx = match scenario.strategy {
@@ -137,6 +146,13 @@ fn projected_cost(frame: &TitanFrame, w: &Workload, scenario: &Scenario) -> Work
     };
     let mut cost = all.into_iter().nth(idx).expect("five strategies");
     let target = scenario.machine.spec();
+    if scenario.workload == WorkloadKind::Render {
+        // The render workload ships one image per simulation step off the
+        // compute partition: bandwidth-bound time on the interconnect,
+        // charged to the simulation job's write phase.
+        let profile = RenderProfile::every_step(RENDER_NG, RENDER_STEPS_PER_SNAPSHOT);
+        cost.simulation.phases.write += profile.stream_seconds(&target.net);
+    }
     let speed_ratio = frame.titan.analysis_speed() / target.analysis_speed();
     if (speed_ratio - 1.0).abs() > 1e-9 {
         for post in &mut cost.post {
@@ -305,6 +321,7 @@ mod tests {
         Scenario {
             machine: MachineKind::Titan,
             load: LoadRegime::Light,
+            workload: WorkloadKind::Halos,
             strategy,
             faults: FaultPlanKind::None,
             scheduler,
@@ -356,6 +373,27 @@ mod tests {
         let storm = execute(&stormy, 9);
         assert_eq!(quiet.wasted_node_seconds, 0.0);
         assert!(storm.wasted_node_seconds > 0.0);
+    }
+
+    #[test]
+    fn render_workload_pays_for_the_frame_stream() {
+        let halos = scenario(Strategy::CoScheduled, SchedulerKind::Easy);
+        let mut render = halos;
+        render.workload = WorkloadKind::Render;
+        let h = execute(&halos, 7);
+        let r = execute(&render, 7);
+        // Same jobs, same queue, but every simulation step also streams a
+        // frame across the interconnect — the campaign must take longer.
+        assert!(
+            r.makespan_seconds > h.makespan_seconds,
+            "render {} vs halos {}",
+            r.makespan_seconds,
+            h.makespan_seconds
+        );
+        assert!(r.mean_result_seconds > h.mean_result_seconds);
+        // The write phase is charged as analysis output (Table 3
+        // convention), so the frame stream shows up in core-hours too.
+        assert!(r.analysis_core_hours > h.analysis_core_hours);
     }
 
     #[test]

@@ -124,7 +124,7 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
 mod tests {
     use super::*;
     use crate::grammar::{
-        AxisSet, FaultPlanKind, LoadRegime, MachineKind, SchedulerKind, Strategy,
+        AxisSet, FaultPlanKind, LoadRegime, MachineKind, SchedulerKind, Strategy, WorkloadKind,
     };
 
     fn tiny_grammar() -> Grammar {
@@ -132,6 +132,7 @@ mod tests {
             AxisSet::full()
                 .machines([MachineKind::Titan])
                 .loads([LoadRegime::Light])
+                .workloads([WorkloadKind::Halos])
                 .strategies([Strategy::InSitu, Strategy::CoScheduled])
                 .faults([FaultPlanKind::None])
                 .schedulers([SchedulerKind::Easy, SchedulerKind::FairShare]),
@@ -140,11 +141,27 @@ mod tests {
 
     #[test]
     fn seed_ladder_is_stable_and_collision_resistant() {
-        let a = scenario_seed(1, "titan/light/in-situ/none/easy", 0);
-        assert_eq!(a, scenario_seed(1, "titan/light/in-situ/none/easy", 0));
-        assert_ne!(a, scenario_seed(1, "titan/light/in-situ/none/easy", 1));
-        assert_ne!(a, scenario_seed(1, "titan/light/in-situ/none/fcfs", 0));
-        assert_ne!(a, scenario_seed(2, "titan/light/in-situ/none/easy", 0));
+        let a = scenario_seed(1, "titan/light/halos/in-situ/none/easy", 0);
+        assert_eq!(
+            a,
+            scenario_seed(1, "titan/light/halos/in-situ/none/easy", 0)
+        );
+        assert_ne!(
+            a,
+            scenario_seed(1, "titan/light/halos/in-situ/none/easy", 1)
+        );
+        assert_ne!(
+            a,
+            scenario_seed(1, "titan/light/halos/in-situ/none/fcfs", 0)
+        );
+        assert_ne!(
+            a,
+            scenario_seed(1, "titan/light/render/in-situ/none/easy", 0)
+        );
+        assert_ne!(
+            a,
+            scenario_seed(2, "titan/light/halos/in-situ/none/easy", 0)
+        );
     }
 
     #[test]

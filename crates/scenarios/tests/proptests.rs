@@ -6,20 +6,22 @@ use proptest::prelude::*;
 use scenarios::Strategy as Workflow;
 use scenarios::{
     summarize, AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, Pattern, Scenario,
-    SchedulerKind,
+    SchedulerKind, WorkloadKind,
 };
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
         0..MachineKind::ALL.len(),
         0..LoadRegime::ALL.len(),
+        0..WorkloadKind::ALL.len(),
         0..Workflow::ALL.len(),
         0..FaultPlanKind::ALL.len(),
         0..SchedulerKind::ALL.len(),
     )
-        .prop_map(|(m, l, st, f, sc)| Scenario {
+        .prop_map(|(m, l, w, st, f, sc)| Scenario {
             machine: MachineKind::ALL[m],
             load: LoadRegime::ALL[l],
+            workload: WorkloadKind::ALL[w],
             strategy: Workflow::ALL[st],
             faults: FaultPlanKind::ALL[f],
             scheduler: SchedulerKind::ALL[sc],
@@ -36,14 +38,16 @@ fn arb_axis_set() -> impl Strategy<Value = AxisSet> {
     (
         arb_indices(MachineKind::ALL.len()),
         arb_indices(LoadRegime::ALL.len()),
+        arb_indices(WorkloadKind::ALL.len()),
         arb_indices(Workflow::ALL.len()),
         arb_indices(FaultPlanKind::ALL.len()),
         arb_indices(SchedulerKind::ALL.len()),
     )
-        .prop_map(|(m, l, st, f, sc)| {
+        .prop_map(|(m, l, w, st, f, sc)| {
             AxisSet::full()
                 .machines(m.into_iter().map(|i| MachineKind::ALL[i]))
                 .loads(l.into_iter().map(|i| LoadRegime::ALL[i]))
+                .workloads(w.into_iter().map(|i| WorkloadKind::ALL[i]))
                 .strategies(st.into_iter().map(|i| Workflow::ALL[i]))
                 .faults(f.into_iter().map(|i| FaultPlanKind::ALL[i]))
                 .schedulers(sc.into_iter().map(|i| SchedulerKind::ALL[i]))
@@ -58,6 +62,10 @@ fn arb_exclude() -> impl Strategy<Value = Pattern> {
         ],
         prop_oneof![
             Just(None),
+            (0..WorkloadKind::ALL.len()).prop_map(|i| Some(WorkloadKind::ALL[i]))
+        ],
+        prop_oneof![
+            Just(None),
             (0..Workflow::ALL.len()).prop_map(|i| Some(Workflow::ALL[i]))
         ],
         prop_oneof![
@@ -65,8 +73,9 @@ fn arb_exclude() -> impl Strategy<Value = Pattern> {
             (0..SchedulerKind::ALL.len()).prop_map(|i| Some(SchedulerKind::ALL[i]))
         ],
     )
-        .prop_map(|(machine, strategy, scheduler)| Pattern {
+        .prop_map(|(machine, workload, strategy, scheduler)| Pattern {
             machine,
+            workload,
             strategy,
             scheduler,
             ..Pattern::default()

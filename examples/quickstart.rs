@@ -112,6 +112,16 @@ fn main() {
             Product::Subhalos { step, counts } => {
                 println!("subhalos @ step {step}: {} parents searched", counts.len());
             }
+            Product::Image { step, frame } => {
+                println!(
+                    "frame @ step {step}: {}x{} {}-axis projection ({} of {} particles)",
+                    frame.width,
+                    frame.height,
+                    frame.axis.label(),
+                    frame.selected,
+                    frame.total
+                );
+            }
         }
     }
 

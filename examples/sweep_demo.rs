@@ -11,7 +11,7 @@
 
 use scenarios::{
     export, run_sweep, AxisSet, FaultPlanKind, Grammar, LoadRegime, MachineKind, SchedulerKind,
-    SweepConfig,
+    SweepConfig, WorkloadKind,
 };
 
 fn main() {
@@ -19,6 +19,7 @@ fn main() {
         AxisSet::full()
             .machines([MachineKind::Titan])
             .loads([LoadRegime::Light])
+            .workloads([WorkloadKind::Halos])
             .faults([FaultPlanKind::Transient])
             .schedulers([SchedulerKind::TitanPolicy, SchedulerKind::Easy]),
     );
@@ -42,9 +43,9 @@ fn main() {
             .expect("swept scenario")
             .mean
     };
-    let cosched = pick("titan/light/co-scheduled/transient/easy");
-    let simple = pick("titan/light/simple/transient/easy");
-    let titan_q = pick("titan/light/simple/transient/titan-policy");
+    let cosched = pick("titan/light/halos/co-scheduled/transient/easy");
+    let simple = pick("titan/light/halos/simple/transient/easy");
+    let titan_q = pick("titan/light/halos/simple/transient/titan-policy");
     println!();
     println!(
         "mean time-to-science under EASY: co-scheduled {cosched:.0} s vs simple {simple:.0} s \

@@ -40,7 +40,7 @@ fn main() {
     // The setup is named by the scenario grammar: the medium load regime is
     // the historical workflow_compare configuration (32³ particles, 30
     // steps, 8 ranks). Swap the ID to resize the whole experiment.
-    let scenario: Scenario = "titan/medium/co-scheduled/none/titan-policy"
+    let scenario: Scenario = "titan/medium/halos/co-scheduled/none/titan-policy"
         .parse()
         .expect("valid scenario id");
     let mut cfg = scenario.load.runner_config(77);

@@ -58,6 +58,17 @@ store-demo:
 store:
     cargo test -q --release --test store
 
+# In-situ visualization demo: every-step density render through the
+# CosmoTools task, final frame as HCIM + ASCII, render-phase cost line.
+render-demo:
+    cargo run --release --example density_render
+
+# The render chaos suite: fault-storm byte-identity, exactly-once frame
+# listener crash/restart, warm re-runs with zero re-renders (CI sweeps
+# CHAOS_SEED 1-3).
+render:
+    cargo test -q --release --test render
+
 # Fast conformance suite: differential backends, physics oracles, bounded
 # crash-schedule exploration, listener regressions, golden fixtures.
 conformance:

@@ -111,6 +111,28 @@ fn layout_rewrites_agree_with_row_references() {
     );
 }
 
+/// The in-situ visualization battery: every backend renders byte-identical
+/// frames over the adversarial corpus, and the permutation / projected-mass /
+/// LOD-monotonicity / axis-relabel metamorphic oracles all hold.
+#[test]
+fn render_battery_backends_and_oracles_agree() {
+    let report = conformance::assert_render_conformance();
+    for oracle in conformance::REQUIRED_RENDER_ORACLES {
+        let checks = report.checks_by_op.get(oracle).copied().unwrap_or(0);
+        assert!(checks > 0, "render battery ran zero checks for `{oracle}`");
+    }
+    assert!(
+        report.checks > 400,
+        "render corpus collapsed to {} checks",
+        report.checks
+    );
+    assert!(
+        report.backends.len() >= 5,
+        "expected the full backend roster, got {:?}",
+        report.backends
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Metamorphic physics oracles
 // ---------------------------------------------------------------------------
@@ -158,6 +180,26 @@ fn crash_schedules_recover_exactly_once() {
         "only {} schedules explored (expected at least {expected_min})",
         report.schedules.len()
     );
+}
+
+/// The render half of the crash story: a record pass enumerates every
+/// `render.*` site the co-scheduled workflow reaches, then a sweep crashes
+/// each `(site, hit)` — every schedule must lose exactly the crashed frame,
+/// recover a byte-identical catalog on a warm re-run, and leave a steady
+/// re-run with zero frames to recompute.
+#[test]
+fn render_crash_schedules_recover_every_frame() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = conformance::RenderExplorerConfig::new(scratch("render-explorer"));
+    cfg.seed = conf_seed();
+    if exhaustive_requested() {
+        cfg.nsteps = 12;
+    }
+    let report = conformance::explore_render(&cfg);
+    report.assert_exhaustive();
+    // One frame per step, one schedule per frame: 100% of reached hits.
+    assert_eq!(report.reference.len(), cfg.nsteps);
+    assert_eq!(report.schedules.len(), cfg.nsteps);
 }
 
 // ---------------------------------------------------------------------------
@@ -273,6 +315,22 @@ fn golden_table3_workflow_costs() {
 fn golden_table4_cost_breakdown() {
     let costs = experiments::table3_4(&TitanFrame::default(), 1);
     check_golden("table4.txt", &format_table4(&costs));
+}
+
+/// The rendered frame stream is a golden too: per-frame content digests of
+/// the fault-free co-scheduled reference run at seed 1. Any change to the
+/// deposit, projection, tone map, or HCIM container shows up as a
+/// line-level digest diff (`just bless` re-blesses deliberate changes).
+#[test]
+fn golden_render_frame_digests() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let mut cfg = conformance::RenderExplorerConfig::new(scratch("render-golden"));
+    cfg.seed = 1;
+    let catalog = conformance::render_reference_catalog(&cfg);
+    check_golden(
+        "render_frames_seed1.txt",
+        &conformance::catalog_digest_lines(&catalog),
+    );
 }
 
 /// The explorer's reference catalog is itself a golden: the mini-workflow's

@@ -1,0 +1,238 @@
+//! Tier-1 chaos suite for the in-situ visualization workload: the
+//! co-scheduled render stream must keep its guarantees under seeded fault
+//! storms — a byte-identical image sequence, exactly-once frame handling
+//! across a listener crash/restart, and warm re-runs that recompute nothing.
+//!
+//! The seed comes from `CHAOS_SEED` (default 1), so CI can sweep seeds:
+//!
+//! ```text
+//! CHAOS_SEED=3 cargo test --release --test render
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cache::ArtifactCache;
+use conformance::frame_catalog;
+use dpp::Threaded;
+use faults::{FaultPlan, SiteSpec};
+use hacc_core::listener::{Listener, ListenerConfig};
+use hacc_core::runner::{assert_same_centers, RunnerConfig, TestBed};
+use hacc_core::{RENDER_FAULT_SITE, RUNNER_FAULT_SITE};
+use nbody::SimConfig;
+use parking_lot::Mutex;
+
+/// Seed for every plan in this file; override with `CHAOS_SEED=<n>`.
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Tests that install a process-global injector must not overlap.
+static GLOBAL_INJECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+/// The runner-test configuration plus a 12-pixel render stream.
+fn render_cfg(name: &str, with_cache: bool) -> RunnerConfig {
+    let workdir = std::env::temp_dir().join(format!("hacc_render_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&workdir);
+    let cache = with_cache.then(|| {
+        Arc::new(ArtifactCache::open(workdir.join("artifact_cache"), None).expect("open cache"))
+    });
+    RunnerConfig {
+        sim: SimConfig {
+            np: 16,
+            ng: 16,
+            nsteps: 30,
+            seed: 4242,
+            ..SimConfig::default()
+        },
+        nranks: 4,
+        post_ranks: 2,
+        linking_length: 0.28,
+        threshold: 60,
+        min_size: 12,
+        workdir,
+        cache,
+        render: Some(cosmotools::RenderParams {
+            ng: 12,
+            ..cosmotools::RenderParams::default()
+        }),
+        ..Default::default()
+    }
+}
+
+/// The fault storm: transient faults at the render, in-situ, listener, and
+/// comm sites, all driven by one seed.
+fn storm_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_site(SiteSpec::transient(RENDER_FAULT_SITE, 0.12))
+        .with_site(SiteSpec::transient(RUNNER_FAULT_SITE, 0.12))
+        .with_site(SiteSpec::transient("listener.submit", 0.15))
+        .with_site(SiteSpec::transient("comm.send", 0.10))
+        .with_site(SiteSpec::transient("comm.recv", 0.10))
+}
+
+/// Headline: a fault-storm run produces a byte-identical image sequence —
+/// absorbed transients must not move a single pixel, drop a frame, or
+/// change the science output.
+#[test]
+fn fault_storm_leaves_every_pixel_identical() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(render_cfg("storm", false), &backend);
+    let nsteps = bed.cfg.sim.nsteps as u64;
+
+    // Fault-free baseline (no injector installed).
+    let baseline = bed.run_combined_coscheduled(&backend, 4);
+    assert_eq!(baseline.frames_rendered, nsteps, "one frame per step");
+    assert_eq!(baseline.degraded_steps, 0);
+    let reference = frame_catalog(&bed.cfg.workdir);
+    assert_eq!(reference.len() as u64, nsteps);
+
+    // Storm run under the global injector (no cache: every frame really
+    // renders, so every step's fault decision is exercised).
+    let injector = storm_plan(chaos_seed()).build();
+    let run = {
+        let _guard = faults::install(Arc::clone(&injector));
+        bed.run_combined_coscheduled(&backend, 4)
+    };
+    assert!(
+        injector.fault_count() > 0,
+        "the storm must actually inject faults"
+    );
+    let stats = injector.site_stats();
+    // One poll per frame plus one per absorbed transient retry.
+    let (render_polls, _) = stats.get(RENDER_FAULT_SITE).copied().unwrap_or((0, 0));
+    assert!(
+        render_polls >= nsteps,
+        "every frame consults the fault site: {render_polls} < {nsteps}"
+    );
+    assert_eq!(run.degraded_steps, 0, "transient faults must not degrade");
+    assert_eq!(run.frames_rendered, nsteps, "no frame may be lost");
+    assert_eq!(
+        frame_catalog(&bed.cfg.workdir),
+        reference,
+        "absorbed faults must not change a single pixel"
+    );
+    assert_same_centers(&baseline.centers, &run.centers);
+}
+
+/// A cold run under the storm warms the artifact cache; the re-run replays
+/// every frame from it — zero re-renders, byte-identical catalog.
+#[test]
+fn warm_rerun_after_storm_recomputes_no_frames() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(render_cfg("warm", true), &backend);
+    let nsteps = bed.cfg.sim.nsteps as u64;
+
+    let cold = {
+        let _guard = faults::install(storm_plan(chaos_seed()).build());
+        bed.run_combined_coscheduled(&backend, 4)
+    };
+    assert_eq!(cold.frames_rendered, nsteps);
+    assert_eq!(cold.render_cache_hits, 0, "a cold cache cannot replay");
+    let cold_frames = frame_catalog(&bed.cfg.workdir);
+
+    // Warm, fault-free: nothing renders, everything replays.
+    let warm = bed.run_combined_coscheduled(&backend, 4);
+    assert_eq!(warm.frames_rendered, nsteps);
+    assert_eq!(
+        warm.render_cache_hits, nsteps,
+        "a warm re-run must recompute no frames"
+    );
+    assert_eq!(frame_catalog(&bed.cfg.workdir), cold_frames);
+    assert_same_centers(&cold.centers, &warm.centers);
+}
+
+/// Exactly-once frame handling across a listener crash/restart: a journaled
+/// listener consuming the frame stream crashes mid-run, more frames land
+/// while it is down, and the restarted incarnation picks up exactly the
+/// unhandled remainder — every frame delivered once, none lost, none twice.
+#[test]
+fn frame_listener_crash_restart_is_exactly_once() {
+    let _serial = GLOBAL_INJECTOR_LOCK.lock();
+    let backend = Threaded::new(4);
+    let bed = TestBed::create(render_cfg("listener", false), &backend);
+    let run = bed.run_combined_coscheduled(&backend, 4);
+    let frames = frame_catalog(&bed.cfg.workdir);
+    assert_eq!(frames.len() as u64, run.frames_rendered);
+
+    // A downstream consumer's staging directory the frames stream into.
+    let dir = std::env::temp_dir().join(format!("hacc_render_consumer_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("frames.journal");
+    let handled: Arc<Mutex<Vec<PathBuf>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let half = frames.len() / 2;
+    for (name, bytes) in &frames[..half] {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+
+    // Incarnation 1: crash a few scans in, transient submit faults on top.
+    let plan = FaultPlan::new(chaos_seed())
+        .with_site(SiteSpec::transient("listener.submit", 0.2))
+        .with_site(SiteSpec::crash_at("listener.scan", 6))
+        .build();
+    let h2 = Arc::clone(&handled);
+    let listener = Listener::spawn(
+        dir.clone(),
+        ListenerConfig {
+            poll_interval: Duration::from_millis(5),
+            suffix: ".hcim".into(),
+            journal: Some(journal.clone()),
+            injector: Some(plan),
+            ..Default::default()
+        },
+        move |p| h2.lock().push(p.to_path_buf()),
+    );
+    std::thread::sleep(Duration::from_millis(250));
+    let report1 = listener.stop_report();
+    assert!(report1.crashed, "the injected crash must fire");
+
+    // The remaining frames land while the consumer is down.
+    for (name, bytes) in &frames[half..] {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+
+    // Incarnation 2: restart from the journal, fault-free.
+    let h3 = Arc::clone(&handled);
+    let listener = Listener::spawn(
+        dir.clone(),
+        ListenerConfig {
+            poll_interval: Duration::from_millis(5),
+            suffix: ".hcim".into(),
+            journal: Some(journal),
+            ..Default::default()
+        },
+        move |p| h3.lock().push(p.to_path_buf()),
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handled.lock().len() < frames.len() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let report2 = listener.stop_report();
+    assert!(!report2.crashed);
+
+    // Across both incarnations: every frame exactly once, and every
+    // delivered file is a decodable HCIM image.
+    let handled = handled.lock();
+    let unique: BTreeSet<_> = handled.iter().collect();
+    assert_eq!(unique.len(), frames.len(), "every frame must be handled");
+    assert_eq!(
+        handled.len(),
+        frames.len(),
+        "no frame may be handled twice: {:?}",
+        *handled
+    );
+    for p in handled.iter() {
+        let bytes = std::fs::read(p).unwrap();
+        cosmotools::read_image(&bytes).expect("delivered frame decodes");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -80,9 +80,9 @@ fn zoo_disciplines_beat_the_titan_policy_in_the_sweep() {
         let m = s.summary("mean_result_seconds").expect("metric");
         (m.mean, m.ci95)
     };
-    let (titan, titan_ci) = science("titan/light/simple/none/titan-policy");
+    let (titan, titan_ci) = science("titan/light/halos/simple/none/titan-policy");
     for zoo in ["easy", "conservative", "priority-qos", "fair-share"] {
-        let (mean, ci) = science(&format!("titan/light/simple/none/{zoo}"));
+        let (mean, ci) = science(&format!("titan/light/halos/simple/none/{zoo}"));
         assert!(
             mean + ci < titan - titan_ci,
             "{zoo}: {mean} ± {ci} not clearly below titan-policy {titan} ± {titan_ci}"
